@@ -1,0 +1,52 @@
+"""Ablation: the LP-rounding strawman vs. the paper's algorithms.
+
+Section III argues LP rounding "may violate the cardinality constraint by
+more than a (1 + eps) factor unless k is large". This bench runs the
+randomized rounding on an enumerated LBL sample and reports the size
+violations alongside CWSC (which never violates k).
+"""
+
+import pytest
+
+from repro.core.cwsc import cwsc
+from repro.core.lp_rounding import lp_rounding
+from repro.experiments.sweeps import master_trace
+from repro.patterns.pattern_sets import build_set_system
+
+N_ROWS = 600
+SEED = 7
+K = 5
+S_HAT = 0.5
+
+
+@pytest.fixture(scope="module")
+def system():
+    table = master_trace(12_000, SEED).sample(N_ROWS, seed=3)
+    return build_set_system(table, "max")
+
+
+def test_lp_rounding(benchmark, system):
+    result = benchmark.pedantic(
+        lp_rounding, args=(system, K, S_HAT),
+        kwargs={"trials": 10, "seed": 1}, rounds=1, iterations=1,
+    )
+    greedy = cwsc(system, K, S_HAT, on_infeasible="full_cover")
+    print(
+        f"\nlp_rounding: {result.n_sets} sets (k={K}), cost "
+        f"{result.total_cost:.2f}, size violations "
+        f"{result.params['size_violations']}/10 trials; CWSC: "
+        f"{greedy.n_sets} sets, cost {greedy.total_cost:.2f}"
+    )
+    assert result.feasible
+    assert greedy.n_sets <= K
+    # The LP value sandwiches both costs from below.
+    assert result.total_cost >= result.params["lp_value"] - 1e-6
+    assert greedy.total_cost >= result.params["lp_value"] - 1e-6
+
+
+def test_cwsc_reference(benchmark, system):
+    result = benchmark.pedantic(
+        cwsc, args=(system, K, S_HAT),
+        kwargs={"on_infeasible": "full_cover"}, rounds=3, iterations=1,
+    )
+    assert result.n_sets <= K

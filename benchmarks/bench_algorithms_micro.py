@@ -1,0 +1,69 @@
+"""Micro-benchmarks of the individual algorithms at a fixed workload.
+
+Unlike the artifact benches (which time one full regeneration), these give
+pytest-benchmark proper multi-round statistics per algorithm, on the
+Fig. 5 midpoint configuration (n = 12000, k = 10, s = 0.3, b = 1, eps = 1).
+"""
+
+import pytest
+
+from repro.core.cmc_epsilon import cmc_epsilon
+from repro.core.cwsc import cwsc
+from repro.experiments.sweeps import master_trace
+from repro.patterns.optimized_cmc import optimized_cmc
+from repro.patterns.optimized_cwsc import optimized_cwsc
+from repro.patterns.pattern_sets import build_set_system
+
+N_ROWS = 12_000
+SEED = 7
+K = 10
+S_HAT = 0.3
+
+
+@pytest.fixture(scope="module")
+def table():
+    return master_trace(N_ROWS, SEED)
+
+
+@pytest.fixture(scope="module")
+def system(table):
+    return build_set_system(table, "max")
+
+
+def test_enumerate_and_build_system(benchmark, table):
+    result = benchmark.pedantic(
+        build_set_system, args=(table, "max"), rounds=2, iterations=1
+    )
+    assert result.has_full_cover
+
+
+def test_cwsc_unoptimized(benchmark, system):
+    result = benchmark.pedantic(
+        cwsc, args=(system, K, S_HAT),
+        kwargs={"on_infeasible": "full_cover"}, rounds=2, iterations=1,
+    )
+    assert result.feasible
+
+
+def test_cmc_unoptimized(benchmark, system):
+    result = benchmark.pedantic(
+        cmc_epsilon, args=(system, K, S_HAT),
+        kwargs={"b": 1.0, "eps": 1.0}, rounds=2, iterations=1,
+    )
+    assert result.feasible
+
+
+def test_cwsc_optimized(benchmark, table):
+    result = benchmark.pedantic(
+        optimized_cwsc, args=(table, K, S_HAT),
+        kwargs={"on_infeasible": "full_cover"}, rounds=2, iterations=1,
+    )
+    assert result.feasible
+
+
+def test_cmc_optimized(benchmark, table):
+    result = benchmark.pedantic(
+        optimized_cmc, args=(table, K, S_HAT),
+        kwargs={"b": 1.0, "eps": 1.0}, rounds=2, iterations=1,
+    )
+    assert result.feasible

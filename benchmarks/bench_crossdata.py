@@ -1,0 +1,20 @@
+"""Bench: the Table IV-style comparison on census-like data.
+
+Checks that the paper's qualitative conclusion — CWSC competitive with
+CMC, winning at high coverage — is not an artifact of the network-trace
+workload.
+"""
+
+
+def test_crossdata_quality(regenerate):
+    report = regenerate("crossdata")
+    records = report.data["records"]
+
+    for record in records:
+        assert record["cwsc"] > 0
+        assert record["cwsc_sets"] <= report.data["config"]["k"]
+    # At the highest coverage fraction CWSC stays within a small factor
+    # of the best CMC configuration.
+    top = max(records, key=lambda record: record["s"])
+    best_cmc = min(top["cmc"].values())
+    assert top["cwsc"] <= best_cmc * 2.0

@@ -1,0 +1,15 @@
+"""Bench: cost stability of the CWSC/CMC comparison across data seeds."""
+
+
+def test_ext_seeds_stability(regenerate):
+    report = regenerate("ext-seeds")
+    records = report.data["records"]
+    assert len(records) == len(report.data["config"]["seeds"])
+
+    ratios = [record["ratio"] for record in records]
+    # The comparison is stable: the CWSC/CMC cost ratio varies by well
+    # under an order of magnitude across seeds.
+    assert max(ratios) <= 4 * min(ratios)
+    for record in records:
+        assert record["cwsc"] > 0
+        assert record["cmc"] > 0

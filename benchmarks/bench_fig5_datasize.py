@@ -1,0 +1,32 @@
+"""Bench: Fig. 5 — running time vs. data size.
+
+Paper shape: optimized variants are faster than their unoptimized
+counterparts (about 2x on LBL), the gap widens with data size, and CWSC
+is faster than CMC.
+"""
+
+
+def test_fig5_runtime_vs_datasize(regenerate):
+    report = regenerate("fig5")
+    rows = report.data["rows"]
+    largest = rows[-1]
+
+    # Optimized beats unoptimized at the largest size (slack for noise).
+    assert (
+        largest["optimized_cwsc"]["runtime"]
+        < largest["cwsc"]["runtime"] * 1.2
+    )
+    assert (
+        largest["optimized_cmc"]["runtime"]
+        < largest["cmc"]["runtime"] * 1.2
+    )
+    # CWSC is faster than CMC in both variants.
+    assert largest["cwsc"]["runtime"] < largest["cmc"]["runtime"]
+    assert (
+        largest["optimized_cwsc"]["runtime"]
+        < largest["optimized_cmc"]["runtime"]
+    )
+    # Every run met its coverage obligation.
+    for row in rows:
+        for name in ("cmc", "optimized_cmc", "cwsc", "optimized_cwsc"):
+            assert row[name]["covered"] > 0

@@ -1,0 +1,24 @@
+"""Bench: Fig. 6 — patterns considered vs. data size.
+
+Paper shape: the optimizations work because far fewer patterns are
+considered; CMC's counts (summed over budget rounds) dominate CWSC's, and
+the gap grows with data size. These counts are deterministic, so the
+assertions are strict.
+"""
+
+
+def test_fig6_patterns_considered(regenerate):
+    report = regenerate("fig6")
+    rows = report.data["rows"]
+
+    for row in rows:
+        assert (
+            row["optimized_cwsc"]["considered"] < row["cwsc"]["considered"]
+        )
+        assert row["optimized_cmc"]["considered"] < row["cmc"]["considered"]
+        # CMC re-enumerates per budget round, so it dominates CWSC.
+        assert row["cmc"]["considered"] > row["cwsc"]["considered"]
+
+    # The unoptimized counts grow with data size.
+    considered = [row["cmc"]["considered"] for row in rows]
+    assert considered == sorted(considered)

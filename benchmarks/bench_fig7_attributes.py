@@ -1,0 +1,22 @@
+"""Bench: Fig. 7 — running time vs. number of pattern attributes.
+
+Paper shape: more attributes mean an exponentially larger pattern space,
+so the unoptimized algorithms slow down steeply while the optimized ones
+stay ahead at the full five attributes.
+"""
+
+
+def test_fig7_runtime_vs_attributes(regenerate):
+    report = regenerate("fig7")
+    rows = report.data["rows"]
+    first, last = rows[0], rows[-1]
+
+    # Work grows with attribute count for the unoptimized algorithms
+    # (counts are deterministic; runtimes are noisy).
+    assert last["cwsc"]["considered"] > first["cwsc"]["considered"]
+    assert last["cmc"]["considered"] > first["cmc"]["considered"]
+    # At 5 attributes the optimized variants win.
+    assert (
+        last["optimized_cwsc"]["runtime"] < last["cwsc"]["runtime"] * 1.2
+    )
+    assert last["optimized_cmc"]["runtime"] < last["cmc"]["runtime"] * 1.2

@@ -1,0 +1,22 @@
+"""Bench: Fig. 8 — running time vs. the size constraint k.
+
+Paper shape: CWSC gets slower as k grows (more threshold iterations)
+while CMC gets faster (cheap feasible solutions appear at smaller
+budgets, so fewer budget rounds are tried).
+"""
+
+
+def test_fig8_runtime_vs_k(regenerate):
+    report = regenerate("fig8")
+    rows = report.data["rows"]
+    first, last = rows[0], rows[-1]
+
+    # CMC tries fewer (or equal) budget rounds at the largest k.
+    assert last["cmc"]["rounds"] <= first["cmc"]["rounds"]
+    assert last["optimized_cmc"]["rounds"] <= first["optimized_cmc"]["rounds"]
+    # And is not slower there than at the smallest k (with slack).
+    assert last["cmc"]["runtime"] <= first["cmc"]["runtime"] * 1.3
+    # Every configuration stays feasible.
+    for row in rows:
+        for name in ("cmc", "optimized_cmc", "cwsc", "optimized_cwsc"):
+            assert row[name]["covered"] > 0

@@ -1,0 +1,25 @@
+"""Bench: Fig. 9 — running time vs. the coverage fraction s.
+
+Paper shape: CWSC's cost of an iteration does not depend on s (its
+iteration count is bounded by k), while CMC must raise its budget further
+to reach higher coverage, so its rounds — and runtime — grow with s.
+"""
+
+
+def test_fig9_runtime_vs_coverage(regenerate):
+    report = regenerate("fig9")
+    rows = report.data["rows"]
+    first, last = rows[0], rows[-1]
+
+    # CMC needs at least as many budget rounds at the highest coverage.
+    assert last["cmc"]["rounds"] >= first["cmc"]["rounds"]
+    assert (
+        last["optimized_cmc"]["rounds"] >= first["optimized_cmc"]["rounds"]
+    )
+    # CWSC's work stays flat-ish: its pattern considerations are one
+    # enumeration regardless of s.
+    considered = [row["cwsc"]["considered"] for row in rows]
+    assert max(considered) == min(considered)
+    # Coverage obligations met everywhere.
+    for row in rows:
+        assert row["cwsc"]["covered"] >= row["x"] * 12_000 - 1e-6

@@ -1,0 +1,12 @@
+"""Bench: regenerate Tables I/II and the worked examples (Sections I/V)."""
+
+
+def test_running_example(regenerate):
+    report = regenerate("running-example")
+    data = report.data
+    assert data["n_patterns"] == 24
+    assert data["wsc"] == {"n_sets": 7, "cost": 24.0}
+    assert data["optimal_cost"] == 27.0
+    assert data["cwsc_cost"] == 28.0
+    assert data["cmc_covered"] == 9
+    assert data["cmc_rounds"] == 3

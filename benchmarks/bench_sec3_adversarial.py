@@ -1,0 +1,18 @@
+"""Bench: Section III — the budgeted-max-coverage adversarial instance.
+
+Paper shape: greedy BMC allowed ck sets covers only ck of Ck elements
+(arbitrarily small as C grows), while the problem's optimum — which CWSC
+finds — covers 100%.
+"""
+
+
+def test_sec3_adversarial_instance(regenerate):
+    report = regenerate("sec3")
+    data = report.data
+    config = data["config"]
+
+    assert data["bmc_covered"] == config["c"] * config["k"]
+    assert data["cwsc_covered"] == data["n_elements"]
+    assert data["bmc_covered"] / data["n_elements"] == (
+        config["c"] / config["big_c"]
+    )

@@ -1,0 +1,22 @@
+"""Bench: Section VI-C — partial max coverage ignores cost.
+
+Paper shape: the max-coverage heuristic returns the same expensive
+solution regardless of the coverage fraction, several times costlier than
+CWSC (10x at s=0.3, >3x at s=0.6 on LBL).
+"""
+
+
+def test_sec6c_max_coverage_blowup(regenerate):
+    report = regenerate("sec6c")
+    ratios = report.data["ratios"]
+    mc_costs = report.data["max_coverage"]
+
+    # Never cheaper than CWSC, and clearly costlier at low coverage.
+    assert all(ratio >= 1.0 - 1e-9 for ratio in ratios.values())
+    low_s = min(ratios)
+    assert ratios[low_s] > 2.0
+
+    # The max coverage solution's cost is insensitive to s: the greedy
+    # prefix is the same, only its length varies.
+    costs = [mc_costs[s] for s in sorted(mc_costs)]
+    assert max(costs) <= costs[0] * 3

@@ -1,0 +1,26 @@
+"""Bench: Section VI-D — comparison to the exhaustive optimum.
+
+Paper shape: on small samples CMC with small b finds an optimal solution
+and CWSC is optimal or near-optimal (one miss by 1/8 in the paper).
+"""
+
+
+def test_sec6d_vs_optimal(regenerate):
+    report = regenerate("sec6d")
+    records = report.data["records"]
+    assert records
+
+    for record in records:
+        assert record["lp_bound"] <= record["optimal"] + 1e-6
+        assert record["cwsc"] >= record["optimal"] - 1e-9
+        # Near-optimal: within a small constant factor on every sample.
+        # (The paper reports CWSC "almost always" exactly optimal on its
+        # LBL samples; on the synthetic trace the gap is larger — see
+        # EXPERIMENTS.md.)
+        assert record["cwsc"] <= record["optimal"] * 2.5 + 1e-9
+
+    # And actually near-optimal (within 10%) on at least one sample.
+    assert any(
+        record["cwsc"] <= record["optimal"] * 1.1 + 1e-9
+        for record in records
+    )

@@ -1,0 +1,24 @@
+"""Bench: Table V — running time, CWSC vs. CMC(b, eps).
+
+Paper shape: CWSC takes well under half the time of every CMC
+configuration; increasing b speeds CMC up (fewer budget rounds).
+"""
+
+
+def test_table5_runtime_grid(regenerate):
+    report = regenerate("table5")
+    runtimes = report.data["runtimes"]
+    s_values = report.data["config"]["s_values"]
+    cmc_labels = [label for label in runtimes if label.startswith("CMC")]
+
+    for s in s_values:
+        fastest_cmc = min(runtimes[label][s] for label in cmc_labels)
+        # The paper reports < 0.5x; allow slack for machine noise.
+        assert runtimes["CWSC"][s] < fastest_cmc * 0.9
+
+    # b=2 is not slower than b=0.5 at the same eps (fewer rounds).
+    for s in s_values:
+        assert (
+            runtimes["CMC (b=2, eps=1)"][s]
+            <= runtimes["CMC (b=0.5, eps=1)"][s] * 1.3
+        )

@@ -1,0 +1,16 @@
+"""Bench: Table VI — plain partial weighted set cover needs many patterns.
+
+Paper shape: the pattern count grows steeply with the coverage fraction
+(15 -> 58 between s=0.5 and s=0.9 on LBL), far past any reasonable k.
+"""
+
+
+def test_table6_wsc_pattern_counts(regenerate):
+    report = regenerate("table6")
+    counts = report.data["counts"]
+    s_values = sorted(counts)
+
+    ordered = [counts[s] for s in s_values]
+    assert ordered == sorted(ordered)  # monotone growth
+    assert ordered[-1] >= 2 * ordered[0]  # steep growth
+    assert ordered[-1] > 10  # far beyond the paper's k = 10

@@ -1,0 +1,46 @@
+"""Shared benchmark helpers.
+
+Each benchmark regenerates one paper artifact (full scale), prints the
+rendered table (run pytest with ``-s`` to see it live), and asserts the
+*shape* the paper reports. Deterministic quantities (costs, sizes, pattern
+counts) are asserted strictly; runtime orderings carry slack for machine
+noise.
+
+Sweeps are memoized inside :mod:`repro.experiments.sweeps`, so Fig. 5 and
+Fig. 6 (two views of the same runs) cost one sweep per session, exactly
+like the paper's methodology.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import run_experiment
+
+#: When set, every regenerated artifact is appended to this file, so a
+#: benchmark run leaves behind the rendered tables for EXPERIMENTS.md.
+REPORT_SINK = os.environ.get("REPRO_BENCH_REPORTS")
+
+
+@pytest.fixture
+def regenerate(benchmark):
+    """Benchmark the regeneration of one artifact; returns its report."""
+
+    def run(experiment_id: str):
+        report = benchmark.pedantic(
+            run_experiment,
+            args=(experiment_id,),
+            kwargs={"scale": "full"},
+            rounds=1,
+            iterations=1,
+        )
+        print("\n" + report.text)
+        if REPORT_SINK:
+            with open(REPORT_SINK, "a") as sink:
+                sink.write(report.text + "\n\n")
+        benchmark.extra_info["experiment"] = experiment_id
+        return report
+
+    return run

@@ -1,0 +1,48 @@
+"""Explain a summary: saturation curves and redundancy pruning.
+
+Two post-hoc tools for working with a computed cover:
+
+* :func:`repro.analysis.selection_curve` shows how coverage and cost
+  accumulate selection by selection ("the first two patterns already
+  cover 80% of the target");
+* :func:`repro.core.prune_redundant` drops sets made redundant by later
+  selections, often shaving cost off greedy output for free.
+
+Run:  python examples/explain_summary.py
+"""
+
+from repro import cwsc
+from repro.analysis import selection_curve
+from repro.core import prune_redundant
+from repro.datasets.census import census_table
+from repro.patterns.pattern_sets import build_set_system
+
+
+def main() -> None:
+    table = census_table(3_000, seed=23)
+    system = build_set_system(table, "max")
+    k, coverage = 8, 0.6
+
+    result = cwsc(system, k=k, s_hat=coverage, on_infeasible="full_cover")
+    print(result.summary())
+
+    print("\nselection curve (cumulative):")
+    print(f"{'pattern':>52}  {'+rows':>6}  {'cover':>7}  {'cost':>8}")
+    for step in selection_curve(system, result):
+        pattern = step["label"].format(table.attributes)
+        print(
+            f"{pattern:>52.52}  {step['marginal_covered']:6d}  "
+            f"{step['coverage_fraction']:7.1%}  {step['cost']:8.1f}"
+        )
+
+    pruned = prune_redundant(system, result, s_hat=coverage)
+    saved = result.total_cost - pruned.total_cost
+    print(
+        f"\nafter pruning: {pruned.n_sets} sets "
+        f"(was {result.n_sets}), cost {pruned.total_cost:.1f} "
+        f"(saved {saved:.1f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

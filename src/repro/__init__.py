@@ -1,0 +1,84 @@
+"""repro — a reproduction of *Size-Constrained Weighted Set Cover*
+(Golab, Korn, Li, Saha, Srivastava; ICDE 2015).
+
+Given ``n`` elements, weighted candidate sets, a size bound ``k`` and a
+coverage fraction ``s_hat``, find at most ``k`` sets covering at least
+``s_hat * n`` elements with minimal total weight.
+
+Quickstart::
+
+    from repro import SetSystem, cwsc
+    system = SetSystem.from_iterables(
+        n_elements=4,
+        benefits=[{0, 1}, {2, 3}, {0, 1, 2, 3}],
+        costs=[1.0, 1.0, 5.0],
+    )
+    result = cwsc(system, k=2, s_hat=1.0)
+    assert result.total_cost == 2.0
+
+For data records with categorical attributes, use the patterned special
+case (:class:`PatternTable` + :func:`optimized_cwsc` /
+:func:`optimized_cmc`), which prunes the pattern lattice instead of
+enumerating it.
+"""
+
+from repro.core import (
+    COVERAGE_DISCOUNT,
+    CoverResult,
+    Metrics,
+    SetSystem,
+    WeightedSet,
+    brute_force,
+    cmc,
+    cmc_epsilon,
+    cmc_generalized,
+    cwsc,
+    lp_lower_bound,
+    solve_exact,
+)
+from repro.errors import (
+    InfeasibleError,
+    PatternSpaceError,
+    ReproError,
+    ValidationError,
+)
+from repro.patterns import (
+    ALL,
+    Pattern,
+    PatternIndex,
+    PatternTable,
+    build_set_system,
+    enumerate_nonempty_patterns,
+    optimized_cmc,
+    optimized_cwsc,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL",
+    "COVERAGE_DISCOUNT",
+    "CoverResult",
+    "InfeasibleError",
+    "Metrics",
+    "Pattern",
+    "PatternIndex",
+    "PatternSpaceError",
+    "PatternTable",
+    "ReproError",
+    "SetSystem",
+    "ValidationError",
+    "WeightedSet",
+    "__version__",
+    "brute_force",
+    "build_set_system",
+    "cmc",
+    "cmc_epsilon",
+    "cmc_generalized",
+    "cwsc",
+    "enumerate_nonempty_patterns",
+    "lp_lower_bound",
+    "optimized_cmc",
+    "optimized_cwsc",
+    "solve_exact",
+]

@@ -1,0 +1,22 @@
+"""Shared type aliases used across the repro package."""
+
+from __future__ import annotations
+
+from typing import Hashable, Union
+
+#: Identifier of a covered element. Core algorithms use dense integers
+#: (``0 .. n-1``); dataset loaders map external ids onto this range.
+ElementId = int
+
+#: Identifier of a candidate set inside a :class:`~repro.core.SetSystem`.
+SetId = int
+
+#: A set weight. Non-negative; ``math.inf`` marks "never choose this set"
+#: (used by the Theorem 3 reduction).
+Cost = float
+
+#: A categorical attribute value in a pattern table.
+AttrValue = Hashable
+
+#: Either a concrete attribute value or the ALL wildcard.
+PatternValue = Union[AttrValue, "repro.patterns.pattern._AllType"]  # noqa: F821

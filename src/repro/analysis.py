@@ -1,0 +1,136 @@
+"""Side-by-side algorithm comparison on one instance.
+
+A convenience layer for users choosing between CWSC and CMC on their own
+data: run every applicable algorithm with one call and get a rendered
+table of cost / size / coverage / runtime, plus the LP lower bound as a
+quality yardstick when the instance is small enough to afford it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cmc_epsilon import cmc_epsilon
+from repro.core.cwsc import cwsc
+from repro.core.lp_bound import lp_lower_bound
+from repro.core.result import CoverResult
+from repro.core.setsystem import SetSystem
+from repro.errors import ReproError
+from repro.experiments.reporting import format_table
+from repro.patterns.costs import CostFunction
+from repro.patterns.optimized_cmc import optimized_cmc
+from repro.patterns.optimized_cwsc import optimized_cwsc
+from repro.patterns.pattern_sets import build_set_system
+from repro.patterns.table import PatternTable
+
+#: Instances with at most this many sets also get an LP lower bound.
+LP_BOUND_MAX_SETS = 5_000
+
+
+def selection_curve(
+    system: SetSystem, result: CoverResult
+) -> list[dict]:
+    """Per-prefix coverage/cost of a solution, in selection order.
+
+    Entry ``i`` describes the first ``i + 1`` selections: cumulative
+    covered elements, coverage fraction, cumulative cost, and the
+    marginal contribution of the ``i``-th set. Useful for explaining a
+    summary ("the first two patterns already cover 80%") and for plotting
+    greedy saturation curves.
+    """
+    covered: set[int] = set()
+    cost = 0.0
+    curve: list[dict] = []
+    for set_id in result.set_ids:
+        ws = system[set_id]
+        newly = len(ws.benefit - covered)
+        covered |= ws.benefit
+        cost += ws.cost
+        curve.append(
+            {
+                "set_id": set_id,
+                "label": ws.label,
+                "marginal_covered": newly,
+                "covered": len(covered),
+                "coverage_fraction": (
+                    len(covered) / system.n_elements
+                    if system.n_elements
+                    else 0.0
+                ),
+                "cost": cost,
+            }
+        )
+    return curve
+
+
+@dataclass
+class Comparison:
+    """Outcome of :func:`compare_algorithms`."""
+
+    results: dict[str, CoverResult]
+    lp_bound: float | None
+
+    def render(self) -> str:
+        """Rendered comparison table."""
+        headers = [
+            "algorithm", "sets", "cost", "coverage", "seconds",
+            "patterns considered",
+        ]
+        rows = []
+        for name, result in self.results.items():
+            rows.append(
+                [
+                    name,
+                    result.n_sets,
+                    result.total_cost,
+                    f"{result.coverage_fraction:.1%}",
+                    result.metrics.runtime_seconds,
+                    result.metrics.sets_considered,
+                ]
+            )
+        text = format_table(headers, rows)
+        if self.lp_bound is not None:
+            text += f"\nLP lower bound on optimal cost: {self.lp_bound:g}"
+        return text
+
+
+def compare_algorithms(
+    table: PatternTable,
+    k: int,
+    s_hat: float,
+    cost: "str | CostFunction" = "max",
+    b: float = 1.0,
+    eps: float = 1.0,
+    include_unoptimized: bool = True,
+    include_lp_bound: bool = True,
+) -> Comparison:
+    """Run CWSC and CMC (optimized, optionally unoptimized) on a table.
+
+    Parameters
+    ----------
+    include_unoptimized:
+        Also run the enumeration-based algorithms (slow on big tables).
+    include_lp_bound:
+        Compute the LP lower bound when the enumerated system is small
+        enough (see :data:`LP_BOUND_MAX_SETS`); requires
+        ``include_unoptimized``.
+    """
+    results: dict[str, CoverResult] = {}
+    results["optimized_cwsc"] = optimized_cwsc(
+        table, k, s_hat, cost=cost, on_infeasible="full_cover"
+    )
+    results["optimized_cmc"] = optimized_cmc(
+        table, k, s_hat, b=b, cost=cost, eps=eps
+    )
+
+    lp_bound: float | None = None
+    if include_unoptimized:
+        system = build_set_system(table, cost)
+        results["cwsc"] = cwsc(system, k, s_hat, on_infeasible="full_cover")
+        results["cmc"] = cmc_epsilon(system, k, s_hat, b=b, eps=eps)
+        if include_lp_bound and system.n_sets <= LP_BOUND_MAX_SETS:
+            try:
+                lp_bound = lp_lower_bound(system, k, s_hat)
+            except ReproError:
+                lp_bound = None
+    return Comparison(results=results, lp_bound=lp_bound)

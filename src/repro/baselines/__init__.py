@@ -1,0 +1,15 @@
+"""Baseline algorithms the paper compares against (Sections III and VI-C).
+
+Each optimizes only two of the three goals (coverage, cost, size):
+
+* :func:`weighted_set_cover` — coverage + cost, unbounded size (Table VI).
+* :func:`max_coverage` — coverage + size, ignores cost (Section VI-C).
+* :func:`budgeted_max_coverage` — coverage + cost budget; truncating it at
+  ``ck`` sets can have arbitrarily poor coverage (Section III).
+"""
+
+from repro.baselines.budgeted_max_coverage import budgeted_max_coverage
+from repro.baselines.max_coverage import max_coverage
+from repro.baselines.weighted_set_cover import weighted_set_cover
+
+__all__ = ["budgeted_max_coverage", "max_coverage", "weighted_set_cover"]

@@ -1,0 +1,314 @@
+"""Command-line interface.
+
+Three subcommands:
+
+* ``list`` — show the available paper experiments;
+* ``run`` — regenerate a paper table/figure (or ``all`` of them);
+* ``solve`` — run size-constrained weighted set cover on a CSV of records.
+
+Examples::
+
+    scwsc list
+    scwsc run fig5 --scale full
+    scwsc solve data.csv --attributes Type,Location --measure Cost \\
+        -k 2 -s 0.5625 --algorithm cwsc
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.errors import ReproError
+from repro.experiments import available_experiments, run_experiment
+from repro.patterns.costs import get_cost_function
+from repro.patterns.optimized_cmc import optimized_cmc
+from repro.patterns.optimized_cwsc import optimized_cwsc
+from repro.patterns.table import PatternTable
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="scwsc",
+        description=(
+            "Size-Constrained Weighted Set Cover (Golab et al., ICDE 2015) "
+            "— reproduction toolkit"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list the available paper experiments")
+
+    run_parser = commands.add_parser(
+        "run", help="regenerate a paper table/figure"
+    )
+    run_parser.add_argument(
+        "experiment",
+        help="experiment id from `scwsc list`, or `all`",
+    )
+    run_parser.add_argument(
+        "--scale",
+        choices=("small", "full"),
+        default="full",
+        help="workload scale (default: full)",
+    )
+    run_parser.add_argument(
+        "--out",
+        type=argparse.FileType("w"),
+        default=None,
+        help="also write the report to a file",
+    )
+
+    solve_parser = commands.add_parser(
+        "solve", help="solve an instance from a CSV of records"
+    )
+    solve_parser.add_argument("csv", help="input CSV with a header row")
+    solve_parser.add_argument(
+        "--attributes",
+        required=True,
+        help="comma-separated pattern attribute columns",
+    )
+    solve_parser.add_argument(
+        "--measure",
+        default=None,
+        help="numeric column for pattern costs (omit for count-based costs)",
+    )
+    solve_parser.add_argument(
+        "-k", type=int, required=True, help="maximum number of patterns"
+    )
+    solve_parser.add_argument(
+        "-s",
+        "--coverage",
+        type=float,
+        required=True,
+        help="required coverage fraction in [0, 1]",
+    )
+    solve_parser.add_argument(
+        "--algorithm",
+        choices=("cwsc", "cmc", "exact"),
+        default="cwsc",
+        help="cwsc: at most k patterns; cmc: up to (1+eps)k with bounds; "
+        "exact: branch-and-bound optimum (small inputs only)",
+    )
+    solve_parser.add_argument(
+        "--cost",
+        default=None,
+        help="cost function: max (default with a measure), sum, mean, "
+        "count, l2",
+    )
+    solve_parser.add_argument(
+        "-b", type=float, default=1.0, help="CMC budget growth factor"
+    )
+    solve_parser.add_argument(
+        "--eps", type=float, default=1.0, help="CMC solution-size slack"
+    )
+    solve_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the result as JSON instead of text",
+    )
+    solve_parser.add_argument(
+        "--sql",
+        action="store_true",
+        help="also print the solution as a SQL query over the input",
+    )
+
+    info_parser = commands.add_parser(
+        "info", help="profile a CSV: domains, skew, pattern space"
+    )
+    info_parser.add_argument("csv", help="input CSV with a header row")
+    info_parser.add_argument(
+        "--attributes",
+        required=True,
+        help="comma-separated pattern attribute columns",
+    )
+    info_parser.add_argument(
+        "--measure",
+        default=None,
+        help="numeric column to profile as the measure",
+    )
+
+    demo_parser = commands.add_parser(
+        "demo",
+        help="run the algorithms on a bundled synthetic dataset",
+    )
+    demo_parser.add_argument(
+        "--dataset",
+        default="lbl:5000",
+        help="name[:rows][@seed]; names: lbl, census, entities "
+        "(default: lbl:5000)",
+    )
+    demo_parser.add_argument(
+        "-k", type=int, default=8, help="maximum number of patterns"
+    )
+    demo_parser.add_argument(
+        "-s", "--coverage", type=float, default=0.4,
+        help="required coverage fraction",
+    )
+    demo_parser.add_argument(
+        "--unoptimized",
+        action="store_true",
+        help="also run the enumeration-based algorithms and the LP bound",
+    )
+
+    report_parser = commands.add_parser(
+        "report",
+        help="run every experiment and emit a markdown report",
+    )
+    report_parser.add_argument(
+        "--scale",
+        choices=("small", "full"),
+        default="full",
+        help="workload scale (default: full)",
+    )
+    report_parser.add_argument(
+        "--out",
+        type=argparse.FileType("w"),
+        default=None,
+        help="write the markdown to a file instead of stdout",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "info":
+            return _cmd_info(args)
+        if args.command == "demo":
+            return _cmd_demo(args)
+        if args.command == "report":
+            return _cmd_report(args)
+        return _cmd_solve(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _cmd_list() -> int:
+    for experiment_id, description in available_experiments().items():
+        print(f"{experiment_id:16s} {description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    ids = (
+        list(available_experiments())
+        if args.experiment == "all"
+        else [args.experiment]
+    )
+    chunks = []
+    for experiment_id in ids:
+        report = run_experiment(experiment_id, scale=args.scale)
+        chunks.append(report.text)
+    output = "\n\n".join(chunks)
+    print(output)
+    if args.out is not None:
+        with args.out as handle:
+            handle.write(output + "\n")
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    attributes = [name.strip() for name in args.attributes.split(",")]
+    table = PatternTable.from_csv(
+        args.csv, attributes, measure_name=args.measure
+    )
+    cost_name = args.cost or ("max" if args.measure else "count")
+    cost = get_cost_function(cost_name)
+    if args.algorithm == "cwsc":
+        result = optimized_cwsc(
+            table, args.k, args.coverage, cost=cost,
+            on_infeasible="full_cover",
+        )
+    elif args.algorithm == "exact":
+        from repro.core.exact import solve_exact
+        from repro.core.preprocess import remove_dominated
+        from repro.patterns.pattern_sets import build_set_system
+
+        system = remove_dominated(build_set_system(table, cost))
+        result = solve_exact(system, args.k, args.coverage)
+    else:
+        result = optimized_cmc(
+            table, args.k, args.coverage, b=args.b, cost=cost, eps=args.eps
+        )
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+    print(result.summary())
+    for pattern in result.labels:
+        print(f"  {pattern.format(attributes)}")
+    if args.sql:
+        from repro.patterns.sql import solution_to_sql
+
+        print()
+        print(solution_to_sql(result, attributes, table_name="records"))
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.patterns.stats import profile_table
+
+    attributes = [name.strip() for name in args.attributes.split(",")]
+    table = PatternTable.from_csv(
+        args.csv, attributes, measure_name=args.measure
+    )
+    print(profile_table(table).render())
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.analysis import compare_algorithms
+    from repro.datasets.registry import load_dataset
+    from repro.patterns.stats import profile_table
+
+    table = load_dataset(args.dataset)
+    print(f"dataset {args.dataset}:")
+    print(profile_table(table).render())
+    print(
+        f"\ncomparing algorithms (k={args.k}, s={args.coverage:g}):"
+    )
+    comparison = compare_algorithms(
+        table,
+        args.k,
+        args.coverage,
+        include_unoptimized=args.unoptimized,
+        include_lp_bound=args.unoptimized,
+    )
+    print(comparison.render())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    lines = [
+        "# Size-Constrained Weighted Set Cover — regenerated artifacts",
+        "",
+        f"Scale: `{args.scale}`. See EXPERIMENTS.md for the",
+        "paper-vs-measured discussion of each shape.",
+        "",
+    ]
+    for experiment_id in available_experiments():
+        report = run_experiment(experiment_id, scale=args.scale)
+        lines.append(f"## {report.title} ({experiment_id})")
+        lines.append("")
+        lines.append("```")
+        lines.append(report.text)
+        lines.append("```")
+        lines.append("")
+    output = "\n".join(lines)
+    if args.out is not None:
+        with args.out as handle:
+            handle.write(output + "\n")
+    else:
+        print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Core size-constrained weighted set cover algorithms (paper Sections II-V).
+
+Public surface:
+
+* :class:`SetSystem` / :class:`WeightedSet` — the problem input.
+* :func:`cwsc` — Concise Weighted Set Cover (Fig. 2), at most ``k`` sets.
+* :func:`cmc` — Cheap Max Coverage (Fig. 1), at most ``5k`` sets.
+* :func:`cmc_epsilon` / :func:`cmc_generalized` — Section V-A variants.
+* :func:`solve_exact` / :func:`brute_force` — exact optimum (Section VI-D).
+* :func:`lp_lower_bound` — LP-relaxation cost lower bound.
+* :mod:`repro.core.guarantees` — Theorem 4/5 bound formulas.
+"""
+
+from repro.core.budget import (
+    LevelScheme,
+    budget_schedule,
+    generalized_levels,
+    merged_levels,
+    standard_levels,
+)
+from repro.core.cmc import COVERAGE_DISCOUNT, cmc
+from repro.core.cmc_epsilon import cmc_epsilon, cmc_generalized
+from repro.core.cwsc import cwsc
+from repro.core.exact import brute_force, solve_exact
+from repro.core.lp_bound import LPRelaxation, lp_lower_bound, solve_lp_relaxation
+from repro.core.lp_rounding import lp_rounding
+from repro.core.marginal import MarginalTracker
+from repro.core.postprocess import prune_redundant
+from repro.core.preprocess import remove_dominated, restrict_to_budget
+from repro.core.validate import verify_result
+from repro.core.result import CoverResult, Metrics
+from repro.core.setsystem import SetSystem, WeightedSet
+
+__all__ = [
+    "COVERAGE_DISCOUNT",
+    "CoverResult",
+    "LPRelaxation",
+    "LevelScheme",
+    "MarginalTracker",
+    "Metrics",
+    "SetSystem",
+    "WeightedSet",
+    "brute_force",
+    "budget_schedule",
+    "cmc",
+    "cmc_epsilon",
+    "cmc_generalized",
+    "cwsc",
+    "generalized_levels",
+    "lp_lower_bound",
+    "lp_rounding",
+    "merged_levels",
+    "prune_redundant",
+    "remove_dominated",
+    "restrict_to_budget",
+    "solve_exact",
+    "solve_lp_relaxation",
+    "standard_levels",
+    "verify_result",
+]

@@ -1,0 +1,223 @@
+"""CMC budget schedule and cost-level partitioning.
+
+CMC "guesses" the optimal total cost ``B``: it starts at the sum of the
+``k`` cheapest set costs (Fig. 1 line 1), and whenever the current guess
+cannot reach the coverage target it multiplies ``B`` by ``1 + b`` (line 28)
+until ``B`` exceeds the total cost of all sets (line 29). For a guess ``B``,
+sets are partitioned into levels by cost:
+
+* level ``i`` (``1 <= i <= floor(log2 k)``) holds costs in
+  ``(B / 2^i, B / 2^(i-1)]`` and contributes at most ``2^i`` sets;
+* a bridging level covers ``(B / k, B / 2^floor(log2 k)]`` when ``k`` is
+  not a power of two;
+* the last level holds costs in ``(0, B / k]`` and contributes at most
+  ``k`` sets;
+* sets costing more than ``B`` are out of play for this guess.
+
+The ``(1 + eps) k`` variant (Section V-A3) merges the tail: it keeps level
+``i`` (quota ``2^i``) only while ``eps * k >= 2^(i+1) - 2`` and folds
+everything cheaper into one final level with quota ``k``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro._typing import Cost
+from repro.errors import ValidationError
+
+
+def budget_schedule(
+    initial: Cost, growth: float, ceiling: Cost
+) -> Iterator[Cost]:
+    """Yield budget guesses ``B, B(1+b), B(1+b)^2, ...``.
+
+    The schedule always yields at least one value, stops after the first
+    value strictly greater than ``ceiling`` has been *excluded* — i.e. the
+    last yielded guess is the first one ``>= ceiling`` — so a final guess
+    can afford every set. A zero ``initial`` (all of the k cheapest sets
+    are free) is bumped to 1.0 so the geometric growth can make progress.
+
+    Parameters
+    ----------
+    initial:
+        First guess; the cost of the ``k`` cheapest sets.
+    growth:
+        The paper's ``b`` parameter; must be positive.
+    ceiling:
+        Total cost of all sets (or of the all-wildcards pattern for the
+        optimized variant). Guesses beyond the first one at or above this
+        are pointless: every set is already affordable.
+    """
+    if growth <= 0:
+        raise ValidationError(f"budget growth factor b must be > 0, got {growth}")
+    if initial < 0 or ceiling < 0:
+        raise ValidationError("budgets must be non-negative")
+    budget = initial if initial > 0 else 1.0
+    while True:
+        yield budget
+        if budget >= ceiling:
+            return
+        budget *= 1.0 + growth
+
+
+@dataclass(frozen=True)
+class LevelScheme:
+    """Cost levels for one budget guess.
+
+    Attributes
+    ----------
+    budget:
+        The guess ``B`` this scheme was built for.
+    lower_bounds:
+        Exclusive lower cost bound per level, descending; entry ``i``
+        pairs with quota ``quotas[i]``. The last entry is ``0.0``.
+    upper_bounds:
+        Inclusive upper cost bound per level, descending. The first entry
+        is ``B``.
+    quotas:
+        Maximum number of sets that may be chosen from each level.
+    """
+
+    budget: Cost
+    lower_bounds: tuple[float, ...]
+    upper_bounds: tuple[float, ...]
+    quotas: tuple[int, ...]
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.quotas)
+
+    def level_of(self, cost: Cost) -> int | None:
+        """Level index for a cost, or ``None`` if the set is unaffordable.
+
+        Zero-cost sets always land in the last (cheapest) level.
+        """
+        if cost > self.budget:
+            return None
+        if cost <= self.lower_bounds[-1]:  # only possible when cost == 0
+            return self.n_levels - 1
+        for i in range(self.n_levels):
+            if self.lower_bounds[i] < cost <= self.upper_bounds[i]:
+                return i
+        return None  # pragma: no cover - bounds are contiguous
+
+    def max_selections(self) -> int:
+        """Total number of sets selectable under this scheme."""
+        return sum(self.quotas)
+
+
+def standard_levels(budget: Cost, k: int) -> LevelScheme:
+    """Level scheme of the original CMC (Fig. 1 lines 7–15).
+
+    Guarantees at most ``k + sum(2^i) <= 5k - 2`` selections (Theorem 4).
+    """
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")
+    if budget < 0:
+        raise ValidationError(f"budget must be >= 0, got {budget}")
+    lower: list[float] = []
+    upper: list[float] = []
+    quotas: list[int] = []
+    n_doubling = int(math.floor(math.log2(k))) if k > 1 else 0
+    previous_upper = float(budget)
+    for i in range(1, n_doubling + 1):
+        lo = budget / (2.0**i)
+        lower.append(lo)
+        upper.append(previous_upper)
+        quotas.append(2**i)
+        previous_upper = lo
+    bridge_lo = budget / k
+    if bridge_lo < previous_upper:
+        # Bridging level for non-power-of-two k (Fig. 1 line 9).
+        lower.append(bridge_lo)
+        upper.append(previous_upper)
+        quotas.append(2 ** (n_doubling + 1) if k > 1 else 1)
+        previous_upper = bridge_lo
+    lower.append(0.0)
+    upper.append(previous_upper)
+    quotas.append(k)
+    return LevelScheme(
+        budget=budget,
+        lower_bounds=tuple(lower),
+        upper_bounds=tuple(upper),
+        quotas=tuple(quotas),
+    )
+
+
+def merged_levels(budget: Cost, k: int, eps: float) -> LevelScheme:
+    """Level scheme of the ``(1 + eps) k`` CMC variant (Section V-A3).
+
+    Keeps doubling levels while ``eps * k >= 2^(i+1) - 2`` and folds the
+    remainder into a single quota-``k`` level, so at most
+    ``k + (2^(j+1) - 2) <= (1 + eps) k`` sets are ever selected.
+    """
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")
+    if eps <= 0:
+        raise ValidationError(f"eps must be > 0, got {eps}")
+    if budget < 0:
+        raise ValidationError(f"budget must be >= 0, got {budget}")
+    lower: list[float] = []
+    upper: list[float] = []
+    quotas: list[int] = []
+    previous_upper = float(budget)
+    i = 1
+    while eps * k >= 2 ** (i + 1) - 2:
+        lo = budget / (2.0**i)
+        lower.append(lo)
+        upper.append(previous_upper)
+        quotas.append(2**i)
+        previous_upper = lo
+        i += 1
+    lower.append(0.0)
+    upper.append(previous_upper)
+    quotas.append(k)
+    return LevelScheme(
+        budget=budget,
+        lower_bounds=tuple(lower),
+        upper_bounds=tuple(upper),
+        quotas=tuple(quotas),
+    )
+
+
+def generalized_levels(budget: Cost, k: int, base: float) -> LevelScheme:
+    """Level scheme with geometric base ``1 + l`` (Section V-A2).
+
+    The paper's generalized CMC uses level boundaries ``B / (1+l)^i`` with
+    quota ``(1+l)^i`` (rounded up) per level; ``base = 1 + l``. ``base = 2``
+    recovers :func:`standard_levels` boundaries.
+    """
+    if base <= 1:
+        raise ValidationError(f"level base 1 + l must be > 1, got {base}")
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")
+    lower: list[float] = []
+    upper: list[float] = []
+    quotas: list[int] = []
+    previous_upper = float(budget)
+    i = 1
+    while base**i < k:
+        lo = budget / (base**i)
+        lower.append(lo)
+        upper.append(previous_upper)
+        quotas.append(math.ceil(base**i))
+        previous_upper = lo
+        i += 1
+    bridge_lo = budget / k
+    if bridge_lo < previous_upper:
+        lower.append(bridge_lo)
+        upper.append(previous_upper)
+        quotas.append(math.ceil(base**i))
+        previous_upper = bridge_lo
+    lower.append(0.0)
+    upper.append(previous_upper)
+    quotas.append(k)
+    return LevelScheme(
+        budget=budget,
+        lower_bounds=tuple(lower),
+        upper_bounds=tuple(upper),
+        quotas=tuple(quotas),
+    )

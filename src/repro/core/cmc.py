@@ -1,0 +1,210 @@
+"""Cheap Max Coverage (CMC) — Fig. 1 of the paper.
+
+CMC guesses the optimal cost ``B``, partitions affordable sets into cost
+levels, and runs the greedy maximum-coverage heuristic with a per-level
+quota (at most ``2^i`` sets from level ``i``, at most ``k`` from the
+cheapest level). If the guess cannot reach the (discounted) coverage target
+``(1 - 1/e) * s_hat * n``, the budget grows by ``1 + b`` and the round
+restarts. Theorem 4: at most ``5k`` sets, cost within
+``(1 + b)(2 ceil(log2 k) + 1)`` of optimal, coverage at least
+``(1 - 1/e) * s_hat * n``.
+
+The per-level argmax uses a lazy heap (CELF-style): marginal benefits only
+shrink, so a popped entry whose recorded size is still current is a true
+maximum. Tie-breaking (larger benefit, then lower cost, then canonical
+label key) is encoded directly in the heap entries and matches
+:func:`repro.core.greedy_common.benefit_key`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time
+from typing import Callable, Literal
+
+from repro._typing import Cost
+from repro.core.budget import LevelScheme, budget_schedule, standard_levels
+from repro.core.greedy_common import canonical_key
+from repro.core.marginal import MarginalTracker
+from repro.core.result import CoverResult, Metrics, make_result
+from repro.core.setsystem import SetSystem
+from repro.errors import InfeasibleError, ValidationError
+
+OnInfeasible = Literal["raise", "partial"]
+
+#: Fraction of the requested coverage CMC actually guarantees (Theorem 4).
+COVERAGE_DISCOUNT = 1.0 - 1.0 / math.e
+
+_EPS = 1e-9
+
+
+def cmc(
+    system: SetSystem,
+    k: int,
+    s_hat: float,
+    b: float = 1.0,
+    on_infeasible: OnInfeasible = "raise",
+) -> CoverResult:
+    """Run Cheap Max Coverage with the original (up to ``5k``) levels.
+
+    Parameters
+    ----------
+    system:
+        The weighted set system.
+    k:
+        Size constraint of the *optimal* solution being approximated; CMC
+        itself may return up to ``5k`` sets.
+    s_hat:
+        Requested coverage fraction; the run targets
+        ``(1 - 1/e) * s_hat * n`` elements, per Theorem 4.
+    b:
+        Budget growth factor (Fig. 1 line 28); trades solution cost for
+        fewer budget rounds.
+    on_infeasible:
+        ``"raise"`` (default) raises :class:`InfeasibleError` if no budget
+        reaches the target (only possible without a full-coverage set);
+        ``"partial"`` returns the last round's sets with
+        ``feasible=False``.
+    """
+    params = {"k": k, "s_hat": s_hat, "b": b, "variant": "standard"}
+    return run_cmc_driver(
+        system,
+        k,
+        s_hat,
+        b,
+        scheme_factory=standard_levels,
+        algorithm="cmc",
+        params=params,
+        on_infeasible=on_infeasible,
+    )
+
+
+def run_cmc_driver(
+    system: SetSystem,
+    k: int,
+    s_hat: float,
+    b: float,
+    scheme_factory: Callable[[Cost, int], LevelScheme],
+    algorithm: str,
+    params: dict,
+    on_infeasible: OnInfeasible = "raise",
+) -> CoverResult:
+    """Shared CMC driver, parameterized by the level scheme.
+
+    The ``(1 + eps) k`` and generalized variants reuse this loop with their
+    own :func:`scheme_factory`; see :mod:`repro.core.cmc_epsilon`.
+    """
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")
+    if not (0.0 <= s_hat <= 1.0):
+        raise ValidationError(f"s_hat must be in [0, 1], got {s_hat}")
+    start = time.perf_counter()
+    metrics = Metrics()
+    target = COVERAGE_DISCOUNT * s_hat * system.n_elements
+    params = dict(params)
+    params["target_elements"] = target
+
+    initial = sum(system.cheapest_costs(k))
+    ceiling = system.total_cost
+
+    chosen: list[int] = []
+    first_round = True
+    for budget in budget_schedule(initial, b, ceiling):
+        if first_round:
+            first_round = False
+        else:
+            metrics.budget_rounds += 1
+        # Fig. 1 lines 3-5: every round recomputes the marginal benefit of
+        # every candidate set from scratch. (A shared tracker with
+        # :meth:`MarginalTracker.reset` would amortize this, but the
+        # unoptimized algorithm the paper measures does not.)
+        tracker = MarginalTracker(system, metrics=metrics)
+        scheme = scheme_factory(budget, k)
+        chosen, reached = _run_round(system, tracker, scheme, target)
+        if reached:
+            metrics.runtime_seconds = time.perf_counter() - start
+            params["final_budget"] = budget
+            return make_result(
+                algorithm=algorithm,
+                chosen=chosen,
+                labels=[system[set_id].label for set_id in chosen],
+                total_cost=system.cost_of(chosen),
+                covered=system.coverage_of(chosen),
+                n_elements=system.n_elements,
+                feasible=True,
+                params=params,
+                metrics=metrics,
+            )
+
+    metrics.runtime_seconds = time.perf_counter() - start
+    partial = make_result(
+        algorithm=algorithm,
+        chosen=chosen,
+        labels=[system[set_id].label for set_id in chosen],
+        total_cost=system.cost_of(chosen),
+        covered=system.coverage_of(chosen),
+        n_elements=system.n_elements,
+        feasible=False,
+        params=params,
+        metrics=metrics,
+    )
+    if on_infeasible == "partial":
+        return partial
+    raise InfeasibleError(
+        f"{algorithm}: exhausted the budget schedule without covering "
+        f"{target:.2f} elements (the set system lacks a usable "
+        "full-coverage set)",
+        partial=partial,
+    )
+
+
+def _run_round(
+    system: SetSystem,
+    tracker: MarginalTracker,
+    scheme: LevelScheme,
+    target: float,
+) -> tuple[list[int], bool]:
+    """One budget round: level-by-level quota-bounded greedy max coverage.
+
+    Returns the selections of this round and whether the target was hit.
+    """
+    # Partition live sets into per-level lazy heaps. Heap entries are
+    # (-|MBen|, cost, canonical_key, set_id): heapq pops the smallest
+    # tuple, i.e. the largest benefit with ties to cheaper cost.
+    heaps: list[list[tuple]] = [[] for _ in range(scheme.n_levels)]
+    for set_id, size in tracker.live_items():
+        ws = system[set_id]
+        level = scheme.level_of(ws.cost)
+        if level is None:
+            continue
+        heaps[level].append(
+            (-size, ws.cost, canonical_key(ws.label, set_id), set_id)
+        )
+    for heap in heaps:
+        heapq.heapify(heap)
+
+    chosen: list[int] = []
+    rem = target
+    if rem <= _EPS:
+        return chosen, True
+    for level in range(scheme.n_levels):
+        heap = heaps[level]
+        quota = scheme.quotas[level]
+        picked = 0
+        while picked < quota and heap:
+            neg_size, cost, canon, set_id = heapq.heappop(heap)
+            current = tracker.marginal_size(set_id)
+            if current == 0:
+                continue
+            if current != -neg_size:
+                # Stale entry: re-insert with the up-to-date benefit.
+                heapq.heappush(heap, (-current, cost, canon, set_id))
+                continue
+            newly = tracker.select(set_id)
+            chosen.append(set_id)
+            picked += 1
+            rem -= newly
+            if rem <= _EPS:
+                return chosen, True
+    return chosen, False

@@ -1,0 +1,183 @@
+"""Concise Weighted Set Cover (CWSC) — Fig. 2 of the paper.
+
+CWSC adapts the partial weighted set cover heuristic (pick the set with the
+highest marginal gain) to the size constraint: with ``i`` picks remaining
+and ``rem`` elements still to cover, only sets whose marginal benefit is at
+least ``rem / i`` are eligible. It therefore uses at most ``k`` sets and
+always reaches the coverage target when it succeeds, but carries no cost
+guarantee (Section V-B).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Literal
+
+from repro.core.greedy_common import gain_key
+from repro.core.marginal import MarginalTracker
+from repro.core.result import CoverResult, Metrics, make_result
+from repro.core.setsystem import SetSystem
+from repro.errors import InfeasibleError, ValidationError
+
+#: What to do when no set clears the ``rem / i`` threshold (Fig. 2 line 7).
+#:
+#: * ``"raise"`` — raise :class:`InfeasibleError` (the paper's
+#:   ``return "No solution"``);
+#: * ``"full_cover"`` — fall back to the cheapest set covering all of ``T``
+#:   (the paper's "default solution with the set that contains all the
+#:   elements"); raises if no such set exists;
+#: * ``"partial"`` — return the infeasible partial solution with
+#:   ``feasible=False``.
+OnInfeasible = Literal["raise", "full_cover", "partial"]
+
+#: Tolerance for float coverage arithmetic: ``rem`` starts at the real
+#: number ``s_hat * n`` and is decremented by integers.
+_EPS = 1e-9
+
+
+def cwsc(
+    system: SetSystem,
+    k: int,
+    s_hat: float,
+    on_infeasible: OnInfeasible = "raise",
+) -> CoverResult:
+    """Run Concise Weighted Set Cover on an arbitrary set system.
+
+    Parameters
+    ----------
+    system:
+        The weighted set system.
+    k:
+        Maximum number of sets in the solution (``k >= 1``).
+    s_hat:
+        Required coverage fraction in ``[0, 1]``.
+    on_infeasible:
+        Fallback policy when the threshold selection fails; see
+        :data:`OnInfeasible`.
+
+    Returns
+    -------
+    CoverResult
+        Chosen sets in selection order, with metrics.
+
+    Notes
+    -----
+    Ties on marginal gain are broken toward larger marginal benefit, then
+    lower cost, then the canonical label key — identical to the optimized
+    patterned variant, so the two select the same sets.
+    """
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")
+    if not (0.0 <= s_hat <= 1.0):
+        raise ValidationError(f"s_hat must be in [0, 1], got {s_hat}")
+    start = time.perf_counter()
+    metrics = Metrics()
+    params = {"k": k, "s_hat": s_hat, "on_infeasible": on_infeasible}
+
+    tracker = MarginalTracker(system, metrics=metrics)
+    rem = s_hat * system.n_elements
+    chosen: list[int] = []
+    # Per-iteration diagnostics (Fig. 2's loop state), recorded in
+    # params["trace"]: remaining picks, remaining coverage, threshold,
+    # the chosen set and its marginal benefit.
+    trace: list[dict] = []
+    params["trace"] = trace
+
+    if rem <= _EPS:
+        return _finish(system, "cwsc", chosen, True, params, metrics, start)
+
+    for i in range(k, 0, -1):
+        threshold = rem / i - _EPS
+        best_id = None
+        best_key = None
+        for set_id, size in tracker.live_items():
+            if size < threshold:
+                continue
+            key = gain_key(
+                tracker.marginal_gain(set_id),
+                size,
+                system[set_id].cost,
+                system[set_id].label,
+                set_id,
+            )
+            if best_key is None or key > best_key:
+                best_id = set_id
+                best_key = key
+        if best_id is None:
+            return _bail(
+                system, "cwsc", chosen, rem, on_infeasible, params, metrics, start
+            )
+        newly = tracker.select(best_id)
+        trace.append(
+            {
+                "picks_left": i,
+                "rem_before": rem,
+                "threshold": rem / i,
+                "set_id": best_id,
+                "marginal_covered": newly,
+            }
+        )
+        chosen.append(best_id)
+        rem -= newly
+        if rem <= _EPS:
+            return _finish(system, "cwsc", chosen, True, params, metrics, start)
+    # All k picks used without reaching the target. Unreachable in theory
+    # (each pick covers >= rem/i, so k picks cover everything), kept as a
+    # guard against float corner cases.
+    return _bail(
+        system, "cwsc", chosen, rem, on_infeasible, params, metrics, start
+    )  # pragma: no cover
+
+
+def _finish(
+    system: SetSystem,
+    algorithm: str,
+    chosen: list[int],
+    feasible: bool,
+    params: dict,
+    metrics: Metrics,
+    start: float,
+) -> CoverResult:
+    metrics.runtime_seconds = time.perf_counter() - start
+    return make_result(
+        algorithm=algorithm,
+        chosen=chosen,
+        labels=[system[set_id].label for set_id in chosen],
+        total_cost=system.cost_of(chosen),
+        covered=system.coverage_of(chosen),
+        n_elements=system.n_elements,
+        feasible=feasible,
+        params=params,
+        metrics=metrics,
+    )
+
+
+def _bail(
+    system: SetSystem,
+    algorithm: str,
+    chosen: list[int],
+    rem: float,
+    on_infeasible: OnInfeasible,
+    params: dict,
+    metrics: Metrics,
+    start: float,
+) -> CoverResult:
+    """Apply the infeasibility policy after a failed threshold selection."""
+    if on_infeasible == "partial":
+        return _finish(system, algorithm, chosen, False, params, metrics, start)
+    if on_infeasible == "full_cover":
+        full = [
+            ws for ws in system.sets if ws.size == system.n_elements
+        ]
+        if full:
+            cheapest = min(full, key=lambda ws: (ws.cost, ws.set_id))
+            return _finish(
+                system, algorithm, [cheapest.set_id], True, params, metrics, start
+            )
+        # fall through to raising: no default solution exists
+    partial = _finish(system, algorithm, chosen, False, params, metrics, start)
+    raise InfeasibleError(
+        f"{algorithm}: no candidate set covers the required {rem:.3f} "
+        "remaining elements per remaining pick",
+        partial=partial,
+    )

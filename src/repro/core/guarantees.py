@@ -1,0 +1,101 @@
+"""Closed-form statements of the paper's approximation guarantees.
+
+These mirror Theorems 4 and 5 so tests and benchmarks can assert that each
+run stays inside its proven envelope:
+
+* Theorem 4 (standard CMC): at most ``5k`` sets (more precisely the sum of
+  the level quotas, ``<= 5k - 2``), total cost at most
+  ``(1 + b)(2 ceil(log2 k) + 1)`` times optimal, coverage at least
+  ``(1 - 1/e) * s_hat * n``.
+* Theorem 5 (``(1 + eps) k`` CMC): at most ``(1 + eps) k`` sets, cost
+  at most ``(1 + b)(2 j + k / 2^j)`` times optimal where ``j`` is the
+  number of doubling levels kept, coverage as above.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.budget import merged_levels, standard_levels
+from repro.core.cmc import COVERAGE_DISCOUNT
+from repro.core.result import CoverResult
+from repro.errors import ValidationError
+
+
+def max_sets_standard(k: int) -> int:
+    """Largest solution the standard CMC can return (``<= 5k - 2``)."""
+    return standard_levels(1.0, k).max_selections()
+
+
+def max_sets_epsilon(k: int, eps: float) -> int:
+    """Largest solution the ``(1 + eps) k`` CMC can return."""
+    return merged_levels(1.0, k, eps).max_selections()
+
+
+def cost_factor_standard(k: int, b: float) -> float:
+    """Theorem 4 cost multiplier: ``(1 + b)(2 ceil(log2 k) + 1)``."""
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")
+    if b <= 0:
+        raise ValidationError(f"b must be > 0, got {b}")
+    return (1.0 + b) * (2 * math.ceil(math.log2(k)) + 1 if k > 1 else 1)
+
+
+def cost_factor_epsilon(k: int, b: float, eps: float) -> float:
+    """Theorem 5 cost multiplier: ``(1 + b)(2 j + k / 2^j)``.
+
+    ``j`` is the number of doubling levels kept by the merged scheme, i.e.
+    the largest ``j`` with ``2^(j+1) - 2 <= eps * k`` (possibly 0).
+    """
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")
+    if b <= 0 or eps <= 0:
+        raise ValidationError("b and eps must be > 0")
+    j = merged_levels(1.0, k, eps).n_levels - 1
+    return (1.0 + b) * (2.0 * j + k / (2.0**j))
+
+
+def guaranteed_coverage(s_hat: float, n_elements: int) -> float:
+    """Coverage floor of any feasible CMC run: ``(1 - 1/e) s_hat n``."""
+    return COVERAGE_DISCOUNT * s_hat * n_elements
+
+
+def within_theorem4(
+    result: CoverResult, opt_cost: float, k: int, b: float, s_hat: float
+) -> bool:
+    """Check a standard CMC result against every Theorem 4 bound."""
+    if not result.feasible:
+        return False
+    size_ok = result.n_sets <= max_sets_standard(k)
+    coverage_ok = (
+        result.covered >= guaranteed_coverage(s_hat, result.n_elements) - 1e-9
+    )
+    cost_ok = (
+        opt_cost == 0
+        and result.total_cost == 0
+        or result.total_cost <= cost_factor_standard(k, b) * opt_cost + 1e-9
+    )
+    return size_ok and coverage_ok and cost_ok
+
+
+def within_theorem5(
+    result: CoverResult,
+    opt_cost: float,
+    k: int,
+    b: float,
+    eps: float,
+    s_hat: float,
+) -> bool:
+    """Check an ``(1 + eps) k`` CMC result against every Theorem 5 bound."""
+    if not result.feasible:
+        return False
+    size_ok = result.n_sets <= math.floor((1 + eps) * k + 1e-9)
+    coverage_ok = (
+        result.covered >= guaranteed_coverage(s_hat, result.n_elements) - 1e-9
+    )
+    cost_ok = (
+        opt_cost == 0
+        and result.total_cost == 0
+        or result.total_cost <= cost_factor_epsilon(k, b, eps) * opt_cost + 1e-9
+    )
+    return size_ok and coverage_ok and cost_ok

@@ -1,0 +1,132 @@
+"""LP relaxation of size-constrained weighted set cover.
+
+Section III of the paper mentions the natural LP approach to weighted set
+cover. We use the relaxation two ways:
+
+* :func:`lp_lower_bound` — any feasible integral solution costs at least
+  the LP optimum, so benchmarks can report ``cost / lp_bound`` even on
+  instances too large for :mod:`repro.core.exact`;
+* :func:`solve_lp_relaxation` — the full fractional solution, which
+  :mod:`repro.core.lp_rounding` rounds into an integral one (illustrating
+  the paper's point that rounding tends to violate the cardinality
+  constraint).
+
+The LP, over set variables ``x_s`` and element variables ``y_e``::
+
+    minimize    sum_s cost(s) * x_s
+    subject to  sum_e y_e                >= ceil(s_hat * n)
+                y_e - sum_{s : e in s} x_s <= 0      for every element e
+                sum_s x_s                 <= k
+                0 <= x_s, y_e <= 1
+
+Solved with ``scipy.optimize.linprog`` (HiGHS) on a sparse constraint
+matrix. Sets with infinite cost are excluded (they can never be part of a
+finite optimum).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from repro.core.setsystem import SetSystem
+from repro.errors import InfeasibleError, ValidationError
+
+
+@dataclass(frozen=True)
+class LPRelaxation:
+    """A solved LP relaxation.
+
+    Attributes
+    ----------
+    value:
+        The LP optimum — a lower bound on the optimal integral cost.
+    set_fractions:
+        ``set_id -> x_s`` for every usable set (absent ids are 0).
+    """
+
+    value: float
+    set_fractions: dict[int, float]
+
+
+def solve_lp_relaxation(
+    system: SetSystem, k: int, s_hat: float
+) -> LPRelaxation:
+    """Solve the LP relaxation; see the module docstring for the model.
+
+    Raises
+    ------
+    InfeasibleError
+        If even the fractional problem is infeasible (the union of all
+        finite-cost sets cannot reach the required coverage with ``k``
+        fractional picks).
+    """
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")
+    required = system.required_coverage(s_hat)
+    if required == 0:
+        return LPRelaxation(value=0.0, set_fractions={})
+
+    usable = [ws for ws in system.sets if ws.benefit and math.isfinite(ws.cost)]
+    m = len(usable)
+    n = system.n_elements
+    if m == 0:
+        raise InfeasibleError("lp relaxation: no usable sets")
+
+    # Variable layout: z = [x_0..x_{m-1}, y_0..y_{n-1}].
+    costs = np.zeros(m + n)
+    costs[:m] = [ws.cost for ws in usable]
+
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    # Row 0: -sum_e y_e <= -required.
+    for e in range(n):
+        rows.append(0)
+        cols.append(m + e)
+        vals.append(-1.0)
+    # Rows 1..n: y_e - sum_{s ni e} x_s <= 0.
+    for e in range(n):
+        rows.append(1 + e)
+        cols.append(m + e)
+        vals.append(1.0)
+    for j, ws in enumerate(usable):
+        for e in ws.benefit:
+            rows.append(1 + e)
+            cols.append(j)
+            vals.append(-1.0)
+    # Row n+1: sum_s x_s <= k.
+    for j in range(m):
+        rows.append(n + 1)
+        cols.append(j)
+        vals.append(1.0)
+
+    a_ub = sparse.coo_matrix(
+        (vals, (rows, cols)), shape=(n + 2, m + n)
+    ).tocsr()
+    b_ub = np.zeros(n + 2)
+    b_ub[0] = -float(required)
+    b_ub[n + 1] = float(k)
+
+    outcome = linprog(
+        costs, A_ub=a_ub, b_ub=b_ub, bounds=(0.0, 1.0), method="highs"
+    )
+    if not outcome.success:
+        raise InfeasibleError(
+            f"lp relaxation: LP infeasible or failed ({outcome.message})"
+        )
+    fractions = {
+        ws.set_id: float(outcome.x[j])
+        for j, ws in enumerate(usable)
+        if outcome.x[j] > 1e-9
+    }
+    return LPRelaxation(value=float(outcome.fun), set_fractions=fractions)
+
+
+def lp_lower_bound(system: SetSystem, k: int, s_hat: float) -> float:
+    """Return the LP-relaxation optimum — a lower bound on OPT's cost."""
+    return solve_lp_relaxation(system, k, s_hat).value

@@ -1,0 +1,163 @@
+"""Marginal-benefit bookkeeping shared by the greedy algorithms.
+
+The paper's algorithms repeatedly need, for every remaining candidate set
+``s``, the marginal benefit ``MBen(s, S)`` — the elements of ``Ben(s)`` not
+yet covered by the partial solution ``S``. A naive implementation recomputes
+``Ben(s) \\ covered`` for every set after every selection (the loops in
+Fig. 1 lines 24–27 and Fig. 2 lines 12–15). This tracker instead keeps a
+static inverted index ``element -> sets containing it`` and per-set marginal
+*counts*, so selecting a set only touches the sets that actually intersect
+it — the standard lazy implementation of greedy set cover.
+
+CMC restarts from scratch for every budget guess ``B``; :meth:`reset`
+supports that without rebuilding the inverted index.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro._typing import ElementId, SetId
+from repro.core.result import Metrics
+from repro.core.setsystem import SetSystem
+
+
+class MarginalTracker:
+    """Tracks ``|MBen(s, S)|`` for every live candidate set.
+
+    Parameters
+    ----------
+    system:
+        The set system whose candidates are tracked.
+    restrict_to:
+        Optional subset of set ids to track; defaults to all sets.
+    metrics:
+        Optional shared :class:`Metrics` to account work into.
+
+    Notes
+    -----
+    Sets whose marginal benefit drops to zero are evicted automatically,
+    matching Fig. 1 lines 26–27 / Fig. 2 lines 14–15. Empty sets are never
+    live.
+    """
+
+    def __init__(
+        self,
+        system: SetSystem,
+        restrict_to: Iterable[SetId] | None = None,
+        metrics: Metrics | None = None,
+    ) -> None:
+        self._system = system
+        self._metrics = metrics if metrics is not None else Metrics()
+        ids = range(system.n_sets) if restrict_to is None else list(restrict_to)
+        self._tracked: list[SetId] = [
+            set_id for set_id in ids if system[set_id].benefit
+        ]
+        # Static structures, shared across reset() rounds.
+        self._element_to_sets: dict[ElementId, tuple[SetId, ...]] = {}
+        owners: dict[ElementId, list[SetId]] = {}
+        for set_id in self._tracked:
+            for element in system[set_id].benefit:
+                owners.setdefault(element, []).append(set_id)
+        self._element_to_sets = {
+            element: tuple(ids) for element, ids in owners.items()
+        }
+        # Mutable per-round state.
+        self._mben_count: dict[SetId, int] = {}
+        self._covered: set[ElementId] = set()
+        self.reset()
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Restore the empty-solution state (new CMC budget round).
+
+        Counts every live set as considered again, matching the paper's
+        note that CMC's "patterns considered" sums over budget rounds.
+        """
+        self._mben_count = {
+            set_id: self._system[set_id].size for set_id in self._tracked
+        }
+        self._covered = set()
+        self._metrics.sets_considered += len(self._tracked)
+
+    # ------------------------------------------------------------------
+    @property
+    def metrics(self) -> Metrics:
+        """The metrics object this tracker accounts work into."""
+        return self._metrics
+
+    @property
+    def covered(self) -> frozenset[ElementId]:
+        """Elements covered by all selections so far this round."""
+        return frozenset(self._covered)
+
+    @property
+    def covered_count(self) -> int:
+        """``|covered|`` without copying."""
+        return len(self._covered)
+
+    @property
+    def live_ids(self) -> list[SetId]:
+        """Ids of sets with non-empty marginal benefit, ascending."""
+        return sorted(self._mben_count)
+
+    def live_items(self) -> list[tuple[SetId, int]]:
+        """``(set_id, |MBen|)`` pairs for all live sets, unordered."""
+        return list(self._mben_count.items())
+
+    def __contains__(self, set_id: SetId) -> bool:
+        return set_id in self._mben_count
+
+    def __len__(self) -> int:
+        return len(self._mben_count)
+
+    def marginal_size(self, set_id: SetId) -> int:
+        """``|MBen(s, S)|`` for a live set; 0 for an evicted one."""
+        return self._mben_count.get(set_id, 0)
+
+    def marginal_benefit(self, set_id: SetId) -> frozenset[ElementId]:
+        """A snapshot of ``MBen(s, S)``, materialized on demand."""
+        if set_id not in self._mben_count:
+            return frozenset()
+        return frozenset(
+            self._system[set_id].benefit - self._covered
+        )
+
+    def marginal_gain(self, set_id: SetId) -> float:
+        """``MGain(s, S) = |MBen(s, S)| / Cost(s)``."""
+        size = self.marginal_size(set_id)
+        cost = self._system[set_id].cost
+        if cost == 0:
+            return float("inf") if size else 0.0
+        return size / cost
+
+    def drop(self, set_id: SetId) -> None:
+        """Remove a set from consideration without selecting it."""
+        self._mben_count.pop(set_id, None)
+
+    def select(self, set_id: SetId) -> int:
+        """Mark a set as chosen; returns the number of newly covered elements.
+
+        Decrements the marginal count of every intersecting candidate and
+        evicts candidates whose marginal benefit becomes empty.
+        """
+        self._mben_count.pop(set_id, None)
+        self._metrics.selections += 1
+        newly = [
+            element
+            for element in self._system[set_id].benefit
+            if element not in self._covered
+        ]
+        counts = self._mben_count
+        for element in newly:
+            self._covered.add(element)
+            for other in self._element_to_sets.get(element, ()):
+                remaining = counts.get(other)
+                if remaining is None:
+                    continue
+                self._metrics.marginal_updates += 1
+                if remaining == 1:
+                    del counts[other]
+                else:
+                    counts[other] = remaining - 1
+        return len(newly)

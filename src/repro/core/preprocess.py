@@ -1,0 +1,75 @@
+"""Input preprocessing that preserves optimal solutions.
+
+Real pattern collections contain many *dominated* sets — a set is dominated
+when some other set covers at least the same elements at no greater cost
+(e.g. the pattern ``(A, West)`` is dominated by ``(ALL, West)`` whenever
+every West record has type A but the broader pattern costs the same).
+Dropping dominated sets never changes the optimal cost and shrinks the
+instance for the exact solver and the LP.
+
+Greedy algorithms may select *different* (never cheaper-than-optimal)
+solutions on the reduced instance, because tie-breaking sees fewer
+candidates; callers who need bit-identical greedy output should not
+preprocess.
+"""
+
+from __future__ import annotations
+
+from repro.core.setsystem import SetSystem, WeightedSet
+
+
+def remove_dominated(system: SetSystem) -> SetSystem:
+    """Return a system without dominated or empty sets.
+
+    A set ``s`` is dominated when another set ``t`` has
+    ``Ben(s) <= Ben(t)`` and ``Cost(t) <= Cost(s)`` (ties keep the
+    earlier id). Quadratic in the number of sets — intended as a
+    preprocessing step before :func:`repro.core.exact.solve_exact` or
+    :func:`repro.core.lp_bound.lp_lower_bound`, not inside greedy loops.
+    """
+    survivors: list[WeightedSet] = []
+    candidates = [ws for ws in system.sets if ws.benefit]
+    # Bigger-first makes the common "subset of a cheaper superset" check
+    # hit early; ties on size resolve by cost then id for determinism.
+    candidates.sort(key=lambda ws: (-ws.size, ws.cost, ws.set_id))
+    for ws in candidates:
+        dominated = any(
+            ws.benefit <= kept.benefit and kept.cost <= ws.cost
+            for kept in survivors
+        )
+        if not dominated:
+            survivors.append(ws)
+    survivors.sort(key=lambda ws: ws.set_id)
+    return SetSystem(
+        system.n_elements,
+        [
+            WeightedSet(
+                set_id=new_id,
+                benefit=ws.benefit,
+                cost=ws.cost,
+                label=ws.label,
+            )
+            for new_id, ws in enumerate(survivors)
+        ],
+    )
+
+
+def restrict_to_budget(system: SetSystem, budget: float) -> SetSystem:
+    """Return a system keeping only sets with ``cost <= budget``.
+
+    This is the Lemma 1 "threshold" view: solving with only the
+    affordable sets. Set ids are re-densified; labels are preserved.
+    """
+    survivors = [ws for ws in system.sets if ws.cost <= budget]
+    return SetSystem(
+        system.n_elements,
+        [
+            WeightedSet(
+                set_id=new_id,
+                benefit=ws.benefit,
+                cost=ws.cost,
+                label=ws.label,
+            )
+            for new_id, ws in enumerate(survivors)
+        ],
+    )

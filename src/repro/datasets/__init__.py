@@ -1,0 +1,32 @@
+"""Data sets: the paper's running example, the LBL-like synthetic trace,
+the Section VI-B perturbations, and adversarial/hardness instances."""
+
+from repro.datasets.adversarial import bmc_adversarial_system, bmc_optimal_budget
+from repro.datasets.census import CENSUS_ATTRIBUTES, census_table
+from repro.datasets.entities import ENTITY_ROWS, entities_table
+from repro.datasets.lbl import LBL_ATTRIBUTES, lbl_trace
+from repro.datasets.perturb import lognormal_rerank, uniform_perturb
+from repro.datasets.registry import available_datasets, load_dataset
+from repro.datasets.tripartite import (
+    PARTS,
+    random_tripartite_graph,
+    tripartite_graph,
+)
+
+__all__ = [
+    "CENSUS_ATTRIBUTES",
+    "ENTITY_ROWS",
+    "LBL_ATTRIBUTES",
+    "PARTS",
+    "available_datasets",
+    "bmc_adversarial_system",
+    "bmc_optimal_budget",
+    "census_table",
+    "entities_table",
+    "lbl_trace",
+    "load_dataset",
+    "lognormal_rerank",
+    "random_tripartite_graph",
+    "tripartite_graph",
+    "uniform_perturb",
+]

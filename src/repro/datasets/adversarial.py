@@ -1,0 +1,61 @@
+"""Adversarial set systems from the paper's analytical arguments.
+
+Currently one family: the Section III instance showing that truncated
+greedy *budgeted maximum coverage* can have arbitrarily poor coverage for
+our problem. Elements are ``{0, ..., Ck - 1}``; there are ``ck`` singleton
+sets of weight 1 and ``k`` disjoint blocks of ``C`` elements, each of
+weight ``C + 1``. With ``c << C`` the greedy gain rule prefers the
+singletons (gain 1) over the blocks (gain ``C / (C + 1) < 1``): allowed
+``ck`` picks, it covers only ``ck`` elements, while the optimum covers all
+``Ck`` with the ``k`` blocks.
+"""
+
+from __future__ import annotations
+
+from repro.core.setsystem import SetSystem
+from repro.errors import ValidationError
+
+
+def bmc_adversarial_system(k: int, c: int, big_c: int) -> SetSystem:
+    """Build the Section III instance.
+
+    Parameters
+    ----------
+    k:
+        Number of blocks (the optimal solution size).
+    c:
+        Truncation multiplier — greedy BMC will be allowed ``c * k`` picks.
+    big_c:
+        Block size ``C``; must satisfy ``c <= C`` so the ``ck`` singletons
+        exist among the ``Ck`` elements.
+
+    Returns
+    -------
+    SetSystem
+        ``c * k`` singletons labeled ``("singleton", i)`` followed by
+        ``k`` blocks labeled ``("block", i)``.
+    """
+    if k < 1 or c < 1 or big_c < 1:
+        raise ValidationError("k, c and C must all be >= 1")
+    if c > big_c:
+        raise ValidationError(
+            f"need c <= C so the singletons exist, got c={c} > C={big_c}"
+        )
+    n = big_c * k
+    benefits: list[set[int]] = []
+    costs: list[float] = []
+    labels: list[tuple[str, int]] = []
+    for i in range(c * k):
+        benefits.append({i})
+        costs.append(1.0)
+        labels.append(("singleton", i))
+    for i in range(k):
+        benefits.append(set(range(i * big_c, (i + 1) * big_c)))
+        costs.append(float(big_c + 1))
+        labels.append(("block", i))
+    return SetSystem.from_iterables(n, benefits, costs, labels=labels)
+
+
+def bmc_optimal_budget(k: int, big_c: int) -> float:
+    """Cost of the optimal (all-blocks) solution: ``k (C + 1)``."""
+    return float(k * (big_c + 1))

@@ -1,0 +1,59 @@
+"""Measure perturbations for the robustness study (Section VI-B).
+
+The paper builds two groups of synthetic data sets from LBL to stress the
+quality comparison between CWSC and CMC:
+
+* group 1 replaces each measure value ``m`` by a uniform draw from
+  ``[(1 - delta) m, (1 + delta) m]`` for various ``delta`` in ``[0, 1]``;
+* group 2 draws fresh values from a log-normal with mean log 2 and a
+  chosen standard deviation, then assigns them to records *in the same
+  rank order* as the original measure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.patterns.table import PatternTable
+
+
+def uniform_perturb(
+    table: PatternTable, delta: float, seed: int = 0
+) -> PatternTable:
+    """Group-1 perturbation: scale each measure by ``U[1-delta, 1+delta]``."""
+    if table.measure is None:
+        raise ValidationError("uniform_perturb needs a measure column")
+    if not (0.0 <= delta <= 1.0):
+        raise ValidationError(f"delta must be in [0, 1], got {delta}")
+    rng = np.random.default_rng(seed)
+    original = np.asarray(table.measure)
+    factors = rng.uniform(1.0 - delta, 1.0 + delta, size=len(original))
+    return table.with_measure((original * factors).tolist())
+
+
+def lognormal_rerank(
+    table: PatternTable,
+    sigma: float,
+    seed: int = 0,
+    mean_log: float = 2.0,
+) -> PatternTable:
+    """Group-2 perturbation: log-normal values in the original rank order.
+
+    Draws ``n`` values from ``LogNormal(mean_log, sigma)``, sorts them, and
+    assigns the ``r``-th smallest new value to the record with the ``r``-th
+    smallest original measure (ties broken by row id), exactly as described
+    in Section VI-B.
+    """
+    if table.measure is None:
+        raise ValidationError("lognormal_rerank needs a measure column")
+    if sigma <= 0:
+        raise ValidationError(f"sigma must be > 0, got {sigma}")
+    rng = np.random.default_rng(seed)
+    original = np.asarray(table.measure)
+    fresh = np.sort(rng.lognormal(mean=mean_log, sigma=sigma, size=len(original)))
+    # Rank of each record's original measure (stable, so ties break by id).
+    order = np.argsort(original, kind="stable")
+    replacement = np.empty_like(fresh)
+    replacement[order] = fresh
+    return table.with_measure(replacement.tolist())

@@ -1,0 +1,59 @@
+"""Named dataset registry for the CLI and notebooks.
+
+``scwsc demo --dataset lbl:5000`` resolves through here: a spec is a
+generator name with optional ``:rows`` and ``@seed`` suffixes, e.g.
+``lbl``, ``census:2000``, ``lbl:10000@42``, ``entities``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.datasets.census import census_table
+from repro.datasets.entities import entities_table
+from repro.datasets.lbl import lbl_trace
+from repro.errors import ValidationError
+from repro.patterns.table import PatternTable
+
+#: name -> (builder(rows, seed), default_rows, sized)
+_GENERATORS: dict[str, tuple[Callable[[int, int], PatternTable], int, bool]] = {
+    "lbl": (lambda rows, seed: lbl_trace(rows, seed=seed), 10_000, True),
+    "census": (
+        lambda rows, seed: census_table(rows, seed=seed), 5_000, True,
+    ),
+    "entities": (lambda rows, seed: entities_table(), 16, False),
+}
+
+
+def available_datasets() -> list[str]:
+    """Names accepted by :func:`load_dataset`."""
+    return sorted(_GENERATORS)
+
+
+def load_dataset(spec: str) -> PatternTable:
+    """Build a table from a ``name[:rows][@seed]`` spec.
+
+    Examples: ``"lbl"``, ``"census:2000"``, ``"lbl:10000@42"``.
+    """
+    name, _, seed_part = spec.partition("@")
+    name, _, rows_part = name.partition(":")
+    try:
+        builder, default_rows, sized = _GENERATORS[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown dataset {name!r}; known: {available_datasets()}"
+        ) from None
+    try:
+        rows = int(rows_part) if rows_part else default_rows
+        seed = int(seed_part) if seed_part else 7
+    except ValueError:
+        raise ValidationError(
+            f"bad dataset spec {spec!r}; expected name[:rows][@seed]"
+        ) from None
+    if rows_part and not sized:
+        raise ValidationError(
+            f"dataset {name!r} has a fixed size; drop the :rows suffix"
+        )
+    if rows < 1:
+        raise ValidationError(f"rows must be >= 1, got {rows}")
+    return builder(rows, seed)

@@ -1,0 +1,64 @@
+"""Tripartite graphs for the Lemma 1 hardness reduction.
+
+Lemma 1 reduces VERTEX COVER IN TRIPARTITE GRAPHS to the threshold variant
+of our problem. This module generates tripartite graphs (as
+:mod:`networkx` graphs with a ``part`` node attribute) for the reduction
+tests in :mod:`repro.hardness`.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import ValidationError
+
+#: Node naming: ``("a", i)``, ``("b", j)``, ``("c", k)`` per part.
+PARTS = ("a", "b", "c")
+
+
+def tripartite_graph(edges) -> nx.Graph:
+    """Build a tripartite graph from ``((part, i), (part, j))`` edge pairs.
+
+    Validates that no edge stays within one part.
+    """
+    graph = nx.Graph()
+    for u, v in edges:
+        if u[0] not in PARTS or v[0] not in PARTS:
+            raise ValidationError(f"nodes must be tagged with parts {PARTS}")
+        if u[0] == v[0]:
+            raise ValidationError(
+                f"edge {u}-{v} stays inside part {u[0]!r}; the graph must "
+                "be tripartite"
+            )
+        graph.add_edge(u, v)
+    for node in graph.nodes:
+        graph.nodes[node]["part"] = node[0]
+    return graph
+
+
+def random_tripartite_graph(
+    n_per_part: int, edge_probability: float, seed: int = 0
+) -> nx.Graph:
+    """Random tripartite graph: each cross-part pair is an edge w.p. ``p``.
+
+    Isolated nodes are dropped (they are irrelevant to vertex cover and to
+    the reduction).
+    """
+    if n_per_part < 1:
+        raise ValidationError(f"n_per_part must be >= 1, got {n_per_part}")
+    if not (0.0 < edge_probability <= 1.0):
+        raise ValidationError(
+            f"edge_probability must be in (0, 1], got {edge_probability}"
+        )
+    rng = np.random.default_rng(seed)
+    edges = []
+    for left_part, right_part in (("a", "b"), ("a", "c"), ("b", "c")):
+        for i in range(n_per_part):
+            for j in range(n_per_part):
+                if rng.random() < edge_probability:
+                    edges.append(((left_part, i), (right_part, j)))
+    if not edges:
+        # Guarantee a non-degenerate instance.
+        edges.append((("a", 0), ("b", 0)))
+    return tripartite_graph(edges)

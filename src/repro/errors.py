@@ -1,0 +1,44 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by this library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input (set system, table, parameter) failed validation."""
+
+
+class InfeasibleError(ReproError):
+    """No solution satisfying the constraints exists or was found.
+
+    Raised, e.g., by CWSC when no set clears the ``rem / i`` benefit
+    threshold (Fig. 2 line 7 of the paper) and no fallback was requested,
+    or by CMC on a set system without a full-coverage set.
+
+    Attributes
+    ----------
+    partial:
+        The best partial solution discovered before giving up, when one is
+        available; otherwise ``None``. Useful for diagnostics.
+    """
+
+    def __init__(self, message: str, partial=None):
+        super().__init__(message)
+        self.partial = partial
+
+
+class PatternSpaceError(ReproError):
+    """A pattern-space operation would be intractably large.
+
+    Full pattern enumeration materializes up to ``prod(|dom(D_i)| + 1)``
+    patterns; this error is raised instead of silently attempting an
+    enumeration that cannot finish.
+    """

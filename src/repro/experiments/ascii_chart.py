@@ -1,0 +1,83 @@
+"""Terminal line charts for the figure experiments.
+
+The paper's Figures 5-9 are line plots; a terminal reproduction renders
+them as ASCII charts (one mark per series) underneath the exact numbers.
+No plotting dependency, deterministic output, fixed canvas size — the
+charts are decoration for humans, the tables remain the data of record.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ValidationError
+
+#: Series marks in legend order.
+MARKS = "ox+*#@%&"
+
+
+def render_chart(
+    x_values: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Render aligned line-less scatter series on one canvas.
+
+    Each series gets a mark from :data:`MARKS`; points are plotted at
+    their nearest canvas cell (later series overwrite earlier ones on
+    collisions). Axes are annotated with min/max; the legend maps marks
+    to series names.
+    """
+    if not x_values:
+        raise ValidationError("cannot chart zero points")
+    if len(series) > len(MARKS):
+        raise ValidationError(
+            f"at most {len(MARKS)} series supported, got {len(series)}"
+        )
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValidationError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(x_values)} x positions"
+            )
+
+    x_min, x_max = min(x_values), max(x_values)
+    all_y = [value for values in series.values() for value in values]
+    y_min, y_max = min(all_y), max(all_y)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for mark, (name, values) in zip(MARKS, series.items()):
+        for x, y in zip(x_values, values):
+            column = round((x - x_min) / x_span * (width - 1))
+            row = (height - 1) - round((y - y_min) / y_span * (height - 1))
+            canvas[row][column] = mark
+
+    top_label = f"{y_max:g}"
+    bottom_label = f"{y_min:g}"
+    gutter = max(len(top_label), len(bottom_label)) + 1
+    lines = []
+    if y_label:
+        lines.append(f"{'':{gutter}} {y_label}")
+    for row_index, row in enumerate(canvas):
+        if row_index == 0:
+            prefix = top_label.rjust(gutter)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(f"{'':{gutter}}+{'-' * width}")
+    x_axis = f"{x_min:g}".ljust(width - len(f"{x_max:g}")) + f"{x_max:g}"
+    lines.append(f"{'':{gutter}} {x_axis}")
+    if x_label:
+        lines.append(f"{'':{gutter}} {x_label:^{width}}")
+    legend = "  ".join(
+        f"{mark}={name}" for mark, name in zip(MARKS, series)
+    )
+    lines.append(f"{'':{gutter}} {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Figure 5: running time vs. data size.
+
+Paper setup: random samples of LBL, k = 10, s = 0.3, b = 1, eps = 1.
+Expected shape: the optimized algorithms run at least ~2x faster than
+their unoptimized counterparts, optimized runtimes grow sub-linearly, and
+CWSC is faster than CMC (which retries multiple budgets).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ascii_chart import render_chart
+from repro.experiments.base import ExperimentReport, Scale, experiment
+from repro.experiments.reporting import format_series_table
+from repro.experiments.sweeps import ALGORITHMS, size_sweep
+
+CONFIG = {
+    "full": {
+        "sizes": (6_000, 12_000, 24_000, 48_000),
+        "master_rows": 48_000,
+        "seed": 7,
+        "k": 10,
+        "s_hat": 0.3,
+    },
+    "small": {
+        "sizes": (200, 400, 800),
+        "master_rows": 800,
+        "seed": 7,
+        "k": 4,
+        "s_hat": 0.3,
+    },
+}
+
+
+@experiment("fig5", "Running time vs. data size (Fig. 5)")
+def run(scale: Scale = "full") -> ExperimentReport:
+    config = CONFIG[scale]
+    rows = size_sweep(
+        config["sizes"],
+        config["master_rows"],
+        config["seed"],
+        config["k"],
+        config["s_hat"],
+    )
+    series = {
+        name: [row[name]["runtime"] for row in rows] for name in ALGORITHMS
+    }
+    x_values = [row["x"] for row in rows]
+    text = format_series_table(
+        "tuples",
+        x_values,
+        series,
+        title=(
+            "Fig. 5 — running time (seconds) vs. number of tuples "
+            f"(k={config['k']}, s={config['s_hat']}, b=1, eps=1)"
+        ),
+    )
+    text += "\n\n" + render_chart(
+        x_values, series, y_label="seconds", x_label="tuples"
+    )
+    return ExperimentReport(
+        experiment_id="fig5",
+        title="Running time vs. data size",
+        text=text,
+        data={"rows": rows, "config": config},
+    )

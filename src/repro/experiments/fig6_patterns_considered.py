@@ -1,0 +1,50 @@
+"""Figure 6: number of patterns considered vs. data size.
+
+Same runs as Figure 5 (memoized, so running both costs one sweep), viewed
+through the ``sets_considered`` metric. Expected shape: the optimized
+algorithms consider an order of magnitude fewer patterns; CMC's counts sum
+over its budget rounds and therefore dominate CWSC's.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ascii_chart import render_chart
+from repro.experiments.base import ExperimentReport, Scale, experiment
+from repro.experiments.fig5_datasize import CONFIG
+from repro.experiments.reporting import format_series_table
+from repro.experiments.sweeps import ALGORITHMS, size_sweep
+
+
+@experiment("fig6", "Patterns considered vs. data size (Fig. 6)")
+def run(scale: Scale = "full") -> ExperimentReport:
+    config = CONFIG[scale]
+    rows = size_sweep(
+        config["sizes"],
+        config["master_rows"],
+        config["seed"],
+        config["k"],
+        config["s_hat"],
+    )
+    series = {
+        name: [row[name]["considered"] for row in rows]
+        for name in ALGORITHMS
+    }
+    x_values = [row["x"] for row in rows]
+    text = format_series_table(
+        "tuples",
+        x_values,
+        series,
+        title=(
+            "Fig. 6 — patterns considered vs. number of tuples "
+            f"(k={config['k']}, s={config['s_hat']}, b=1, eps=1)"
+        ),
+    )
+    text += "\n\n" + render_chart(
+        x_values, series, y_label="patterns considered", x_label="tuples"
+    )
+    return ExperimentReport(
+        experiment_id="fig6",
+        title="Patterns considered vs. data size",
+        text=text,
+        data={"rows": rows, "config": config},
+    )

@@ -1,0 +1,65 @@
+"""Figure 7: running time vs. number of pattern attributes.
+
+Paper setup: remove one pattern attribute at a time from LBL at a fixed
+data size. Expected shape: runtimes grow with the attribute count (the
+pattern space is exponential in ``j``), with the optimized algorithms
+increasingly ahead as ``j`` grows.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ascii_chart import render_chart
+from repro.experiments.base import ExperimentReport, Scale, experiment
+from repro.experiments.reporting import format_series_table
+from repro.experiments.sweeps import ALGORITHMS, attribute_sweep
+
+CONFIG = {
+    "full": {
+        "attribute_counts": (1, 2, 3, 4, 5),
+        "n_rows": 12_000,
+        "seed": 7,
+        "k": 10,
+        "s_hat": 0.3,
+    },
+    "small": {
+        "attribute_counts": (1, 3, 5),
+        "n_rows": 400,
+        "seed": 7,
+        "k": 4,
+        "s_hat": 0.3,
+    },
+}
+
+
+@experiment("fig7", "Running time vs. number of attributes (Fig. 7)")
+def run(scale: Scale = "full") -> ExperimentReport:
+    config = CONFIG[scale]
+    rows = attribute_sweep(
+        config["attribute_counts"],
+        config["n_rows"],
+        config["seed"],
+        config["k"],
+        config["s_hat"],
+    )
+    series = {
+        name: [row[name]["runtime"] for row in rows] for name in ALGORITHMS
+    }
+    x_values = [row["x"] for row in rows]
+    text = format_series_table(
+        "attributes",
+        x_values,
+        series,
+        title=(
+            "Fig. 7 — running time (seconds) vs. number of attributes "
+            f"(n={config['n_rows']}, k={config['k']}, s={config['s_hat']})"
+        ),
+    )
+    text += "\n\n" + render_chart(
+        x_values, series, y_label="seconds", x_label="attributes"
+    )
+    return ExperimentReport(
+        experiment_id="fig7",
+        title="Running time vs. number of attributes",
+        text=text,
+        data={"rows": rows, "config": config},
+    )

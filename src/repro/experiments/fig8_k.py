@@ -1,0 +1,62 @@
+"""Figure 8: running time vs. the maximum number of patterns ``k``.
+
+Expected shape (per the paper): CWSC's runtime *increases* with ``k``
+(more threshold iterations), while CMC's *decreases* (a larger ``k``
+makes cheap feasible solutions appear at smaller budgets, so fewer budget
+rounds are tried).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ascii_chart import render_chart
+from repro.experiments.base import ExperimentReport, Scale, experiment
+from repro.experiments.reporting import format_series_table
+from repro.experiments.sweeps import ALGORITHMS, k_sweep
+
+CONFIG = {
+    "full": {
+        "k_values": (2, 5, 10, 15, 20, 25),
+        "n_rows": 12_000,
+        "seed": 7,
+        "s_hat": 0.3,
+    },
+    "small": {
+        "k_values": (2, 4, 6),
+        "n_rows": 400,
+        "seed": 7,
+        "s_hat": 0.3,
+    },
+}
+
+
+@experiment("fig8", "Running time vs. maximum number of patterns k (Fig. 8)")
+def run(scale: Scale = "full") -> ExperimentReport:
+    config = CONFIG[scale]
+    rows = k_sweep(
+        config["k_values"],
+        config["n_rows"],
+        config["seed"],
+        config["s_hat"],
+    )
+    series = {
+        name: [row[name]["runtime"] for row in rows] for name in ALGORITHMS
+    }
+    x_values = [row["x"] for row in rows]
+    text = format_series_table(
+        "k",
+        x_values,
+        series,
+        title=(
+            "Fig. 8 — running time (seconds) vs. k "
+            f"(n={config['n_rows']}, s={config['s_hat']}, b=1, eps=1)"
+        ),
+    )
+    text += "\n\n" + render_chart(
+        x_values, series, y_label="seconds", x_label="k"
+    )
+    return ExperimentReport(
+        experiment_id="fig8",
+        title="Running time vs. k",
+        text=text,
+        data={"rows": rows, "config": config},
+    )

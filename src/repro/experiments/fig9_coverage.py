@@ -1,0 +1,62 @@
+"""Figure 9: running time vs. the coverage fraction ``s``.
+
+Expected shape (per the paper): CWSC's runtime is essentially flat in
+``s`` (the iteration count depends on ``k``, not ``s``), while CMC's
+grows — reaching a larger coverage needs a larger budget, so more budget
+rounds are tried before a feasible solution appears.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ascii_chart import render_chart
+from repro.experiments.base import ExperimentReport, Scale, experiment
+from repro.experiments.reporting import format_series_table
+from repro.experiments.sweeps import ALGORITHMS, coverage_sweep
+
+CONFIG = {
+    "full": {
+        "s_values": (0.2, 0.3, 0.4, 0.5, 0.6, 0.7),
+        "n_rows": 12_000,
+        "seed": 7,
+        "k": 10,
+    },
+    "small": {
+        "s_values": (0.2, 0.4),
+        "n_rows": 400,
+        "seed": 7,
+        "k": 4,
+    },
+}
+
+
+@experiment("fig9", "Running time vs. coverage fraction s (Fig. 9)")
+def run(scale: Scale = "full") -> ExperimentReport:
+    config = CONFIG[scale]
+    rows = coverage_sweep(
+        config["s_values"],
+        config["n_rows"],
+        config["seed"],
+        config["k"],
+    )
+    series = {
+        name: [row[name]["runtime"] for row in rows] for name in ALGORITHMS
+    }
+    x_values = [row["x"] for row in rows]
+    text = format_series_table(
+        "s",
+        x_values,
+        series,
+        title=(
+            "Fig. 9 — running time (seconds) vs. coverage fraction "
+            f"(n={config['n_rows']}, k={config['k']}, b=1, eps=1)"
+        ),
+    )
+    text += "\n\n" + render_chart(
+        x_values, series, y_label="seconds", x_label="coverage fraction s"
+    )
+    return ExperimentReport(
+        experiment_id="fig9",
+        title="Running time vs. coverage fraction",
+        text=text,
+        data={"rows": rows, "config": config},
+    )

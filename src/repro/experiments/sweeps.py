@@ -1,0 +1,165 @@
+"""Shared four-algorithm sweeps behind Figures 5-9.
+
+Each sweep runs the four algorithms the paper plots — unoptimized CMC and
+CWSC on the fully enumerated pattern system, and their lattice-optimized
+counterparts directly on the table — and records runtime, patterns
+considered, solution cost/size, and coverage. The unoptimized runtimes
+include pattern enumeration and benefit computation (Fig. 1 lines 4-5 /
+Fig. 2 lines 3-4 are part of those algorithms), which the build step
+realizes.
+
+Sweep results are memoized per parameterization: Fig. 5 (runtime) and
+Fig. 6 (patterns considered) are two views of the same runs, exactly as in
+the paper.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.core.cmc_epsilon import cmc_epsilon
+from repro.core.cwsc import cwsc
+from repro.datasets.lbl import LBL_ATTRIBUTES, lbl_trace
+from repro.patterns.optimized_cmc import optimized_cmc
+from repro.patterns.optimized_cwsc import optimized_cwsc
+from repro.patterns.pattern_sets import build_set_system
+from repro.patterns.table import PatternTable
+
+#: Algorithm keys in plot order (matches the paper's legends).
+ALGORITHMS = ("cmc", "optimized_cmc", "cwsc", "optimized_cwsc")
+
+_sweep_cache: dict[tuple, list[dict]] = {}
+_master_cache: dict[tuple, PatternTable] = {}
+
+
+def master_trace(n_rows: int, seed: int) -> PatternTable:
+    """Cached synthetic LBL master table (sampled down by the sweeps)."""
+    key = (n_rows, seed)
+    if key not in _master_cache:
+        _master_cache[key] = lbl_trace(n_rows, seed=seed)
+    return _master_cache[key]
+
+
+def run_four(
+    table: PatternTable,
+    k: int,
+    s_hat: float,
+    b: float = 1.0,
+    eps: float = 1.0,
+) -> dict[str, dict]:
+    """Run all four algorithms on one table; returns per-algorithm stats."""
+    build_start = time.perf_counter()
+    system = build_set_system(table, "max")
+    build_seconds = time.perf_counter() - build_start
+
+    outcomes = {
+        "cmc": cmc_epsilon(system, k, s_hat, b=b, eps=eps),
+        "cwsc": cwsc(system, k, s_hat, on_infeasible="full_cover"),
+        "optimized_cmc": optimized_cmc(table, k, s_hat, b=b, eps=eps),
+        "optimized_cwsc": optimized_cwsc(
+            table, k, s_hat, on_infeasible="full_cover"
+        ),
+    }
+    stats: dict[str, dict] = {}
+    for name, result in outcomes.items():
+        runtime = result.metrics.runtime_seconds
+        if not name.startswith("optimized"):
+            # The unoptimized algorithms enumerate every pattern and
+            # compute its benefit up front; charge that work to them.
+            runtime += build_seconds
+        stats[name] = {
+            "runtime": runtime,
+            "considered": result.metrics.sets_considered,
+            "cost": result.total_cost,
+            "n_sets": result.n_sets,
+            "covered": result.covered,
+            "rounds": result.metrics.budget_rounds,
+        }
+    return stats
+
+
+def size_sweep(
+    sizes: Sequence[int],
+    master_rows: int,
+    seed: int,
+    k: int,
+    s_hat: float,
+    b: float = 1.0,
+    eps: float = 1.0,
+) -> list[dict]:
+    """Figs. 5/6: one four-way run per sampled data size."""
+    key = ("size", tuple(sizes), master_rows, seed, k, s_hat, b, eps)
+    if key in _sweep_cache:
+        return _sweep_cache[key]
+    master = master_trace(master_rows, seed)
+    rows = []
+    for size in sizes:
+        table = master if size == master.n_rows else master.sample(size, seed)
+        rows.append({"x": size, **run_four(table, k, s_hat, b=b, eps=eps)})
+    _sweep_cache[key] = rows
+    return rows
+
+
+def attribute_sweep(
+    attribute_counts: Sequence[int],
+    n_rows: int,
+    seed: int,
+    k: int,
+    s_hat: float,
+    b: float = 1.0,
+    eps: float = 1.0,
+) -> list[dict]:
+    """Fig. 7: drop pattern attributes one at a time (prefix projection)."""
+    key = ("attrs", tuple(attribute_counts), n_rows, seed, k, s_hat, b, eps)
+    if key in _sweep_cache:
+        return _sweep_cache[key]
+    master = master_trace(n_rows, seed)
+    rows = []
+    for count in attribute_counts:
+        table = master.project(LBL_ATTRIBUTES[:count])
+        rows.append({"x": count, **run_four(table, k, s_hat, b=b, eps=eps)})
+    _sweep_cache[key] = rows
+    return rows
+
+
+def k_sweep(
+    k_values: Sequence[int],
+    n_rows: int,
+    seed: int,
+    s_hat: float,
+    b: float = 1.0,
+    eps: float = 1.0,
+) -> list[dict]:
+    """Fig. 8: vary the maximum solution size ``k``."""
+    key = ("k", tuple(k_values), n_rows, seed, s_hat, b, eps)
+    if key in _sweep_cache:
+        return _sweep_cache[key]
+    table = master_trace(n_rows, seed)
+    rows = [
+        {"x": k, **run_four(table, k, s_hat, b=b, eps=eps)}
+        for k in k_values
+    ]
+    _sweep_cache[key] = rows
+    return rows
+
+
+def coverage_sweep(
+    s_values: Sequence[float],
+    n_rows: int,
+    seed: int,
+    k: int,
+    b: float = 1.0,
+    eps: float = 1.0,
+) -> list[dict]:
+    """Fig. 9: vary the coverage fraction ``s``."""
+    key = ("s", tuple(s_values), n_rows, seed, k, b, eps)
+    if key in _sweep_cache:
+        return _sweep_cache[key]
+    table = master_trace(n_rows, seed)
+    rows = [
+        {"x": s_hat, **run_four(table, k, s_hat, b=b, eps=eps)}
+        for s_hat in s_values
+    ]
+    _sweep_cache[key] = rows
+    return rows

@@ -1,0 +1,45 @@
+"""Table IV: solution quality (total cost) of CWSC vs. CMC.
+
+Expected shape: CWSC's costs are competitive with — and at the highest
+coverage fraction lower than — every CMC configuration, and increasing
+``b`` tends to increase CMC's cost (a coarser budget guess overshoots the
+optimal budget by more).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentReport, Scale, experiment
+from repro.experiments.quality_grid import grid_results
+from repro.experiments.reporting import format_table
+
+
+@experiment("table4", "Solution cost: CWSC vs. CMC(b, eps) (Table IV)")
+def run(scale: Scale = "full") -> ExperimentReport:
+    grid = grid_results(scale)
+    config = grid["config"]
+    s_values = config["s_values"]
+    headers = ["Algorithm", *[f"s = {s:g}" for s in s_values]]
+    rows = [
+        [label, *[results[s].total_cost for s in s_values]]
+        for label, results in grid["rows"].items()
+    ]
+    text = format_table(
+        headers,
+        rows,
+        title=(
+            "Table IV — total solution cost "
+            f"(n={config['n_rows']}, k={config['k']})"
+        ),
+    )
+    return ExperimentReport(
+        experiment_id="table4",
+        title="Solution quality comparison of CMC and CWSC",
+        text=text,
+        data={
+            "costs": {
+                label: {s: results[s].total_cost for s in s_values}
+                for label, results in grid["rows"].items()
+            },
+            "config": config,
+        },
+    )

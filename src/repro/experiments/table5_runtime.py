@@ -1,0 +1,55 @@
+"""Table V: running time (seconds) of CWSC vs. CMC.
+
+Same grid as Table IV (memoized). Expected shape: CWSC takes well under
+half the time of every CMC configuration; increasing ``b`` decreases
+CMC's runtime (fewer budget rounds), increasing ``eps`` increases it
+(more levels to maintain).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentReport, Scale, experiment
+from repro.experiments.quality_grid import grid_results
+from repro.experiments.reporting import format_table
+
+
+@experiment("table5", "Running time: CWSC vs. CMC(b, eps) (Table V)")
+def run(scale: Scale = "full") -> ExperimentReport:
+    grid = grid_results(scale)
+    config = grid["config"]
+    s_values = config["s_values"]
+    build = grid["build_seconds"]
+    headers = ["Algorithm", *[f"s = {s:g}" for s in s_values]]
+    rows = [
+        [
+            label,
+            *[
+                build + results[s].metrics.runtime_seconds
+                for s in s_values
+            ],
+        ]
+        for label, results in grid["rows"].items()
+    ]
+    text = format_table(
+        headers,
+        rows,
+        title=(
+            "Table V — running time in seconds, including pattern "
+            f"enumeration (n={config['n_rows']}, k={config['k']})"
+        ),
+    )
+    return ExperimentReport(
+        experiment_id="table5",
+        title="Running time comparison of CMC and CWSC",
+        text=text,
+        data={
+            "runtimes": {
+                label: {
+                    s: build + results[s].metrics.runtime_seconds
+                    for s in s_values
+                }
+                for label, results in grid["rows"].items()
+            },
+            "config": config,
+        },
+    )

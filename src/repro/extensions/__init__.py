@@ -1,0 +1,29 @@
+"""Extensions beyond the paper's core: its Section VII future work
+(incremental maintenance, multiple weights) and the Section II aside on
+attribute hierarchies."""
+
+from repro.extensions.hierarchy import Taxonomy, flatten_hierarchy
+from repro.extensions.incremental import IncrementalCWSC, MaintenanceStats
+from repro.extensions.multiweight import (
+    MultiWeightSetSystem,
+    ParetoPoint,
+    pareto_sweep,
+)
+from repro.extensions.ranges import (
+    bin_numeric_attribute,
+    compute_bin_edges,
+    interval_label,
+)
+
+__all__ = [
+    "IncrementalCWSC",
+    "MaintenanceStats",
+    "MultiWeightSetSystem",
+    "ParetoPoint",
+    "Taxonomy",
+    "bin_numeric_attribute",
+    "compute_bin_edges",
+    "flatten_hierarchy",
+    "interval_label",
+    "pareto_sweep",
+]

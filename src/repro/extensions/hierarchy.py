@@ -1,0 +1,146 @@
+"""Attribute tree hierarchies (paper Section II: "attribute tree
+hierarchies or numerical ranges may be used as well, but are not
+considered in this paper").
+
+A :class:`Taxonomy` is a rooted tree over an attribute's values. Flattening
+replaces the attribute with one column per tree level (the record's
+ancestor at that depth), so ordinary patterns over the level columns
+express hierarchical generalizations: ``region=West`` is the pattern with
+the level-1 column fixed and deeper columns wildcarded. All algorithms then
+apply unchanged — the lattice over level columns *contains* the
+hierarchical pattern lattice.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Sequence
+
+from repro.errors import ValidationError
+from repro.patterns.table import PatternTable
+
+
+class Taxonomy:
+    """A rooted tree over attribute values.
+
+    Parameters
+    ----------
+    parent_of:
+        ``child -> parent`` mapping. Exactly one value (the root) must not
+        appear as a key; leaves are the values that appear in records.
+    """
+
+    def __init__(self, parent_of: Mapping[Hashable, Hashable]) -> None:
+        self._parent_of = dict(parent_of)
+        children = set(self._parent_of)
+        parents = set(self._parent_of.values())
+        roots = parents - children
+        if len(roots) != 1:
+            raise ValidationError(
+                f"taxonomy must have exactly one root, found {sorted(map(repr, roots))}"
+            )
+        self._root = next(iter(roots))
+        # Validate acyclicity by walking every chain to the root.
+        for value in children:
+            self.path_to_root(value)
+
+    @property
+    def root(self) -> Hashable:
+        return self._root
+
+    def path_to_root(self, value: Hashable) -> list[Hashable]:
+        """``[value, parent, ..., root]``; raises on unknown values/cycles."""
+        path = [value]
+        seen = {value}
+        current = value
+        while current != self._root:
+            if current not in self._parent_of:
+                raise ValidationError(
+                    f"value {current!r} is not in the taxonomy"
+                )
+            current = self._parent_of[current]
+            if current in seen:
+                raise ValidationError(
+                    f"taxonomy contains a cycle through {current!r}"
+                )
+            seen.add(current)
+            path.append(current)
+        return path
+
+    def depth(self) -> int:
+        """Length of the longest leaf-to-root path (root alone = 1)."""
+        leaves = set(self._parent_of) - set(self._parent_of.values())
+        if not leaves:
+            return 1
+        return max(len(self.path_to_root(leaf)) for leaf in leaves)
+
+    def ancestor_at(self, value: Hashable, level: int) -> Hashable:
+        """The ancestor of ``value`` at tree depth ``level``.
+
+        Level 0 is the root. Values shallower than ``level`` return
+        themselves (a leaf stays itself below its own depth).
+        """
+        path = list(reversed(self.path_to_root(value)))  # root .. value
+        if level < 0:
+            raise ValidationError(f"level must be >= 0, got {level}")
+        return path[min(level, len(path) - 1)]
+
+
+def flatten_hierarchy(
+    table: PatternTable,
+    attribute: str,
+    taxonomy: Taxonomy,
+    level_names: Sequence[str] | None = None,
+) -> PatternTable:
+    """Replace one attribute with per-level taxonomy columns.
+
+    Parameters
+    ----------
+    table:
+        The input table; ``attribute`` must be one of its pattern
+        attributes and every value of it must be in the taxonomy.
+    taxonomy:
+        The tree over the attribute's values.
+    level_names:
+        Names for the generated columns, depth-1 first; defaults to
+        ``f"{attribute}_l{d}"``. The root level is omitted (it equals
+        ``ALL`` semantically).
+
+    Returns
+    -------
+    PatternTable
+        Same rows and measure, with ``attribute`` replaced by
+        ``taxonomy.depth() - 1`` level columns.
+    """
+    if attribute not in table.attributes:
+        raise ValidationError(
+            f"{attribute!r} is not an attribute of the table"
+        )
+    position = table.attributes.index(attribute)
+    n_levels = taxonomy.depth() - 1  # root level carries no information
+    if n_levels < 1:
+        raise ValidationError("taxonomy is a single root; nothing to flatten")
+    if level_names is None:
+        level_names = [f"{attribute}_l{d}" for d in range(1, n_levels + 1)]
+    if len(level_names) != n_levels:
+        raise ValidationError(
+            f"need {n_levels} level names, got {len(level_names)}"
+        )
+
+    attributes = (
+        table.attributes[:position]
+        + tuple(level_names)
+        + table.attributes[position + 1:]
+    )
+    rows = []
+    for row in table.rows:
+        levels = tuple(
+            taxonomy.ancestor_at(row[position], depth)
+            for depth in range(1, n_levels + 1)
+        )
+        rows.append(row[:position] + levels + row[position + 1:])
+    return PatternTable(
+        attributes,
+        rows,
+        measure=table.measure,
+        measure_name=table.measure_name,
+    )

@@ -1,0 +1,163 @@
+"""Multiple weights per set (paper Section VII).
+
+The paper's second future-work item: "how to handle multiple weights
+associated with each set or pattern". This module provides the two
+standard treatments on top of the single-weight algorithms:
+
+* **scalarization** — collapse the weight vector with user-supplied
+  multipliers and solve the single-weight problem;
+* **Pareto sweep** — solve a grid of scalarizations and keep the
+  non-dominated outcomes, giving the caller the trade-off curve between
+  the weight dimensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable, Sequence
+
+from repro.core.cwsc import cwsc
+from repro.core.result import CoverResult
+from repro.core.setsystem import SetSystem
+from repro.errors import ValidationError
+
+
+class MultiWeightSetSystem:
+    """A set system whose sets carry a weight *vector*.
+
+    Parameters
+    ----------
+    n_elements:
+        Universe size.
+    benefits:
+        One element collection per set.
+    weight_vectors:
+        One weight tuple per set; all tuples must share the arity of
+        ``weight_names``.
+    weight_names:
+        Names of the weight dimensions (e.g. ``("build_cost",
+        "staff_cost")``).
+    labels:
+        Optional per-set labels.
+    """
+
+    def __init__(
+        self,
+        n_elements: int,
+        benefits: Sequence[Iterable[int]],
+        weight_vectors: Sequence[Sequence[float]],
+        weight_names: Sequence[str],
+        labels: Sequence[Hashable] | None = None,
+    ) -> None:
+        if len(benefits) != len(weight_vectors):
+            raise ValidationError(
+                f"{len(benefits)} benefit sets but "
+                f"{len(weight_vectors)} weight vectors"
+            )
+        self._names = tuple(weight_names)
+        if not self._names:
+            raise ValidationError("need >= 1 weight dimension")
+        for i, vector in enumerate(weight_vectors):
+            if len(vector) != len(self._names):
+                raise ValidationError(
+                    f"set {i} has {len(vector)} weights, expected "
+                    f"{len(self._names)}"
+                )
+        self._n = n_elements
+        self._benefits = [frozenset(ben) for ben in benefits]
+        self._vectors = [tuple(float(w) for w in v) for v in weight_vectors]
+        self._labels = (
+            list(labels) if labels is not None else [None] * len(benefits)
+        )
+
+    @property
+    def weight_names(self) -> tuple[str, ...]:
+        return self._names
+
+    @property
+    def n_sets(self) -> int:
+        return len(self._benefits)
+
+    def scalarize(self, multipliers: Sequence[float]) -> SetSystem:
+        """Single-weight system with ``cost = multipliers . weights``."""
+        if len(multipliers) != len(self._names):
+            raise ValidationError(
+                f"got {len(multipliers)} multipliers for "
+                f"{len(self._names)} weight dimensions"
+            )
+        if any(m < 0 for m in multipliers):
+            raise ValidationError("multipliers must be non-negative")
+        costs = [
+            sum(m * w for m, w in zip(multipliers, vector))
+            for vector in self._vectors
+        ]
+        return SetSystem.from_iterables(
+            self._n, self._benefits, costs, labels=self._labels
+        )
+
+    def totals(self, set_ids: Iterable[int]) -> tuple[float, ...]:
+        """Per-dimension total weight of a solution."""
+        totals = [0.0] * len(self._names)
+        for set_id in set_ids:
+            for dim, weight in enumerate(self._vectors[set_id]):
+                totals[dim] += weight
+        return tuple(totals)
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One non-dominated outcome of a scalarization sweep."""
+
+    multipliers: tuple[float, ...]
+    totals: tuple[float, ...]
+    result: CoverResult
+
+
+def pareto_sweep(
+    system: MultiWeightSetSystem,
+    k: int,
+    s_hat: float,
+    multiplier_grid: Sequence[Sequence[float]],
+    solver: Callable[..., CoverResult] = cwsc,
+) -> list[ParetoPoint]:
+    """Solve one scalarization per grid point; keep non-dominated outcomes.
+
+    Parameters
+    ----------
+    multiplier_grid:
+        Multiplier vectors to sweep (e.g. ``[(1, 0), (0.5, 0.5), (0, 1)]``).
+    solver:
+        Single-weight solver with the ``(system, k, s_hat)`` signature;
+        defaults to :func:`repro.core.cwsc.cwsc` with the ``full_cover``
+        fallback so every grid point yields a solution.
+
+    Returns
+    -------
+    list[ParetoPoint]
+        Non-dominated points, sorted by the first weight dimension.
+    """
+    points: list[ParetoPoint] = []
+    for multipliers in multiplier_grid:
+        scalar = system.scalarize(multipliers)
+        result = solver(scalar, k, s_hat, on_infeasible="full_cover")
+        totals = system.totals(result.set_ids)
+        points.append(
+            ParetoPoint(tuple(float(m) for m in multipliers), totals, result)
+        )
+    frontier = [
+        point
+        for point in points
+        if not any(_dominates(other.totals, point.totals) for other in points)
+    ]
+    # Multiple multipliers can yield identical totals; deduplicate.
+    unique: dict[tuple[float, ...], ParetoPoint] = {}
+    for point in frontier:
+        unique.setdefault(point.totals, point)
+    return sorted(unique.values(), key=lambda point: point.totals)
+
+
+def _dominates(left: tuple[float, ...], right: tuple[float, ...]) -> bool:
+    """Strict Pareto dominance: <= everywhere and < somewhere."""
+    return all(lv <= rv for lv, rv in zip(left, right)) and any(
+        lv < rv for lv, rv in zip(left, right)
+    )

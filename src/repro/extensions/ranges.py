@@ -1,0 +1,142 @@
+"""Numerical-range pattern attributes (paper Section II aside).
+
+The paper's patterns take exact values or ``ALL``; Section II notes that
+"numerical ranges may be used as well, but are not considered in this
+paper". The standard realization is discretization: replace a numeric
+column with interval labels, optionally at two granularities (coarse and
+fine bins, where each fine bin nests inside a coarse one) so that patterns
+can generalize along the range hierarchy exactly like along a taxonomy.
+
+All downstream machinery (enumeration, lattice pruning, cost functions)
+then applies unchanged, because the interval labels are ordinary
+categorical values.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Literal, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.patterns.table import PatternTable
+
+BinStyle = Literal["equiwidth", "quantile"]
+
+
+def compute_bin_edges(
+    values: Sequence[float], n_bins: int, style: BinStyle = "equiwidth"
+) -> list[float]:
+    """Interior edges that split ``values`` into ``n_bins`` intervals.
+
+    ``equiwidth`` slices the value range evenly; ``quantile`` puts an
+    (approximately) equal number of records in each bin. Degenerate edges
+    (identical neighbors) are deduplicated, so fewer bins may result.
+    """
+    if n_bins < 2:
+        raise ValidationError(f"n_bins must be >= 2, got {n_bins}")
+    if not values:
+        raise ValidationError("cannot bin an empty value list")
+    array = np.asarray(list(values), dtype=float)
+    if style == "equiwidth":
+        raw = np.linspace(array.min(), array.max(), n_bins + 1)[1:-1]
+    elif style == "quantile":
+        quantiles = np.linspace(0.0, 1.0, n_bins + 1)[1:-1]
+        raw = np.quantile(array, quantiles)
+    else:
+        raise ValidationError(f"unknown binning style {style!r}")
+    low, high = float(array.min()), float(array.max())
+    edges: list[float] = []
+    for edge in raw.tolist():
+        # Drop duplicates and edges at/past the extremes (they would
+        # create empty bins).
+        if low < edge < high and (not edges or edge > edges[-1]):
+            edges.append(edge)
+    return edges
+
+
+def interval_label(edges: Sequence[float], value: float) -> str:
+    """The half-open interval label containing ``value``.
+
+    Labels look like ``[low, high)`` with ``-inf``/``+inf`` at the ends;
+    they sort lexicographically by bin index via a zero-padded prefix so
+    deterministic tie-breaking stays readable.
+    """
+    index = bisect.bisect_right(edges, value)
+    low = "-inf" if index == 0 else f"{edges[index - 1]:g}"
+    high = "+inf" if index == len(edges) else f"{edges[index]:g}"
+    return f"b{index:03d}:[{low}, {high})"
+
+
+def bin_numeric_attribute(
+    table: PatternTable,
+    values: Sequence[float],
+    name: str,
+    n_bins: int = 4,
+    style: BinStyle = "equiwidth",
+    coarse_bins: int | None = None,
+) -> PatternTable:
+    """Append a numeric column to the table as range-pattern attributes.
+
+    Parameters
+    ----------
+    table:
+        The base table; ``values`` must be parallel to its rows.
+    values:
+        The numeric attribute to discretize (this may be the measure
+        itself or any other per-record number).
+    name:
+        Base name for the generated column(s).
+    n_bins:
+        Number of (fine) intervals.
+    style:
+        ``equiwidth`` or ``quantile``.
+    coarse_bins:
+        When given, also adds a coarser column (``{name}_coarse``) whose
+        intervals nest the fine ones, enabling two-level range
+        generalization. Must divide into fewer bins than ``n_bins``.
+
+    Returns
+    -------
+    PatternTable
+        The table with one (or two) added categorical columns.
+    """
+    if len(values) != table.n_rows:
+        raise ValidationError(
+            f"got {len(values)} values for {table.n_rows} rows"
+        )
+    if coarse_bins is not None and coarse_bins >= n_bins:
+        raise ValidationError(
+            f"coarse_bins ({coarse_bins}) must be < n_bins ({n_bins})"
+        )
+
+    fine_edges = compute_bin_edges(values, n_bins, style)
+    new_columns: list[tuple[str, list[str]]] = []
+    if coarse_bins is not None:
+        # Coarse edges are a subsample of the fine ones, so every fine
+        # interval nests inside exactly one coarse interval.
+        step = max(1, round(len(fine_edges) / coarse_bins))
+        coarse_edges = fine_edges[step - 1::step][: coarse_bins - 1]
+        new_columns.append(
+            (
+                f"{name}_coarse",
+                [interval_label(coarse_edges, v) for v in values],
+            )
+        )
+    new_columns.append(
+        (name, [interval_label(fine_edges, v) for v in values])
+    )
+
+    attributes = list(table.attributes)
+    rows = [list(row) for row in table.rows]
+    for column_name, labels in new_columns:
+        attributes.append(column_name)
+        for row, label in zip(rows, labels):
+            row.append(label)
+    return PatternTable(
+        attributes,
+        [tuple(row) for row in rows],
+        measure=table.measure,
+        measure_name=table.measure_name,
+    )

@@ -1,0 +1,23 @@
+"""Executable versions of the paper's hardness reductions (Section IV)."""
+
+from repro.hardness.reduction import (
+    lemma1_table,
+    theorem1_system,
+    theorem3_reduction,
+    vertex_patterns,
+)
+from repro.hardness.vertex_cover import (
+    greedy_matching_vertex_cover,
+    is_vertex_cover,
+    min_vertex_cover_exact,
+)
+
+__all__ = [
+    "greedy_matching_vertex_cover",
+    "is_vertex_cover",
+    "lemma1_table",
+    "min_vertex_cover_exact",
+    "theorem1_system",
+    "theorem3_reduction",
+    "vertex_patterns",
+]

@@ -1,0 +1,145 @@
+"""The paper's hardness reductions, made executable.
+
+* :func:`lemma1_table` — Lemma 1: vertex cover in a tripartite graph
+  ``G = (A, B, C)`` with ``m`` edges becomes a 3-attribute pattern table
+  with ``m + 1`` records. Each edge yields a record padded with one of the
+  fresh symbols ``x, y, z`` and measure ``tau``; one extra record
+  ``(x, y, z)`` has measure ``W > tau``. With coverage fraction
+  ``m / (m + 1)`` and ``max``-costs, the fewest patterns of cost at most
+  ``tau`` that reach the coverage equals the minimum vertex cover.
+* :func:`theorem1_system` — Theorem 1's gadget on top of Lemma 1: patterns
+  costing more than ``tau`` get cost infinity, every other pattern cost 1,
+  turning minimum-cost into minimum-count.
+* :func:`theorem3_reduction` — Theorem 3: any arbitrary weighted set
+  system over ``n`` elements becomes a patterned system over an
+  ``n``-attribute 0/1 table where each input set's pattern covers exactly
+  the same elements.
+
+These let the test suite *verify* the constructions the proofs rely on
+(benefit preservation, cost thresholds, optimum equality on small
+instances) rather than taking them on faith.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+
+from repro.core.setsystem import SetSystem, WeightedSet
+from repro.errors import ValidationError
+from repro.patterns.pattern import ALL, Pattern
+from repro.patterns.table import PatternTable
+
+
+def lemma1_table(
+    graph: nx.Graph, tau: float = 1.0, big_w: float = 10.0
+) -> tuple[PatternTable, float]:
+    """Build the Lemma 1 table from a tripartite graph.
+
+    Parameters
+    ----------
+    graph:
+        A tripartite graph whose nodes are ``(part, index)`` with part in
+        ``{"a", "b", "c"}`` (see :mod:`repro.datasets.tripartite`).
+    tau:
+        Measure of every edge record (the cost threshold of the lemma).
+    big_w:
+        Measure of the extra ``(x, y, z)`` record; must exceed ``tau``.
+
+    Returns
+    -------
+    (table, s_hat):
+        The derived table and the coverage fraction ``m / (m + 1)``.
+    """
+    if big_w <= tau:
+        raise ValidationError(
+            f"W must exceed tau, got W={big_w} <= tau={tau}"
+        )
+    rows: list[tuple] = []
+    measure: list[float] = []
+    for u, v in sorted(graph.edges):
+        parts = {u[0]: u, v[0]: v}
+        if set(parts) == {"a", "b"}:
+            rows.append((parts["a"], parts["b"], "z"))
+        elif set(parts) == {"a", "c"}:
+            rows.append((parts["a"], "y", parts["c"]))
+        elif set(parts) == {"b", "c"}:
+            rows.append(("x", parts["b"], parts["c"]))
+        else:  # pragma: no cover - tripartite_graph already validates
+            raise ValidationError(f"edge {u}-{v} is not cross-part")
+        measure.append(tau)
+    rows.append(("x", "y", "z"))
+    measure.append(big_w)
+    table = PatternTable(
+        attributes=("D1", "D2", "D3"),
+        rows=rows,
+        measure=measure,
+        measure_name="M",
+    )
+    m = graph.number_of_edges()
+    return table, m / (m + 1)
+
+
+def vertex_patterns(graph: nx.Graph) -> list[Pattern]:
+    """The single-vertex patterns the Lemma 1 proof normalizes to.
+
+    ``(a_i, ALL, ALL)`` for part-a vertices, ``(ALL, b_j, ALL)`` for
+    part-b, ``(ALL, ALL, c_k)`` for part-c.
+    """
+    position = {"a": 0, "b": 1, "c": 2}
+    patterns = []
+    for node in sorted(graph.nodes):
+        values: list = [ALL, ALL, ALL]
+        values[position[node[0]]] = node
+        patterns.append(Pattern(values))
+    return patterns
+
+
+def theorem1_system(system: SetSystem, tau: float) -> SetSystem:
+    """Apply the Theorem 1 cost gadget: ``cost > tau`` becomes infinite,
+    every other cost becomes 1, so total cost counts the chosen sets."""
+    sets = [
+        WeightedSet(
+            set_id=ws.set_id,
+            benefit=ws.benefit,
+            cost=math.inf if ws.cost > tau else 1.0,
+            label=ws.label,
+        )
+        for ws in system.sets
+    ]
+    return SetSystem(system.n_elements, sets)
+
+
+def theorem3_reduction(
+    system: SetSystem,
+) -> tuple[PatternTable, dict[int, Pattern]]:
+    """Encode an arbitrary set system as a patterned one (Theorem 3).
+
+    The derived table has one 0/1 attribute per element; record ``i`` is
+    all zeros except a one in attribute ``i``. The pattern for input set
+    ``S`` has ``ALL`` exactly at the attributes of ``S``'s elements and the
+    constant 0 elsewhere, so it matches precisely the records of ``S``.
+
+    Returns
+    -------
+    (table, mapping):
+        The 0/1 table and ``set_id -> Pattern``. Patterns other than the
+        mapped ones conceptually carry infinite weight; tests verify
+        benefit preservation via :class:`~repro.patterns.PatternIndex`.
+    """
+    n = system.n_elements
+    if n < 1:
+        raise ValidationError("theorem3_reduction needs >= 1 element")
+    rows = [
+        tuple(1 if j == i else 0 for j in range(n)) for i in range(n)
+    ]
+    table = PatternTable(
+        attributes=tuple(f"D{i + 1}" for i in range(n)),
+        rows=rows,
+    )
+    mapping: dict[int, Pattern] = {}
+    for ws in system.sets:
+        values = [ALL if i in ws.benefit else 0 for i in range(n)]
+        mapping[ws.set_id] = Pattern(values)
+    return table, mapping

@@ -1,0 +1,57 @@
+"""Vertex cover solvers used to validate the Lemma 1 reduction.
+
+The reduction maps minimum vertex cover in a tripartite graph to the
+minimum number of cost-bounded patterns covering a fraction of a derived
+table. To test it end-to-end we need the graph-side optimum:
+
+* :func:`min_vertex_cover_exact` — branch and bound (branch on an
+  uncovered edge: one endpoint must be in any cover), exact for small
+  graphs;
+* :func:`greedy_matching_vertex_cover` — the classic 2-approximation via
+  maximal matching, as a sanity upper bound.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+
+def min_vertex_cover_exact(graph: nx.Graph) -> set:
+    """Exact minimum vertex cover by edge-branching branch and bound.
+
+    Exponential in the cover size; intended for reduction tests on graphs
+    with a few dozen edges.
+    """
+    best: list[set] = [set(graph.nodes)]
+
+    def search(remaining: nx.Graph, chosen: set) -> None:
+        if len(chosen) >= len(best[0]):
+            return
+        # Find any remaining edge; if none, chosen is a cover.
+        edge = next(iter(remaining.edges), None)
+        if edge is None:
+            best[0] = set(chosen)
+            return
+        u, v = edge
+        for endpoint in (u, v):
+            smaller = remaining.copy()
+            smaller.remove_node(endpoint)
+            search(smaller, chosen | {endpoint})
+
+    search(graph.copy(), set())
+    return best[0]
+
+
+def greedy_matching_vertex_cover(graph: nx.Graph) -> set:
+    """2-approximate vertex cover: both endpoints of a maximal matching."""
+    cover: set = set()
+    for u, v in graph.edges:
+        if u not in cover and v not in cover:
+            cover.add(u)
+            cover.add(v)
+    return cover
+
+
+def is_vertex_cover(graph: nx.Graph, cover: set) -> bool:
+    """Whether every edge has at least one endpoint in ``cover``."""
+    return all(u in cover or v in cover for u, v in graph.edges)

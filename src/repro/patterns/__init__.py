@@ -1,0 +1,73 @@
+"""Patterned set systems: the paper's practical special case (Section V-C).
+
+Public surface:
+
+* :data:`ALL` / :class:`Pattern` — patterns over categorical attributes.
+* :class:`PatternTable` — records + measure attribute.
+* :class:`PatternIndex` — benefit sets and lattice traversal.
+* :func:`enumerate_nonempty_patterns` / :func:`build_set_system` — the
+  unoptimized path (full pattern collection as a :class:`SetSystem`).
+* :func:`optimized_cwsc` / :func:`optimized_cmc` — Figs. 3 and 4.
+* Cost functions: :data:`MAX_COST`, :data:`SUM_COST`, :data:`MEAN_COST`,
+  :data:`COUNT_COST`, :func:`lp_norm_cost`.
+"""
+
+from repro.patterns.candidates import Candidate, CandidatePool
+from repro.patterns.costs import (
+    COUNT_COST,
+    MAX_COST,
+    MEAN_COST,
+    SUM_COST,
+    CostFunction,
+    get_cost_function,
+    lp_norm_cost,
+)
+from repro.patterns.enumerate import (
+    count_nonempty_patterns,
+    enumerate_nonempty_patterns,
+)
+from repro.patterns.index import PatternIndex
+from repro.patterns.lattice import (
+    ancestors,
+    common_generalization,
+    lattice_depth,
+    syntactic_children,
+)
+from repro.patterns.optimized_cmc import optimized_cmc
+from repro.patterns.optimized_cwsc import optimized_cwsc
+from repro.patterns.pattern import ALL, Pattern
+from repro.patterns.pattern_sets import build_set_system, pattern_of
+from repro.patterns.sql import pattern_to_sql, solution_to_sql, sql_literal
+from repro.patterns.stats import TableProfile, profile_table
+from repro.patterns.table import PatternTable
+
+__all__ = [
+    "ALL",
+    "COUNT_COST",
+    "Candidate",
+    "CandidatePool",
+    "CostFunction",
+    "MAX_COST",
+    "MEAN_COST",
+    "Pattern",
+    "PatternIndex",
+    "PatternTable",
+    "SUM_COST",
+    "TableProfile",
+    "profile_table",
+    "ancestors",
+    "build_set_system",
+    "common_generalization",
+    "count_nonempty_patterns",
+    "enumerate_nonempty_patterns",
+    "get_cost_function",
+    "lattice_depth",
+    "lp_norm_cost",
+    "optimized_cmc",
+    "optimized_cwsc",
+    "pattern_of",
+    "pattern_to_sql",
+    "solution_to_sql",
+    "sql_literal",
+    "syntactic_children",
+]

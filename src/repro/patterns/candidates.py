@@ -1,0 +1,240 @@
+"""Candidate-pattern pool shared by the optimized algorithms (Section V-C).
+
+The optimized CWSC and CMC never materialize the full pattern collection;
+they maintain a small pool of *candidate* patterns, each carrying its
+static benefit set and cost plus a mutable marginal-benefit set. The pool
+implements the two update loops both figures share: materializing a child
+pattern discovered via the lattice, and subtracting a selection's newly
+covered rows from every remaining candidate (Fig. 3 lines 27–30, Fig. 4
+lines 26–29 — candidates whose marginal benefit empties are evicted).
+
+For speed the pool works on raw pattern *value tuples* (with the
+:data:`~repro.patterns.pattern.ALL` sentinel), not :class:`Pattern`
+objects; callers wrap the final solution in patterns. Tie-breaking uses
+:func:`repro.patterns.pattern.values_sort_key`, which orders value tuples
+exactly like :meth:`Pattern.sort_key` orders patterns — this is what makes
+the optimized and unoptimized algorithms select identical sets.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from repro._typing import AttrValue
+from repro.core.result import Metrics
+from repro.patterns.pattern import values_sort_key
+
+#: A candidate's identity: one value-or-ALL per attribute.
+Values = tuple[AttrValue, ...]
+
+
+class Candidate:
+    """One candidate pattern with static benefit/cost and live marginal."""
+
+    __slots__ = ("values", "ben", "cost", "mben", "_sort_key")
+
+    def __init__(
+        self, values: Values, ben: Iterable[int], cost: float
+    ) -> None:
+        self.values = values
+        self.ben = tuple(ben)
+        self.cost = cost
+        self.mben: set[int] = set()
+        self._sort_key: tuple | None = None
+
+    @property
+    def mben_size(self) -> int:
+        return len(self.mben)
+
+    @property
+    def mgain(self) -> float:
+        if self.cost == 0:
+            return float("inf") if self.mben else 0.0
+        return len(self.mben) / self.cost
+
+    def sort_key(self) -> tuple:
+        """Cached :func:`values_sort_key` of this candidate's values."""
+        if self._sort_key is None:
+            self._sort_key = values_sort_key(self.values)
+        return self._sort_key
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Candidate({self.values!r}, |ben|={len(self.ben)}, "
+            f"cost={self.cost:g}, |mben|={len(self.mben)})"
+        )
+
+
+class CandidatePool:
+    """The live candidate collection ``C`` plus the covered-row set.
+
+    Parameters
+    ----------
+    cost_fn:
+        Bound cost function ``ben_rows -> cost``
+        (see :meth:`repro.patterns.costs.CostFunction.bind`).
+    metrics:
+        Shared metrics; every materialization counts one "pattern
+        considered" (the Fig. 6 measure).
+    covered:
+        Rows to treat as already covered (incremental repair).
+    """
+
+    def __init__(
+        self,
+        cost_fn: Callable[[Iterable[int]], float],
+        metrics: Metrics,
+        covered: Iterable[int] | None = None,
+        cost_cache: dict[Values, float] | None = None,
+    ) -> None:
+        self._cost_fn = cost_fn
+        self._metrics = metrics
+        self._candidates: dict[Values, Candidate] = {}
+        self._archive: dict[Values, Candidate] = {}
+        self._covered: set[int] = set(covered) if covered is not None else set()
+        # Pattern costs are static, so CMC shares this cache across its
+        # budget rounds (each round uses a fresh pool otherwise).
+        self._cost_cache = cost_cache if cost_cache is not None else {}
+
+    # ------------------------------------------------------------------
+    @property
+    def covered(self) -> set[int]:
+        """Rows covered by all selections so far (do not mutate)."""
+        return self._covered
+
+    @property
+    def covered_count(self) -> int:
+        return len(self._covered)
+
+    def __len__(self) -> int:
+        return len(self._candidates)
+
+    def __contains__(self, values: Values) -> bool:
+        return values in self._candidates
+
+    def __iter__(self) -> Iterator[Candidate]:
+        return iter(self._candidates.values())
+
+    def get(self, values: Values) -> Candidate | None:
+        return self._candidates.get(values)
+
+    # ------------------------------------------------------------------
+    def materialize(self, values: Values, ben: Iterable[int]) -> Candidate:
+        """Build a candidate (benefit, cost, marginal) without adding it.
+
+        Fresh materializations count toward ``sets_considered`` — this is
+        exactly the work the optimizations exist to avoid, so it is the
+        quantity Fig. 6 plots. Candidates previously pruned from the pool
+        are rehydrated from the archive instead of recomputing their cost
+        and benefit (their stale marginal only shrinks, so refreshing it
+        against the covered set is exact).
+        """
+        archived = self._archive.pop(values, None)
+        covered = self._covered
+        if archived is not None:
+            archived.mben = {
+                row for row in archived.mben if row not in covered
+            }
+            return archived
+        self._metrics.sets_considered += 1
+        cost = self._cost_cache.get(values)
+        if cost is None:
+            cost = self._cost_fn(ben)
+            self._cost_cache[values] = cost
+        candidate = Candidate(values, ben, cost)
+        if covered:
+            candidate.mben = {
+                row for row in candidate.ben if row not in covered
+            }
+        else:
+            candidate.mben = set(candidate.ben)
+        return candidate
+
+    def add(self, candidate: Candidate) -> None:
+        self._candidates[candidate.values] = candidate
+
+    def archive(self, candidate: Candidate) -> None:
+        """Stash a materialized-but-unqualified candidate for cheap reuse."""
+        self._archive[candidate.values] = candidate
+
+    def remove(self, values: Values) -> Candidate | None:
+        return self._candidates.pop(values, None)
+
+    def prune(self, predicate: Callable[[Candidate], bool]) -> None:
+        """Archive every candidate for which ``predicate`` is false.
+
+        Archived candidates leave ``C`` (they no longer participate in
+        selection or parent checks) but can be rehydrated cheaply if a
+        later, lower threshold re-qualifies them.
+        """
+        doomed = [
+            values
+            for values, candidate in self._candidates.items()
+            if not predicate(candidate)
+        ]
+        for values in doomed:
+            self._archive[values] = self._candidates.pop(values)
+
+    # ------------------------------------------------------------------
+    def select(self, candidate: Candidate) -> set[int]:
+        """Move a candidate into the solution; returns its newly covered rows.
+
+        Subtracts the newly covered rows from every other candidate's
+        marginal benefit and evicts candidates that become useless.
+        """
+        self._candidates.pop(candidate.values, None)
+        self._metrics.selections += 1
+        newly = set(candidate.mben)
+        self._covered |= newly
+        emptied: list[Values] = []
+        for other in self._candidates.values():
+            before = len(other.mben)
+            other.mben -= newly
+            if len(other.mben) != before:
+                self._metrics.marginal_updates += 1
+            if not other.mben:
+                emptied.append(other.values)
+        for values in emptied:
+            # Evicted-but-materialized candidates go to the archive so a
+            # later expansion round reuses them instead of recomputing
+            # (and re-counting) their benefit and cost.
+            self._archive[values] = self._candidates.pop(values)
+        return newly
+
+    # ------------------------------------------------------------------
+    def best_by_gain(self, min_mben: float = 0.0) -> Candidate | None:
+        """Candidate maximizing marginal gain among those with
+        ``|mben| >= min_mben`` — CWSC's selection rule (Fig. 2/3).
+
+        Ties: larger ``|mben|``, then lower cost, then smaller sort key —
+        the same order as :func:`repro.core.greedy_common.gain_key` with
+        pattern labels.
+        """
+        best: Candidate | None = None
+        best_key = None
+        for candidate in self._candidates.values():
+            size = candidate.mben_size
+            if size < min_mben:
+                continue
+            key = (candidate.mgain, size, -candidate.cost)
+            if best_key is None or key > best_key or (
+                key == best_key
+                and candidate.sort_key() < best.sort_key()
+            ):
+                best = candidate
+                best_key = key
+        return best
+
+    def best_by_mben(self) -> Candidate | None:
+        """Candidate maximizing marginal benefit — CMC's selection rule."""
+        best: Candidate | None = None
+        best_key = None
+        for candidate in self._candidates.values():
+            key = (candidate.mben_size, -candidate.cost)
+            if best_key is None or key > best_key or (
+                key == best_key
+                and candidate.sort_key() < best.sort_key()
+            ):
+                best = candidate
+                best_key = key
+        return best

@@ -1,0 +1,77 @@
+"""Full enumeration of the non-empty patterns of a table.
+
+The *unoptimized* algorithms of the paper operate on the complete pattern
+collection (Table II of the running example lists all 24 patterns of the
+16-row entities table). Every non-empty pattern is a generalization of at
+least one record, so enumerating the ``2^j`` generalization masks of each
+record visits exactly the non-empty patterns — there are at most
+``n * 2^j`` of them, far fewer than the syntactic space
+``prod(|dom| + 1)``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.errors import PatternSpaceError
+from repro.patterns.pattern import ALL, Pattern
+from repro.patterns.table import PatternTable
+
+#: Enumeration materializes ``n * 2^j`` pattern/row pairs; beyond this many
+#: attributes that blows up no matter how small the table is.
+MAX_ENUMERABLE_ATTRIBUTES = 20
+
+
+def enumerate_nonempty_patterns(
+    table: PatternTable,
+) -> dict[Pattern, frozenset[int]]:
+    """Map every non-empty pattern of the table to its benefit set.
+
+    Includes the all-wildcards pattern whenever the table has rows, so a
+    set system built from the result always has a full-coverage set (the
+    paper's feasibility assumption).
+
+    Raises
+    ------
+    PatternSpaceError
+        If the table has more than :data:`MAX_ENUMERABLE_ATTRIBUTES`
+        pattern attributes.
+    """
+    j = table.n_attributes
+    if j > MAX_ENUMERABLE_ATTRIBUTES:
+        raise PatternSpaceError(
+            f"enumerating patterns over {j} attributes would touch "
+            f"n * 2^{j} pattern/row pairs; restructure the table or use "
+            "the optimized (lattice-pruned) algorithms"
+        )
+    masks = _generalization_masks(j)
+    accumulator: dict[tuple, list[int]] = {}
+    for row_id, row in enumerate(table.rows):
+        for mask in masks:
+            key = tuple(
+                row[i] if keep else ALL for i, keep in enumerate(mask)
+            )
+            accumulator.setdefault(key, []).append(row_id)
+    return {
+        Pattern(values): frozenset(rows)
+        for values, rows in accumulator.items()
+    }
+
+
+def _generalization_masks(j: int) -> list[tuple[bool, ...]]:
+    """All ``2^j`` keep/wildcard masks, most-general first.
+
+    Ordering is irrelevant to correctness; most-general-first makes the
+    accumulator's insertion order stable for debugging.
+    """
+    masks: list[tuple[bool, ...]] = []
+    for kept in range(j + 1):
+        for keep_positions in combinations(range(j), kept):
+            mask = tuple(i in keep_positions for i in range(j))
+            masks.append(mask)
+    return masks
+
+
+def count_nonempty_patterns(table: PatternTable) -> int:
+    """Number of distinct non-empty patterns (Table II's row count)."""
+    return len(enumerate_nonempty_patterns(table))

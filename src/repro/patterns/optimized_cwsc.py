@@ -1,0 +1,219 @@
+"""Optimized Concise Weighted Set Cover for patterned sets — Fig. 3.
+
+Instead of enumerating every pattern up front, the candidate set ``C``
+starts with the all-wildcards pattern and grows down the lattice: a child
+pattern is materialized only when *all* of its parents are candidates
+(a child's marginal benefit can never exceed a parent's, so a missing
+parent proves the child is below the ``rem / i`` threshold too). At the
+selection step ``C`` therefore contains exactly the patterns that clear the
+threshold, and — with shared tie-breaking — the optimized algorithm selects
+the very same patterns as the unoptimized one (paper, end of Section V-C1);
+``tests/integration/test_equivalence.py`` asserts this.
+
+The inner loops run on raw value tuples (see
+:mod:`repro.patterns.candidates`); only the returned solution is wrapped in
+:class:`Pattern` objects.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from typing import Literal
+
+from repro.core.result import CoverResult, Metrics, make_result
+from repro.errors import InfeasibleError, ValidationError
+from repro.patterns.candidates import Candidate, CandidatePool, Values
+from repro.patterns.costs import CostFunction, get_cost_function
+from repro.patterns.index import PatternIndex
+from repro.patterns.pattern import ALL, Pattern
+from repro.patterns.table import PatternTable
+
+OnInfeasible = Literal["raise", "full_cover", "partial"]
+
+_EPS = 1e-9
+
+
+def optimized_cwsc(
+    table: PatternTable,
+    k: int,
+    s_hat: float,
+    cost: "str | CostFunction" = "max",
+    on_infeasible: OnInfeasible = "raise",
+) -> CoverResult:
+    """Run the lattice-pruned CWSC directly on a pattern table.
+
+    Parameters
+    ----------
+    table:
+        The record table (non-empty).
+    k:
+        Maximum number of patterns in the solution.
+    s_hat:
+        Required coverage fraction.
+    cost:
+        Pattern cost function (name or instance); default ``"max"``.
+    on_infeasible:
+        Same policies as :func:`repro.core.cwsc.cwsc`; ``"full_cover"``
+        falls back to the all-wildcards pattern.
+    """
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")
+    if not (0.0 <= s_hat <= 1.0):
+        raise ValidationError(f"s_hat must be in [0, 1], got {s_hat}")
+    if table.n_rows == 0:
+        raise ValidationError("cannot cover an empty table")
+    start = time.perf_counter()
+    metrics = Metrics()
+    params = {
+        "k": k,
+        "s_hat": s_hat,
+        "cost": get_cost_function(cost).name,
+        "on_infeasible": on_infeasible,
+    }
+
+    index = PatternIndex(table)
+    cost_fn = get_cost_function(cost).bind(table)
+    pool = CandidatePool(cost_fn, metrics)
+    all_values: Values = (ALL,) * table.n_attributes
+    pool.add(pool.materialize(all_values, index.all_rows))
+
+    selected: list[Candidate] = []
+    selected_values: set[Values] = set()
+    rem = s_hat * table.n_rows
+    if rem <= _EPS:
+        return _finish(table, selected, True, params, metrics, start)
+
+    for i in range(k, 0, -1):
+        threshold = rem / i - _EPS
+        # Fig. 3 lines 8-10: drop candidates below the new threshold.
+        pool.prune(lambda candidate: candidate.mben_size >= threshold)
+        _expand(pool, index, selected_values, threshold)
+        # Fig. 3 line 21: C holds exactly the threshold-clearing patterns.
+        best = pool.best_by_gain()
+        if best is None:
+            return _bail(
+                table, index, cost_fn, selected, on_infeasible,
+                params, metrics, start,
+            )
+        newly = pool.select(best)
+        selected.append(best)
+        selected_values.add(best.values)
+        rem -= len(newly)
+        if rem <= _EPS:
+            return _finish(table, selected, True, params, metrics, start)
+    # Guard: each pick covers >= rem/i, so k picks always suffice.
+    return _bail(
+        table, index, cost_fn, selected, on_infeasible, params, metrics, start
+    )  # pragma: no cover
+
+
+def _expand(
+    pool: CandidatePool,
+    index: PatternIndex,
+    selected_values: set[Values],
+    threshold: float,
+) -> None:
+    """Fig. 3 lines 11-20: grow ``C`` downward until no child qualifies.
+
+    The waitlist is processed in decreasing marginal benefit (line 13);
+    marginal benefits are static during expansion, so a plain heap keyed by
+    ``(-|mben|, sort_key)`` realizes the argmax deterministically.
+    """
+    heap: list[tuple[int, tuple, Values]] = [
+        (-candidate.mben_size, candidate.sort_key(), candidate.values)
+        for candidate in pool
+    ]
+    heapq.heapify(heap)
+    while heap:
+        _, _, values = heapq.heappop(heap)
+        candidate = pool.get(values)
+        if candidate is None:  # pragma: no cover - not removed mid-phase
+            continue
+        for position, child, child_ben in index.children_values(
+            values, candidate.ben
+        ):
+            # |MBen| <= |Ben|, so a child whose full benefit is already
+            # below the threshold can never qualify; skipping it here is
+            # equivalent to materializing it and failing line 18.
+            if len(child_ben) < threshold:
+                continue
+            if child in pool or child in selected_values:
+                continue
+            # All-parents-in-C check (Fig. 3 line 16). The parent at
+            # ``position`` is the pool candidate being expanded, so only
+            # the other constants need a lookup.
+            parents_in_pool = True
+            for other_pos, other_value in enumerate(child):
+                if other_value is ALL or other_pos == position:
+                    continue
+                parent = child[:other_pos] + (ALL,) + child[other_pos + 1:]
+                if parent not in pool:
+                    parents_in_pool = False
+                    break
+            if not parents_in_pool:
+                continue
+            child_candidate = pool.materialize(child, child_ben)
+            if child_candidate.mben_size >= threshold:
+                pool.add(child_candidate)
+                heapq.heappush(
+                    heap,
+                    (
+                        -child_candidate.mben_size,
+                        child_candidate.sort_key(),
+                        child,
+                    ),
+                )
+            else:
+                pool.archive(child_candidate)
+
+
+def _finish(
+    table: PatternTable,
+    selected: list[Candidate],
+    feasible: bool,
+    params: dict,
+    metrics: Metrics,
+    start: float,
+) -> CoverResult:
+    metrics.runtime_seconds = time.perf_counter() - start
+    covered: set[int] = set()
+    for candidate in selected:
+        covered.update(candidate.ben)
+    return make_result(
+        algorithm="optimized_cwsc",
+        chosen=list(range(len(selected))),
+        labels=[Pattern(candidate.values) for candidate in selected],
+        total_cost=sum(candidate.cost for candidate in selected),
+        covered=len(covered),
+        n_elements=table.n_rows,
+        feasible=feasible,
+        params=params,
+        metrics=metrics,
+    )
+
+
+def _bail(
+    table: PatternTable,
+    index: PatternIndex,
+    cost_fn,
+    selected: list[Candidate],
+    on_infeasible: OnInfeasible,
+    params: dict,
+    metrics: Metrics,
+    start: float,
+) -> CoverResult:
+    if on_infeasible == "partial":
+        return _finish(table, selected, False, params, metrics, start)
+    if on_infeasible == "full_cover":
+        all_values: Values = (ALL,) * table.n_attributes
+        fallback = Candidate(
+            all_values, index.all_rows, cost_fn(index.all_rows)
+        )
+        fallback.mben = set(index.all_rows)
+        return _finish(table, [fallback], True, params, metrics, start)
+    partial = _finish(table, selected, False, params, metrics, start)
+    raise InfeasibleError(
+        "optimized_cwsc: no pattern clears the per-pick benefit threshold",
+        partial=partial,
+    )

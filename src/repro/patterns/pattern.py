@@ -1,0 +1,206 @@
+"""Patterns: conjunctions of attribute values with an ``ALL`` wildcard.
+
+A pattern over ``j`` attributes has, in each position, either a value from
+that attribute's domain or the wildcard :data:`ALL` (paper Section II). A
+record matches a pattern if they agree on every non-wildcard position.
+Patterns form a lattice: replacing a constant with ``ALL`` gives a *parent*
+(never covers fewer records), replacing an ``ALL`` with a constant gives a
+*child* (never covers more).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro._typing import AttrValue
+from repro.errors import ValidationError
+
+
+class _AllType:
+    """Singleton wildcard; compares equal only to itself."""
+
+    _instance: "_AllType | None" = None
+
+    def __new__(cls) -> "_AllType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "ALL"
+
+    def __reduce__(self):
+        # Pickle round-trips to the same singleton.
+        return (_AllType, ())
+
+
+#: The wildcard value. ``Pattern((ALL, "West"))`` matches every record
+#: whose second attribute is ``"West"``.
+ALL = _AllType()
+
+
+def parent_values(
+    values: Sequence[AttrValue],
+) -> Iterator[tuple[AttrValue, ...]]:
+    """Immediate-parent value tuples (one per constant position).
+
+    Hot-path counterpart of :meth:`Pattern.parents` on raw tuples.
+    """
+    values = tuple(values)
+    for position, value in enumerate(values):
+        if value is not ALL:
+            yield values[:position] + (ALL,) + values[position + 1:]
+
+
+def values_sort_key(values: Sequence[AttrValue]) -> tuple:
+    """Deterministic total-order key over raw pattern value tuples.
+
+    Identical to :meth:`Pattern.sort_key`, for hot paths that work on
+    plain tuples instead of :class:`Pattern` objects (the optimized
+    algorithms of Section V-C); both sides of an optimized/unoptimized
+    comparison therefore break ties the same way.
+    """
+    return tuple(
+        (0, "") if value is ALL else (1, repr(value)) for value in values
+    )
+
+
+class Pattern:
+    """An immutable pattern: one value-or-``ALL`` per attribute.
+
+    Hashable and totally ordered via :meth:`sort_key`, so collections of
+    patterns can be processed deterministically.
+    """
+
+    __slots__ = ("_values", "_hash")
+
+    def __init__(self, values: Sequence[AttrValue]) -> None:
+        self._values = tuple(values)
+        self._hash = hash(self._values)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def all_pattern(cls, n_attributes: int) -> "Pattern":
+        """The all-wildcards pattern, which covers every record."""
+        if n_attributes < 1:
+            raise ValidationError(
+                f"patterns need >= 1 attribute, got {n_attributes}"
+            )
+        return cls((ALL,) * n_attributes)
+
+    # ------------------------------------------------------------------
+    @property
+    def values(self) -> tuple[AttrValue, ...]:
+        """The raw value tuple."""
+        return self._values
+
+    @property
+    def n_attributes(self) -> int:
+        return len(self._values)
+
+    @property
+    def n_wildcards(self) -> int:
+        """Number of ``ALL`` positions."""
+        return sum(1 for value in self._values if value is ALL)
+
+    @property
+    def n_constants(self) -> int:
+        """Number of constant (non-``ALL``) positions."""
+        return len(self._values) - self.n_wildcards
+
+    @property
+    def is_all(self) -> bool:
+        """Whether this is the all-wildcards pattern."""
+        return self.n_constants == 0
+
+    def wildcard_positions(self) -> list[int]:
+        """Indices of ``ALL`` positions, ascending."""
+        return [i for i, value in enumerate(self._values) if value is ALL]
+
+    def constant_positions(self) -> list[int]:
+        """Indices of constant positions, ascending."""
+        return [i for i, value in enumerate(self._values) if value is not ALL]
+
+    # ------------------------------------------------------------------
+    def matches(self, record: Sequence[AttrValue]) -> bool:
+        """Whether a record agrees with every non-wildcard position."""
+        if len(record) != len(self._values):
+            raise ValidationError(
+                f"record has {len(record)} attributes, pattern has "
+                f"{len(self._values)}"
+            )
+        return all(
+            value is ALL or value == record[i]
+            for i, value in enumerate(self._values)
+        )
+
+    def specialize(self, position: int, value: AttrValue) -> "Pattern":
+        """Child obtained by fixing one wildcard position to ``value``."""
+        if self._values[position] is not ALL:
+            raise ValidationError(
+                f"position {position} of {self!r} is already the constant "
+                f"{self._values[position]!r}"
+            )
+        if value is ALL:
+            raise ValidationError("cannot specialize a position to ALL")
+        values = list(self._values)
+        values[position] = value
+        return Pattern(values)
+
+    def generalize(self, position: int) -> "Pattern":
+        """Parent obtained by wildcarding one constant position."""
+        if self._values[position] is ALL:
+            raise ValidationError(
+                f"position {position} of {self!r} is already ALL"
+            )
+        values = list(self._values)
+        values[position] = ALL
+        return Pattern(values)
+
+    def parents(self) -> Iterator["Pattern"]:
+        """All immediate parents (one per constant position)."""
+        for position in self.constant_positions():
+            yield self.generalize(position)
+
+    def is_specialization_of(self, other: "Pattern") -> bool:
+        """Whether every record matching ``self`` also matches ``other``.
+
+        True when ``other`` agrees with ``self`` on all of ``other``'s
+        constant positions.
+        """
+        if other.n_attributes != self.n_attributes:
+            raise ValidationError("patterns have different arities")
+        return all(
+            value is ALL or value == self._values[i]
+            for i, value in enumerate(other._values)
+        )
+
+    # ------------------------------------------------------------------
+    def sort_key(self) -> tuple:
+        """Deterministic total-order key (wildcards first per position)."""
+        return values_sort_key(self._values)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Pattern) and self._values == other._values
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __lt__(self, other: "Pattern") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(value) for value in self._values)
+        return f"Pattern({inner})"
+
+    def format(self, attributes: Sequence[str]) -> str:
+        """Readable form with attribute names, e.g. ``Type=A, Location=ALL``."""
+        if len(attributes) != len(self._values):
+            raise ValidationError(
+                f"got {len(attributes)} attribute names for a "
+                f"{len(self._values)}-ary pattern"
+            )
+        return ", ".join(
+            f"{name}={value!r}" if value is not ALL else f"{name}=ALL"
+            for name, value in zip(attributes, self._values)
+        )

@@ -1,0 +1,62 @@
+"""Bridge from pattern tables to the core :class:`SetSystem`.
+
+The unoptimized algorithms of the paper treat the patterns of a table as an
+ordinary weighted set collection. :func:`build_set_system` enumerates every
+non-empty pattern, computes its cost with the chosen cost function, and
+packs the result into a :class:`~repro.core.SetSystem` whose labels are the
+patterns themselves (sorted by :meth:`Pattern.sort_key` so set ids are
+deterministic).
+"""
+
+from __future__ import annotations
+
+from repro.core.setsystem import SetSystem
+from repro.errors import ValidationError
+from repro.patterns.costs import CostFunction, get_cost_function
+from repro.patterns.enumerate import enumerate_nonempty_patterns
+from repro.patterns.pattern import Pattern
+from repro.patterns.table import PatternTable
+
+
+def build_set_system(
+    table: PatternTable,
+    cost: "str | CostFunction" = "max",
+) -> SetSystem:
+    """Materialize the full patterned set system of a table.
+
+    Parameters
+    ----------
+    table:
+        The record table. Must be non-empty — an empty table has no
+        all-wildcards cover and Definition 1's feasibility assumption
+        fails.
+    cost:
+        Cost function name or instance (default ``"max"``, as in the
+        paper's running example).
+
+    Returns
+    -------
+    SetSystem
+        One weighted set per non-empty pattern; ``label`` is the
+        :class:`Pattern`.
+    """
+    if table.n_rows == 0:
+        raise ValidationError("cannot build a set system from an empty table")
+    cost_fn = get_cost_function(cost).bind(table)
+    patterns = enumerate_nonempty_patterns(table)
+    ordered = sorted(patterns, key=Pattern.sort_key)
+    benefits = [patterns[pattern] for pattern in ordered]
+    costs = [cost_fn(patterns[pattern]) for pattern in ordered]
+    return SetSystem.from_iterables(
+        table.n_rows, benefits, costs, labels=ordered
+    )
+
+
+def pattern_of(system: SetSystem, set_id: int) -> Pattern:
+    """The pattern labeling a set of a pattern-derived system."""
+    label = system[set_id].label
+    if not isinstance(label, Pattern):
+        raise ValidationError(
+            f"set {set_id} of this system is not labeled with a Pattern"
+        )
+    return label

@@ -1,0 +1,83 @@
+"""Render patterns and solutions as SQL predicates.
+
+A pattern is a conjunction of equality constraints, so a summary computed
+by this library translates directly into SQL — the form in which a
+database user would actually consume it ("these k WHERE-clauses cover 60%
+of the table"). Values are rendered as SQL literals with single-quote
+escaping; this is for *readability and hand-off*, not as an injection-safe
+query builder — always prefer bound parameters when executing.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.result import CoverResult
+from repro.errors import ValidationError
+from repro.patterns.pattern import ALL, Pattern
+
+
+def sql_literal(value) -> str:
+    """Render a Python value as a SQL literal.
+
+    Strings get single-quoted with embedded quotes doubled; booleans map
+    to TRUE/FALSE; None maps to NULL; numbers render plainly.
+    """
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    text = str(value).replace("'", "''")
+    return f"'{text}'"
+
+
+def pattern_to_sql(
+    pattern: Pattern, attributes: Sequence[str]
+) -> str:
+    """One pattern as a conjunctive predicate.
+
+    Wildcard positions impose no constraint; the all-wildcards pattern
+    renders as ``TRUE`` (it matches every row). ``None`` values use
+    ``IS NULL`` (SQL equality with NULL never holds).
+    """
+    if len(attributes) != pattern.n_attributes:
+        raise ValidationError(
+            f"got {len(attributes)} attribute names for a "
+            f"{pattern.n_attributes}-ary pattern"
+        )
+    clauses = []
+    for name, value in zip(attributes, pattern.values):
+        if value is ALL:
+            continue
+        if value is None:
+            clauses.append(f"{name} IS NULL")
+        else:
+            clauses.append(f"{name} = {sql_literal(value)}")
+    return " AND ".join(clauses) if clauses else "TRUE"
+
+
+def solution_to_sql(
+    result: CoverResult,
+    attributes: Sequence[str],
+    table_name: str = "t",
+) -> str:
+    """A whole solution as a SELECT over the disjunction of its patterns.
+
+    The returned query selects exactly the covered rows: each chosen
+    pattern contributes one parenthesized conjunct to the WHERE clause.
+    """
+    predicates = []
+    for label in result.labels:
+        if not isinstance(label, Pattern):
+            raise ValidationError(
+                "solution_to_sql needs a pattern-labeled result "
+                f"(got label {label!r})"
+            )
+        predicates.append(f"({pattern_to_sql(label, attributes)})")
+    if not predicates:
+        where = "FALSE"
+    else:
+        where = "\n   OR ".join(predicates)
+    return f"SELECT *\nFROM {table_name}\nWHERE {where};"

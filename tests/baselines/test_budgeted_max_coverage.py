@@ -1,0 +1,72 @@
+"""Unit tests for greedy budgeted maximum coverage [Khuller et al.]."""
+
+import pytest
+
+from repro.baselines.budgeted_max_coverage import budgeted_max_coverage
+from repro.core.setsystem import SetSystem
+from repro.datasets.adversarial import (
+    bmc_adversarial_system,
+    bmc_optimal_budget,
+)
+from repro.errors import ValidationError
+
+
+class TestBudget:
+    def test_never_exceeds_budget(self, random_system):
+        for seed in range(5):
+            system = random_system(seed=seed)
+            result = budgeted_max_coverage(system, budget=5.0)
+            assert result.total_cost <= 5.0 + 1e-9
+
+    def test_zero_budget_only_free_sets(self):
+        system = SetSystem.from_iterables(
+            3, [{0}, {1, 2}], [0.0, 1.0]
+        )
+        result = budgeted_max_coverage(system, budget=0.0)
+        assert list(result.set_ids) == [0]
+
+    def test_max_sets_cap(self, random_system):
+        system = random_system(seed=3)
+        result = budgeted_max_coverage(system, budget=100.0, max_sets=2)
+        assert result.n_sets <= 2
+
+    def test_validation(self, random_system):
+        with pytest.raises(ValidationError):
+            budgeted_max_coverage(random_system(), budget=-1.0)
+        with pytest.raises(ValidationError):
+            budgeted_max_coverage(random_system(), budget=1.0, max_sets=0)
+
+
+class TestSection3Adversarial:
+    def test_greedy_covers_only_ck(self):
+        # The paper's argument: with c << C, greedy by marginal gain
+        # picks the weight-1 singletons (gain 1) over the blocks (gain
+        # C/(C+1) < 1), covering only ck of Ck elements.
+        k, c, big_c = 4, 2, 20
+        system = bmc_adversarial_system(k, c, big_c)
+        result = budgeted_max_coverage(
+            system, budget=bmc_optimal_budget(k, big_c), max_sets=c * k
+        )
+        assert result.covered == c * k
+        assert all(label[0] == "singleton" for label in result.labels)
+
+    def test_optimum_covers_everything(self):
+        k, c, big_c = 4, 2, 20
+        system = bmc_adversarial_system(k, c, big_c)
+        blocks = [
+            ws.set_id for ws in system.sets if ws.label[0] == "block"
+        ]
+        assert system.coverage_of(blocks) == system.n_elements
+        assert system.cost_of(blocks) == bmc_optimal_budget(k, big_c)
+
+    def test_coverage_ratio_shrinks_with_block_size(self):
+        k, c = 3, 2
+        small = bmc_adversarial_system(k, c, 10)
+        large = bmc_adversarial_system(k, c, 50)
+        ratio_small = budgeted_max_coverage(
+            small, bmc_optimal_budget(k, 10), max_sets=c * k
+        ).covered / small.n_elements
+        ratio_large = budgeted_max_coverage(
+            large, bmc_optimal_budget(k, 50), max_sets=c * k
+        ).covered / large.n_elements
+        assert ratio_large < ratio_small

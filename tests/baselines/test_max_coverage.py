@@ -1,0 +1,67 @@
+"""Unit tests for the greedy partial maximum coverage baseline."""
+
+import pytest
+
+from repro.baselines.max_coverage import max_coverage
+from repro.core.setsystem import SetSystem
+from repro.errors import ValidationError
+
+
+class TestSelection:
+    def test_ignores_cost(self):
+        system = SetSystem.from_iterables(
+            4,
+            benefits=[{0, 1, 2}, {0, 1}],
+            costs=[1000.0, 0.01],
+        )
+        result = max_coverage(system, k=1)
+        assert list(result.set_ids) == [0]
+        assert result.total_cost == 1000.0
+
+    def test_greedy_1_minus_1_over_e(self, random_system):
+        # Greedy coverage with k sets is at least (1 - 1/e) of the best
+        # possible k-set coverage; check against brute force.
+        import itertools
+
+        for seed in range(5):
+            system = random_system(n_elements=12, n_sets=8, seed=seed)
+            k = 2
+            best = max(
+                system.coverage_of(combo)
+                for combo in itertools.combinations(range(system.n_sets), k)
+            )
+            greedy = max_coverage(system, k).covered
+            assert greedy >= (1 - 1 / 2.718281828459045) * best - 1e-9
+
+    def test_early_stop_at_target(self, random_system):
+        system = random_system(seed=1)  # has a full-cover set
+        result = max_coverage(system, k=5, s_hat=0.5)
+        # The full-cover set is picked first; the target is met with it.
+        assert result.n_sets == 1
+        assert result.feasible
+
+    def test_unreachable_target_reported(self):
+        system = SetSystem.from_iterables(4, [{0}, {1}], [1.0, 1.0])
+        result = max_coverage(system, k=2, s_hat=1.0)
+        assert not result.feasible
+        assert result.covered == 2
+
+    def test_stops_when_no_benefit_left(self):
+        system = SetSystem.from_iterables(2, [{0, 1}], [1.0])
+        result = max_coverage(system, k=5)
+        assert result.n_sets == 1
+
+    def test_validation(self, random_system):
+        with pytest.raises(ValidationError):
+            max_coverage(random_system(), k=0)
+        with pytest.raises(ValidationError):
+            max_coverage(random_system(), k=1, s_hat=-1.0)
+
+
+class TestPaperSection6C:
+    def test_costlier_than_cwsc_on_entities(self, entities_system):
+        from repro.core.cwsc import cwsc
+
+        ours = cwsc(entities_system, k=2, s_hat=9 / 16)
+        mc = max_coverage(entities_system, k=2, s_hat=9 / 16)
+        assert mc.total_cost >= ours.total_cost

@@ -1,0 +1,63 @@
+"""Unit tests for the greedy partial weighted set cover baseline."""
+
+import pytest
+
+from repro.baselines.weighted_set_cover import weighted_set_cover
+from repro.core.setsystem import SetSystem
+from repro.errors import InfeasibleError, ValidationError
+
+
+class TestPaperExample:
+    def test_intro_solution(self, entities_system):
+        # Section I: s = 9/16 yields 7 patterns with total cost 24.
+        result = weighted_set_cover(entities_system, 9 / 16)
+        assert result.n_sets == 7
+        assert result.total_cost == pytest.approx(24.0)
+        assert result.covered >= 9
+
+
+class TestBehaviour:
+    def test_prefers_high_gain(self):
+        system = SetSystem.from_iterables(
+            4,
+            benefits=[{0, 1, 2, 3}, {0, 1}, {2, 3}],
+            costs=[8.0, 1.0, 1.0],
+        )
+        result = weighted_set_cover(system, 1.0)
+        assert sorted(result.set_ids) == [1, 2]
+
+    def test_runs_until_target(self, random_system):
+        for seed in range(5):
+            system = random_system(seed=seed)
+            result = weighted_set_cover(system, 0.8)
+            assert result.covered >= system.required_coverage(0.8)
+
+    def test_no_size_bound(self):
+        # n singletons: full coverage needs n sets.
+        system = SetSystem.from_iterables(
+            6, [{i} for i in range(6)], [1.0] * 6
+        )
+        result = weighted_set_cover(system, 1.0)
+        assert result.n_sets == 6
+
+    def test_zero_coverage(self, random_system):
+        result = weighted_set_cover(random_system(seed=0), 0.0)
+        assert result.n_sets == 0
+
+    def test_infeasible_raises_with_partial(self):
+        system = SetSystem.from_iterables(4, [{0}, {1}], [1.0, 1.0])
+        with pytest.raises(InfeasibleError) as excinfo:
+            weighted_set_cover(system, 1.0)
+        assert excinfo.value.partial.covered == 2
+
+    def test_max_sets_truncation(self, random_system):
+        system = random_system(n_elements=20, n_sets=15, seed=2)
+        with pytest.raises(InfeasibleError) as excinfo:
+            weighted_set_cover(system, 1.0, max_sets=1)
+        assert excinfo.value.partial.n_sets == 1
+
+    def test_validation(self, random_system):
+        with pytest.raises(ValidationError):
+            weighted_set_cover(random_system(), 1.5)
+        with pytest.raises(ValidationError):
+            weighted_set_cover(random_system(), 0.5, max_sets=0)

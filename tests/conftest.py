@@ -1,0 +1,86 @@
+"""Shared fixtures: the paper's running example and seeded random inputs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.setsystem import SetSystem
+from repro.datasets.entities import entities_table
+from repro.patterns.pattern_sets import build_set_system
+from repro.patterns.table import PatternTable
+
+
+@pytest.fixture(scope="session")
+def entities() -> PatternTable:
+    """Table I: the 16 real-world entities."""
+    return entities_table()
+
+
+@pytest.fixture(scope="session")
+def entities_system(entities) -> SetSystem:
+    """Table II: the 24 patterns of the entities table, max-costs."""
+    return build_set_system(entities, "max")
+
+
+@pytest.fixture
+def random_table():
+    """Factory for small random pattern tables (seeded, deterministic)."""
+
+    def build(
+        n_rows: int = 20,
+        n_attributes: int = 3,
+        domain_size: int = 4,
+        seed: int = 0,
+        with_measure: bool = True,
+    ) -> PatternTable:
+        rng = np.random.default_rng(seed)
+        rows = [
+            tuple(
+                f"v{rng.integers(domain_size)}"
+                for _ in range(n_attributes)
+            )
+            for _ in range(n_rows)
+        ]
+        measure = (
+            [float(m) for m in rng.uniform(0.5, 20.0, size=n_rows)]
+            if with_measure
+            else None
+        )
+        return PatternTable(
+            attributes=[f"D{i}" for i in range(n_attributes)],
+            rows=rows,
+            measure=measure,
+        )
+
+    return build
+
+
+@pytest.fixture
+def random_system():
+    """Factory for small random weighted set systems (seeded).
+
+    Always includes a full-coverage set so the paper's feasibility
+    assumption holds.
+    """
+
+    def build(
+        n_elements: int = 12,
+        n_sets: int = 8,
+        seed: int = 0,
+        max_cost: float = 10.0,
+    ) -> SetSystem:
+        rng = np.random.default_rng(seed)
+        benefits = []
+        costs = []
+        for _ in range(n_sets - 1):
+            size = int(rng.integers(1, max(2, n_elements // 2)))
+            benefits.append(
+                set(rng.choice(n_elements, size=size, replace=False).tolist())
+            )
+            costs.append(float(rng.uniform(0.1, max_cost)))
+        benefits.append(set(range(n_elements)))
+        costs.append(float(max_cost))
+        return SetSystem.from_iterables(n_elements, benefits, costs)
+
+    return build

@@ -1,0 +1,149 @@
+"""Unit tests for the CMC budget schedule and level schemes."""
+
+import itertools
+
+import pytest
+
+from repro.core.budget import (
+    budget_schedule,
+    generalized_levels,
+    merged_levels,
+    standard_levels,
+)
+from repro.errors import ValidationError
+
+
+class TestBudgetSchedule:
+    def test_geometric_growth(self):
+        budgets = list(budget_schedule(1.0, 1.0, 10.0))
+        assert budgets == [1.0, 2.0, 4.0, 8.0, 16.0]
+
+    def test_last_budget_at_least_ceiling(self):
+        for b in (0.5, 1.0, 2.0):
+            budgets = list(budget_schedule(3.0, b, 100.0))
+            assert budgets[-1] >= 100.0
+            assert all(earlier < 100.0 for earlier in budgets[:-1])
+
+    def test_initial_at_ceiling_yields_once(self):
+        assert list(budget_schedule(5.0, 1.0, 5.0)) == [5.0]
+
+    def test_zero_initial_bumped(self):
+        budgets = list(budget_schedule(0.0, 1.0, 4.0))
+        assert budgets[0] == 1.0
+
+    def test_invalid_growth_rejected(self):
+        with pytest.raises(ValidationError):
+            list(budget_schedule(1.0, 0.0, 10.0))
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValidationError):
+            list(budget_schedule(-1.0, 1.0, 10.0))
+
+
+class TestStandardLevels:
+    def test_worked_example_k2_b5(self):
+        # The paper's CMC walkthrough: B=5, k=2 gives levels (2.5, 5] and
+        # (0, 2.5], two picks each.
+        scheme = standard_levels(5.0, 2)
+        assert scheme.n_levels == 2
+        assert scheme.quotas == (2, 2)
+        assert scheme.level_of(4.0) == 0
+        assert scheme.level_of(2.0) == 1
+        assert scheme.level_of(2.5) == 1
+        assert scheme.level_of(6.0) is None
+
+    def test_level_bounds_are_contiguous(self):
+        for k in (1, 2, 3, 5, 8, 12, 16, 25):
+            scheme = standard_levels(100.0, k)
+            for upper, lower in zip(scheme.upper_bounds, scheme.lower_bounds):
+                assert lower < upper
+            for i in range(scheme.n_levels - 1):
+                assert scheme.upper_bounds[i + 1] == scheme.lower_bounds[i]
+            assert scheme.upper_bounds[0] == 100.0
+            assert scheme.lower_bounds[-1] == 0.0
+
+    def test_every_affordable_cost_has_a_level(self):
+        for k in (1, 2, 3, 7, 10, 31):
+            scheme = standard_levels(64.0, k)
+            for cost in (0.0, 0.001, 1.0, 31.9, 32.0, 63.0, 64.0):
+                level = scheme.level_of(cost)
+                assert level is not None
+                if cost > 0:
+                    assert (
+                        scheme.lower_bounds[level]
+                        < cost
+                        <= scheme.upper_bounds[level]
+                    )
+
+    def test_zero_cost_lands_in_last_level(self):
+        scheme = standard_levels(10.0, 4)
+        assert scheme.level_of(0.0) == scheme.n_levels - 1
+
+    def test_max_selections_bounded_by_5k(self):
+        for k in range(1, 40):
+            assert standard_levels(1.0, k).max_selections() <= 5 * k
+
+    def test_theorem4_exact_bound(self):
+        # k + 2 * (2^ceil(log2 k) - 1) <= 5k - 2 for k >= 2.
+        for k in range(2, 40):
+            assert standard_levels(1.0, k).max_selections() <= 5 * k - 2
+
+    def test_k1(self):
+        scheme = standard_levels(10.0, 1)
+        assert scheme.max_selections() >= 1
+        assert scheme.level_of(10.0) is not None
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValidationError):
+            standard_levels(1.0, 0)
+
+
+class TestMergedLevels:
+    def test_paper_example_k12_eps_half(self):
+        # Section V-A3: k=12, eps=0.5 -> choose 2 from (B/2, B], 4 from
+        # (B/4, B/2], and 12 from (0, B/4].
+        scheme = merged_levels(8.0, 12, 0.5)
+        assert scheme.quotas == (2, 4, 12)
+        assert scheme.level_of(5.0) == 0
+        assert scheme.level_of(3.0) == 1
+        assert scheme.level_of(1.0) == 2
+
+    def test_max_selections_within_1_plus_eps_k(self):
+        for k in (1, 2, 5, 10, 12, 25, 100):
+            for eps in (0.25, 0.5, 1.0, 2.0):
+                assert (
+                    merged_levels(1.0, k, eps).max_selections()
+                    <= (1 + eps) * k + 1e-9
+                )
+
+    def test_tiny_eps_single_level(self):
+        scheme = merged_levels(10.0, 3, 0.1)
+        assert scheme.quotas == (3,)
+        assert scheme.level_of(10.0) == 0
+
+    def test_invalid_eps_rejected(self):
+        with pytest.raises(ValidationError):
+            merged_levels(1.0, 2, 0.0)
+
+
+class TestGeneralizedLevels:
+    def test_base2_matches_standard_boundaries(self):
+        standard = standard_levels(32.0, 8)
+        general = generalized_levels(32.0, 8, 2.0)
+        assert general.lower_bounds == standard.lower_bounds
+        assert general.upper_bounds == standard.upper_bounds
+
+    def test_larger_base_fewer_levels(self):
+        few = generalized_levels(100.0, 16, 4.0)
+        many = generalized_levels(100.0, 16, 2.0)
+        assert few.n_levels <= many.n_levels
+
+    def test_costs_always_covered(self):
+        for base, k in itertools.product((1.5, 2.0, 3.0), (2, 7, 16)):
+            scheme = generalized_levels(50.0, k, base)
+            for cost in (0.0, 0.01, 10.0, 49.9, 50.0):
+                assert scheme.level_of(cost) is not None
+
+    def test_invalid_base_rejected(self):
+        with pytest.raises(ValidationError):
+            generalized_levels(1.0, 2, 1.0)

@@ -1,0 +1,127 @@
+"""Unit tests for Cheap Max Coverage (Fig. 1)."""
+
+import math
+
+import pytest
+
+from repro.core.cmc import COVERAGE_DISCOUNT, cmc
+from repro.core.exact import solve_exact
+from repro.core.guarantees import (
+    cost_factor_standard,
+    guaranteed_coverage,
+    max_sets_standard,
+)
+from repro.core.setsystem import SetSystem
+from repro.errors import InfeasibleError, ValidationError
+
+
+class TestBasics:
+    def test_meets_discounted_coverage(self, random_system):
+        for seed in range(10):
+            system = random_system(n_elements=20, n_sets=15, seed=seed)
+            result = cmc(system, k=3, s_hat=0.7)
+            assert result.feasible
+            assert result.covered >= guaranteed_coverage(0.7, 20) - 1e-9
+
+    def test_solution_size_within_theorem4(self, random_system):
+        for seed in range(10):
+            system = random_system(n_elements=20, n_sets=15, seed=seed)
+            for k in (1, 2, 4):
+                result = cmc(system, k=k, s_hat=0.8)
+                assert result.n_sets <= max_sets_standard(k)
+                assert result.n_sets <= 5 * k
+
+    def test_cost_within_theorem4_of_optimal(self, random_system):
+        # Compare against the exact optimum of the *discounted* target,
+        # which is what Theorem 4's C refers to... the theorem compares
+        # against an optimum covering s|T| with k sets; CMC covers less
+        # but must not cost more than (1+b)(2 log k + 1) times that C.
+        for seed in range(6):
+            system = random_system(n_elements=14, n_sets=10, seed=seed)
+            k, s_hat, b = 3, 0.7, 1.0
+            opt = solve_exact(system, k, s_hat)
+            result = cmc(system, k=k, s_hat=s_hat, b=b)
+            assert result.total_cost <= (
+                cost_factor_standard(k, b) * opt.total_cost + 1e-9
+            )
+
+    def test_zero_target(self, random_system):
+        system = random_system(seed=1)
+        result = cmc(system, k=2, s_hat=0.0)
+        assert result.feasible
+        assert result.n_sets == 0
+
+    def test_budget_rounds_decrease_with_larger_b(self, random_system):
+        system = random_system(n_elements=25, n_sets=20, seed=3)
+        slow = cmc(system, k=3, s_hat=0.9, b=0.5)
+        fast = cmc(system, k=3, s_hat=0.9, b=4.0)
+        assert fast.metrics.budget_rounds <= slow.metrics.budget_rounds
+
+
+class TestLevelQuotas:
+    def test_expensive_sets_limited_per_level(self):
+        # Eight sets of cost ~B each; level 1 allows only 2 of them for
+        # k=2, so CMC must either finish with 2+2 sets or raise budget.
+        benefits = [{2 * i, 2 * i + 1} for i in range(8)]
+        costs = [4.0] * 8
+        benefits.append(set(range(16)))
+        costs.append(50.0)
+        system = SetSystem.from_iterables(16, benefits, costs)
+        result = cmc(system, k=2, s_hat=1.0)
+        assert result.feasible
+        assert result.n_sets <= max_sets_standard(2)
+
+    def test_worked_example(self, entities_system):
+        # Section V-A: k=2, target 9 records, b=1 -> budgets 5, 10, 20;
+        # the third round succeeds with 4 patterns covering exactly 9.
+        s_hat = (9 / 16) / COVERAGE_DISCOUNT
+        result = cmc(entities_system, k=2, s_hat=s_hat, b=1.0)
+        assert result.covered == 9
+        assert result.metrics.budget_rounds == 3
+        assert result.n_sets == 4
+
+
+class TestInfeasible:
+    def test_raises_without_full_cover(self):
+        system = SetSystem.from_iterables(10, [{0}, {1}], [1.0, 1.0])
+        with pytest.raises(InfeasibleError):
+            cmc(system, k=2, s_hat=1.0)
+
+    def test_partial_policy(self):
+        system = SetSystem.from_iterables(10, [{0}, {1}], [1.0, 1.0])
+        result = cmc(system, k=2, s_hat=1.0, on_infeasible="partial")
+        assert not result.feasible
+        assert result.covered <= 2
+
+    def test_always_feasible_with_full_cover(self, random_system):
+        for seed in range(5):
+            system = random_system(seed=seed)  # includes a full cover
+            result = cmc(system, k=1, s_hat=1.0)
+            assert result.feasible
+
+
+class TestValidation:
+    def test_bad_k(self, random_system):
+        with pytest.raises(ValidationError):
+            cmc(random_system(), k=0, s_hat=0.5)
+
+    def test_bad_s(self, random_system):
+        with pytest.raises(ValidationError):
+            cmc(random_system(), k=2, s_hat=-0.1)
+
+    def test_bad_b(self, random_system):
+        with pytest.raises(ValidationError):
+            cmc(random_system(), k=2, s_hat=0.5, b=0.0)
+
+
+class TestMetrics:
+    def test_considered_sums_over_rounds(self, random_system):
+        system = random_system(n_elements=25, n_sets=20, seed=4)
+        result = cmc(system, k=2, s_hat=0.9, b=0.5)
+        live = sum(1 for ws in system.sets if ws.benefit)
+        assert result.metrics.sets_considered == (
+            live * result.metrics.budget_rounds
+        )
+
+    def test_coverage_discount_value(self):
+        assert COVERAGE_DISCOUNT == pytest.approx(1 - 1 / math.e)

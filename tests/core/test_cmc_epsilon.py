@@ -1,0 +1,75 @@
+"""Unit tests for the (1+eps)k and generalized CMC variants."""
+
+import math
+
+import pytest
+
+from repro.core.cmc import cmc
+from repro.core.cmc_epsilon import cmc_epsilon, cmc_generalized
+from repro.core.guarantees import guaranteed_coverage
+from repro.errors import ValidationError
+
+
+class TestEpsilonVariant:
+    def test_size_within_1_plus_eps_k(self, random_system):
+        for seed in range(8):
+            system = random_system(n_elements=24, n_sets=18, seed=seed)
+            for k, eps in ((2, 1.0), (4, 0.5), (6, 2.0)):
+                result = cmc_epsilon(system, k=k, s_hat=0.8, eps=eps)
+                assert result.n_sets <= math.floor((1 + eps) * k + 1e-9)
+
+    def test_coverage_guarantee(self, random_system):
+        for seed in range(8):
+            system = random_system(n_elements=24, n_sets=18, seed=seed)
+            result = cmc_epsilon(system, k=3, s_hat=0.6, eps=1.0)
+            assert result.covered >= guaranteed_coverage(0.6, 24) - 1e-9
+
+    def test_smaller_eps_not_larger_solution(self, random_system):
+        system = random_system(n_elements=30, n_sets=25, seed=5)
+        tight = cmc_epsilon(system, k=6, s_hat=0.9, eps=0.25)
+        loose = cmc_epsilon(system, k=6, s_hat=0.9, eps=2.0)
+        assert tight.n_sets <= math.floor(1.25 * 6 + 1e-9)
+        assert loose.n_sets <= math.floor(3.0 * 6 + 1e-9)
+
+    def test_eps_validation(self, random_system):
+        with pytest.raises(ValidationError):
+            cmc_epsilon(random_system(), k=2, s_hat=0.5, eps=0.0)
+
+    def test_worked_example_feasible(self, entities_system):
+        result = cmc_epsilon(entities_system, k=2, s_hat=0.9, eps=1.0)
+        assert result.feasible
+
+
+class TestGeneralizedVariant:
+    def test_l1_behaves_like_standard(self, random_system):
+        # Same level boundaries as the standard scheme; selections may
+        # still differ on the bridging quota, so compare guarantees.
+        system = random_system(n_elements=20, n_sets=16, seed=2)
+        standard = cmc(system, k=4, s_hat=0.7)
+        general = cmc_generalized(system, k=4, s_hat=0.7, l=1.0)
+        assert general.feasible and standard.feasible
+        assert general.covered >= guaranteed_coverage(0.7, 20) - 1e-9
+
+    def test_larger_l_coarser_levels(self, random_system):
+        system = random_system(n_elements=20, n_sets=16, seed=3)
+        result = cmc_generalized(system, k=8, s_hat=0.8, l=3.0)
+        assert result.feasible
+        # k (1 + (1+l)^2 / l) with l=3 allows ~6.3k sets.
+        assert result.n_sets <= math.ceil(8 * (1 + 16 / 3))
+
+    def test_l_validation(self, random_system):
+        with pytest.raises(ValidationError):
+            cmc_generalized(random_system(), k=2, s_hat=0.5, l=0.0)
+
+
+class TestParams:
+    def test_algorithm_names(self, random_system):
+        system = random_system(seed=0)
+        assert cmc_epsilon(system, 2, 0.5).algorithm == "cmc_epsilon"
+        assert cmc_generalized(system, 2, 0.5).algorithm == "cmc_generalized"
+
+    def test_params_recorded(self, random_system):
+        result = cmc_epsilon(random_system(seed=0), 2, 0.5, b=0.5, eps=2.0)
+        assert result.params["b"] == 0.5
+        assert result.params["eps"] == 2.0
+        assert result.params["variant"] == "epsilon"

@@ -1,0 +1,69 @@
+"""Level-quota compliance of CMC selections.
+
+The Theorem 4/5 size bounds rest on never taking more than ``k_i`` sets
+from level ``H_i``. The result records the successful budget guess
+(``params["final_budget"]``), so the test can rebuild the level scheme and
+count the selections per level independently.
+"""
+
+import pytest
+
+from repro.core.budget import merged_levels, standard_levels
+from repro.core.cmc import cmc
+from repro.core.cmc_epsilon import cmc_epsilon
+from repro.patterns.optimized_cmc import optimized_cmc
+
+
+def selections_per_level(result, system_costs, scheme):
+    counts = [0] * scheme.n_levels
+    for cost in system_costs:
+        level = scheme.level_of(cost)
+        assert level is not None, "selected an unaffordable set"
+        counts[level] += 1
+    return counts
+
+
+class TestStandardQuotas:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_counts_respect_quotas(self, random_system, seed):
+        system = random_system(n_elements=25, n_sets=20, seed=seed)
+        k = 3
+        result = cmc(system, k=k, s_hat=0.8)
+        scheme = standard_levels(result.params["final_budget"], k)
+        costs = [system[set_id].cost for set_id in result.set_ids]
+        counts = selections_per_level(result, costs, scheme)
+        for count, quota in zip(counts, scheme.quotas):
+            assert count <= quota
+
+
+class TestMergedQuotas:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_counts_respect_quotas(self, random_system, seed):
+        system = random_system(n_elements=25, n_sets=20, seed=seed)
+        k, eps = 4, 0.5
+        result = cmc_epsilon(system, k=k, s_hat=0.8, eps=eps)
+        scheme = merged_levels(result.params["final_budget"], k, eps)
+        costs = [system[set_id].cost for set_id in result.set_ids]
+        counts = selections_per_level(result, costs, scheme)
+        for count, quota in zip(counts, scheme.quotas):
+            assert count <= quota
+
+
+class TestOptimizedQuotas:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_counts_respect_quotas(self, random_table, seed):
+        table = random_table(n_rows=30, seed=seed)
+        k = 3
+        result = optimized_cmc(table, k=k, s_hat=0.8)
+        scheme = standard_levels(result.params["final_budget"], k)
+        from repro.patterns.costs import MAX_COST
+        from repro.patterns.index import PatternIndex
+
+        index = PatternIndex(table)
+        cost_fn = MAX_COST.bind(table)
+        costs = [
+            cost_fn(index.benefit(pattern)) for pattern in result.labels
+        ]
+        counts = selections_per_level(result, costs, scheme)
+        for count, quota in zip(counts, scheme.quotas):
+            assert count <= quota

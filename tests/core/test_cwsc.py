@@ -1,0 +1,147 @@
+"""Unit tests for Concise Weighted Set Cover (Fig. 2)."""
+
+import pytest
+
+from repro.core.cwsc import cwsc
+from repro.core.setsystem import SetSystem
+from repro.errors import InfeasibleError, ValidationError
+
+
+def system_with_blocks() -> SetSystem:
+    """Two cheap halves plus an expensive full cover."""
+    return SetSystem.from_iterables(
+        8,
+        benefits=[
+            {0, 1, 2, 3},
+            {4, 5, 6, 7},
+            set(range(8)),
+            {0},
+        ],
+        costs=[1.0, 1.0, 10.0, 0.1],
+        labels=["left", "right", "all", "tiny"],
+    )
+
+
+class TestBasics:
+    def test_full_coverage_prefers_cheap_halves(self):
+        result = cwsc(system_with_blocks(), k=2, s_hat=1.0)
+        assert result.feasible
+        assert sorted(result.labels) == ["left", "right"]
+        assert result.total_cost == pytest.approx(2.0)
+
+    def test_respects_k(self, random_system):
+        for seed in range(8):
+            system = random_system(n_elements=15, n_sets=12, seed=seed)
+            result = cwsc(system, k=3, s_hat=0.8, on_infeasible="full_cover")
+            assert result.n_sets <= 3
+
+    def test_coverage_target_met(self, random_system):
+        for seed in range(8):
+            system = random_system(n_elements=15, n_sets=12, seed=seed)
+            result = cwsc(system, k=4, s_hat=0.6, on_infeasible="full_cover")
+            assert result.covered >= system.required_coverage(0.6)
+
+    def test_zero_coverage_returns_empty(self):
+        result = cwsc(system_with_blocks(), k=2, s_hat=0.0)
+        assert result.n_sets == 0
+        assert result.total_cost == 0
+        assert result.feasible
+
+    def test_selection_order_recorded(self):
+        result = cwsc(system_with_blocks(), k=3, s_hat=1.0)
+        # The two halves tie on gain and benefit; "left" (set id 0) wins
+        # on the canonical key.
+        assert result.labels[0] == "left"
+
+    def test_half_coverage_single_set(self):
+        result = cwsc(system_with_blocks(), k=1, s_hat=0.5)
+        assert result.n_sets == 1
+        assert result.covered >= 4
+
+
+class TestThreshold:
+    def test_threshold_excludes_small_sets(self):
+        # k=1 and full coverage: only the full set clears rem/1 = n.
+        result = cwsc(system_with_blocks(), k=1, s_hat=1.0)
+        assert list(result.labels) == ["all"]
+
+    def test_threshold_is_fractional(self):
+        # 3 elements, k=2: first threshold is 1.5, so the 1-element set
+        # is not eligible even though 1 >= floor(1.5).
+        system = SetSystem.from_iterables(
+            3,
+            benefits=[{0}, {0, 1}, {0, 1, 2}],
+            costs=[0.01, 0.02, 100.0],
+        )
+        result = cwsc(system, k=2, s_hat=1.0)
+        assert result.set_ids[0] == 1  # the 2-element set, not the singleton
+
+
+class TestInfeasible:
+    def test_raises_by_default(self):
+        system = SetSystem.from_iterables(4, [{0}, {1}], [1.0, 1.0])
+        with pytest.raises(InfeasibleError) as excinfo:
+            cwsc(system, k=2, s_hat=1.0)
+        assert excinfo.value.partial is not None
+        assert not excinfo.value.partial.feasible
+
+    def test_partial_policy(self):
+        system = SetSystem.from_iterables(4, [{0}, {1}], [1.0, 1.0])
+        result = cwsc(system, k=2, s_hat=1.0, on_infeasible="partial")
+        assert not result.feasible
+        assert result.covered <= 2
+
+    def test_full_cover_policy(self):
+        result = cwsc(
+            SetSystem.from_iterables(
+                4,
+                [{0}, {1}, {0, 1, 2, 3}, {0, 1, 2, 3}],
+                [1.0, 1.0, 9.0, 7.0],
+            ),
+            k=2,
+            s_hat=1.0,
+        )
+        # k=2 cannot reach 4 elements via the singletons; threshold makes
+        # the full sets eligible, though, so no fallback is needed here.
+        assert result.feasible
+
+    def test_full_cover_fallback_picks_cheapest(self):
+        # Coverage 1.0 with k=3 but only singletons + two full sets, and
+        # thresholds pass; force infeasibility with disjoint singletons
+        # and k too small after a bad path is impossible for CWSC, so
+        # test the fallback on a system with NO threshold-clearing set.
+        system = SetSystem.from_iterables(
+            6,
+            [{0}, {1}, {2}, set(range(6)), set(range(6))],
+            [1.0, 1.0, 1.0, 8.0, 6.0],
+        )
+        # k=6: threshold for i=6 is 1, every singleton clears it; greedy
+        # gain picks singletons first and eventually succeeds or falls
+        # back. Use k=2 with s below singleton reach instead:
+        result = cwsc(system, k=2, s_hat=1.0)
+        assert result.feasible
+        assert result.total_cost <= 8.0
+
+    def test_fallback_when_no_full_cover_exists_raises(self):
+        system = SetSystem.from_iterables(4, [{0}, {1}], [1.0, 1.0])
+        with pytest.raises(InfeasibleError):
+            cwsc(system, k=2, s_hat=1.0, on_infeasible="full_cover")
+
+
+class TestValidation:
+    def test_k_zero_rejected(self):
+        with pytest.raises(ValidationError):
+            cwsc(system_with_blocks(), k=0, s_hat=0.5)
+
+    def test_s_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            cwsc(system_with_blocks(), k=1, s_hat=1.5)
+
+
+class TestMetrics:
+    def test_considered_counts_all_sets_once(self):
+        system = system_with_blocks()
+        result = cwsc(system, k=2, s_hat=1.0)
+        assert result.metrics.sets_considered == system.n_sets
+        assert result.metrics.budget_rounds == 1
+        assert result.metrics.runtime_seconds > 0

@@ -1,0 +1,45 @@
+"""The CWSC iteration trace and its Fig. 2 invariants."""
+
+import pytest
+
+from repro.core.cwsc import cwsc
+
+
+class TestTraceInvariants:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_every_pick_clears_its_threshold(self, random_system, seed):
+        system = random_system(n_elements=20, n_sets=15, seed=seed)
+        result = cwsc(system, 4, 0.8, on_infeasible="full_cover")
+        for step in result.params.get("trace", []):
+            # Fig. 2 line 6: |MBen(q)| >= rem / i.
+            assert step["marginal_covered"] >= step["threshold"] - 1e-9
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_rem_decreases_by_marginals(self, random_system, seed):
+        system = random_system(n_elements=20, n_sets=15, seed=seed)
+        result = cwsc(system, 4, 0.8, on_infeasible="full_cover")
+        trace = result.params.get("trace", [])
+        for earlier, later in zip(trace, trace[1:]):
+            expected = earlier["rem_before"] - earlier["marginal_covered"]
+            assert later["rem_before"] == pytest.approx(expected)
+            assert later["picks_left"] == earlier["picks_left"] - 1
+
+    def test_trace_matches_solution(self, entities_system):
+        result = cwsc(entities_system, 2, 9 / 16)
+        trace = result.params["trace"]
+        assert [step["set_id"] for step in trace] == list(result.set_ids)
+        assert sum(step["marginal_covered"] for step in trace) == (
+            result.covered
+        )
+
+    def test_paper_walkthrough_thresholds(self, entities_system):
+        # First threshold 9/2 = 4.5, second 1/1 = 1 (P16 covered 8 of 9).
+        result = cwsc(entities_system, 2, 9 / 16)
+        trace = result.params["trace"]
+        assert trace[0]["threshold"] == pytest.approx(4.5)
+        assert trace[0]["marginal_covered"] == 8
+        assert trace[1]["threshold"] == pytest.approx(1.0)
+
+    def test_empty_target_has_empty_trace(self, random_system):
+        result = cwsc(random_system(seed=1), 2, 0.0)
+        assert result.params["trace"] == []

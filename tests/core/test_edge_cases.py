@@ -1,0 +1,145 @@
+"""Edge cases across the core algorithms.
+
+Small, degenerate, and adversarial inputs that unit tests of the happy
+path miss: single-element universes, k larger than the number of sets,
+uniform costs, infinite costs, zero costs, and one-row pattern tables.
+"""
+
+import math
+
+import pytest
+
+from repro.core.cmc import cmc
+from repro.core.cmc_epsilon import cmc_epsilon
+from repro.core.cwsc import cwsc
+from repro.core.exact import solve_exact
+from repro.core.setsystem import SetSystem
+from repro.patterns.optimized_cmc import optimized_cmc
+from repro.patterns.optimized_cwsc import optimized_cwsc
+from repro.patterns.table import PatternTable
+
+
+class TestDegenerateUniverses:
+    def test_single_element(self):
+        system = SetSystem.from_iterables(1, [{0}], [2.0])
+        for solver in (cwsc, cmc):
+            result = solver(system, 1, 1.0)
+            assert result.feasible
+        assert solve_exact(system, 1, 1.0).total_cost == 2.0
+
+    def test_k_exceeds_set_count(self):
+        system = SetSystem.from_iterables(
+            4, [{0, 1}, {2, 3}], [1.0, 1.0]
+        )
+        result = cwsc(system, k=10, s_hat=1.0)
+        assert result.feasible
+        assert result.n_sets == 2
+
+    def test_single_set_system(self):
+        system = SetSystem.from_iterables(5, [set(range(5))], [3.0])
+        assert cwsc(system, 3, 0.8).total_cost == 3.0
+        assert cmc(system, 3, 0.8).total_cost == 3.0
+
+    def test_tiny_coverage_fraction(self, random_system):
+        system = random_system(seed=1)
+        result = cwsc(system, 2, 1e-9)
+        # ceil(1e-9 * 12) = 1 element required.
+        assert result.covered >= 1
+
+
+class TestDegenerateCosts:
+    def test_all_costs_equal(self):
+        # With uniform costs CWSC degenerates to max-benefit selection.
+        system = SetSystem.from_iterables(
+            6,
+            benefits=[{0, 1, 2, 3}, {3, 4}, {5}, set(range(6))],
+            costs=[1.0, 1.0, 1.0, 1.0],
+        )
+        result = cwsc(system, 1, 1.0)
+        assert list(result.set_ids) == [3]
+
+    def test_all_costs_zero(self):
+        system = SetSystem.from_iterables(
+            4, [{0, 1}, {2, 3}, {0, 1, 2, 3}], [0.0, 0.0, 0.0]
+        )
+        for solver in (cwsc, cmc):
+            result = solver(system, 2, 1.0)
+            assert result.feasible
+            assert result.total_cost == 0.0
+
+    def test_only_infinite_alternatives(self):
+        system = SetSystem.from_iterables(
+            3,
+            benefits=[{0, 1, 2}, {0, 1, 2}],
+            costs=[math.inf, 7.0],
+        )
+        result = cwsc(system, 1, 1.0)
+        assert result.total_cost == 7.0
+        # CMC excludes infinite costs from every budget level too.
+        result = cmc(system, 1, 1.0)
+        assert result.total_cost == 7.0
+
+    def test_mixed_zero_and_positive_costs_budget_schedule(self):
+        # k cheapest sum to zero -> the schedule must still make progress.
+        system = SetSystem.from_iterables(
+            4,
+            benefits=[{0}, {1}, {0, 1, 2, 3}],
+            costs=[0.0, 0.0, 8.0],
+        )
+        result = cmc(system, 2, 1.0)
+        assert result.feasible
+
+
+class TestDegenerateTables:
+    def test_single_row_table(self):
+        table = PatternTable(("a", "b"), [("x", "y")], measure=[5.0])
+        for solver in (optimized_cwsc, optimized_cmc):
+            result = solver(table, 1, 1.0)
+            assert result.feasible
+            assert result.covered == 1
+
+    def test_single_attribute_table(self):
+        table = PatternTable(
+            ("a",), [("x",), ("y",), ("x",)], measure=[1.0, 2.0, 3.0]
+        )
+        result = optimized_cwsc(table, 2, 1.0)
+        assert result.feasible
+        assert result.covered == 3
+
+    def test_all_rows_identical(self):
+        table = PatternTable(
+            ("a", "b"), [("x", "y")] * 5, measure=[2.0] * 5
+        )
+        result = optimized_cwsc(table, 1, 1.0)
+        assert result.covered == 5
+        # Most specific and most general patterns tie on everything;
+        # the deterministic tie-break favors wildcards-first sort keys.
+        assert result.n_sets == 1
+
+    def test_epsilon_variant_on_tiny_table(self):
+        table = PatternTable(
+            ("a",), [("x",), ("y",)], measure=[1.0, 2.0]
+        )
+        result = optimized_cmc(table, 1, 1.0, eps=0.5)
+        assert result.feasible
+
+
+class TestBoundaryFractions:
+    @pytest.mark.parametrize("s_hat", [0.0, 1.0])
+    def test_extreme_fractions_everywhere(self, random_system, s_hat):
+        system = random_system(seed=3)
+        for solver in (cwsc, cmc):
+            result = solver(system, 2, s_hat)
+            assert result.feasible
+        result = cmc_epsilon(system, 2, s_hat, eps=1.0)
+        assert result.feasible
+
+    def test_fraction_requiring_rounding(self):
+        # 7 elements at s = 0.5 -> must cover ceil(3.5) = 4.
+        system = SetSystem.from_iterables(
+            7,
+            benefits=[{0, 1, 2}, {3, 4, 5}, {6}, set(range(7))],
+            costs=[1.0, 1.0, 1.0, 10.0],
+        )
+        result = cwsc(system, 2, 0.5)
+        assert result.covered >= 4

@@ -1,0 +1,37 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    InfeasibleError,
+    PatternSpaceError,
+    ReproError,
+    ValidationError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc_type in (InfeasibleError, PatternSpaceError, ValidationError):
+            assert issubclass(exc_type, ReproError)
+
+    def test_validation_error_is_value_error(self):
+        # Callers using plain `except ValueError` still catch bad inputs.
+        assert issubclass(ValidationError, ValueError)
+
+    def test_infeasible_carries_partial(self):
+        error = InfeasibleError("nope", partial="the-partial")
+        assert error.partial == "the-partial"
+        assert "nope" in str(error)
+
+    def test_infeasible_partial_defaults_to_none(self):
+        assert InfeasibleError("nope").partial is None
+
+    def test_single_except_catches_everything(self):
+        caught = []
+        for exc_type in (InfeasibleError, PatternSpaceError, ValidationError):
+            try:
+                raise exc_type("boom")
+            except ReproError as error:
+                caught.append(error)
+        assert len(caught) == 3

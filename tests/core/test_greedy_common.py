@@ -1,0 +1,63 @@
+"""Unit tests for deterministic tie-breaking."""
+
+from repro.core.greedy_common import argbest, benefit_key, canonical_key, gain_key
+from repro.patterns.pattern import ALL, Pattern, values_sort_key
+
+
+class TestArgbest:
+    def test_empty_returns_none(self):
+        assert argbest([], key=lambda x: (x,)) is None
+
+    def test_max_by_key(self):
+        assert argbest([3, 1, 2], key=lambda x: (x,)) == 3
+
+    def test_first_wins_on_total_tie(self):
+        items = [("a", 1), ("b", 1)]
+        assert argbest(items, key=lambda item: (item[1],)) == ("a", 1)
+
+
+class TestBenefitKey:
+    def test_larger_benefit_wins(self):
+        a = benefit_key(5, 10.0, "x", 0)
+        b = benefit_key(4, 1.0, "y", 1)
+        assert a > b
+
+    def test_cheaper_cost_breaks_benefit_ties(self):
+        cheap = benefit_key(5, 1.0, "x", 0)
+        pricey = benefit_key(5, 2.0, "y", 1)
+        assert cheap > pricey
+
+    def test_label_breaks_full_ties(self):
+        first = benefit_key(5, 1.0, "a", 0)
+        second = benefit_key(5, 1.0, "b", 1)
+        assert first > second
+
+
+class TestGainKey:
+    def test_higher_gain_wins(self):
+        assert gain_key(2.0, 2, 1.0, "x", 0) > gain_key(1.0, 9, 1.0, "y", 1)
+
+    def test_benefit_breaks_gain_ties(self):
+        assert gain_key(1.0, 5, 5.0, "x", 0) > gain_key(1.0, 3, 3.0, "y", 1)
+
+    def test_cost_breaks_gain_and_benefit_ties(self):
+        assert gain_key(1.0, 4, 4.0, "x", 1) < gain_key(1.0, 4, 3.9, "y", 0)
+
+
+class TestCanonicalKey:
+    def test_plain_labels_use_repr(self):
+        assert canonical_key("abc", 3) == ("abc", 3)[0:0] + ("'abc'", 3)
+
+    def test_pattern_labels_use_sort_key(self):
+        pattern = Pattern(("A", ALL))
+        assert canonical_key(pattern, 2) == (pattern.sort_key(), 2)
+
+    def test_pattern_and_tuple_order_agree(self):
+        # The optimized algorithms order raw value tuples; the core
+        # algorithms order Pattern labels. Both must sort identically.
+        raw = [("A", ALL), (ALL, "B"), ("A", "B"), (ALL, ALL)]
+        by_values = sorted(raw, key=values_sort_key)
+        by_pattern = [
+            p.values for p in sorted(Pattern(v) for v in raw)
+        ]
+        assert by_values == by_pattern

@@ -1,0 +1,77 @@
+"""Unit tests for the Theorem 4/5 bound formulas and checkers."""
+
+import pytest
+
+from repro.core.cmc import cmc
+from repro.core.cmc_epsilon import cmc_epsilon
+from repro.core.exact import solve_exact
+from repro.core.guarantees import (
+    cost_factor_epsilon,
+    cost_factor_standard,
+    guaranteed_coverage,
+    max_sets_epsilon,
+    max_sets_standard,
+    within_theorem4,
+    within_theorem5,
+)
+from repro.errors import ValidationError
+
+
+class TestFormulas:
+    def test_max_sets_standard_bounds(self):
+        assert max_sets_standard(1) >= 1
+        for k in (2, 4, 10, 16, 25):
+            assert k <= max_sets_standard(k) <= 5 * k
+
+    def test_max_sets_epsilon(self):
+        for k in (2, 10, 16):
+            for eps in (0.5, 1.0, 2.0):
+                assert max_sets_epsilon(k, eps) <= (1 + eps) * k + 1e-9
+
+    def test_cost_factor_standard(self):
+        # (1 + b)(2 ceil(log2 k) + 1).
+        assert cost_factor_standard(8, 1.0) == pytest.approx(2 * 7)
+        assert cost_factor_standard(1, 1.0) == pytest.approx(2.0)
+
+    def test_cost_factor_epsilon_monotone_in_eps(self):
+        # Larger eps keeps more levels -> smaller k / 2^j tail term.
+        assert cost_factor_epsilon(16, 1.0, 2.0) <= cost_factor_epsilon(
+            16, 1.0, 0.25
+        )
+
+    def test_guaranteed_coverage(self):
+        assert guaranteed_coverage(0.5, 100) == pytest.approx(
+            (1 - 1 / 2.718281828459045) * 50
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            cost_factor_standard(0, 1.0)
+        with pytest.raises(ValidationError):
+            cost_factor_standard(2, 0.0)
+        with pytest.raises(ValidationError):
+            cost_factor_epsilon(2, 1.0, 0.0)
+
+
+class TestCheckers:
+    def test_cmc_runs_pass_theorem4(self, random_system):
+        for seed in range(6):
+            system = random_system(n_elements=14, n_sets=10, seed=seed)
+            k, s_hat, b = 3, 0.7, 1.0
+            opt = solve_exact(system, k, s_hat)
+            result = cmc(system, k=k, s_hat=s_hat, b=b)
+            assert within_theorem4(result, opt.total_cost, k, b, s_hat)
+
+    def test_cmc_epsilon_runs_pass_theorem5(self, random_system):
+        for seed in range(6):
+            system = random_system(n_elements=14, n_sets=10, seed=seed)
+            k, s_hat, b, eps = 3, 0.7, 1.0, 1.0
+            opt = solve_exact(system, k, s_hat)
+            result = cmc_epsilon(system, k=k, s_hat=s_hat, b=b, eps=eps)
+            assert within_theorem5(result, opt.total_cost, k, b, eps, s_hat)
+
+    def test_infeasible_result_fails_checkers(self, random_system):
+        result = cmc(random_system(seed=0), k=2, s_hat=0.5)
+        result.feasible = False
+        assert not within_theorem4(result, 100.0, 2, 1.0, 0.5)
+        assert not within_theorem5(result, 100.0, 2, 1.0, 1.0, 0.5)

@@ -1,0 +1,79 @@
+"""Unit tests for the LP-relaxation lower bound."""
+
+import math
+
+import pytest
+
+from repro.core.exact import solve_exact
+from repro.core.lp_bound import lp_lower_bound
+from repro.core.setsystem import SetSystem
+from repro.errors import InfeasibleError, ValidationError
+
+
+class TestBoundProperty:
+    def test_never_exceeds_optimum(self, random_system):
+        for seed in range(10):
+            system = random_system(n_elements=10, n_sets=8, seed=seed)
+            for k, s_hat in ((2, 0.5), (3, 0.9)):
+                opt = solve_exact(system, k, s_hat)
+                bound = lp_lower_bound(system, k, s_hat)
+                assert bound <= opt.total_cost + 1e-6
+
+    def test_paper_example(self, entities_system):
+        bound = lp_lower_bound(entities_system, k=2, s_hat=9 / 16)
+        assert bound <= 27.0 + 1e-6
+        assert bound > 0
+
+    def test_tight_when_lp_integral(self):
+        # Two disjoint halves: the LP optimum is integral.
+        system = SetSystem.from_iterables(
+            4, [{0, 1}, {2, 3}], [1.0, 2.0]
+        )
+        bound = lp_lower_bound(system, k=2, s_hat=1.0)
+        assert bound == pytest.approx(3.0, abs=1e-6)
+
+    def test_full_coverage_k1_is_tight(self):
+        # k=1, full coverage: fractional halves cannot push every y_e to
+        # 1 with x-mass 1, so the LP is forced onto the full set too.
+        system = SetSystem.from_iterables(
+            4, [{0, 1}, {2, 3}, {0, 1, 2, 3}], [1.0, 1.0, 10.0]
+        )
+        bound = lp_lower_bound(system, k=1, s_hat=1.0)
+        assert bound == pytest.approx(10.0, abs=1e-6)
+
+    def test_fractional_relaxation_can_beat_integral(self):
+        # k=1, 3-of-4 coverage: integrally only the full set works (cost
+        # 10), but the LP mixes the cheap halves with half of the full
+        # set: cost 1 + 9a at a = 1/2 gives 5.5 < 10.
+        system = SetSystem.from_iterables(
+            4, [{0, 1}, {2, 3}, {0, 1, 2, 3}], [1.0, 1.0, 10.0]
+        )
+        bound = lp_lower_bound(system, k=1, s_hat=0.75)
+        opt = solve_exact(system, k=1, s_hat=0.75)
+        assert opt.total_cost == pytest.approx(10.0)
+        assert bound < 10.0
+
+
+class TestEdges:
+    def test_zero_required_coverage(self, random_system):
+        assert lp_lower_bound(random_system(seed=0), 2, 0.0) == 0.0
+
+    def test_infeasible_lp_raises(self):
+        system = SetSystem.from_iterables(4, [{0}, {1}], [1.0, 1.0])
+        with pytest.raises(InfeasibleError):
+            lp_lower_bound(system, k=2, s_hat=1.0)
+
+    def test_infinite_costs_excluded(self):
+        system = SetSystem.from_iterables(
+            2, [{0, 1}, {0, 1}], [math.inf, 4.0]
+        )
+        assert lp_lower_bound(system, 1, 1.0) == pytest.approx(4.0, abs=1e-6)
+
+    def test_no_usable_sets_raises(self):
+        system = SetSystem.from_iterables(2, [{0, 1}], [math.inf])
+        with pytest.raises(InfeasibleError):
+            lp_lower_bound(system, 1, 0.5)
+
+    def test_validation(self, random_system):
+        with pytest.raises(ValidationError):
+            lp_lower_bound(random_system(), 0, 0.5)

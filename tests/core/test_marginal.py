@@ -1,0 +1,112 @@
+"""Unit tests for the marginal-benefit tracker."""
+
+import pytest
+
+from repro.core.marginal import MarginalTracker
+from repro.core.result import Metrics
+from repro.core.setsystem import SetSystem
+
+
+@pytest.fixture
+def system() -> SetSystem:
+    return SetSystem.from_iterables(
+        5,
+        benefits=[{0, 1, 2}, {2, 3}, {3, 4}, set(), {0, 1, 2, 3, 4}],
+        costs=[3.0, 2.0, 2.0, 1.0, 10.0],
+    )
+
+
+class TestInitialState:
+    def test_initial_marginals_equal_benefits(self, system):
+        tracker = MarginalTracker(system)
+        assert tracker.marginal_size(0) == 3
+        assert tracker.marginal_size(1) == 2
+        assert tracker.marginal_size(4) == 5
+
+    def test_empty_sets_never_live(self, system):
+        tracker = MarginalTracker(system)
+        assert 3 not in tracker
+        assert tracker.marginal_size(3) == 0
+
+    def test_live_ids_sorted(self, system):
+        tracker = MarginalTracker(system)
+        assert tracker.live_ids == [0, 1, 2, 4]
+
+    def test_restrict_to(self, system):
+        tracker = MarginalTracker(system, restrict_to=[0, 1])
+        assert tracker.live_ids == [0, 1]
+
+    def test_initial_gain(self, system):
+        tracker = MarginalTracker(system)
+        assert tracker.marginal_gain(0) == pytest.approx(1.0)
+        assert tracker.marginal_gain(1) == pytest.approx(1.0)
+
+
+class TestSelection:
+    def test_select_returns_newly_covered(self, system):
+        tracker = MarginalTracker(system)
+        assert tracker.select(0) == 3
+        assert tracker.covered == frozenset({0, 1, 2})
+
+    def test_select_updates_intersecting_sets(self, system):
+        tracker = MarginalTracker(system)
+        tracker.select(0)
+        assert tracker.marginal_size(1) == 1  # lost element 2
+        assert tracker.marginal_size(2) == 2  # untouched
+        assert tracker.marginal_size(4) == 2
+
+    def test_select_evicts_emptied_sets(self, system):
+        tracker = MarginalTracker(system)
+        tracker.select(4)  # covers everything
+        assert len(tracker) == 0
+        assert tracker.covered_count == 5
+
+    def test_double_selection_covers_nothing_new(self, system):
+        tracker = MarginalTracker(system)
+        assert tracker.select(1) == 2
+        assert tracker.select(1) == 0
+
+    def test_marginal_benefit_snapshot(self, system):
+        tracker = MarginalTracker(system)
+        tracker.select(1)  # covers {2, 3}
+        assert tracker.marginal_benefit(0) == frozenset({0, 1})
+        assert tracker.marginal_benefit(3) == frozenset()
+
+    def test_drop_removes_without_covering(self, system):
+        tracker = MarginalTracker(system)
+        tracker.drop(0)
+        assert 0 not in tracker
+        assert tracker.covered_count == 0
+
+    def test_zero_cost_gain(self):
+        system = SetSystem.from_iterables(2, [{0, 1}], [0.0])
+        tracker = MarginalTracker(system)
+        assert tracker.marginal_gain(0) == float("inf")
+        tracker.select(0)
+        assert tracker.marginal_gain(0) == 0.0
+
+
+class TestReset:
+    def test_reset_restores_marginals(self, system):
+        tracker = MarginalTracker(system)
+        tracker.select(4)
+        tracker.reset()
+        assert tracker.marginal_size(0) == 3
+        assert tracker.covered_count == 0
+        assert tracker.live_ids == [0, 1, 2, 4]
+
+    def test_reset_accumulates_considered(self, system):
+        metrics = Metrics()
+        tracker = MarginalTracker(system, metrics=metrics)
+        considered_once = metrics.sets_considered
+        tracker.reset()
+        assert metrics.sets_considered == 2 * considered_once
+
+
+class TestMetrics:
+    def test_selection_and_update_counters(self, system):
+        metrics = Metrics()
+        tracker = MarginalTracker(system, metrics=metrics)
+        tracker.select(0)
+        assert metrics.selections == 1
+        assert metrics.marginal_updates > 0

@@ -1,0 +1,69 @@
+"""Unit tests for redundancy pruning."""
+
+import pytest
+
+from repro.core.cwsc import cwsc
+from repro.core.postprocess import prune_redundant
+from repro.core.setsystem import SetSystem
+from repro.errors import ValidationError
+
+
+class TestPruneRedundant:
+    def test_removes_redundant_set(self):
+        # Selecting A then B makes A redundant once C arrives.
+        system = SetSystem.from_iterables(
+            4,
+            benefits=[{0, 1}, {1, 2}, {0, 1, 2, 3}],
+            costs=[5.0, 1.0, 6.0],
+        )
+        from repro.core.result import Metrics, make_result
+
+        result = make_result(
+            "manual", [0, 1, 2], [None] * 3, 12.0, 4, 4, True, {}, Metrics()
+        )
+        pruned = prune_redundant(system, result, s_hat=1.0)
+        assert 2 in pruned.set_ids  # the full set stays
+        assert pruned.total_cost < result.total_cost
+        assert pruned.covered == 4
+        assert pruned.algorithm == "manual+prune"
+        assert pruned.params["pruned_from"] == 3
+
+    def test_keeps_minimal_solutions_intact(self):
+        system = SetSystem.from_iterables(
+            4, [{0, 1}, {2, 3}], [1.0, 1.0]
+        )
+        result = cwsc(system, 2, 1.0)
+        pruned = prune_redundant(system, result, 1.0)
+        assert sorted(pruned.set_ids) == sorted(result.set_ids)
+
+    def test_partial_coverage_target(self):
+        system = SetSystem.from_iterables(
+            6,
+            benefits=[{0, 1, 2}, {3, 4, 5}, {0, 3}],
+            costs=[1.0, 1.0, 0.5],
+        )
+        from repro.core.result import Metrics, make_result
+
+        result = make_result(
+            "manual", [0, 1, 2], [None] * 3, 2.5, 6, 6, True, {}, Metrics()
+        )
+        # Only half the elements required: one of the big halves plus
+        # anything redundant can go.
+        pruned = prune_redundant(system, result, s_hat=0.5)
+        assert pruned.covered >= 3
+        assert pruned.n_sets < 3
+
+    def test_infeasible_input_rejected(self, random_system):
+        system = random_system(seed=1)
+        result = cwsc(system, 2, 0.3, on_infeasible="full_cover")
+        with pytest.raises(ValidationError):
+            prune_redundant(system, result, s_hat=1.01)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_never_worse_and_always_feasible(self, random_system, seed):
+        system = random_system(n_elements=15, n_sets=12, seed=seed)
+        result = cwsc(system, 4, 0.7, on_infeasible="full_cover")
+        pruned = prune_redundant(system, result, 0.7)
+        assert pruned.total_cost <= result.total_cost + 1e-9
+        assert pruned.covered >= system.required_coverage(0.7)
+        assert set(pruned.set_ids) <= set(result.set_ids)

@@ -1,0 +1,75 @@
+"""Unit tests for results and metrics."""
+
+import pytest
+
+from repro.core.result import CoverResult, Metrics, make_result
+
+
+class TestMetrics:
+    def test_merge_sums_counters(self):
+        a = Metrics(sets_considered=3, marginal_updates=1, selections=2,
+                    budget_rounds=2, runtime_seconds=0.5)
+        b = Metrics(sets_considered=4, marginal_updates=2, selections=1,
+                    budget_rounds=1, runtime_seconds=0.25)
+        merged = a.merge(b)
+        assert merged.sets_considered == 7
+        assert merged.marginal_updates == 3
+        assert merged.selections == 3
+        assert merged.budget_rounds == 3
+        assert merged.runtime_seconds == pytest.approx(0.75)
+
+
+class TestCoverResult:
+    def make(self, covered=3, n=10, feasible=True) -> CoverResult:
+        return make_result(
+            algorithm="test",
+            chosen=[2, 0],
+            labels=["b", "a"],
+            total_cost=4.5,
+            covered=covered,
+            n_elements=n,
+            feasible=feasible,
+            params={"k": 2},
+            metrics=Metrics(),
+        )
+
+    def test_basic_fields(self):
+        result = self.make()
+        assert result.n_sets == 2
+        assert result.set_ids == (2, 0)
+        assert result.labels == ("b", "a")
+        assert result.params == {"k": 2}
+
+    def test_coverage_fraction(self):
+        assert self.make(covered=5, n=10).coverage_fraction == 0.5
+
+    def test_empty_universe_fraction(self):
+        assert self.make(covered=0, n=0).coverage_fraction == 0.0
+
+    def test_summary_mentions_key_facts(self):
+        summary = self.make().summary()
+        assert "test" in summary
+        assert "2 sets" in summary
+        assert "4.5" in summary
+
+    def test_infeasible_summary(self):
+        assert "feasible=False" in self.make(feasible=False).summary()
+
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        payload = json.loads(json.dumps(self.make().to_dict()))
+        assert payload["algorithm"] == "test"
+        assert payload["set_ids"] == [2, 0]
+        assert payload["labels"] == ["'b'", "'a'"]
+        assert payload["total_cost"] == 4.5
+        assert payload["coverage_fraction"] == 0.3
+        assert payload["params"] == {"k": 2}
+        assert payload["metrics"]["sets_considered"] == 0
+
+    def test_to_dict_drops_non_scalar_params(self):
+        result = self.make()
+        result.params["weird"] = object()
+        payload = result.to_dict()
+        assert "weird" not in payload["params"]
+        assert payload["params"]["k"] == 2

@@ -1,0 +1,82 @@
+"""Unit tests for independent result verification."""
+
+import pytest
+
+from repro.core.cmc import COVERAGE_DISCOUNT, cmc
+from repro.core.cwsc import cwsc
+from repro.core.guarantees import max_sets_standard
+from repro.core.validate import verify_result
+
+
+class TestCleanResults:
+    def test_cwsc_result_verifies(self, random_system):
+        for seed in range(5):
+            system = random_system(seed=seed)
+            result = cwsc(system, 3, 0.6, on_infeasible="full_cover")
+            assert verify_result(system, result, k=3, s_hat=0.6) == []
+
+    def test_cmc_result_verifies_with_relaxed_bounds(self, random_system):
+        system = random_system(seed=1)
+        result = cmc(system, 2, 0.8)
+        violations = verify_result(
+            system,
+            result,
+            k=max_sets_standard(2),
+            s_hat=COVERAGE_DISCOUNT * 0.8,
+        )
+        assert violations == []
+
+
+class TestDetection:
+    @pytest.fixture
+    def result(self, random_system):
+        system = random_system(seed=2)
+        return system, cwsc(system, 3, 0.6, on_infeasible="full_cover")
+
+    def test_detects_wrong_cost(self, result):
+        system, outcome = result
+        outcome.total_cost += 5.0
+        assert any(
+            "cost" in violation
+            for violation in verify_result(system, outcome)
+        )
+
+    def test_detects_wrong_coverage(self, result):
+        system, outcome = result
+        outcome.covered += 1
+        assert any(
+            "coverage" in violation
+            for violation in verify_result(system, outcome)
+        )
+
+    def test_detects_size_violation(self, result):
+        system, outcome = result
+        assert any(
+            "exceed" in violation
+            for violation in verify_result(system, outcome, k=0)
+        )
+
+    def test_detects_duplicates(self, result):
+        system, outcome = result
+        if not outcome.set_ids:
+            pytest.skip("empty solution")
+        outcome.set_ids = outcome.set_ids + (outcome.set_ids[0],)
+        outcome.labels = outcome.labels + (outcome.labels[0],)
+        assert any(
+            "duplicate" in violation
+            for violation in verify_result(system, outcome)
+        )
+
+    def test_detects_foreign_set_id(self, result):
+        system, outcome = result
+        outcome.set_ids = outcome.set_ids + (10_000,)
+        assert any(
+            "outside" in violation
+            for violation in verify_result(system, outcome)
+        )
+
+    def test_detects_underachieved_coverage_claim(self, result):
+        system, outcome = result
+        violations = verify_result(system, outcome, s_hat=1.01)
+        if outcome.covered < system.n_elements * 1.01:
+            assert violations

@@ -1,0 +1,43 @@
+"""Unit tests for the Section III adversarial instance."""
+
+import pytest
+
+from repro.datasets.adversarial import (
+    bmc_adversarial_system,
+    bmc_optimal_budget,
+)
+from repro.errors import ValidationError
+
+
+class TestConstruction:
+    def test_counts(self):
+        system = bmc_adversarial_system(k=3, c=2, big_c=10)
+        assert system.n_elements == 30
+        assert system.n_sets == 2 * 3 + 3
+
+    def test_singletons(self):
+        system = bmc_adversarial_system(k=2, c=2, big_c=5)
+        singles = [ws for ws in system.sets if ws.label[0] == "singleton"]
+        assert len(singles) == 4
+        assert all(ws.size == 1 and ws.cost == 1.0 for ws in singles)
+
+    def test_blocks_partition_universe(self):
+        system = bmc_adversarial_system(k=3, c=1, big_c=7)
+        blocks = [ws for ws in system.sets if ws.label[0] == "block"]
+        assert len(blocks) == 3
+        union = set()
+        for ws in blocks:
+            assert ws.size == 7
+            assert ws.cost == 8.0
+            assert not (union & ws.benefit)
+            union |= ws.benefit
+        assert len(union) == system.n_elements
+
+    def test_optimal_budget(self):
+        assert bmc_optimal_budget(3, 10) == 33.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            bmc_adversarial_system(0, 1, 5)
+        with pytest.raises(ValidationError):
+            bmc_adversarial_system(2, 6, 5)  # c > C

@@ -1,0 +1,49 @@
+"""Unit tests for the synthetic census generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.census import CENSUS_ATTRIBUTES, census_table
+from repro.errors import ValidationError
+
+
+class TestShape:
+    def test_schema(self):
+        table = census_table(400, seed=1)
+        assert table.attributes == CENSUS_ATTRIBUTES
+        assert table.n_rows == 400
+        assert table.measure_name == "income"
+        assert all(value > 0 for value in table.measure)
+
+    def test_deterministic(self):
+        assert census_table(200, seed=5).rows == census_table(200, seed=5).rows
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            census_table(0)
+
+
+class TestStructure:
+    def test_income_correlates_with_education(self):
+        table = census_table(4000, seed=2)
+        by_education: dict = {}
+        for row, income in zip(table.rows, table.measure):
+            by_education.setdefault(row[1], []).append(income)
+        assert np.median(by_education["doctorate"]) > np.median(
+            by_education["hs"]
+        )
+
+    def test_age_distribution_skewed(self):
+        table = census_table(4000, seed=3)
+        counts: dict = {}
+        for row in table.rows:
+            counts[row[0]] = counts.get(row[0], 0) + 1
+        assert counts["26-35"] > counts["66+"]
+
+    def test_solvable(self):
+        from repro.patterns.optimized_cwsc import optimized_cwsc
+
+        table = census_table(800, seed=4)
+        result = optimized_cwsc(table, k=6, s_hat=0.5)
+        assert result.feasible
+        assert result.n_sets <= 6

@@ -1,0 +1,30 @@
+"""Unit tests for the Table I dataset."""
+
+from repro.datasets.entities import ENTITY_ROWS, entities_table
+
+
+class TestEntities:
+    def test_sixteen_rows(self, entities):
+        assert entities.n_rows == 16
+        assert entities.attributes == ("Type", "Location")
+        assert entities.measure_name == "Cost"
+
+    def test_specific_rows_match_table1(self, entities):
+        assert entities.rows[0] == ("A", "West")
+        assert entities.measure[0] == 10.0
+        assert entities.rows[15] == ("A", "South")
+        assert entities.measure[15] == 96.0
+        assert entities.rows[12] == ("B", "South")
+        assert entities.measure[12] == 1.0
+
+    def test_type_split(self, entities):
+        types = [row[0] for row in entities.rows]
+        assert types.count("A") == 8
+        assert types.count("B") == 8
+
+    def test_rows_constant_matches_table(self):
+        assert len(ENTITY_ROWS) == 16
+        table = entities_table()
+        assert all(
+            table.rows[i] == ENTITY_ROWS[i][:2] for i in range(16)
+        )

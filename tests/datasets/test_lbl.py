@@ -1,0 +1,116 @@
+"""Unit tests for the synthetic LBL trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.lbl import LBL_ATTRIBUTES, lbl_trace
+from repro.errors import ValidationError
+
+
+class TestShape:
+    def test_schema(self):
+        table = lbl_trace(500, seed=1)
+        assert table.attributes == LBL_ATTRIBUTES
+        assert table.n_rows == 500
+        assert table.measure_name == "duration"
+        assert all(value > 0 for value in table.measure)
+
+    def test_deterministic(self):
+        a = lbl_trace(300, seed=9)
+        b = lbl_trace(300, seed=9)
+        assert a.rows == b.rows
+        assert a.measure == b.measure
+
+    def test_different_seeds_differ(self):
+        a = lbl_trace(300, seed=1)
+        b = lbl_trace(300, seed=2)
+        assert a.rows != b.rows
+
+    def test_domain_sizes_bounded(self):
+        table = lbl_trace(2000, seed=3, n_localhosts=50, n_remotehosts=80)
+        assert len(table.active_domain(1)) <= 50
+        assert len(table.active_domain(2)) <= 80
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            lbl_trace(0)
+        with pytest.raises(ValidationError):
+            lbl_trace(10, n_localhosts=0)
+
+
+class TestStructure:
+    def test_zipf_skew(self):
+        # The most common protocol should dominate: with exponent 1.3
+        # over 12 values the head carries ~28% of the mass.
+        table = lbl_trace(5000, seed=4)
+        protocols = [row[0] for row in table.rows]
+        top_share = max(protocols.count(p) for p in set(protocols)) / 5000
+        assert top_share > 0.2
+
+    def test_protocol_caps_hold(self):
+        # Durations never exceed the per-protocol cap (the SF end state
+        # has factor 1.0, others only shrink durations).
+        from repro.datasets.lbl import _PROTOCOL_DURATION_CAP
+
+        table = lbl_trace(3000, seed=5)
+        for row, duration in zip(table.rows, table.measure):
+            assert duration <= _PROTOCOL_DURATION_CAP[row[0]] + 1e-6
+
+    def test_failed_states_are_short(self):
+        table = lbl_trace(5000, seed=6)
+        rej = [
+            m for row, m in zip(table.rows, table.measure) if row[3] == "REJ"
+        ]
+        sf = [
+            m for row, m in zip(table.rows, table.measure) if row[3] == "SF"
+        ]
+        assert np.median(rej) < np.median(sf)
+
+    def test_heavy_tail(self):
+        table = lbl_trace(5000, seed=7)
+        measure = np.asarray(table.measure)
+        assert measure.max() > 20 * np.median(measure)
+
+
+class TestDrift:
+    def test_zero_drift_is_identity(self):
+        assert lbl_trace(300, seed=1, drift=0.0).rows == lbl_trace(
+            300, seed=1
+        ).rows
+
+    def test_drift_changes_protocol_mix(self):
+        calm = lbl_trace(3000, seed=2, drift=0.0)
+        shifted = lbl_trace(3000, seed=2, drift=0.5)
+
+        def top_protocol(table):
+            counts: dict = {}
+            for row in table.rows:
+                counts[row[0]] = counts.get(row[0], 0) + 1
+            return max(counts, key=counts.get)
+
+        assert top_protocol(calm) != top_protocol(shifted)
+
+    def test_full_rotation_wraps(self):
+        assert lbl_trace(300, seed=3, drift=1.0).rows == lbl_trace(
+            300, seed=3, drift=0.0
+        ).rows
+
+    def test_drift_validation(self):
+        with pytest.raises(ValidationError):
+            lbl_trace(10, drift=1.5)
+
+    def test_drifted_stream_forces_maintenance_work(self):
+        from repro.extensions.incremental import IncrementalCWSC
+
+        maintainer = IncrementalCWSC(
+            lbl_trace(800, seed=4, drift=0.0), k=6, s_hat=0.5
+        )
+        for step in range(1, 4):
+            result = maintainer.add_records(
+                lbl_trace(800, seed=4 + step, drift=step * 0.3)
+            )
+            assert result.feasible
+        stats = maintainer.stats
+        # A drifting mix cannot be absorbed by keeping the old patterns
+        # every single time.
+        assert stats.repaired + stats.recomputed >= 1

@@ -1,0 +1,62 @@
+"""Unit tests for the Section VI-B perturbations."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.perturb import lognormal_rerank, uniform_perturb
+from repro.errors import ValidationError
+from repro.patterns.table import PatternTable
+
+
+@pytest.fixture
+def table() -> PatternTable:
+    return PatternTable(
+        ("A",),
+        [("x",)] * 6,
+        measure=[1.0, 5.0, 2.0, 8.0, 3.0, 8.0],
+    )
+
+
+class TestUniformPerturb:
+    def test_within_delta_band(self, table):
+        perturbed = uniform_perturb(table, delta=0.5, seed=1)
+        for old, new in zip(table.measure, perturbed.measure):
+            assert 0.5 * old <= new <= 1.5 * old
+
+    def test_delta_zero_identity(self, table):
+        perturbed = uniform_perturb(table, delta=0.0, seed=1)
+        assert perturbed.measure == pytest.approx(table.measure)
+
+    def test_rows_untouched(self, table):
+        assert uniform_perturb(table, 0.3, seed=2).rows == table.rows
+
+    def test_deterministic(self, table):
+        a = uniform_perturb(table, 0.3, seed=3)
+        b = uniform_perturb(table, 0.3, seed=3)
+        assert a.measure == b.measure
+
+    def test_validation(self, table):
+        with pytest.raises(ValidationError):
+            uniform_perturb(table, delta=1.5)
+        with pytest.raises(ValidationError):
+            uniform_perturb(PatternTable(("A",), [("x",)]), 0.5)
+
+
+class TestLognormalRerank:
+    def test_preserves_rank_order(self, table):
+        perturbed = lognormal_rerank(table, sigma=2.0, seed=4)
+        old = np.asarray(table.measure)
+        new = np.asarray(perturbed.measure)
+        # Stable ranks: sorting by old must leave new sorted.
+        order = np.argsort(old, kind="stable")
+        assert list(new[order]) == sorted(new)
+
+    def test_values_are_lognormal_scale(self, table):
+        perturbed = lognormal_rerank(table, sigma=1.0, seed=5, mean_log=2.0)
+        assert all(value > 0 for value in perturbed.measure)
+
+    def test_validation(self, table):
+        with pytest.raises(ValidationError):
+            lognormal_rerank(table, sigma=0.0)
+        with pytest.raises(ValidationError):
+            lognormal_rerank(PatternTable(("A",), [("x",)]), 1.0)

@@ -1,0 +1,42 @@
+"""Unit tests for the named dataset registry."""
+
+import pytest
+
+from repro.datasets.registry import available_datasets, load_dataset
+from repro.errors import ValidationError
+
+
+class TestSpecs:
+    def test_names_listed(self):
+        assert available_datasets() == ["census", "entities", "lbl"]
+
+    def test_default_sizes(self):
+        assert load_dataset("entities").n_rows == 16
+        assert load_dataset("census").n_rows == 5_000
+
+    def test_sized_spec(self):
+        assert load_dataset("lbl:250").n_rows == 250
+
+    def test_seeded_spec_changes_data(self):
+        a = load_dataset("lbl:200@1")
+        b = load_dataset("lbl:200@2")
+        assert a.rows != b.rows
+
+    def test_seeded_spec_deterministic(self):
+        assert load_dataset("census:100@9").rows == load_dataset(
+            "census:100@9"
+        ).rows
+
+    def test_unknown_name(self):
+        with pytest.raises(ValidationError):
+            load_dataset("nope")
+
+    def test_bad_rows(self):
+        with pytest.raises(ValidationError):
+            load_dataset("lbl:abc")
+        with pytest.raises(ValidationError):
+            load_dataset("lbl:0")
+
+    def test_fixed_size_dataset_rejects_rows(self):
+        with pytest.raises(ValidationError):
+            load_dataset("entities:50")

@@ -1,0 +1,42 @@
+"""Unit tests for tripartite graph generation."""
+
+import pytest
+
+from repro.datasets.tripartite import random_tripartite_graph, tripartite_graph
+from repro.errors import ValidationError
+
+
+class TestTripartiteGraph:
+    def test_basic_build(self):
+        graph = tripartite_graph([(("a", 0), ("b", 0)), (("b", 0), ("c", 1))])
+        assert graph.number_of_edges() == 2
+        assert graph.nodes[("a", 0)]["part"] == "a"
+
+    def test_intra_part_edge_rejected(self):
+        with pytest.raises(ValidationError):
+            tripartite_graph([(("a", 0), ("a", 1))])
+
+    def test_unknown_part_rejected(self):
+        with pytest.raises(ValidationError):
+            tripartite_graph([(("x", 0), ("b", 0))])
+
+
+class TestRandomTripartite:
+    def test_deterministic(self):
+        a = random_tripartite_graph(4, 0.3, seed=1)
+        b = random_tripartite_graph(4, 0.3, seed=1)
+        assert sorted(a.edges) == sorted(b.edges)
+
+    def test_always_has_an_edge(self):
+        graph = random_tripartite_graph(1, 0.0001, seed=2)
+        assert graph.number_of_edges() >= 1
+
+    def test_all_edges_cross_part(self):
+        graph = random_tripartite_graph(5, 0.5, seed=3)
+        assert all(u[0] != v[0] for u, v in graph.edges)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            random_tripartite_graph(0, 0.5)
+        with pytest.raises(ValidationError):
+            random_tripartite_graph(3, 0.0)

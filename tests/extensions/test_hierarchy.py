@@ -1,0 +1,100 @@
+"""Unit tests for attribute tree hierarchies."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.extensions.hierarchy import Taxonomy, flatten_hierarchy
+from repro.patterns.optimized_cwsc import optimized_cwsc
+from repro.patterns.pattern import ALL
+from repro.patterns.table import PatternTable
+
+
+@pytest.fixture
+def taxonomy() -> Taxonomy:
+    return Taxonomy(
+        {
+            "Seattle": "West", "Portland": "West",
+            "Boston": "East", "NYC": "East",
+            "West": "US", "East": "US",
+        }
+    )
+
+
+@pytest.fixture
+def table() -> PatternTable:
+    return PatternTable(
+        ("city", "kind"),
+        [
+            ("Seattle", "shop"), ("Portland", "shop"),
+            ("Boston", "cafe"), ("NYC", "shop"),
+        ],
+        measure=[1.0, 2.0, 3.0, 9.0],
+    )
+
+
+class TestTaxonomy:
+    def test_root_detection(self, taxonomy):
+        assert taxonomy.root == "US"
+
+    def test_path_to_root(self, taxonomy):
+        assert taxonomy.path_to_root("Seattle") == ["Seattle", "West", "US"]
+
+    def test_depth(self, taxonomy):
+        assert taxonomy.depth() == 3
+
+    def test_ancestor_at(self, taxonomy):
+        assert taxonomy.ancestor_at("Seattle", 0) == "US"
+        assert taxonomy.ancestor_at("Seattle", 1) == "West"
+        assert taxonomy.ancestor_at("Seattle", 2) == "Seattle"
+        assert taxonomy.ancestor_at("Seattle", 9) == "Seattle"
+
+    def test_unknown_value(self, taxonomy):
+        with pytest.raises(ValidationError):
+            taxonomy.path_to_root("Mars")
+
+    def test_multiple_roots_rejected(self):
+        with pytest.raises(ValidationError):
+            Taxonomy({"a": "r1", "b": "r2"})
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValidationError):
+            Taxonomy({"a": "b", "b": "a", "c": "root"})
+
+
+class TestFlatten:
+    def test_columns_and_rows(self, table, taxonomy):
+        flat = flatten_hierarchy(table, "city", taxonomy)
+        assert flat.attributes == ("city_l1", "city_l2", "kind")
+        assert flat.rows[0] == ("West", "Seattle", "shop")
+        assert flat.measure == table.measure
+
+    def test_custom_level_names(self, table, taxonomy):
+        flat = flatten_hierarchy(
+            table, "city", taxonomy, level_names=("region", "city")
+        )
+        assert flat.attributes == ("region", "city", "kind")
+
+    def test_level_name_count_checked(self, table, taxonomy):
+        with pytest.raises(ValidationError):
+            flatten_hierarchy(table, "city", taxonomy, level_names=("one",))
+
+    def test_unknown_attribute(self, table, taxonomy):
+        with pytest.raises(ValidationError):
+            flatten_hierarchy(table, "nope", taxonomy)
+
+    def test_depth2_taxonomy_yields_one_column(self, table):
+        flat = flatten_hierarchy(
+            table, "kind", Taxonomy({"shop": "root", "cafe": "root"})
+        )
+        assert flat.attributes == ("city", "kind_l1")
+        assert flat.rows[0] == ("Seattle", "shop")
+
+    def test_hierarchical_patterns_usable(self, table, taxonomy):
+        # After flattening, a region-level pattern covers both west shops
+        # and the solver can exploit it.
+        flat = flatten_hierarchy(table, "city", taxonomy)
+        result = optimized_cwsc(flat, k=1, s_hat=0.5)
+        assert result.feasible
+        west = [p for p in result.labels if p.values[0] == "West"]
+        assert west, f"expected a region-level pattern, got {result.labels}"
+        assert west[0].values[1] is ALL

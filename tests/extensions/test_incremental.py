@@ -1,0 +1,69 @@
+"""Unit tests for incremental solution maintenance."""
+
+import pytest
+
+from repro.datasets.lbl import lbl_trace
+from repro.errors import ValidationError
+from repro.extensions.incremental import IncrementalCWSC
+from repro.patterns.table import PatternTable
+
+
+def small_trace(n: int, seed: int) -> PatternTable:
+    return lbl_trace(n, seed=seed)
+
+
+class TestLifecycle:
+    def test_initial_solution_feasible(self):
+        maintainer = IncrementalCWSC(small_trace(300, 1), k=5, s_hat=0.4)
+        result = maintainer.current_result()
+        assert result.feasible
+        assert result.n_sets <= 5
+
+    def test_feasibility_maintained_across_batches(self):
+        maintainer = IncrementalCWSC(small_trace(300, 1), k=5, s_hat=0.4)
+        for seed in (2, 3, 4):
+            result = maintainer.add_records(small_trace(150, seed))
+            assert result.feasible
+            assert result.n_sets <= 5
+        assert maintainer.table.n_rows == 300 + 3 * 150
+        assert maintainer.stats.batches == 3
+
+    def test_kept_when_patterns_absorb_batch(self):
+        base = small_trace(300, 1)
+        maintainer = IncrementalCWSC(base, k=5, s_hat=0.3)
+        # Re-adding records identical to the base: the selected patterns
+        # match them, so coverage fraction is preserved.
+        result = maintainer.add_records(base)
+        assert result.feasible
+        assert maintainer.stats.kept == 1
+        assert maintainer.stats.recomputed == 0
+
+    def test_eventual_repair_or_recompute(self):
+        maintainer = IncrementalCWSC(small_trace(200, 1), k=6, s_hat=0.5)
+        # A batch from a different seed shifts the distribution.
+        maintainer.add_records(small_trace(400, 99))
+        stats = maintainer.stats
+        assert stats.kept + stats.repaired + stats.recomputed == 1
+        assert maintainer.current_result().feasible
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            IncrementalCWSC(small_trace(50, 1), k=0, s_hat=0.5)
+        with pytest.raises(ValidationError):
+            IncrementalCWSC(small_trace(50, 1), k=2, s_hat=1.5)
+
+    def test_schema_mismatch_rejected(self):
+        maintainer = IncrementalCWSC(small_trace(50, 1), k=3, s_hat=0.3)
+        with pytest.raises(ValidationError):
+            maintainer.add_records(PatternTable(("X",), [("v",)]))
+
+
+class TestCostTracking:
+    def test_costs_reflect_grown_table(self):
+        # max-costs can only grow as new records match the patterns.
+        maintainer = IncrementalCWSC(small_trace(300, 1), k=5, s_hat=0.3)
+        before = maintainer.current_result().total_cost
+        maintainer.add_records(small_trace(300, 5))
+        after = maintainer.current_result().total_cost
+        if maintainer.stats.kept == 1:
+            assert after >= before - 1e-9

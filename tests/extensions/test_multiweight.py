@@ -1,0 +1,91 @@
+"""Unit tests for multi-weight sets (scalarization + Pareto sweep)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.extensions.multiweight import (
+    MultiWeightSetSystem,
+    pareto_sweep,
+)
+
+
+@pytest.fixture
+def system() -> MultiWeightSetSystem:
+    # Two ways to cover {0..3}: cheap-money/high-risk halves vs. an
+    # expensive-money/low-risk full set.
+    return MultiWeightSetSystem(
+        n_elements=4,
+        benefits=[{0, 1}, {2, 3}, {0, 1, 2, 3}],
+        weight_vectors=[(1.0, 5.0), (1.0, 5.0), (4.0, 1.0)],
+        weight_names=("money", "risk"),
+    )
+
+
+class TestScalarize:
+    def test_weighted_costs(self, system):
+        scalar = system.scalarize((1.0, 0.0))
+        assert [ws.cost for ws in scalar.sets] == [1.0, 1.0, 4.0]
+        scalar = system.scalarize((0.0, 1.0))
+        assert [ws.cost for ws in scalar.sets] == [5.0, 5.0, 1.0]
+
+    def test_mixed(self, system):
+        scalar = system.scalarize((0.5, 0.5))
+        assert scalar[0].cost == pytest.approx(3.0)
+        assert scalar[2].cost == pytest.approx(2.5)
+
+    def test_validation(self, system):
+        with pytest.raises(ValidationError):
+            system.scalarize((1.0,))
+        with pytest.raises(ValidationError):
+            system.scalarize((-1.0, 1.0))
+
+    def test_construction_validation(self):
+        with pytest.raises(ValidationError):
+            MultiWeightSetSystem(2, [{0}], [(1.0,), (2.0,)], ("w",))
+        with pytest.raises(ValidationError):
+            MultiWeightSetSystem(2, [{0}], [(1.0, 2.0)], ("w",))
+        with pytest.raises(ValidationError):
+            MultiWeightSetSystem(2, [{0}], [(1.0,)], ())
+
+    def test_totals(self, system):
+        assert system.totals([0, 1]) == (2.0, 10.0)
+        assert system.totals([2]) == (4.0, 1.0)
+
+
+class TestParetoSweep:
+    def test_frontier_contains_both_extremes(self, system):
+        front = pareto_sweep(
+            system, k=2, s_hat=1.0,
+            multiplier_grid=[(1, 0), (0.5, 0.5), (0, 1)],
+        )
+        totals = {point.totals for point in front}
+        assert (2.0, 10.0) in totals  # money-optimal: the two halves
+        assert (4.0, 1.0) in totals  # risk-optimal: the full set
+
+    def test_no_dominated_points(self, system):
+        front = pareto_sweep(
+            system, k=2, s_hat=1.0,
+            multiplier_grid=[(1, 0), (0.7, 0.3), (0.3, 0.7), (0, 1)],
+        )
+        for a in front:
+            for b in front:
+                if a is b:
+                    continue
+                dominated = all(
+                    bv <= av for av, bv in zip(a.totals, b.totals)
+                ) and any(bv < av for av, bv in zip(a.totals, b.totals))
+                assert not dominated
+
+    def test_sorted_by_first_dimension(self, system):
+        front = pareto_sweep(
+            system, k=2, s_hat=1.0,
+            multiplier_grid=[(1, 0), (0, 1)],
+        )
+        firsts = [point.totals[0] for point in front]
+        assert firsts == sorted(firsts)
+
+    def test_results_are_feasible(self, system):
+        front = pareto_sweep(
+            system, k=2, s_hat=1.0, multiplier_grid=[(1, 0), (0, 1)]
+        )
+        assert all(point.result.feasible for point in front)

@@ -1,0 +1,103 @@
+"""Unit tests for numerical-range pattern attributes."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.extensions.ranges import (
+    bin_numeric_attribute,
+    compute_bin_edges,
+    interval_label,
+)
+from repro.patterns.optimized_cwsc import optimized_cwsc
+from repro.patterns.table import PatternTable
+
+
+class TestBinEdges:
+    def test_equiwidth(self):
+        edges = compute_bin_edges([0.0, 10.0], 4)
+        assert edges == [2.5, 5.0, 7.5]
+
+    def test_quantile_balances_counts(self):
+        values = list(range(100))
+        edges = compute_bin_edges(values, 4, style="quantile")
+        counts = [0, 0, 0, 0]
+        for value in values:
+            index = sum(1 for edge in edges if value > edge)
+            counts[index] += 1
+        assert max(counts) - min(counts) <= 2
+
+    def test_degenerate_values_collapse(self):
+        edges = compute_bin_edges([5.0] * 10, 4)
+        assert edges == []  # one bin containing everything
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            compute_bin_edges([1.0], 1)
+        with pytest.raises(ValidationError):
+            compute_bin_edges([], 3)
+        with pytest.raises(ValidationError):
+            compute_bin_edges([1.0], 3, style="nope")
+
+
+class TestIntervalLabel:
+    def test_labels_and_extremes(self):
+        edges = [10.0, 20.0]
+        assert interval_label(edges, 5.0) == "b000:[-inf, 10)"
+        assert interval_label(edges, 10.0) == "b001:[10, 20)"
+        assert interval_label(edges, 15.0) == "b001:[10, 20)"
+        assert interval_label(edges, 99.0) == "b002:[20, +inf)"
+
+    def test_labels_sort_by_bin_index(self):
+        edges = [float(x) for x in range(1, 12)]
+        labels = [interval_label(edges, float(v)) for v in range(12)]
+        assert labels == sorted(labels)
+
+
+class TestBinNumericAttribute:
+    @pytest.fixture
+    def table(self):
+        return PatternTable(
+            ("kind",),
+            [("a",), ("b",), ("a",), ("b",)],
+            measure=[1.0, 2.0, 3.0, 4.0],
+        )
+
+    def test_adds_fine_column(self, table):
+        binned = bin_numeric_attribute(
+            table, [5.0, 15.0, 25.0, 35.0], "size", n_bins=2
+        )
+        assert binned.attributes == ("kind", "size")
+        assert binned.rows[0][1].startswith("b000")
+        assert binned.rows[3][1].startswith("b001")
+        assert binned.measure == table.measure
+
+    def test_coarse_column_nests_fine(self, table):
+        binned = bin_numeric_attribute(
+            table,
+            [1.0, 2.0, 3.0, 4.0],
+            "size",
+            n_bins=4,
+            coarse_bins=2,
+        )
+        assert binned.attributes == ("kind", "size_coarse", "size")
+        # Rows in the same fine bin share their coarse bin.
+        fine_to_coarse = {}
+        for row in binned.rows:
+            fine_to_coarse.setdefault(row[2], set()).add(row[1])
+        assert all(len(coarse) == 1 for coarse in fine_to_coarse.values())
+
+    def test_range_patterns_are_solvable(self, table):
+        binned = bin_numeric_attribute(
+            table, [1.0, 2.0, 30.0, 40.0], "size", n_bins=2
+        )
+        result = optimized_cwsc(binned, k=1, s_hat=0.5)
+        assert result.feasible
+        assert result.covered >= 2
+
+    def test_validation(self, table):
+        with pytest.raises(ValidationError):
+            bin_numeric_attribute(table, [1.0], "size")
+        with pytest.raises(ValidationError):
+            bin_numeric_attribute(
+                table, [1.0, 2.0, 3.0, 4.0], "size", n_bins=3, coarse_bins=3
+            )

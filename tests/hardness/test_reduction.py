@@ -1,0 +1,133 @@
+"""Unit tests validating the paper's hardness reductions (Section IV)."""
+
+import math
+
+import pytest
+
+from repro.core.exact import solve_exact
+from repro.core.setsystem import SetSystem
+from repro.datasets.tripartite import random_tripartite_graph, tripartite_graph
+from repro.errors import ValidationError
+from repro.hardness.reduction import (
+    lemma1_table,
+    theorem1_system,
+    theorem3_reduction,
+    vertex_patterns,
+)
+from repro.hardness.vertex_cover import min_vertex_cover_exact
+from repro.patterns.index import PatternIndex
+from repro.patterns.pattern import ALL, Pattern
+from repro.patterns.pattern_sets import build_set_system
+
+
+class TestLemma1Construction:
+    def test_record_shapes(self):
+        graph = tripartite_graph(
+            [(("a", 0), ("b", 0)), (("a", 0), ("c", 0)), (("b", 0), ("c", 0))]
+        )
+        table, s_hat = lemma1_table(graph, tau=1.0, big_w=10.0)
+        assert table.n_rows == 4  # 3 edges + (x, y, z)
+        assert s_hat == pytest.approx(3 / 4)
+        assert ("x", "y", "z") in table.rows
+        assert max(table.measure) == 10.0
+        assert sorted(set(table.measure)) == [1.0, 10.0]
+
+    def test_w_must_exceed_tau(self):
+        graph = tripartite_graph([(("a", 0), ("b", 0))])
+        with pytest.raises(ValidationError):
+            lemma1_table(graph, tau=5.0, big_w=5.0)
+
+    def test_padding_symbols_present(self):
+        graph = tripartite_graph(
+            [(("a", 0), ("b", 1)), (("a", 1), ("c", 0)), (("b", 0), ("c", 1))]
+        )
+        table, _ = lemma1_table(graph)
+        rows = set(table.rows)
+        assert any(row[2] == "z" for row in rows)  # a-b edge
+        assert any(row[1] == "y" for row in rows)  # a-c edge
+        assert any(row[0] == "x" for row in rows)  # b-c edge
+
+
+class TestLemma1Optimum:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_min_patterns_equals_min_vertex_cover(self, seed):
+        graph = random_tripartite_graph(3, 0.35, seed=seed)
+        vc = min_vertex_cover_exact(graph)
+        table, s_hat = lemma1_table(graph)
+        system = theorem1_system(build_set_system(table, "max"), tau=1.0)
+        # Minimum count = minimum total cost after the Theorem 1 gadget.
+        result = solve_exact(system, k=graph.number_of_nodes(), s_hat=s_hat)
+        assert result.total_cost == pytest.approx(len(vc))
+
+    def test_vertex_patterns_form_a_solution(self):
+        graph = random_tripartite_graph(3, 0.4, seed=9)
+        vc = min_vertex_cover_exact(graph)
+        table, s_hat = lemma1_table(graph)
+        index = PatternIndex(table)
+        position = {"a": 0, "b": 1, "c": 2}
+        covered: set = set()
+        for node in vc:
+            values: list = [ALL, ALL, ALL]
+            values[position[node[0]]] = node
+            covered |= index.benefit(Pattern(values))
+        assert len(covered) >= s_hat * table.n_rows
+
+    def test_vertex_patterns_enumeration(self):
+        graph = tripartite_graph([(("a", 0), ("b", 0))])
+        patterns = vertex_patterns(graph)
+        assert Pattern((("a", 0), ALL, ALL)) in patterns
+        assert Pattern((ALL, ("b", 0), ALL)) in patterns
+        assert len(patterns) == 2
+
+
+class TestLemma1CostFunctionExtensions:
+    """Lemma 1 'extends to other functions over the measure attribute,
+    such as the sum or lp-norm, as long as W is sufficiently large'."""
+
+    @pytest.mark.parametrize("cost_name", ["sum", "l2"])
+    @pytest.mark.parametrize("seed", range(2))
+    def test_min_patterns_equals_vc_for_sum_and_l2(self, cost_name, seed):
+        graph = random_tripartite_graph(3, 0.35, seed=seed)
+        vc = min_vertex_cover_exact(graph)
+        m = graph.number_of_edges()
+        # Any W-free pattern covers at most m edge records of measure
+        # tau = 1, so its sum-cost is <= m and its l2-cost <= sqrt(m);
+        # W must dominate both.
+        table, s_hat = lemma1_table(graph, tau=1.0, big_w=10.0 * (m + 1))
+        threshold = float(m)  # sum of m records of measure 1
+        system = theorem1_system(
+            build_set_system(table, cost_name), tau=threshold
+        )
+        result = solve_exact(system, k=graph.number_of_nodes(), s_hat=s_hat)
+        assert result.total_cost == pytest.approx(len(vc))
+
+
+class TestTheorem1Gadget:
+    def test_costs_mapped(self, entities_system):
+        gadget = theorem1_system(entities_system, tau=10.0)
+        for before, after in zip(entities_system.sets, gadget.sets):
+            if before.cost > 10.0:
+                assert math.isinf(after.cost)
+            else:
+                assert after.cost == 1.0
+            assert after.benefit == before.benefit
+
+
+class TestTheorem3:
+    def test_benefits_preserved(self, random_system):
+        system = random_system(n_elements=8, n_sets=6, seed=2)
+        table, mapping = theorem3_reduction(system)
+        index = PatternIndex(table)
+        for set_id, pattern in mapping.items():
+            assert index.benefit(pattern) == system[set_id].benefit
+
+    def test_table_is_identity_like(self):
+        system = SetSystem.from_iterables(3, [{0, 2}], [1.0])
+        table, mapping = theorem3_reduction(system)
+        assert table.n_rows == 3
+        assert table.n_attributes == 3
+        assert mapping[0].values == (ALL, 0, ALL)
+
+    def test_empty_universe_rejected(self):
+        with pytest.raises(ValidationError):
+            theorem3_reduction(SetSystem.from_iterables(0, [], []))

@@ -1,0 +1,55 @@
+"""Unit tests for the vertex cover solvers."""
+
+import networkx as nx
+
+from repro.datasets.tripartite import random_tripartite_graph
+from repro.hardness.vertex_cover import (
+    greedy_matching_vertex_cover,
+    is_vertex_cover,
+    min_vertex_cover_exact,
+)
+
+
+class TestExact:
+    def test_triangle_needs_two(self):
+        graph = nx.Graph([(0, 1), (1, 2), (0, 2)])
+        cover = min_vertex_cover_exact(graph)
+        assert len(cover) == 2
+        assert is_vertex_cover(graph, cover)
+
+    def test_star_needs_one(self):
+        graph = nx.star_graph(5)
+        cover = min_vertex_cover_exact(graph)
+        assert cover == {0}
+
+    def test_path(self):
+        graph = nx.path_graph(5)  # 4 edges, VC = 2
+        cover = min_vertex_cover_exact(graph)
+        assert len(cover) == 2
+        assert is_vertex_cover(graph, cover)
+
+    def test_empty_graph(self):
+        assert min_vertex_cover_exact(nx.Graph()) == set()
+
+    def test_random_tripartite_covers(self):
+        for seed in range(4):
+            graph = random_tripartite_graph(3, 0.4, seed=seed)
+            cover = min_vertex_cover_exact(graph)
+            assert is_vertex_cover(graph, cover)
+
+
+class TestGreedy:
+    def test_is_cover_and_within_2x(self):
+        for seed in range(5):
+            graph = random_tripartite_graph(3, 0.4, seed=seed)
+            greedy = greedy_matching_vertex_cover(graph)
+            exact = min_vertex_cover_exact(graph)
+            assert is_vertex_cover(graph, greedy)
+            assert len(greedy) <= 2 * len(exact)
+
+
+class TestIsVertexCover:
+    def test_detects_non_cover(self):
+        graph = nx.path_graph(3)
+        assert not is_vertex_cover(graph, {0})
+        assert is_vertex_cover(graph, {1})

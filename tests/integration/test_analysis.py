@@ -1,0 +1,45 @@
+"""Integration tests for the comparison helper."""
+
+import pytest
+
+from repro.analysis import compare_algorithms
+from repro.datasets import entities_table, lbl_trace
+
+
+class TestCompareAlgorithms:
+    def test_on_entities(self, entities):
+        comparison = compare_algorithms(entities, k=2, s_hat=9 / 16)
+        assert set(comparison.results) == {
+            "cwsc", "cmc", "optimized_cwsc", "optimized_cmc",
+        }
+        assert comparison.lp_bound is not None
+        # Every algorithm's cost respects the LP bound as applicable:
+        # CWSC variants cover the full target.
+        for name in ("cwsc", "optimized_cwsc"):
+            assert (
+                comparison.results[name].total_cost
+                >= comparison.lp_bound - 1e-6
+            )
+
+    def test_optimized_only(self):
+        trace = lbl_trace(400, seed=71)
+        comparison = compare_algorithms(
+            trace, k=5, s_hat=0.3, include_unoptimized=False
+        )
+        assert set(comparison.results) == {
+            "optimized_cwsc", "optimized_cmc",
+        }
+        assert comparison.lp_bound is None
+
+    def test_render_contains_all_rows(self, entities):
+        comparison = compare_algorithms(entities, k=2, s_hat=0.5)
+        text = comparison.render()
+        for name in comparison.results:
+            assert name in text
+        assert "LP lower bound" in text
+
+    def test_equivalence_visible_in_comparison(self, entities):
+        comparison = compare_algorithms(entities, k=2, s_hat=9 / 16)
+        assert comparison.results["cwsc"].total_cost == pytest.approx(
+            comparison.results["optimized_cwsc"].total_cost
+        )

@@ -1,0 +1,66 @@
+"""Unit tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.experiments.ascii_chart import MARKS, render_chart
+
+
+class TestRenderChart:
+    def test_basic_structure(self):
+        chart = render_chart(
+            [1, 2, 3],
+            {"up": [1.0, 2.0, 3.0], "down": [3.0, 2.0, 1.0]},
+            width=20,
+            height=6,
+            y_label="seconds",
+            x_label="n",
+        )
+        lines = chart.splitlines()
+        assert "seconds" in lines[0]
+        assert lines[-1].strip().startswith("o=up")
+        assert "x=down" in lines[-1]
+        assert any(line.lstrip().startswith("3|") for line in lines)
+        assert any(line.lstrip().startswith("1|") for line in lines)
+
+    def test_marks_present(self):
+        chart = render_chart([0, 1], {"a": [0.0, 1.0]}, width=10, height=4)
+        assert chart.count("o") >= 2
+
+    def test_extremes_plotted_at_corners(self):
+        chart = render_chart([0, 10], {"a": [0.0, 5.0]}, width=11, height=5)
+        rows = [
+            line.split("|", 1)[1]
+            for line in chart.splitlines()
+            if "|" in line
+        ]
+        assert rows[0][-1] == "o"  # max y at max x -> top right
+        assert rows[-1][0] == "o"  # min y at min x -> bottom left
+
+    def test_flat_series_allowed(self):
+        chart = render_chart([1, 2], {"flat": [5.0, 5.0]})
+        assert "5" in chart
+
+    def test_single_point(self):
+        chart = render_chart([3], {"a": [7.0]})
+        assert "o" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            render_chart([], {"a": []})
+        with pytest.raises(ValidationError):
+            render_chart([1], {"a": [1.0, 2.0]})
+        too_many = {f"s{i}": [1.0] for i in range(len(MARKS) + 1)}
+        with pytest.raises(ValidationError):
+            render_chart([1], too_many)
+
+    def test_deterministic(self):
+        args = ([1, 2, 3], {"a": [1.0, 4.0, 2.0], "b": [2.0, 2.0, 2.0]})
+        assert render_chart(*args) == render_chart(*args)
+
+    def test_fig_experiments_embed_chart(self):
+        from repro.experiments import run_experiment
+
+        report = run_experiment("fig5", scale="small")
+        assert "o=cmc" in report.text
+        assert "+" in report.text  # the x-axis line / marks

@@ -1,0 +1,193 @@
+"""Integration tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.datasets.entities import entities_table
+
+
+class TestList:
+    def test_lists_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in (
+            "fig5", "fig6", "fig7", "fig8", "fig9",
+            "table4", "table5", "table6",
+            "sec3", "sec6b", "sec6c", "sec6d", "running-example",
+        ):
+            assert experiment_id in out
+
+
+class TestRun:
+    def test_running_example(self, capsys):
+        assert main(["run", "running-example", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "cost 27" in out  # the optimal solution
+
+    def test_unknown_experiment_fails_cleanly(self, capsys):
+        assert main(["run", "nope"]) == 1
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_out_file(self, tmp_path, capsys):
+        path = tmp_path / "report.txt"
+        assert main(
+            ["run", "sec3", "--scale", "small", "--out", str(path)]
+        ) == 0
+        assert "adversarial" in path.read_text()
+
+
+class TestSolve:
+    @pytest.fixture
+    def csv_path(self, tmp_path):
+        path = tmp_path / "entities.csv"
+        entities_table().to_csv(path)
+        return str(path)
+
+    def test_cwsc_on_entities_csv(self, csv_path, capsys):
+        code = main(
+            [
+                "solve", csv_path,
+                "--attributes", "Type,Location",
+                "--measure", "Cost",
+                "-k", "2", "-s", "0.5625",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cost=28" in out
+        assert "Type='B', Location=ALL" in out
+
+    def test_cmc_on_entities_csv(self, csv_path, capsys):
+        code = main(
+            [
+                "solve", csv_path,
+                "--attributes", "Type,Location",
+                "--measure", "Cost",
+                "-k", "2", "-s", "0.5625",
+                "--algorithm", "cmc",
+            ]
+        )
+        assert code == 0
+        assert "optimized_cmc" in capsys.readouterr().out
+
+    def test_count_cost_without_measure(self, csv_path, capsys):
+        code = main(
+            [
+                "solve", csv_path,
+                "--attributes", "Type,Location",
+                "-k", "3", "-s", "0.5",
+            ]
+        )
+        assert code == 0
+        assert "feasible=True" in capsys.readouterr().out
+
+    def test_sql_output(self, csv_path, capsys):
+        code = main(
+            [
+                "solve", csv_path,
+                "--attributes", "Type,Location",
+                "--measure", "Cost",
+                "-k", "2", "-s", "0.5625",
+                "--sql",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FROM records" in out
+        assert "(Type = 'B')" in out
+
+    def test_exact_algorithm(self, csv_path, capsys):
+        code = main(
+            [
+                "solve", csv_path,
+                "--attributes", "Type,Location",
+                "--measure", "Cost",
+                "-k", "2", "-s", "0.5625",
+                "--algorithm", "exact",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cost=27" in out  # the paper's optimal k=2 solution
+
+    def test_json_output(self, csv_path, capsys):
+        import json
+
+        code = main(
+            [
+                "solve", csv_path,
+                "--attributes", "Type,Location",
+                "--measure", "Cost",
+                "-k", "2", "-s", "0.5625",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "optimized_cwsc"
+        assert payload["total_cost"] == 28.0
+        assert payload["feasible"] is True
+
+
+class TestInfo:
+    @pytest.fixture
+    def csv_path(self, tmp_path):
+        path = tmp_path / "entities.csv"
+        entities_table().to_csv(path)
+        return str(path)
+
+    def test_profile_output(self, csv_path, capsys):
+        code = main(
+            [
+                "info", csv_path,
+                "--attributes", "Type,Location",
+                "--measure", "Cost",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rows: 16" in out
+        assert "Type: 2 values" in out
+        assert "measure Cost" in out
+
+    def test_profile_without_measure(self, csv_path, capsys):
+        code = main(["info", csv_path, "--attributes", "Type"])
+        assert code == 0
+        assert "measure: none" in capsys.readouterr().out
+
+
+class TestDemo:
+    def test_entities_demo(self, capsys):
+        code = main(["demo", "--dataset", "entities", "-k", "2", "-s", "0.5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rows: 16" in out
+        assert "optimized_cwsc" in out
+        assert "optimized_cmc" in out
+
+    def test_unknown_dataset_fails_cleanly(self, capsys):
+        assert main(["demo", "--dataset", "nope"]) == 1
+        assert "unknown dataset" in capsys.readouterr().err
+
+    def test_unoptimized_flag_adds_rows(self, capsys):
+        code = main(
+            ["demo", "--dataset", "lbl:150", "-k", "3", "-s", "0.3",
+             "--unoptimized"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "\ncwsc" in out
+        assert "LP lower bound" in out
+
+
+class TestReport:
+    def test_markdown_report_small(self, tmp_path, capsys):
+        path = tmp_path / "report.md"
+        code = main(["report", "--scale", "small", "--out", str(path)])
+        assert code == 0
+        text = path.read_text()
+        assert text.startswith("# Size-Constrained Weighted Set Cover")
+        # One section per registered experiment.
+        assert text.count("## ") == 16
+        assert "Table IV" in text

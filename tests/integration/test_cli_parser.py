@@ -1,0 +1,79 @@
+"""Unit tests for CLI argument parsing (no execution)."""
+
+import pytest
+
+from repro.cli import build_parser
+
+
+@pytest.fixture(scope="module")
+def parser():
+    return build_parser()
+
+
+class TestSolveParsing:
+    def test_defaults(self, parser):
+        args = parser.parse_args(
+            ["solve", "f.csv", "--attributes", "a,b", "-k", "3", "-s", "0.5"]
+        )
+        assert args.algorithm == "cwsc"
+        assert args.b == 1.0
+        assert args.eps == 1.0
+        assert args.measure is None
+        assert not args.json
+        assert not args.sql
+
+    def test_all_flags(self, parser):
+        args = parser.parse_args(
+            [
+                "solve", "f.csv", "--attributes", "a", "-k", "2",
+                "--coverage", "0.7", "--algorithm", "cmc", "-b", "0.5",
+                "--eps", "2", "--measure", "m", "--cost", "sum",
+                "--json", "--sql",
+            ]
+        )
+        assert args.coverage == 0.7
+        assert args.algorithm == "cmc"
+        assert args.cost == "sum"
+        assert args.json and args.sql
+
+    def test_bad_algorithm_rejected(self, parser):
+        with pytest.raises(SystemExit):
+            parser.parse_args(
+                ["solve", "f.csv", "--attributes", "a", "-k", "1",
+                 "-s", "0.5", "--algorithm", "nope"]
+            )
+
+    def test_k_required(self, parser):
+        with pytest.raises(SystemExit):
+            parser.parse_args(
+                ["solve", "f.csv", "--attributes", "a", "-s", "0.5"]
+            )
+
+
+class TestRunParsing:
+    def test_defaults(self, parser):
+        args = parser.parse_args(["run", "fig5"])
+        assert args.scale == "full"
+        assert args.out is None
+
+    def test_bad_scale(self, parser):
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "fig5", "--scale", "huge"])
+
+
+class TestDemoParsing:
+    def test_defaults(self, parser):
+        args = parser.parse_args(["demo"])
+        assert args.dataset == "lbl:5000"
+        assert args.k == 8
+        assert args.coverage == 0.4
+        assert not args.unoptimized
+
+
+class TestTopLevel:
+    def test_command_required(self, parser):
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_prog_name(self, parser):
+        assert parser.prog == "scwsc"

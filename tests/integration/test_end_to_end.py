@@ -1,0 +1,86 @@
+"""End-to-end flows a downstream user would run."""
+
+import pytest
+
+from repro import (
+    SetSystem,
+    build_set_system,
+    cwsc,
+    lp_lower_bound,
+    optimized_cmc,
+    optimized_cwsc,
+    solve_exact,
+)
+from repro.datasets.lbl import lbl_trace
+from repro.extensions.incremental import IncrementalCWSC
+from repro.patterns.table import PatternTable
+
+
+class TestReadmeQuickstart:
+    def test_module_docstring_example(self):
+        system = SetSystem.from_iterables(
+            n_elements=4,
+            benefits=[{0, 1}, {2, 3}, {0, 1, 2, 3}],
+            costs=[1.0, 1.0, 5.0],
+        )
+        result = cwsc(system, k=2, s_hat=1.0)
+        assert result.total_cost == 2.0
+
+
+class TestFullPipelineOnTrace:
+    def test_pattern_summarization_flow(self):
+        trace = lbl_trace(800, seed=33)
+        result = optimized_cwsc(trace, k=8, s_hat=0.5)
+        assert result.feasible
+        assert result.n_sets <= 8
+        assert result.coverage_fraction >= 0.5
+        # Every selected pattern is expressible over the trace schema.
+        for pattern in result.labels:
+            assert pattern.n_attributes == trace.n_attributes
+
+    def test_cmc_vs_cwsc_cost_sandwich(self):
+        trace = lbl_trace(500, seed=34)
+        system = build_set_system(trace, "max")
+        lower = lp_lower_bound(system, 6, 0.3)
+        ours = cwsc(system, 6, 0.3, on_infeasible="full_cover")
+        also = optimized_cmc(trace, 6, 0.3)
+        assert ours.total_cost >= lower - 1e-6
+        assert also.total_cost >= 0
+
+    def test_exact_on_tiny_sample(self):
+        trace = lbl_trace(600, seed=35).project(
+            ("protocol", "endstate")
+        ).sample(25, seed=1)
+        system = build_set_system(trace, "max")
+        opt = solve_exact(system, k=3, s_hat=0.5)
+        greedy = cwsc(system, k=3, s_hat=0.5, on_infeasible="full_cover")
+        assert greedy.total_cost >= opt.total_cost - 1e-9
+
+
+class TestStreamingFlow:
+    def test_incremental_stays_feasible_over_many_batches(self):
+        maintainer = IncrementalCWSC(lbl_trace(200, 40), k=6, s_hat=0.4)
+        for seed in range(41, 46):
+            result = maintainer.add_records(lbl_trace(100, seed))
+            assert result.feasible
+            assert result.n_sets <= 6
+        stats = maintainer.stats
+        assert stats.batches == 5
+        assert stats.kept + stats.repaired + stats.recomputed == 5
+
+
+class TestCSVRoundTrip:
+    def test_solve_from_disk(self, tmp_path):
+        trace = lbl_trace(300, seed=50)
+        path = tmp_path / "trace.csv"
+        trace.to_csv(path)
+        loaded = PatternTable.from_csv(
+            path,
+            trace.attributes,
+            measure_name="duration",
+        )
+        direct = optimized_cwsc(trace, 5, 0.3)
+        from_disk = optimized_cwsc(loaded, 5, 0.3)
+        assert [p.values for p in direct.labels] == [
+            p.values for p in from_disk.labels
+        ]

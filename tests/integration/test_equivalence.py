@@ -1,0 +1,68 @@
+"""Optimized vs. unoptimized equivalence on realistic data (Section V-C)."""
+
+import pytest
+
+from repro.core.cmc_epsilon import cmc_epsilon
+from repro.core.cwsc import cwsc
+from repro.core.guarantees import guaranteed_coverage
+from repro.datasets.lbl import lbl_trace
+from repro.patterns.optimized_cmc import optimized_cmc
+from repro.patterns.optimized_cwsc import optimized_cwsc
+from repro.patterns.pattern_sets import build_set_system
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return lbl_trace(1_500, seed=21)
+
+
+@pytest.fixture(scope="module")
+def trace_system(trace):
+    return build_set_system(trace, "max")
+
+
+class TestCWSCEquivalenceOnTrace:
+    @pytest.mark.parametrize("k,s_hat", [(5, 0.3), (10, 0.5), (3, 0.2)])
+    def test_identical_solutions(self, trace, trace_system, k, s_hat):
+        unopt = cwsc(trace_system, k, s_hat, on_infeasible="full_cover")
+        opt = optimized_cwsc(
+            trace, k, s_hat, on_infeasible="full_cover"
+        )
+        assert list(opt.labels) == list(unopt.labels)
+        assert opt.total_cost == pytest.approx(unopt.total_cost)
+
+    def test_optimized_considers_fewer(self, trace, trace_system):
+        opt = optimized_cwsc(trace, 10, 0.3, on_infeasible="full_cover")
+        unopt = cwsc(trace_system, 10, 0.3, on_infeasible="full_cover")
+        assert opt.metrics.sets_considered < unopt.metrics.sets_considered
+
+
+class TestCMCComparabilityOnTrace:
+    """Optimized CMC explores in a different order than Fig. 1 (global
+    max-benefit vs. level-by-level), so solutions may differ; both must
+    satisfy the same guarantees and comparable costs."""
+
+    @pytest.mark.parametrize("k,s_hat", [(5, 0.3), (10, 0.5)])
+    def test_both_meet_guarantees(self, trace, trace_system, k, s_hat):
+        unopt = cmc_epsilon(trace_system, k, s_hat, b=1.0, eps=1.0)
+        opt = optimized_cmc(trace, k, s_hat, b=1.0, eps=1.0)
+        floor = guaranteed_coverage(s_hat, trace.n_rows) - 1e-9
+        for result in (unopt, opt):
+            assert result.feasible
+            assert result.covered >= floor
+            assert result.n_sets <= 2 * k
+
+    def test_costs_within_small_factor(self, trace, trace_system):
+        unopt = cmc_epsilon(trace_system, 10, 0.4, b=1.0, eps=1.0)
+        opt = optimized_cmc(trace, 10, 0.4, b=1.0, eps=1.0)
+        ratio = max(unopt.total_cost, opt.total_cost) / max(
+            1e-12, min(unopt.total_cost, opt.total_cost)
+        )
+        assert ratio < 10.0
+
+    def test_optimized_considers_fewer(self, trace, trace_system):
+        unopt = cmc_epsilon(trace_system, 10, 0.3, b=1.0, eps=1.0)
+        opt = optimized_cmc(trace, 10, 0.3, b=1.0, eps=1.0)
+        assert (
+            opt.metrics.sets_considered < unopt.metrics.sets_considered
+        )

@@ -1,0 +1,72 @@
+"""Meta-tests: experiment configurations are complete and consistent.
+
+The ``full`` configs never run in CI, so these structural checks catch
+drift (a renamed key, a scale missing) without paying for a full run.
+"""
+
+import importlib
+
+import pytest
+
+EXPERIMENT_MODULES = [
+    "repro.experiments.fig5_datasize",
+    "repro.experiments.fig7_attributes",
+    "repro.experiments.fig8_k",
+    "repro.experiments.fig9_coverage",
+    "repro.experiments.table6_wsc_size",
+    "repro.experiments.sec6b_robustness",
+    "repro.experiments.sec6c_max_coverage",
+    "repro.experiments.sec6d_optimal",
+    "repro.experiments.sec3_adversarial",
+    "repro.experiments.quality_grid",
+    "repro.experiments.crossdata",
+    "repro.experiments.ext_incremental",
+    "repro.experiments.ext_seeds",
+]
+
+
+class TestConfigs:
+    @pytest.mark.parametrize("module_name", EXPERIMENT_MODULES)
+    def test_both_scales_defined(self, module_name):
+        module = importlib.import_module(module_name)
+        assert set(module.CONFIG) == {"small", "full"}
+
+    @pytest.mark.parametrize("module_name", EXPERIMENT_MODULES)
+    def test_scales_share_keys(self, module_name):
+        module = importlib.import_module(module_name)
+        assert set(module.CONFIG["small"]) == set(module.CONFIG["full"])
+
+    def test_small_scale_is_actually_smaller(self):
+        for module_name in EXPERIMENT_MODULES:
+            module = importlib.import_module(module_name)
+            small, full = module.CONFIG["small"], module.CONFIG["full"]
+            for key in ("n_rows", "master_rows", "base_rows"):
+                if key in small:
+                    assert small[key] <= full[key], (module_name, key)
+
+    def test_fig5_sizes_within_master(self):
+        from repro.experiments.fig5_datasize import CONFIG
+
+        for scale in ("small", "full"):
+            config = CONFIG[scale]
+            assert max(config["sizes"]) <= config["master_rows"]
+
+    def test_fig7_attribute_counts_valid(self):
+        from repro.datasets.lbl import LBL_ATTRIBUTES
+        from repro.experiments.fig7_attributes import CONFIG
+
+        for scale in ("small", "full"):
+            assert max(CONFIG[scale]["attribute_counts"]) <= len(
+                LBL_ATTRIBUTES
+            )
+
+    def test_coverage_fractions_in_range(self):
+        for module_name in EXPERIMENT_MODULES:
+            module = importlib.import_module(module_name)
+            for scale in ("small", "full"):
+                config = module.CONFIG[scale]
+                for key in ("s_hat",):
+                    if key in config:
+                        assert 0.0 < config[key] <= 1.0
+                if "s_values" in config:
+                    assert all(0.0 < s <= 1.0 for s in config["s_values"])

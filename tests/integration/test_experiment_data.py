@@ -1,0 +1,116 @@
+"""Structural assertions on every experiment's data payload (small scale).
+
+Beyond "it runs" (test_experiments.py), these verify the data dictionaries
+that EXPERIMENTS.md and the benchmark assertions consume: expected keys,
+consistent lengths, and basic semantic relations.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.sweeps import ALGORITHMS
+
+
+@pytest.fixture(scope="module")
+def reports():
+    ids = [
+        "fig5", "fig6", "fig7", "fig8", "fig9", "table4", "table5",
+        "table6", "sec3", "sec6b", "sec6c", "sec6d", "running-example",
+        "crossdata", "ext-incremental", "ext-seeds",
+    ]
+    return {
+        experiment_id: run_experiment(experiment_id, scale="small")
+        for experiment_id in ids
+    }
+
+
+class TestSweepData:
+    @pytest.mark.parametrize("experiment_id", ["fig5", "fig6"])
+    def test_size_sweep_rows(self, reports, experiment_id):
+        report = reports[experiment_id]
+        config = report.data["config"]
+        rows = report.data["rows"]
+        assert [row["x"] for row in rows] == list(config["sizes"])
+        for row in rows:
+            for name in ALGORITHMS:
+                for key in ("runtime", "considered", "cost", "n_sets",
+                            "covered", "rounds"):
+                    assert key in row[name]
+
+    def test_fig7_rows(self, reports):
+        report = reports["fig7"]
+        rows = report.data["rows"]
+        assert [row["x"] for row in rows] == list(
+            report.data["config"]["attribute_counts"]
+        )
+
+    def test_fig8_rows(self, reports):
+        report = reports["fig8"]
+        assert [row["x"] for row in report.data["rows"]] == list(
+            report.data["config"]["k_values"]
+        )
+        for row in report.data["rows"]:
+            assert row["cwsc"]["n_sets"] <= row["x"]
+
+    def test_fig9_rows(self, reports):
+        report = reports["fig9"]
+        assert [row["x"] for row in report.data["rows"]] == list(
+            report.data["config"]["s_values"]
+        )
+
+
+class TestGridData:
+    def test_table4_and_table5_share_grid(self, reports):
+        costs = reports["table4"].data["costs"]
+        runtimes = reports["table5"].data["runtimes"]
+        assert set(costs) == set(runtimes)
+        for label in costs:
+            assert set(costs[label]) == set(runtimes[label])
+
+    def test_table4_has_cwsc_and_cmc_rows(self, reports):
+        costs = reports["table4"].data["costs"]
+        assert "CWSC" in costs
+        assert any(label.startswith("CMC") for label in costs)
+
+    def test_table6_counts_and_costs_align(self, reports):
+        data = reports["table6"].data
+        assert set(data["counts"]) == set(data["costs"])
+
+
+class TestScenarioData:
+    def test_sec6b_records_cover_all_variants(self, reports):
+        config = reports["sec6b"].data["config"]
+        records = reports["sec6b"].data["records"]
+        assert len(records) == len(config["deltas"]) + len(config["sigmas"])
+
+    def test_sec6c_ratio_consistency(self, reports):
+        data = reports["sec6c"].data
+        for s, ratio in data["ratios"].items():
+            expected = data["max_coverage"][s] / data["cwsc"][s]
+            assert ratio == pytest.approx(expected)
+
+    def test_sec6d_record_count(self, reports):
+        config = reports["sec6d"].data["config"]
+        records = reports["sec6d"].data["records"]
+        assert len(records) == config["samples"] * len(config["s_values"])
+
+    def test_sec3_identity(self, reports):
+        data = reports["sec3"].data
+        config = data["config"]
+        assert data["n_elements"] == config["big_c"] * config["k"]
+
+    def test_ext_incremental_work_comparison(self, reports):
+        data = reports["ext-incremental"].data
+        assert data["incremental_considered"] <= data["recompute_considered"]
+
+    def test_ext_seeds_records(self, reports):
+        data = reports["ext-seeds"].data
+        assert len(data["records"]) == len(data["config"]["seeds"])
+        for record in data["records"]:
+            assert record["ratio"] == pytest.approx(
+                record["cwsc"] / record["cmc"]
+            )
+
+    def test_crossdata_records(self, reports):
+        data = reports["crossdata"].data
+        assert len(data["records"]) == len(data["config"]["s_values"])

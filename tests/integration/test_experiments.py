@@ -1,0 +1,108 @@
+"""Every experiment runs at small scale and its shape assertions hold.
+
+These are the reproduction's executable claims: each test checks the
+qualitative *shape* the paper reports, on the small-scale workload (the
+full-scale equivalents live in benchmarks/ and EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.experiments import available_experiments, run_experiment
+from repro.experiments.sweeps import ALGORITHMS
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        # 13 paper artifacts + 3 extension experiments.
+        assert len(available_experiments()) == 16
+
+    def test_unknown_id_rejected(self):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            run_experiment("nope")
+
+    def test_bad_scale_rejected(self):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            run_experiment("fig5", scale="huge")
+
+
+class TestEveryExperimentRuns:
+    @pytest.mark.parametrize("experiment_id", sorted(
+        ["fig5", "fig6", "fig7", "fig8", "fig9", "table4", "table5",
+         "table6", "sec3", "sec6b", "sec6c", "sec6d", "running-example",
+         "crossdata", "ext-incremental", "ext-seeds"]
+    ))
+    def test_runs_and_renders(self, experiment_id):
+        report = run_experiment(experiment_id, scale="small")
+        assert report.experiment_id == experiment_id
+        assert report.text.strip()
+        assert report.data
+
+
+class TestShapes:
+    def test_fig6_optimized_considers_fewer(self):
+        report = run_experiment("fig6", scale="small")
+        for row in report.data["rows"]:
+            assert (
+                row["optimized_cwsc"]["considered"]
+                <= row["cwsc"]["considered"]
+            )
+            assert (
+                row["optimized_cmc"]["considered"]
+                < row["cmc"]["considered"]
+            )
+
+    def test_fig5_all_algorithms_present(self):
+        report = run_experiment("fig5", scale="small")
+        for row in report.data["rows"]:
+            for name in ALGORITHMS:
+                assert row[name]["runtime"] >= 0
+                assert row[name]["cost"] > 0
+
+    def test_table4_cwsc_competitive(self):
+        report = run_experiment("table4", scale="small")
+        costs = report.data["costs"]
+        cmc_labels = [label for label in costs if label.startswith("CMC")]
+        for s, cwsc_cost in costs["CWSC"].items():
+            best_cmc = min(costs[label][s] for label in cmc_labels)
+            # CWSC is competitive: within a constant factor of the best
+            # CMC configuration despite targeting ~1.6x the coverage.
+            assert cwsc_cost <= 25 * best_cmc
+
+    def test_table6_pattern_count_grows_with_coverage(self):
+        report = run_experiment("table6", scale="small")
+        counts = report.data["counts"]
+        s_values = sorted(counts)
+        assert counts[s_values[-1]] >= counts[s_values[0]]
+
+    def test_sec3_bmc_poor_coverage(self):
+        report = run_experiment("sec3", scale="small")
+        assert report.data["bmc_covered"] < report.data["n_elements"] / 2
+        assert report.data["cwsc_covered"] == report.data["n_elements"]
+
+    def test_sec6c_max_coverage_never_cheaper(self):
+        report = run_experiment("sec6c", scale="small")
+        for s, ratio in report.data["ratios"].items():
+            assert ratio >= 1.0 - 1e-9
+
+    def test_sec6d_bounds_sandwich(self):
+        report = run_experiment("sec6d", scale="small")
+        for record in report.data["records"]:
+            assert record["lp_bound"] <= record["optimal"] + 1e-6
+            # CWSC covers the full target, so OPT lower-bounds it. CMC
+            # targets only (1 - 1/e) of the coverage and may be cheaper
+            # than the full-target optimum.
+            assert record["cwsc"] >= record["optimal"] - 1e-9
+            assert record["cmc"] > 0
+
+    def test_running_example_matches_paper(self):
+        report = run_experiment("running-example", scale="small")
+        assert report.data["n_patterns"] == 24
+        assert report.data["wsc"] == {"n_sets": 7, "cost": 24.0}
+        assert report.data["optimal_cost"] == 27.0
+        assert report.data["cwsc_cost"] == 28.0
+        assert report.data["cmc_covered"] == 9
+        assert report.data["cmc_rounds"] == 3

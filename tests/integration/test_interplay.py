@@ -1,0 +1,78 @@
+"""Cross-module interplay: chaining the library's pieces like a user would."""
+
+import pytest
+
+from repro.core.cwsc import cwsc
+from repro.core.postprocess import prune_redundant
+from repro.core.preprocess import remove_dominated
+from repro.core.validate import verify_result
+from repro.datasets.census import census_table
+from repro.extensions.hierarchy import Taxonomy, flatten_hierarchy
+from repro.extensions.ranges import bin_numeric_attribute
+from repro.patterns.optimized_cwsc import optimized_cwsc
+from repro.patterns.pattern_sets import build_set_system
+from repro.patterns.sql import solution_to_sql
+
+
+class TestRangePlusHierarchyChain:
+    def test_bin_income_then_solve(self):
+        # Add the measure itself as a two-level range attribute, then
+        # summarize: patterns may now constrain the income range.
+        table = census_table(600, seed=31)
+        enriched = bin_numeric_attribute(
+            table, table.measure, "income_band", n_bins=6, coarse_bins=3,
+            style="quantile",
+        )
+        assert enriched.n_attributes == table.n_attributes + 2
+        result = optimized_cwsc(enriched, k=5, s_hat=0.5)
+        assert result.feasible
+        assert result.n_sets <= 5
+
+    def test_hierarchy_on_binned_attribute(self):
+        # Coarse range bins act as parents of fine bins via a taxonomy.
+        table = census_table(300, seed=32)
+        enriched = bin_numeric_attribute(
+            table, table.measure, "band", n_bins=4, coarse_bins=2
+        )
+        fine_position = enriched.attributes.index("band")
+        coarse_position = enriched.attributes.index("band_coarse")
+        parent_of = {}
+        for row in enriched.rows:
+            parent_of[row[fine_position]] = row[coarse_position]
+        for coarse in {row[coarse_position] for row in enriched.rows}:
+            parent_of[coarse] = "all-incomes"
+        taxonomy = Taxonomy(parent_of)
+        assert taxonomy.depth() == 3
+
+
+class TestPreprocessSolvePostprocessChain:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_full_pipeline_verifies(self, random_system, seed):
+        system = random_system(n_elements=15, n_sets=12, seed=seed)
+        reduced = remove_dominated(system)
+        result = cwsc(reduced, 4, 0.7, on_infeasible="full_cover")
+        pruned = prune_redundant(reduced, result, 0.7)
+        assert verify_result(reduced, pruned, k=4, s_hat=0.7) == []
+
+    def test_sql_of_pruned_pattern_solution(self, entities):
+        system = build_set_system(entities, "max")
+        result = cwsc(system, 3, 0.75, on_infeasible="full_cover")
+        pruned = prune_redundant(system, result, 0.75)
+        query = solution_to_sql(pruned, entities.attributes, "entities")
+        assert query.count("(") >= pruned.n_sets
+
+
+class TestDominanceVsOptimizedEquivalence:
+    def test_reduced_system_may_change_greedy_but_stays_feasible(
+        self, random_table
+    ):
+        # Documented behaviour: preprocessing can change greedy picks
+        # (fewer tie candidates) but never feasibility or the k bound.
+        table = random_table(n_rows=25, seed=11)
+        system = build_set_system(table, "max")
+        reduced = remove_dominated(system)
+        full_run = cwsc(system, 3, 0.6, on_infeasible="full_cover")
+        reduced_run = cwsc(reduced, 3, 0.6, on_infeasible="full_cover")
+        assert full_run.feasible and reduced_run.feasible
+        assert reduced_run.n_sets <= 3
+        assert reduced_run.covered >= 0.6 * 25 - 1e-9

@@ -1,0 +1,143 @@
+"""Integration tests replaying every worked example in the paper."""
+
+import math
+
+import pytest
+
+from repro.baselines.budgeted_max_coverage import budgeted_max_coverage
+from repro.baselines.weighted_set_cover import weighted_set_cover
+from repro.core.cmc import cmc
+from repro.core.cwsc import cwsc
+from repro.core.exact import solve_exact
+from repro.datasets.adversarial import (
+    bmc_adversarial_system,
+    bmc_optimal_budget,
+)
+from repro.patterns.optimized_cwsc import optimized_cwsc
+from repro.patterns.pattern import ALL, Pattern
+
+
+class TestSection1Motivation:
+    """The Introduction's three-way comparison on Table I."""
+
+    def test_partial_wsc_gives_7_sets_cost_24(self, entities_system):
+        result = weighted_set_cover(entities_system, 9 / 16)
+        assert result.n_sets == 7
+        assert result.total_cost == pytest.approx(24.0)
+
+    def test_optimal_k2_is_p6_p16_cost_27(self, entities, entities_system):
+        result = solve_exact(entities_system, k=2, s_hat=9 / 16)
+        assert result.total_cost == pytest.approx(27.0)
+        assert set(result.labels) == {
+            Pattern(("A", "East")),  # P6
+            Pattern(("B", ALL)),  # P16
+        }
+
+    def test_unconstrained_k2_covers_only_3_of_16(self, entities_system):
+        # "if we wanted the cheapest solution with k = 2 sets, without a
+        # constraint on the number of entities covered ... P6 and P8,
+        # which cover only 3/16."
+        cheap_pair_coverage = entities_system.coverage_of(
+            [
+                ws.set_id
+                for ws in entities_system.sets
+                if ws.label in (Pattern(("A", "East")), Pattern(("B", "South")))
+            ]
+        )
+        assert cheap_pair_coverage == 3
+
+    def test_p11_p15_is_feasible_but_expensive(self, entities_system):
+        # "the solution returned (e.g., P11 and P15) has a high cost (of
+        # 120)" — any solution, ignoring cost.
+        chosen = [
+            ws.set_id
+            for ws in entities_system.sets
+            if ws.label
+            in (Pattern(("B", "Southwest")), Pattern(("A", ALL)))
+        ]
+        assert entities_system.coverage_of(chosen) >= 9
+        assert entities_system.cost_of(chosen) == pytest.approx(120.0)
+
+
+class TestSection5ACMCWalkthrough:
+    """The CMC example: k=2, (1 - 1/e)s = 9/16, b=1."""
+
+    @pytest.fixture
+    def result(self, entities_system):
+        s_hat = (9 / 16) / (1 - 1 / math.e)
+        return cmc(entities_system, k=2, s_hat=s_hat, b=1.0)
+
+    def test_three_budget_rounds(self, result):
+        # B = 5 (the two cheapest patterns cost 2 + 3), then 10, then 20.
+        assert result.metrics.budget_rounds == 3
+
+    def test_covers_exactly_nine(self, result):
+        assert result.covered == 9
+
+    def test_final_round_selections(self, result):
+        # Third round: P17 (ALL, North), P23 (ALL, Northwest) from H1,
+        # then two of {P8, P19, P20} from H2.
+        labels = list(result.labels)
+        assert labels[0] == Pattern((ALL, "North"))
+        assert labels[1] == Pattern((ALL, "Northwest"))
+        h2_choices = {
+            Pattern(("B", "South")),
+            Pattern((ALL, "East")),
+            Pattern((ALL, "West")),
+        }
+        assert set(labels[2:]) <= h2_choices
+        assert len(labels) == 4
+
+
+class TestSection5BCWSCWalkthrough:
+    """The CWSC example: k=2, s=9/16 -> P16 then P3."""
+
+    def test_selection_order(self, entities_system):
+        result = cwsc(entities_system, k=2, s_hat=9 / 16)
+        assert list(result.labels) == [
+            Pattern(("B", ALL)),  # P16: gain 8/24
+            Pattern(("A", "North")),  # P3: gain 2/4
+        ]
+
+    def test_first_iteration_candidates(self, entities_system):
+        # Only P15, P16, P24 cover >= 4.5 records; P16 wins on gain.
+        from repro.core.marginal import MarginalTracker
+
+        tracker = MarginalTracker(entities_system)
+        eligible = [
+            entities_system[set_id].label
+            for set_id, size in tracker.live_items()
+            if size >= 4.5
+        ]
+        assert set(eligible) == {
+            Pattern(("A", ALL)),
+            Pattern(("B", ALL)),
+            Pattern((ALL, ALL)),
+        }
+
+
+class TestSection5C1OptimizedCWSCWalkthrough:
+    """The optimized CWSC walkthrough materializes candidates lazily."""
+
+    def test_same_answer_with_fewer_or_equal_patterns(self, entities):
+        result = optimized_cwsc(entities, k=2, s_hat=9 / 16)
+        assert list(result.labels) == [
+            Pattern(("B", ALL)),
+            Pattern(("A", "North")),
+        ]
+        # The walkthrough examines P24, P15, P16 in round one and the
+        # children of P24/P15 in round two; never more than all 24.
+        assert result.metrics.sets_considered <= 24
+
+
+class TestSection3Adversarial:
+    def test_greedy_bmc_coverage_is_ck(self):
+        k, c, big_c = 5, 3, 40
+        system = bmc_adversarial_system(k, c, big_c)
+        result = budgeted_max_coverage(
+            system, budget=bmc_optimal_budget(k, big_c), max_sets=c * k
+        )
+        assert result.covered == c * k
+        assert result.covered / system.n_elements == pytest.approx(
+            c / big_c
+        )

@@ -1,0 +1,64 @@
+"""The public API surface stays importable and consistent."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.patterns",
+    "repro.baselines",
+    "repro.datasets",
+    "repro.hardness",
+    "repro.extensions",
+    "repro.experiments",
+    "repro.analysis",
+    "repro.cli",
+]
+
+
+class TestImports:
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_module_imports(self, name):
+        importlib.import_module(name)
+
+    @pytest.mark.parametrize(
+        "name",
+        ["repro", "repro.core", "repro.patterns", "repro.baselines",
+         "repro.datasets", "repro.hardness", "repro.extensions"],
+    )
+    def test_all_entries_resolve(self, name):
+        module = importlib.import_module(name)
+        for symbol in module.__all__:
+            assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+    def test_all_is_sorted(self):
+        import repro
+
+        # Keep the top-level __all__ alphabetized for readability
+        # (ASCII order: classes first, then dunders, then functions).
+        assert list(repro.__all__) == sorted(repro.__all__)
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_every_module_documented(self, name):
+        module = importlib.import_module(name)
+        assert module.__doc__ and module.__doc__.strip()
+
+    def test_public_callables_documented(self):
+        import repro
+
+        undocumented = [
+            symbol
+            for symbol in repro.__all__
+            if callable(getattr(repro, symbol, None))
+            and not (getattr(repro, symbol).__doc__ or "").strip()
+        ]
+        assert undocumented == []

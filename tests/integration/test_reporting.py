@@ -1,0 +1,68 @@
+"""Unit tests for report rendering and the experiment registry glue."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.experiments.base import ExperimentReport, experiment
+from repro.experiments.reporting import format_series_table, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(
+            ["name", "value"],
+            [["a", 1], ["longer", 2.5]],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("name")
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.000123], [1234.5], [1.25], [0.0]])
+        assert "0.000123" in text
+        assert "1.23e+03" in text
+        assert "1.25" in text
+        assert "\n0" in text
+
+    def test_trailing_zero_trimming(self):
+        text = format_table(["x"], [[2.0]])
+        assert "2\n" in text + "\n"
+
+
+class TestFormatSeriesTable:
+    def test_shape(self):
+        text = format_series_table(
+            "n",
+            [10, 20],
+            {"fast": [1.0, 2.0], "slow": [3.0, 4.0]},
+        )
+        lines = text.splitlines()
+        assert lines[0].split() == ["n", "fast", "slow"]
+        assert lines[2].split() == ["10", "1", "3"]
+        assert lines[3].split() == ["20", "2", "4"]
+
+
+class TestRegistry:
+    def test_duplicate_registration_rejected(self):
+        from repro.experiments import base
+
+        @experiment("test-dup-xyz", "first")
+        def first(scale):  # pragma: no cover - never run
+            return ExperimentReport("test-dup-xyz", "t", "t")
+
+        try:
+            with pytest.raises(ValidationError):
+                @experiment("test-dup-xyz", "second")
+                def second(scale):  # pragma: no cover - never run
+                    return ExperimentReport("test-dup-xyz", "t", "t")
+        finally:
+            # Keep the registry clean for the other tests in this session.
+            base._REGISTRY.pop("test-dup-xyz", None)
+            base._DESCRIPTIONS.pop("test-dup-xyz", None)
+
+    def test_report_str_is_text(self):
+        report = ExperimentReport("id", "title", "the text")
+        assert str(report) == "the text"

@@ -1,0 +1,54 @@
+"""Unit tests for the selection-curve analysis helper."""
+
+import pytest
+
+from repro.analysis import selection_curve
+from repro.core.cwsc import cwsc
+from repro.core.result import Metrics, make_result
+from repro.core.setsystem import SetSystem
+
+
+class TestSelectionCurve:
+    @pytest.fixture
+    def system(self):
+        return SetSystem.from_iterables(
+            6,
+            benefits=[{0, 1, 2}, {2, 3}, {4, 5}],
+            costs=[3.0, 2.0, 1.0],
+            labels=["a", "b", "c"],
+        )
+
+    def test_cumulative_values(self, system):
+        result = make_result(
+            "manual", [0, 1, 2], ["a", "b", "c"], 6.0, 6, 6, True, {},
+            Metrics(),
+        )
+        curve = selection_curve(system, result)
+        assert [step["marginal_covered"] for step in curve] == [3, 1, 2]
+        assert [step["covered"] for step in curve] == [3, 4, 6]
+        assert [step["cost"] for step in curve] == [3.0, 5.0, 6.0]
+        assert curve[-1]["coverage_fraction"] == 1.0
+        assert curve[0]["label"] == "a"
+
+    def test_matches_result_totals(self, random_system):
+        system = random_system(seed=5)
+        result = cwsc(system, 3, 0.8, on_infeasible="full_cover")
+        curve = selection_curve(system, result)
+        assert len(curve) == result.n_sets
+        if curve:
+            assert curve[-1]["covered"] == result.covered
+            assert curve[-1]["cost"] == pytest.approx(result.total_cost)
+
+    def test_empty_solution(self, system):
+        result = make_result(
+            "manual", [], [], 0.0, 0, 6, True, {}, Metrics()
+        )
+        assert selection_curve(system, result) == []
+
+    def test_marginals_are_nonincreasing_for_greedy(self, random_system):
+        # Greedy max-gain does not guarantee monotone marginal *sizes*,
+        # but every marginal must be positive (no useless selections).
+        system = random_system(seed=7)
+        result = cwsc(system, 4, 0.9, on_infeasible="full_cover")
+        for step in selection_curve(system, result):
+            assert step["marginal_covered"] > 0

@@ -1,0 +1,66 @@
+"""Unit tests for the shared experiment sweeps (tiny workloads)."""
+
+from repro.experiments.sweeps import (
+    ALGORITHMS,
+    attribute_sweep,
+    coverage_sweep,
+    k_sweep,
+    master_trace,
+    run_four,
+    size_sweep,
+)
+
+
+class TestMasterTrace:
+    def test_cached(self):
+        assert master_trace(120, 3) is master_trace(120, 3)
+
+    def test_distinct_keys(self):
+        assert master_trace(120, 3) is not master_trace(120, 4)
+
+
+class TestRunFour:
+    def test_stats_shape(self):
+        stats = run_four(master_trace(150, 5), k=3, s_hat=0.3)
+        assert set(stats) == set(ALGORITHMS)
+        for name in ALGORITHMS:
+            entry = stats[name]
+            assert entry["runtime"] >= 0
+            assert entry["cost"] > 0
+            assert entry["covered"] > 0
+            assert entry["considered"] > 0
+            assert entry["n_sets"] >= 1
+
+    def test_unoptimized_charged_for_enumeration(self):
+        stats = run_four(master_trace(150, 5), k=3, s_hat=0.3)
+        # The unoptimized runtimes include the build; they can never be
+        # below the raw algorithm loop alone, which for this tiny table
+        # still means a strictly positive runtime.
+        assert stats["cwsc"]["runtime"] > 0
+        assert stats["cmc"]["runtime"] > 0
+
+
+class TestSweeps:
+    def test_size_sweep_caches(self):
+        first = size_sweep((40, 80), 80, 6, 2, 0.3)
+        second = size_sweep((40, 80), 80, 6, 2, 0.3)
+        assert first is second
+        assert [row["x"] for row in first] == [40, 80]
+
+    def test_attribute_sweep_projects(self):
+        rows = attribute_sweep((1, 2), 60, 6, 2, 0.3)
+        assert [row["x"] for row in rows] == [1, 2]
+        # More attributes -> more patterns to consider.
+        assert (
+            rows[1]["cwsc"]["considered"] >= rows[0]["cwsc"]["considered"]
+        )
+
+    def test_k_sweep(self):
+        rows = k_sweep((1, 2), 60, 6, 0.3)
+        assert [row["x"] for row in rows] == [1, 2]
+
+    def test_coverage_sweep(self):
+        rows = coverage_sweep((0.2, 0.5), 60, 6, 2)
+        assert [row["x"] for row in rows] == [0.2, 0.5]
+        for row in rows:
+            assert row["cwsc"]["covered"] >= row["x"] * 60 - 1e-6

@@ -1,0 +1,76 @@
+"""Unit tests for pattern cost functions."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.patterns.costs import (
+    COUNT_COST,
+    MAX_COST,
+    MEAN_COST,
+    SUM_COST,
+    get_cost_function,
+    lp_norm_cost,
+)
+from repro.patterns.table import PatternTable
+
+
+@pytest.fixture
+def table() -> PatternTable:
+    return PatternTable(
+        attributes=("A",),
+        rows=[("x",), ("x",), ("y",)],
+        measure=[3.0, 4.0, 5.0],
+    )
+
+
+class TestAggregates:
+    def test_max(self, table):
+        fn = MAX_COST.bind(table)
+        assert fn([0, 1]) == 4.0
+        assert fn([2]) == 5.0
+
+    def test_sum(self, table):
+        assert SUM_COST.bind(table)([0, 1, 2]) == 12.0
+
+    def test_mean(self, table):
+        assert MEAN_COST.bind(table)([0, 1]) == pytest.approx(3.5)
+
+    def test_count_needs_no_measure(self):
+        table = PatternTable(("A",), [("x",), ("y",)])
+        assert COUNT_COST.bind(table)([0, 1]) == 2
+
+    def test_l2(self, table):
+        fn = lp_norm_cost(2.0).bind(table)
+        assert fn([0, 1]) == pytest.approx(5.0)
+
+    def test_lp_invalid_order(self):
+        with pytest.raises(ValidationError):
+            lp_norm_cost(0.0)
+
+
+class TestBinding:
+    def test_measure_required(self):
+        table = PatternTable(("A",), [("x",)])
+        with pytest.raises(ValidationError):
+            MAX_COST.bind(table)
+
+    def test_empty_benefit_rejected(self, table):
+        with pytest.raises(ValidationError):
+            MAX_COST.bind(table)([])
+
+    def test_lower_bound(self, table):
+        assert MAX_COST.lower_bound(table) == 3.0
+        assert COUNT_COST.lower_bound(table) == 1.0
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert get_cost_function("max") is MAX_COST
+        assert get_cost_function("sum") is SUM_COST
+
+    def test_instance_passthrough(self):
+        assert get_cost_function(MAX_COST) is MAX_COST
+
+    def test_unknown_name(self):
+        with pytest.raises(ValidationError):
+            get_cost_function("nope")

@@ -1,0 +1,79 @@
+"""The Fig. 3 expansion invariant, checked against brute force.
+
+After pruning + expansion at threshold ``rem / i``, the candidate pool
+must contain *exactly* the patterns whose marginal benefit clears the
+threshold (excluding selected ones). This is the property that makes the
+optimized CWSC's selection provably identical to the unoptimized one; we
+verify it directly by enumerating all patterns and recomputing marginal
+benefits from scratch.
+"""
+
+import pytest
+
+from repro.core.result import Metrics
+from repro.patterns.candidates import CandidatePool
+from repro.patterns.costs import MAX_COST
+from repro.patterns.enumerate import enumerate_nonempty_patterns
+from repro.patterns.index import PatternIndex
+from repro.patterns.optimized_cwsc import _expand
+from repro.patterns.pattern import ALL
+
+
+def expanded_pool(table, covered, threshold):
+    """Prune + expand a pool seeded with the all-pattern, as Fig. 3 does."""
+    index = PatternIndex(table)
+    cost_fn = MAX_COST.bind(table)
+    pool = CandidatePool(cost_fn, Metrics(), covered=covered)
+    all_values = (ALL,) * table.n_attributes
+    root = pool.materialize(all_values, index.all_rows)
+    if root.mben_size >= threshold:
+        pool.add(root)
+    _expand(pool, index, selected_values=set(), threshold=threshold)
+    return pool
+
+
+class TestExpansionInvariant:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("threshold_fraction", [0.05, 0.2, 0.5])
+    def test_pool_equals_bruteforce_threshold_set(
+        self, random_table, seed, threshold_fraction
+    ):
+        table = random_table(n_rows=24, n_attributes=3, seed=seed)
+        threshold = max(1.0, threshold_fraction * table.n_rows)
+        pool = expanded_pool(table, covered=set(), threshold=threshold)
+
+        expected = {
+            pattern.values
+            for pattern, ben in enumerate_nonempty_patterns(table).items()
+            if len(ben) >= threshold
+        }
+        actual = {candidate.values for candidate in pool}
+        assert actual == expected
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_invariant_with_partial_coverage(self, random_table, seed):
+        # Cover some rows first: marginal benefits shrink, and the pool
+        # must reflect the *marginal* threshold set.
+        table = random_table(n_rows=24, n_attributes=3, seed=seed)
+        covered = set(range(0, table.n_rows, 2))
+        threshold = 2.0
+        pool = expanded_pool(table, covered=covered, threshold=threshold)
+
+        expected = {
+            pattern.values
+            for pattern, ben in enumerate_nonempty_patterns(table).items()
+            if len(ben - covered) >= threshold
+        }
+        actual = {candidate.values for candidate in pool}
+        assert actual == expected
+
+    def test_candidate_marginals_are_exact(self, random_table):
+        table = random_table(n_rows=20, n_attributes=2, seed=9)
+        covered = {0, 1, 2}
+        pool = expanded_pool(table, covered=covered, threshold=1.0)
+        index = PatternIndex(table)
+        for candidate in pool:
+            from repro.patterns.pattern import Pattern
+
+            ben = index.benefit(Pattern(candidate.values))
+            assert candidate.mben == set(ben) - covered

@@ -1,0 +1,98 @@
+"""Unit tests for the pattern inverted index."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.patterns.index import PatternIndex
+from repro.patterns.pattern import ALL, Pattern
+from repro.patterns.table import PatternTable
+
+
+@pytest.fixture
+def index() -> PatternIndex:
+    table = PatternTable(
+        attributes=("Type", "Loc"),
+        rows=[("A", "W"), ("A", "E"), ("B", "W"), ("B", "E"), ("B", "E")],
+    )
+    return PatternIndex(table)
+
+
+class TestBenefit:
+    def test_all_pattern(self, index):
+        assert index.benefit(Pattern((ALL, ALL))) == frozenset(range(5))
+        assert index.all_rows == frozenset(range(5))
+
+    def test_single_constant(self, index):
+        assert index.benefit(Pattern(("A", ALL))) == frozenset({0, 1})
+        assert index.benefit(Pattern((ALL, "E"))) == frozenset({1, 3, 4})
+
+    def test_two_constants(self, index):
+        assert index.benefit(Pattern(("B", "E"))) == frozenset({3, 4})
+
+    def test_absent_value(self, index):
+        assert index.benefit(Pattern(("C", ALL))) == frozenset()
+        assert index.benefit(Pattern(("A", "Nope"))) == frozenset()
+
+    def test_arity_mismatch(self, index):
+        with pytest.raises(ValidationError):
+            index.benefit(Pattern((ALL,)))
+
+    def test_rows_with_value(self, index):
+        assert index.rows_with_value(0, "B") == frozenset({2, 3, 4})
+        assert index.rows_with_value(1, "Z") == frozenset()
+
+
+class TestChildren:
+    def test_children_partition_parent(self, index):
+        parent = Pattern((ALL, ALL))
+        children = dict(index.children_of(parent))
+        union: set = set()
+        for child, ben in children.items():
+            assert ben  # no empty children materialized
+            assert ben <= index.benefit(parent)
+            assert ben == index.benefit(child)
+        for position in (0, 1):
+            slice_union: set = set()
+            for child, ben in children.items():
+                if child.values[position] is not ALL:
+                    slice_union |= ben
+            assert slice_union == set(range(5))
+
+    def test_children_of_leafless_pattern(self, index):
+        fully_constant = Pattern(("A", "W"))
+        assert list(index.children_of(fully_constant)) == []
+
+    def test_children_values_agree_with_children_of(self, index):
+        parent = Pattern((ALL, "E"))
+        via_patterns = {
+            child.values: ben for child, ben in index.children_of(parent)
+        }
+        via_values = {
+            child: frozenset(rows)
+            for _, child, rows in index.children_values(
+                parent.values, index.benefit(parent)
+            )
+        }
+        assert via_patterns == via_values
+
+    def test_children_respect_given_benefit(self, index):
+        # Restricting the parent benefit restricts the children.
+        children = list(
+            index.children_values((ALL, ALL), [0, 2])  # only the W rows
+        )
+        values = {child for _, child, _ in children}
+        assert (ALL, "E") not in values
+        assert (ALL, "W") in values
+
+    def test_children_yield_specialization_position(self, index):
+        for position, child, _ in index.children_values(
+            (ALL, ALL), range(5)
+        ):
+            assert child[position] is not ALL
+            other = 1 - position
+            assert child[other] is ALL
+
+    def test_deterministic_order(self, index):
+        first = list(index.children_values((ALL, ALL), range(5)))
+        second = list(index.children_values((ALL, ALL), range(5)))
+        assert [c for _, c, _ in first] == [c for _, c, _ in second]

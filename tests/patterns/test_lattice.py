@@ -1,0 +1,57 @@
+"""Unit tests for the pure lattice utilities."""
+
+from repro.patterns.lattice import (
+    ancestors,
+    common_generalization,
+    lattice_depth,
+    syntactic_children,
+)
+from repro.patterns.pattern import ALL, Pattern
+
+
+class TestSyntacticChildren:
+    def test_all_children_generated(self):
+        domains = [("A", "B"), ("X",)]
+        children = list(syntactic_children(Pattern((ALL, ALL)), domains))
+        assert Pattern(("A", ALL)) in children
+        assert Pattern(("B", ALL)) in children
+        assert Pattern((ALL, "X")) in children
+        assert len(children) == 3
+
+    def test_leaf_has_no_children(self):
+        assert list(syntactic_children(Pattern(("A", "X")), [("A",), ("X",)])) == []
+
+
+class TestDepthAndMeet:
+    def test_lattice_depth(self):
+        assert lattice_depth(Pattern((ALL, ALL))) == 0
+        assert lattice_depth(Pattern(("A", ALL))) == 1
+        assert lattice_depth(Pattern(("A", "B"))) == 2
+
+    def test_common_generalization(self):
+        meet = common_generalization(Pattern(("A", "B")), Pattern(("A", "C")))
+        assert meet == Pattern(("A", ALL))
+
+    def test_common_generalization_with_wildcards(self):
+        meet = common_generalization(Pattern(("A", ALL)), Pattern(("A", "C")))
+        assert meet == Pattern(("A", ALL))
+
+    def test_disjoint_meet_is_all(self):
+        meet = common_generalization(Pattern(("A", "B")), Pattern(("C", "D")))
+        assert meet.is_all
+
+
+class TestAncestors:
+    def test_counts(self):
+        pattern = Pattern(("A", "B"))
+        found = list(ancestors(pattern))
+        assert len(found) == 3  # (A, ALL), (ALL, B), (ALL, ALL)
+        assert Pattern((ALL, ALL)) in found
+
+    def test_every_ancestor_generalizes(self):
+        pattern = Pattern(("A", "B", "C"))
+        for ancestor in ancestors(pattern):
+            assert pattern.is_specialization_of(ancestor)
+
+    def test_root_has_no_ancestors(self):
+        assert list(ancestors(Pattern.all_pattern(3))) == []

@@ -1,0 +1,126 @@
+"""Unit tests for the lattice-optimized CMC (Fig. 4)."""
+
+import math
+
+import pytest
+
+from repro.core.guarantees import guaranteed_coverage, max_sets_standard
+from repro.errors import ValidationError
+from repro.patterns.optimized_cmc import optimized_cmc
+from repro.patterns.pattern import Pattern
+from repro.patterns.pattern_sets import build_set_system
+from repro.patterns.table import PatternTable
+
+
+class TestGuarantees:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_coverage_floor(self, random_table, seed):
+        table = random_table(n_rows=30, seed=seed)
+        result = optimized_cmc(table, k=3, s_hat=0.7)
+        assert result.feasible
+        assert result.covered >= guaranteed_coverage(0.7, 30) - 1e-9
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_size_bound_standard(self, random_table, seed):
+        table = random_table(n_rows=30, seed=seed)
+        result = optimized_cmc(table, k=2, s_hat=0.8)
+        assert result.n_sets <= max_sets_standard(2)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_size_bound_epsilon(self, random_table, seed):
+        table = random_table(n_rows=30, seed=seed)
+        for eps in (0.5, 1.0):
+            result = optimized_cmc(table, k=4, s_hat=0.8, eps=eps)
+            assert result.n_sets <= math.floor((1 + eps) * 4 + 1e-9)
+
+    def test_always_feasible_on_tables(self, random_table):
+        # The all-wildcards pattern guarantees feasibility.
+        for seed in range(5):
+            result = optimized_cmc(random_table(seed=seed), k=1, s_hat=1.0)
+            assert result.feasible
+
+
+class TestGeneralizedLevels:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_l_variant_meets_guarantees(self, random_table, seed):
+        import math
+
+        from repro.core.guarantees import guaranteed_coverage
+
+        table = random_table(n_rows=30, seed=seed)
+        result = optimized_cmc(table, k=4, s_hat=0.7, l=2.0)
+        assert result.feasible
+        assert result.params["variant"] == "generalized"
+        assert result.covered >= guaranteed_coverage(0.7, 30) - 1e-9
+        # k (1 + (1+l)^2 / l) bound from Section V-A2.
+        assert result.n_sets <= math.ceil(4 * (1 + 9 / 2))
+
+    def test_eps_and_l_mutually_exclusive(self, random_table):
+        with pytest.raises(ValidationError):
+            optimized_cmc(random_table(), k=2, s_hat=0.5, eps=1.0, l=1.0)
+
+    def test_l_validation(self, random_table):
+        with pytest.raises(ValidationError):
+            optimized_cmc(random_table(), k=2, s_hat=0.5, l=0.0)
+
+
+class TestBudgets:
+    def test_explicit_initial_budget(self, random_table):
+        table = random_table(n_rows=20, seed=1)
+        low = optimized_cmc(table, k=2, s_hat=0.5, initial_budget=0.01)
+        high = optimized_cmc(table, k=2, s_hat=0.5, initial_budget=1e6)
+        assert low.feasible and high.feasible
+        assert low.metrics.budget_rounds >= high.metrics.budget_rounds
+
+    def test_larger_b_fewer_rounds(self, random_table):
+        table = random_table(n_rows=30, seed=2)
+        slow = optimized_cmc(table, k=2, s_hat=0.8, b=0.25)
+        fast = optimized_cmc(table, k=2, s_hat=0.8, b=4.0)
+        assert fast.metrics.budget_rounds <= slow.metrics.budget_rounds
+
+
+class TestPruning:
+    def test_considers_fewer_patterns_than_enumeration_rounds(
+        self, random_table
+    ):
+        table = random_table(n_rows=150, n_attributes=4, domain_size=6, seed=7)
+        system = build_set_system(table, "max")
+        result = optimized_cmc(table, k=3, s_hat=0.4)
+        rounds = result.metrics.budget_rounds
+        # The unoptimized CMC would consider every pattern per round.
+        assert result.metrics.sets_considered < system.n_sets * rounds
+
+    def test_selected_patterns_have_nonoverlapping_marginals(
+        self, random_table
+    ):
+        table = random_table(n_rows=40, seed=3)
+        result = optimized_cmc(table, k=3, s_hat=0.6)
+        assert len(set(result.labels)) == result.n_sets
+
+
+class TestValidation:
+    def test_bad_inputs(self, random_table):
+        with pytest.raises(ValidationError):
+            optimized_cmc(random_table(), k=0, s_hat=0.5)
+        with pytest.raises(ValidationError):
+            optimized_cmc(random_table(), k=2, s_hat=-0.5)
+        with pytest.raises(ValidationError):
+            optimized_cmc(random_table(), k=2, s_hat=0.5, eps=0.0)
+        with pytest.raises(ValidationError):
+            optimized_cmc(PatternTable(("A",), []), k=1, s_hat=0.5)
+
+    def test_count_cost_initial_budget(self, random_table):
+        table = random_table(n_rows=20, with_measure=False, seed=5)
+        result = optimized_cmc(table, k=2, s_hat=0.5, cost="count")
+        assert result.feasible
+
+
+class TestResultShape:
+    def test_labels_are_patterns(self, random_table):
+        result = optimized_cmc(random_table(seed=0), k=2, s_hat=0.5)
+        assert all(isinstance(p, Pattern) for p in result.labels)
+
+    def test_params_recorded(self, random_table):
+        result = optimized_cmc(random_table(seed=0), k=2, s_hat=0.5, eps=1.0)
+        assert result.params["variant"] == "epsilon"
+        assert result.params["cost"] == "max"

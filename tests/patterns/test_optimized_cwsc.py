@@ -1,0 +1,113 @@
+"""Unit tests for the lattice-optimized CWSC (Fig. 3)."""
+
+import pytest
+
+from repro.core.cwsc import cwsc
+from repro.errors import InfeasibleError, ValidationError
+from repro.patterns.optimized_cwsc import optimized_cwsc
+from repro.patterns.pattern import ALL, Pattern
+from repro.patterns.pattern_sets import build_set_system
+from repro.patterns.table import PatternTable
+
+
+class TestWorkedExample:
+    def test_paper_walkthrough(self, entities):
+        # Section V-C1: k=2, s=9/16 -> P16 (B, ALL) then P3 (A, North).
+        result = optimized_cwsc(entities, k=2, s_hat=9 / 16)
+        assert list(result.labels) == [
+            Pattern(("B", ALL)),
+            Pattern(("A", "North")),
+        ]
+        assert result.total_cost == pytest.approx(28.0)
+        assert result.covered == 10
+
+    def test_considers_fewer_than_all_patterns_on_large_tables(
+        self, random_table
+    ):
+        table = random_table(n_rows=200, n_attributes=4, domain_size=6, seed=9)
+        full = build_set_system(table, "max")
+        result = optimized_cwsc(table, k=4, s_hat=0.4)
+        assert result.metrics.sets_considered <= full.n_sets
+
+
+class TestAgainstUnoptimized:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_same_patterns_as_core_cwsc(self, random_table, seed):
+        table = random_table(n_rows=30, n_attributes=3, seed=seed)
+        system = build_set_system(table, "max")
+        unopt = cwsc(system, k=3, s_hat=0.6, on_infeasible="full_cover")
+        opt = optimized_cwsc(
+            table, k=3, s_hat=0.6, on_infeasible="full_cover"
+        )
+        assert list(opt.labels) == list(unopt.labels)
+        assert opt.total_cost == pytest.approx(unopt.total_cost)
+
+
+class TestConstraints:
+    def test_respects_k(self, random_table):
+        for seed in range(5):
+            table = random_table(n_rows=25, seed=seed)
+            result = optimized_cwsc(
+                table, k=3, s_hat=0.7, on_infeasible="full_cover"
+            )
+            assert result.n_sets <= 3
+
+    def test_meets_coverage(self, random_table):
+        for seed in range(5):
+            table = random_table(n_rows=25, seed=seed)
+            result = optimized_cwsc(
+                table, k=4, s_hat=0.6, on_infeasible="full_cover"
+            )
+            assert result.covered >= 0.6 * 25 - 1e-9
+
+    def test_zero_coverage(self, random_table):
+        result = optimized_cwsc(random_table(seed=0), k=2, s_hat=0.0)
+        assert result.n_sets == 0
+        assert result.feasible
+
+    def test_k1_full_coverage_picks_all_pattern(self, random_table):
+        table = random_table(n_rows=15, seed=2)
+        result = optimized_cwsc(table, k=1, s_hat=1.0)
+        assert list(result.labels) == [Pattern.all_pattern(3)]
+
+
+class TestInfeasiblePolicies:
+    def table_forcing_fallback(self) -> PatternTable:
+        # k=1 with s=1 always succeeds via the all-pattern, so build a
+        # situation where the threshold dead-ends: impossible for
+        # patterned systems (the all-pattern always clears rem/i at
+        # i = k). Instead verify the fallback path directly via a cost
+        # function — not reachable -> the policies still behave sanely.
+        return PatternTable(("A",), [("x",), ("y",)], measure=[1.0, 2.0])
+
+    def test_full_cover_never_needed_but_allowed(self):
+        table = self.table_forcing_fallback()
+        result = optimized_cwsc(
+            table, k=2, s_hat=1.0, on_infeasible="full_cover"
+        )
+        assert result.feasible
+
+    def test_validation(self, random_table):
+        with pytest.raises(ValidationError):
+            optimized_cwsc(random_table(), k=0, s_hat=0.5)
+        with pytest.raises(ValidationError):
+            optimized_cwsc(random_table(), k=2, s_hat=2.0)
+        with pytest.raises(ValidationError):
+            optimized_cwsc(PatternTable(("A",), []), k=1, s_hat=0.5)
+
+
+class TestCostFunctions:
+    def test_count_cost(self, random_table):
+        table = random_table(n_rows=20, with_measure=False, seed=3)
+        result = optimized_cwsc(table, k=3, s_hat=0.5, cost="count")
+        assert result.feasible
+        assert result.total_cost >= result.covered / 3  # sanity
+
+    def test_sum_cost_matches_unoptimized(self, random_table):
+        table = random_table(n_rows=25, seed=4)
+        system = build_set_system(table, "sum")
+        unopt = cwsc(system, k=3, s_hat=0.5, on_infeasible="full_cover")
+        opt = optimized_cwsc(
+            table, k=3, s_hat=0.5, cost="sum", on_infeasible="full_cover"
+        )
+        assert list(opt.labels) == list(unopt.labels)

@@ -1,0 +1,133 @@
+"""Unit tests for patterns and the ALL wildcard."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.patterns.pattern import (
+    ALL,
+    Pattern,
+    parent_values,
+    values_sort_key,
+)
+
+
+class TestAllSentinel:
+    def test_singleton(self):
+        from repro.patterns.pattern import _AllType
+
+        assert _AllType() is ALL
+
+    def test_repr(self):
+        assert repr(ALL) == "ALL"
+
+    def test_pickle_round_trip(self):
+        assert pickle.loads(pickle.dumps(ALL)) is ALL
+
+
+class TestMatching:
+    def test_wildcards_match_anything(self):
+        pattern = Pattern((ALL, "West"))
+        assert pattern.matches(("A", "West"))
+        assert pattern.matches(("B", "West"))
+        assert not pattern.matches(("A", "East"))
+
+    def test_all_pattern_matches_everything(self):
+        pattern = Pattern.all_pattern(3)
+        assert pattern.matches(("x", "y", "z"))
+        assert pattern.is_all
+
+    def test_fully_constant_pattern(self):
+        pattern = Pattern(("A", "West"))
+        assert pattern.matches(("A", "West"))
+        assert not pattern.matches(("A", "East"))
+        assert pattern.n_wildcards == 0
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            Pattern(("A",)).matches(("A", "B"))
+
+
+class TestLatticeOps:
+    def test_specialize(self):
+        child = Pattern((ALL, ALL)).specialize(0, "A")
+        assert child.values == ("A", ALL)
+
+    def test_specialize_constant_rejected(self):
+        with pytest.raises(ValidationError):
+            Pattern(("A", ALL)).specialize(0, "B")
+
+    def test_specialize_to_all_rejected(self):
+        with pytest.raises(ValidationError):
+            Pattern((ALL,)).specialize(0, ALL)
+
+    def test_generalize(self):
+        parent = Pattern(("A", "B")).generalize(1)
+        assert parent.values == ("A", ALL)
+
+    def test_generalize_wildcard_rejected(self):
+        with pytest.raises(ValidationError):
+            Pattern((ALL, "B")).generalize(0)
+
+    def test_parents_one_per_constant(self):
+        parents = list(Pattern(("A", "B", ALL)).parents())
+        assert Pattern((ALL, "B", ALL)) in parents
+        assert Pattern(("A", ALL, ALL)) in parents
+        assert len(parents) == 2
+
+    def test_all_pattern_has_no_parents(self):
+        assert list(Pattern.all_pattern(2).parents()) == []
+
+    def test_parent_values_matches_parents(self):
+        pattern = Pattern(("A", ALL, "C"))
+        assert set(parent_values(pattern.values)) == {
+            p.values for p in pattern.parents()
+        }
+
+    def test_is_specialization_of(self):
+        child = Pattern(("A", "B"))
+        assert child.is_specialization_of(Pattern(("A", ALL)))
+        assert child.is_specialization_of(Pattern((ALL, ALL)))
+        assert child.is_specialization_of(child)
+        assert not Pattern(("A", ALL)).is_specialization_of(child)
+
+    def test_positions(self):
+        pattern = Pattern(("A", ALL, "C"))
+        assert pattern.wildcard_positions() == [1]
+        assert pattern.constant_positions() == [0, 2]
+        assert pattern.n_constants == 2
+
+
+class TestOrderingAndIdentity:
+    def test_equality_and_hash(self):
+        assert Pattern(("A", ALL)) == Pattern(("A", ALL))
+        assert hash(Pattern(("A", ALL))) == hash(Pattern(("A", ALL)))
+        assert Pattern(("A", ALL)) != Pattern((ALL, "A"))
+
+    def test_sort_key_total_order(self):
+        patterns = [
+            Pattern((ALL, ALL)),
+            Pattern(("A", ALL)),
+            Pattern((ALL, "B")),
+            Pattern(("A", "B")),
+        ]
+        ordered = sorted(patterns)
+        assert ordered[0] == Pattern((ALL, ALL))  # wildcards sort first
+
+    def test_values_sort_key_matches_pattern_sort_key(self):
+        for values in [("A", ALL), (ALL, 3), (1, 2)]:
+            assert values_sort_key(values) == Pattern(values).sort_key()
+
+    def test_repr_and_format(self):
+        pattern = Pattern(("A", ALL))
+        assert repr(pattern) == "Pattern('A', ALL)"
+        assert pattern.format(("Type", "Loc")) == "Type='A', Loc=ALL"
+
+    def test_format_arity_mismatch(self):
+        with pytest.raises(ValidationError):
+            Pattern(("A",)).format(("X", "Y"))
+
+    def test_all_pattern_validation(self):
+        with pytest.raises(ValidationError):
+            Pattern.all_pattern(0)

@@ -1,0 +1,44 @@
+"""Unit tests for the pattern-table -> SetSystem bridge."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.patterns.pattern import ALL, Pattern
+from repro.patterns.pattern_sets import build_set_system, pattern_of
+from repro.patterns.table import PatternTable
+
+
+class TestBuildSetSystem:
+    def test_entities_table2(self, entities, entities_system):
+        assert entities_system.n_sets == 24
+        assert entities_system.n_elements == 16
+        assert entities_system.has_full_cover
+
+    def test_known_costs(self, entities_system):
+        by_label = {ws.label: ws for ws in entities_system.sets}
+        assert by_label[Pattern(("B", ALL))].cost == 24.0
+        assert by_label[Pattern(("B", "South"))].cost == 2.0
+        assert by_label[Pattern((ALL, ALL))].cost == 96.0
+        assert by_label[Pattern(("A", "East"))].cost == 3.0
+
+    def test_labels_sorted_deterministically(self, entities_system):
+        labels = [ws.label for ws in entities_system.sets]
+        assert labels == sorted(labels, key=Pattern.sort_key)
+
+    def test_count_cost_without_measure(self):
+        table = PatternTable(("A",), [("x",), ("x",), ("y",)])
+        system = build_set_system(table, "count")
+        by_label = {ws.label: ws for ws in system.sets}
+        assert by_label[Pattern(("x",))].cost == 2.0
+        assert by_label[Pattern((ALL,))].cost == 3.0
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValidationError):
+            build_set_system(PatternTable(("A",), []))
+
+    def test_pattern_of(self, entities_system):
+        assert isinstance(pattern_of(entities_system, 0), Pattern)
+
+    def test_pattern_of_non_pattern_label(self, random_system):
+        with pytest.raises(ValidationError):
+            pattern_of(random_system(seed=0), 0)

@@ -1,0 +1,65 @@
+"""Patterns over unusual attribute values (None, ints, unicode, mixed).
+
+The library treats attribute values as opaque hashables; tie-breaking and
+domain ordering go through ``repr``, so heterogeneous value types must not
+crash anything.
+"""
+
+import pytest
+
+from repro.patterns.enumerate import enumerate_nonempty_patterns
+from repro.patterns.index import PatternIndex
+from repro.patterns.optimized_cwsc import optimized_cwsc
+from repro.patterns.pattern import ALL, Pattern
+from repro.patterns.table import PatternTable
+
+
+@pytest.fixture
+def weird_table() -> PatternTable:
+    return PatternTable(
+        attributes=("a", "b"),
+        rows=[
+            (None, 1),
+            (None, 2),
+            ("ünïcode", 1),
+            (0, 2),
+            (0, 1),
+        ],
+        measure=[1.0, 2.0, 3.0, 4.0, 5.0],
+    )
+
+
+class TestWeirdValues:
+    def test_none_is_a_value_not_a_wildcard(self, weird_table):
+        index = PatternIndex(weird_table)
+        assert index.benefit(Pattern((None, ALL))) == frozenset({0, 1})
+        # None != ALL: the wildcard matches everything, None only rows 0-1.
+        assert index.benefit(Pattern((ALL, ALL))) == frozenset(range(5))
+
+    def test_int_and_str_values_coexist(self, weird_table):
+        index = PatternIndex(weird_table)
+        assert index.benefit(Pattern((0, 1))) == frozenset({4})
+        assert index.benefit(Pattern(("ünïcode", ALL))) == frozenset({2})
+
+    def test_enumeration_handles_mixed_types(self, weird_table):
+        patterns = enumerate_nonempty_patterns(weird_table)
+        assert Pattern((None, ALL)) in patterns
+        assert Pattern((0, 2)) in patterns
+
+    def test_active_domain_ordering_is_deterministic(self, weird_table):
+        domain = weird_table.active_domain(0)
+        assert domain == weird_table.active_domain(0)
+        assert set(domain) == {None, "ünïcode", 0}
+
+    def test_solver_runs(self, weird_table):
+        result = optimized_cwsc(weird_table, k=2, s_hat=0.6)
+        assert result.feasible
+
+    def test_pattern_format_with_weird_values(self):
+        pattern = Pattern((None, ALL))
+        assert pattern.format(("x", "y")) == "x=None, y=ALL"
+
+    def test_sort_keys_total_order_over_mixed_types(self, weird_table):
+        patterns = sorted(enumerate_nonempty_patterns(weird_table))
+        keys = [pattern.sort_key() for pattern in patterns]
+        assert keys == sorted(keys)

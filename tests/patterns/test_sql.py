@@ -1,0 +1,85 @@
+"""Unit tests for the SQL rendering of patterns and solutions."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.patterns.optimized_cwsc import optimized_cwsc
+from repro.patterns.pattern import ALL, Pattern
+from repro.patterns.sql import pattern_to_sql, solution_to_sql, sql_literal
+
+
+class TestSqlLiteral:
+    def test_strings_quoted_and_escaped(self):
+        assert sql_literal("West") == "'West'"
+        assert sql_literal("O'Brien") == "'O''Brien'"
+
+    def test_numbers_plain(self):
+        assert sql_literal(3) == "3"
+        assert sql_literal(2.5) == "2.5"
+
+    def test_none_and_bool(self):
+        assert sql_literal(None) == "NULL"
+        assert sql_literal(True) == "TRUE"
+        assert sql_literal(False) == "FALSE"
+
+
+class TestPatternToSql:
+    def test_conjunction(self):
+        pattern = Pattern(("B", "South"))
+        assert (
+            pattern_to_sql(pattern, ("Type", "Location"))
+            == "Type = 'B' AND Location = 'South'"
+        )
+
+    def test_wildcards_omitted(self):
+        assert (
+            pattern_to_sql(Pattern(("B", ALL)), ("Type", "Location"))
+            == "Type = 'B'"
+        )
+
+    def test_all_pattern_is_true(self):
+        assert pattern_to_sql(Pattern.all_pattern(2), ("a", "b")) == "TRUE"
+
+    def test_null_uses_is_null(self):
+        assert (
+            pattern_to_sql(Pattern((None, "x")), ("a", "b"))
+            == "a IS NULL AND b = 'x'"
+        )
+
+    def test_arity_checked(self):
+        with pytest.raises(ValidationError):
+            pattern_to_sql(Pattern(("a",)), ("x", "y"))
+
+
+class TestSolutionToSql:
+    def test_end_to_end_on_entities(self, entities):
+        result = optimized_cwsc(entities, k=2, s_hat=9 / 16)
+        query = solution_to_sql(result, entities.attributes, "entities")
+        assert query.startswith("SELECT *\nFROM entities\nWHERE")
+        assert "(Type = 'B')" in query
+        assert "(Type = 'A' AND Location = 'North')" in query
+        assert " OR " in query
+
+    def test_sql_selects_exactly_the_covered_rows(self, entities):
+        # Evaluate the predicates in Python: the disjunction must match
+        # exactly the rows the solution covers.
+        result = optimized_cwsc(entities, k=2, s_hat=9 / 16)
+        covered = set()
+        for pattern in result.labels:
+            for row_id, row in enumerate(entities.rows):
+                if pattern.matches(row):
+                    covered.add(row_id)
+        assert len(covered) == result.covered
+
+    def test_empty_solution_is_false(self):
+        from repro.core.result import Metrics, make_result
+
+        empty = make_result("x", [], [], 0.0, 0, 5, True, {}, Metrics())
+        assert "WHERE FALSE;" in solution_to_sql(empty, ("a",))
+
+    def test_non_pattern_labels_rejected(self):
+        from repro.core.result import Metrics, make_result
+
+        bad = make_result("x", [0], ["str"], 1.0, 1, 5, True, {}, Metrics())
+        with pytest.raises(ValidationError):
+            solution_to_sql(bad, ("a",))

@@ -1,0 +1,44 @@
+"""Unit tests for the table profiler."""
+
+from repro.patterns.stats import profile_table
+from repro.patterns.table import PatternTable
+
+
+class TestProfile:
+    def test_entities_profile(self, entities):
+        profile = profile_table(entities)
+        assert profile.n_rows == 16
+        assert profile.n_attributes == 2
+        # 2 types and 7 locations -> (2+1) * (7+1) syntactic patterns.
+        assert profile.pattern_space_size == (2 + 1) * (7 + 1)
+        type_profile = profile.attributes[0]
+        assert type_profile.name == "Type"
+        assert type_profile.cardinality == 2
+        assert type_profile.top_share == 0.5
+        assert profile.measure.name == "Cost"
+        assert profile.measure.minimum == 1.0
+        assert profile.measure.maximum == 96.0
+
+    def test_median_even_and_odd(self):
+        even = PatternTable(("A",), [("x",)] * 4, measure=[1, 2, 3, 4])
+        assert profile_table(even).measure.median == 2.5
+        odd = PatternTable(("A",), [("x",)] * 3, measure=[1, 2, 9])
+        assert profile_table(odd).measure.median == 2
+
+    def test_no_measure(self):
+        table = PatternTable(("A",), [("x",), ("y",)])
+        profile = profile_table(table)
+        assert profile.measure is None
+        assert "count" in profile.render()
+
+    def test_render_mentions_attributes(self, entities):
+        text = profile_table(entities).render()
+        assert "Type" in text
+        assert "Location" in text
+        assert "rows: 16" in text
+
+    def test_top_value_deterministic_on_ties(self):
+        table = PatternTable(("A",), [("x",), ("y",)])
+        profile = profile_table(table)
+        # Tie between x and y: the larger repr wins deterministically.
+        assert profile.attributes[0].top_value == "y"

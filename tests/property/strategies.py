@@ -1,0 +1,86 @@
+"""Hypothesis strategies for random tables and set systems."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.setsystem import SetSystem
+from repro.patterns.table import PatternTable
+
+#: Small attribute values so patterns collide and lattices are dense.
+attr_values = st.sampled_from(["a", "b", "c", "d"])
+
+
+@st.composite
+def pattern_tables(
+    draw,
+    min_rows: int = 1,
+    max_rows: int = 16,
+    min_attrs: int = 1,
+    max_attrs: int = 3,
+    with_measure: bool = True,
+):
+    """A small random :class:`PatternTable`."""
+    n_attrs = draw(st.integers(min_attrs, max_attrs))
+    rows = draw(
+        st.lists(
+            st.tuples(*([attr_values] * n_attrs)),
+            min_size=min_rows,
+            max_size=max_rows,
+        )
+    )
+    measure = None
+    if with_measure:
+        measure = draw(
+            st.lists(
+                st.floats(
+                    min_value=0.1,
+                    max_value=100.0,
+                    allow_nan=False,
+                    allow_infinity=False,
+                ),
+                min_size=len(rows),
+                max_size=len(rows),
+            )
+        )
+    return PatternTable(
+        attributes=[f"D{i}" for i in range(n_attrs)],
+        rows=rows,
+        measure=measure,
+    )
+
+
+@st.composite
+def set_systems(
+    draw,
+    min_elements: int = 1,
+    max_elements: int = 12,
+    max_sets: int = 8,
+    ensure_full_cover: bool = True,
+):
+    """A small random :class:`SetSystem`."""
+    n = draw(st.integers(min_elements, max_elements))
+    n_sets = draw(st.integers(1, max_sets))
+    benefits = draw(
+        st.lists(
+            st.sets(st.integers(0, n - 1), min_size=1, max_size=n),
+            min_size=n_sets,
+            max_size=n_sets,
+        )
+    )
+    costs = draw(
+        st.lists(
+            st.floats(
+                min_value=0.0,
+                max_value=50.0,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            min_size=len(benefits),
+            max_size=len(benefits),
+        )
+    )
+    if ensure_full_cover:
+        benefits.append(set(range(n)))
+        costs.append(draw(st.floats(min_value=0.0, max_value=50.0)))
+    return SetSystem.from_iterables(n, benefits, costs)

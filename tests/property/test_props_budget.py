@@ -1,0 +1,86 @@
+"""Property-based tests on the budget schedule and level schemes."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.budget import (
+    budget_schedule,
+    generalized_levels,
+    merged_levels,
+    standard_levels,
+)
+
+budgets = st.floats(min_value=0.01, max_value=1e6)
+growths = st.floats(min_value=0.05, max_value=5.0)
+ks = st.integers(1, 64)
+epsilons = st.floats(min_value=0.05, max_value=4.0)
+
+
+class TestSchedule:
+    @settings(max_examples=80)
+    @given(budgets, growths, budgets)
+    def test_covers_ceiling_and_grows_geometrically(
+        self, initial, growth, ceiling
+    ):
+        values = list(budget_schedule(initial, growth, ceiling))
+        assert values[-1] >= min(ceiling, values[0])
+        assert values[-1] >= ceiling or values[-1] == values[0]
+        for earlier, later in zip(values, values[1:]):
+            assert later == earlier * (1.0 + growth)
+
+    @settings(max_examples=80)
+    @given(budgets, growths, budgets)
+    def test_no_overshoot_past_one_step(self, initial, growth, ceiling):
+        values = list(budget_schedule(initial, growth, ceiling))
+        # Only the last value may be >= ceiling.
+        for value in values[:-1]:
+            assert value < ceiling
+
+
+class TestLevelSchemes:
+    @settings(max_examples=80)
+    @given(budgets, ks)
+    def test_standard_levels_partition_affordable_costs(self, budget, k):
+        scheme = standard_levels(budget, k)
+        # Probe costs across the whole affordable range.
+        for fraction in (0.0, 1e-6, 0.1, 0.3, 0.5, 0.9, 1.0):
+            cost = budget * fraction
+            level = scheme.level_of(cost)
+            assert level is not None
+            if cost > 0:
+                assert (
+                    scheme.lower_bounds[level]
+                    < cost
+                    <= scheme.upper_bounds[level] + 1e-12
+                )
+        assert scheme.level_of(budget * 1.0001 + 1e-9) is None
+
+    @settings(max_examples=80)
+    @given(budgets, ks)
+    def test_standard_quota_bound(self, budget, k):
+        assert standard_levels(budget, k).max_selections() <= 5 * k
+
+    @settings(max_examples=80)
+    @given(budgets, ks, epsilons)
+    def test_merged_quota_bound(self, budget, k, eps):
+        scheme = merged_levels(budget, k, eps)
+        assert scheme.max_selections() <= (1 + eps) * k + 1e-9
+        assert scheme.quotas[-1] == k
+
+    @settings(max_examples=60)
+    @given(budgets, ks, st.floats(min_value=1.1, max_value=6.0))
+    def test_generalized_levels_cover_range(self, budget, k, base):
+        scheme = generalized_levels(budget, k, base)
+        for fraction in (0.0, 0.2, 0.7, 1.0):
+            assert scheme.level_of(budget * fraction) is not None
+
+    @settings(max_examples=60)
+    @given(budgets, ks)
+    def test_levels_are_sorted_descending(self, budget, k):
+        scheme = standard_levels(budget, k)
+        uppers = list(scheme.upper_bounds)
+        assert uppers == sorted(uppers, reverse=True)
+        assert math.isclose(scheme.upper_bounds[0], budget)
+        assert scheme.lower_bounds[-1] == 0.0

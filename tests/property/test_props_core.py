@@ -1,0 +1,109 @@
+"""Property-based tests on the core algorithms' contracts."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cmc import cmc
+from repro.core.cmc_epsilon import cmc_epsilon
+from repro.core.cwsc import cwsc
+from repro.core.exact import brute_force, solve_exact
+from repro.core.guarantees import guaranteed_coverage, max_sets_standard
+from repro.core.marginal import MarginalTracker
+
+from tests.property.strategies import set_systems
+
+ks = st.integers(1, 4)
+fractions = st.floats(min_value=0.0, max_value=1.0)
+
+
+class TestCWSCContract:
+    @settings(max_examples=60, deadline=None)
+    @given(set_systems(), ks, fractions)
+    def test_respects_k_and_coverage(self, system, k, s_hat):
+        result = cwsc(system, k, s_hat, on_infeasible="partial")
+        assert result.n_sets <= k
+        if result.feasible:
+            assert result.covered >= s_hat * system.n_elements - 1e-6
+
+    @settings(max_examples=60, deadline=None)
+    @given(set_systems(), ks, fractions)
+    def test_no_duplicate_selections(self, system, k, s_hat):
+        result = cwsc(system, k, s_hat, on_infeasible="partial")
+        assert len(set(result.set_ids)) == result.n_sets
+
+    @settings(max_examples=60, deadline=None)
+    @given(set_systems(), ks)
+    def test_full_cover_fallback_always_feasible(self, system, k):
+        result = cwsc(system, k, 1.0, on_infeasible="full_cover")
+        assert result.feasible
+        assert result.covered == system.n_elements or result.n_sets <= k
+
+
+class TestCMCContract:
+    @settings(max_examples=40, deadline=None)
+    @given(set_systems(), ks, fractions)
+    def test_size_and_coverage_guarantees(self, system, k, s_hat):
+        result = cmc(system, k, s_hat)
+        assert result.feasible
+        assert result.n_sets <= max_sets_standard(k)
+        assert result.covered >= (
+            guaranteed_coverage(s_hat, system.n_elements) - 1e-6
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        set_systems(),
+        ks,
+        fractions,
+        st.floats(min_value=0.25, max_value=2.0),
+    )
+    def test_epsilon_size_bound(self, system, k, s_hat, eps):
+        result = cmc_epsilon(system, k, s_hat, eps=eps)
+        assert result.feasible
+        assert result.n_sets <= math.floor((1 + eps) * k + 1e-9)
+
+
+class TestExactContract:
+    @settings(max_examples=30, deadline=None)
+    @given(set_systems(max_elements=8, max_sets=5), st.integers(1, 3), fractions)
+    def test_branch_and_bound_equals_brute_force(self, system, k, s_hat):
+        bb = solve_exact(system, k, s_hat)
+        bf = brute_force(system, k, s_hat)
+        assert abs(bb.total_cost - bf.total_cost) < 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(set_systems(max_elements=8, max_sets=5), st.integers(1, 3), fractions)
+    def test_greedy_never_beats_exact(self, system, k, s_hat):
+        opt = solve_exact(system, k, s_hat)
+        greedy = cwsc(system, k, s_hat, on_infeasible="partial")
+        if greedy.feasible:
+            assert greedy.total_cost >= opt.total_cost - 1e-9
+
+
+class TestMarginalTrackerInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(set_systems(), st.data())
+    def test_counts_match_recomputation(self, system, data):
+        """After arbitrary selections, every tracked count equals
+        ``|Ben(s) - covered|`` recomputed from scratch."""
+        tracker = MarginalTracker(system)
+        candidates = tracker.live_ids
+        n_steps = data.draw(st.integers(0, min(4, len(candidates))))
+        for _ in range(n_steps):
+            live = tracker.live_ids
+            if not live:
+                break
+            choice = data.draw(st.sampled_from(live))
+            tracker.select(choice)
+        covered = tracker.covered
+        for ws in system.sets:
+            expected = len(ws.benefit - covered)
+            actual = tracker.marginal_size(ws.set_id)
+            if ws.set_id in tracker:
+                assert actual == expected
+            else:
+                # Evicted or selected sets must truly have nothing new,
+                # unless they were never tracked (empty benefit).
+                assert expected == 0 or actual == 0

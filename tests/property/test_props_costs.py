@@ -1,0 +1,103 @@
+"""Property-based tests on cost functions and CSV round trips."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.patterns.costs import (
+    COUNT_COST,
+    MAX_COST,
+    MEAN_COST,
+    SUM_COST,
+    lp_norm_cost,
+)
+from repro.patterns.table import PatternTable
+
+measures = st.lists(
+    st.floats(min_value=0.01, max_value=1e4, allow_nan=False),
+    min_size=1,
+    max_size=20,
+)
+
+
+def make_table(values):
+    return PatternTable(
+        ("a",), [("x",)] * len(values), measure=values
+    )
+
+
+class TestMonotonicity:
+    @settings(max_examples=60)
+    @given(measures, st.data())
+    def test_max_sum_count_monotone_under_superset(self, values, data):
+        """Adding rows to a benefit set never lowers max/sum/count cost.
+
+        (This is the property the cheapest-pattern budget seed and the
+        lattice cost intuition rely on; mean and lp-norms are NOT
+        monotone in general.)
+        """
+        table = make_table(values)
+        n = len(values)
+        subset_size = data.draw(st.integers(1, n))
+        subset = list(range(subset_size))
+        superset = list(range(n))
+        for cost in (MAX_COST, SUM_COST, COUNT_COST):
+            fn = cost.bind(table)
+            assert fn(superset) >= fn(subset) - 1e-12
+
+    @settings(max_examples=60)
+    @given(measures)
+    def test_bounds_between_functions(self, values):
+        """max <= sum, mean <= max, l2 between max and sum."""
+        table = make_table(values)
+        rows = list(range(len(values)))
+        max_cost = MAX_COST.bind(table)(rows)
+        sum_cost = SUM_COST.bind(table)(rows)
+        mean_cost = MEAN_COST.bind(table)(rows)
+        l2_cost = lp_norm_cost(2.0).bind(table)(rows)
+        assert max_cost <= sum_cost + 1e-9
+        assert mean_cost <= max_cost + 1e-9
+        assert max_cost <= l2_cost * (1 + 1e-9)
+        assert l2_cost <= sum_cost * (1 + 1e-9)
+
+    @settings(max_examples=60)
+    @given(measures)
+    def test_lower_bound_is_a_lower_bound(self, values):
+        table = make_table(values)
+        rows = list(range(len(values)))
+        for cost in (MAX_COST, SUM_COST, MEAN_COST):
+            assert cost.lower_bound(table) <= cost.bind(table)(rows) + 1e-9
+
+
+class TestCsvRoundTrip:
+    @settings(max_examples=40)
+    @given(
+        st.lists(
+            st.tuples(
+                st.text(
+                    alphabet=st.characters(
+                        blacklist_categories=("Cs",),
+                        blacklist_characters="\r\n",
+                    ),
+                    min_size=0,
+                    max_size=12,
+                ),
+                st.sampled_from(["x", "y,z", 'quo"te', "  pad  "]),
+            ),
+            min_size=1,
+            max_size=10,
+        ),
+        measures,
+    )
+    def test_string_tables_round_trip(self, tmp_path_factory, rows, values):
+        if len(values) < len(rows):
+            values = (values * len(rows))[: len(rows)]
+        else:
+            values = values[: len(rows)]
+        table = PatternTable(("a", "b"), rows, measure=values)
+        path = tmp_path_factory.mktemp("csv") / "t.csv"
+        table.to_csv(path)
+        loaded = PatternTable.from_csv(path, ("a", "b"), measure_name="measure")
+        assert loaded.rows == table.rows
+        assert all(
+            abs(x - y) < 1e-9 for x, y in zip(loaded.measure, table.measure)
+        )

@@ -1,0 +1,76 @@
+"""Property-based optimized-vs-unoptimized equivalence (Section V-C1).
+
+The paper states that, with consistent tie-breaking, the optimized CWSC
+"chooses exactly the same patterns (and in the same order) as the
+unoptimized algorithm". We assert this over random tables, coverage
+fractions, sizes and cost functions.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cwsc import cwsc
+from repro.core.guarantees import guaranteed_coverage, max_sets_standard
+from repro.patterns.optimized_cmc import optimized_cmc
+from repro.patterns.optimized_cwsc import optimized_cwsc
+from repro.patterns.pattern_sets import build_set_system
+
+from tests.property.strategies import pattern_tables
+
+ks = st.integers(1, 4)
+fractions = st.floats(min_value=0.0, max_value=1.0)
+costs = st.sampled_from(["max", "sum", "mean", "count"])
+
+
+class TestCWSCEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(pattern_tables(min_rows=2, max_rows=14), ks, fractions, costs)
+    def test_same_patterns_same_order(self, table, k, s_hat, cost):
+        system = build_set_system(table, cost)
+        unopt = cwsc(system, k, s_hat, on_infeasible="full_cover")
+        opt = optimized_cwsc(
+            table, k, s_hat, cost=cost, on_infeasible="full_cover"
+        )
+        assert list(opt.labels) == list(unopt.labels)
+        assert abs(opt.total_cost - unopt.total_cost) < 1e-9
+        assert opt.covered == unopt.covered
+
+    @settings(max_examples=40, deadline=None)
+    @given(pattern_tables(min_rows=2, max_rows=14), ks, fractions)
+    def test_optimized_considers_no_more_total_work(self, table, k, s_hat):
+        """The candidate pool never materializes a pattern with empty
+        benefit, so 'considered' is bounded by the nonempty patterns."""
+        system = build_set_system(table, "max")
+        opt = optimized_cwsc(
+            table, k, s_hat, on_infeasible="full_cover"
+        )
+        assert opt.metrics.sets_considered <= system.n_sets
+
+
+class TestOptimizedCMCContract:
+    @settings(max_examples=40, deadline=None)
+    @given(pattern_tables(min_rows=2, max_rows=14), ks, fractions)
+    def test_guarantees_on_tables(self, table, k, s_hat):
+        result = optimized_cmc(table, k, s_hat)
+        assert result.feasible
+        assert result.n_sets <= max_sets_standard(k)
+        assert result.covered >= (
+            guaranteed_coverage(s_hat, table.n_rows) - 1e-6
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(pattern_tables(min_rows=2, max_rows=12), ks, fractions)
+    def test_selected_patterns_are_distinct_and_match_table(
+        self, table, k, s_hat
+    ):
+        from repro.patterns.index import PatternIndex
+
+        result = optimized_cmc(table, k, s_hat)
+        assert len(set(result.labels)) == result.n_sets
+        index = PatternIndex(table)
+        covered = set()
+        for pattern in result.labels:
+            ben = index.benefit(pattern)
+            assert ben  # never selects an empty pattern
+            covered |= ben
+        assert len(covered) == result.covered

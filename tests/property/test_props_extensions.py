@@ -1,0 +1,74 @@
+"""Property-based tests for the extensions."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.extensions.incremental import IncrementalCWSC
+from repro.extensions.multiweight import MultiWeightSetSystem, pareto_sweep
+
+from tests.property.strategies import pattern_tables
+
+
+class TestIncrementalInvariant:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        pattern_tables(min_rows=3, max_rows=12, min_attrs=2, max_attrs=2),
+        st.lists(
+            pattern_tables(min_rows=1, max_rows=8, min_attrs=2, max_attrs=2),
+            min_size=1,
+            max_size=3,
+        ),
+        st.integers(2, 5),
+        st.floats(min_value=0.1, max_value=0.9),
+    )
+    def test_always_feasible_and_within_k(self, base, batches, k, s_hat):
+        maintainer = IncrementalCWSC(base, k=k, s_hat=s_hat)
+        for batch in batches:
+            result = maintainer.add_records(batch)
+            assert result.feasible
+            assert result.n_sets <= k
+            assert (
+                result.covered >= s_hat * maintainer.table.n_rows - 1e-6
+            )
+        accounted = (
+            maintainer.stats.kept
+            + maintainer.stats.repaired
+            + maintainer.stats.recomputed
+        )
+        assert accounted == len(batches)
+
+
+class TestParetoInvariant:
+    @settings(max_examples=25, deadline=None)
+    @given(st.data())
+    def test_frontier_is_mutually_nondominated(self, data):
+        n = data.draw(st.integers(2, 8))
+        n_sets = data.draw(st.integers(1, 5))
+        benefits = [
+            data.draw(st.sets(st.integers(0, n - 1), min_size=1, max_size=n))
+            for _ in range(n_sets)
+        ]
+        benefits.append(set(range(n)))
+        weights = [
+            (
+                data.draw(st.floats(min_value=0.1, max_value=10.0)),
+                data.draw(st.floats(min_value=0.1, max_value=10.0)),
+            )
+            for _ in range(len(benefits))
+        ]
+        system = MultiWeightSetSystem(n, benefits, weights, ("a", "b"))
+        frontier = pareto_sweep(
+            system, k=2, s_hat=0.5,
+            multiplier_grid=[(1, 0), (0.5, 0.5), (0, 1)],
+        )
+        assert frontier
+        for left in frontier:
+            for right in frontier:
+                if left is right:
+                    continue
+                dominates = all(
+                    lv <= rv for lv, rv in zip(left.totals, right.totals)
+                ) and any(
+                    lv < rv for lv, rv in zip(left.totals, right.totals)
+                )
+                assert not dominates

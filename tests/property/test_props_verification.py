@@ -1,0 +1,79 @@
+"""Cross-cutting property: every algorithm's result verifies independently.
+
+:func:`repro.core.validate.verify_result` recomputes cost and coverage
+from scratch; no algorithm may ever return a result that disagrees with
+its own set system.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.budgeted_max_coverage import budgeted_max_coverage
+from repro.baselines.max_coverage import max_coverage
+from repro.baselines.weighted_set_cover import weighted_set_cover
+from repro.core.cmc import COVERAGE_DISCOUNT, cmc
+from repro.core.cwsc import cwsc
+from repro.core.exact import solve_exact
+from repro.core.guarantees import max_sets_standard
+from repro.core.lp_rounding import lp_rounding
+from repro.core.validate import verify_result
+from repro.errors import InfeasibleError
+
+from tests.property.strategies import set_systems
+
+ks = st.integers(1, 3)
+fractions = st.floats(min_value=0.0, max_value=1.0)
+
+
+class TestEveryAlgorithmVerifies:
+    @settings(max_examples=30, deadline=None)
+    @given(set_systems(max_elements=10, max_sets=6), ks, fractions)
+    def test_cwsc(self, system, k, s_hat):
+        result = cwsc(system, k, s_hat, on_infeasible="full_cover")
+        assert verify_result(system, result, k=k, s_hat=s_hat) == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(set_systems(max_elements=10, max_sets=6), ks, fractions)
+    def test_cmc(self, system, k, s_hat):
+        result = cmc(system, k, s_hat)
+        assert verify_result(
+            system,
+            result,
+            k=max_sets_standard(k),
+            s_hat=COVERAGE_DISCOUNT * s_hat,
+        ) == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(set_systems(max_elements=10, max_sets=6), fractions)
+    def test_weighted_set_cover(self, system, s_hat):
+        result = weighted_set_cover(system, s_hat)
+        assert verify_result(system, result, s_hat=s_hat) == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(set_systems(max_elements=10, max_sets=6), ks)
+    def test_max_coverage(self, system, k):
+        result = max_coverage(system, k)
+        assert verify_result(system, result, k=k) == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        set_systems(max_elements=10, max_sets=6),
+        st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_budgeted_max_coverage(self, system, budget):
+        result = budgeted_max_coverage(system, budget)
+        assert verify_result(system, result) == []
+        assert result.total_cost <= budget + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(set_systems(max_elements=8, max_sets=5), ks, fractions)
+    def test_exact(self, system, k, s_hat):
+        result = solve_exact(system, k, s_hat)
+        assert verify_result(system, result, k=k, s_hat=s_hat) == []
+
+    @settings(max_examples=15, deadline=None)
+    @given(set_systems(max_elements=8, max_sets=5), ks, fractions)
+    def test_lp_rounding(self, system, k, s_hat):
+        result = lp_rounding(system, k, s_hat, trials=3, seed=0)
+        # No size bound: the rounding may exceed k by design.
+        assert verify_result(system, result, s_hat=s_hat) == []
