@@ -1,0 +1,23 @@
+# Test and verification entry points.
+#
+#   make test    tier-1 suite (what CI gates on)
+#   make chaos   fault-injection suite only, fixed seeds so failures reproduce
+#   make verify  tier-1 followed by the chaos suite — the full gate
+#
+# PYTHONHASHSEED is pinned so set/dict iteration orders (and thus any
+# order-dependent tie-breaking bug the suites might expose) reproduce
+# run to run.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+export PYTHONHASHSEED := 0
+
+.PHONY: test chaos verify
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+chaos:
+	$(PYTHON) -m pytest -x -q -m chaos
+
+verify: test chaos

@@ -35,13 +35,17 @@ from repro.core import (
     cwsc,
     lp_lower_bound,
     solve_exact,
+    verify_result,
 )
 from repro.errors import (
+    DeadlineExceeded,
     InfeasibleError,
     PatternSpaceError,
     ReproError,
+    TransientSolverError,
     ValidationError,
 )
+from repro.resilience import Deadline, resilient_solve
 from repro.patterns import (
     ALL,
     Pattern,
@@ -59,6 +63,8 @@ __all__ = [
     "ALL",
     "COVERAGE_DISCOUNT",
     "CoverResult",
+    "Deadline",
+    "DeadlineExceeded",
     "InfeasibleError",
     "Metrics",
     "Pattern",
@@ -67,6 +73,7 @@ __all__ = [
     "PatternTable",
     "ReproError",
     "SetSystem",
+    "TransientSolverError",
     "ValidationError",
     "WeightedSet",
     "__version__",
@@ -80,5 +87,7 @@ __all__ = [
     "lp_lower_bound",
     "optimized_cmc",
     "optimized_cwsc",
+    "resilient_solve",
     "solve_exact",
+    "verify_result",
 ]

@@ -3,15 +3,26 @@
 Three subcommands:
 
 * ``list`` — show the available paper experiments;
-* ``run`` — regenerate a paper table/figure (or ``all`` of them);
-* ``solve`` — run size-constrained weighted set cover on a CSV of records.
+* ``run`` — regenerate a paper table/figure (or ``all`` of them), with
+  per-cell checkpointing and ``--resume`` for interrupted sweeps;
+* ``solve`` — run size-constrained weighted set cover on a CSV of
+  records, optionally under a ``--timeout`` and/or resilient
+  ``--fallback`` chain (see docs/RESILIENCE.md).
 
 Examples::
 
     scwsc list
     scwsc run fig5 --scale full
+    scwsc run table4 --scale small --resume
     scwsc solve data.csv --attributes Type,Location --measure Cost \\
         -k 2 -s 0.5625 --algorithm cwsc
+    scwsc solve data.csv --attributes Type,Location -k 2 -s 0.5 \\
+        --timeout 5 --fallback exact,cwsc,universal
+
+Failures map to documented exit codes (see :mod:`repro.errors`): 2 for
+bad input, 3 for infeasible, 4 for a blown deadline, 5 for an
+intractable pattern space, 6 for a transient backend failure; the
+message goes to stderr.
 """
 
 from __future__ import annotations
@@ -20,7 +31,7 @@ import argparse
 import json
 import sys
 
-from repro.errors import ReproError
+from repro.errors import ReproError, ValidationError
 from repro.experiments import available_experiments, run_experiment
 from repro.patterns.costs import get_cost_function
 from repro.patterns.optimized_cmc import optimized_cmc
@@ -58,6 +69,23 @@ def build_parser() -> argparse.ArgumentParser:
         type=argparse.FileType("w"),
         default=None,
         help="also write the report to a file",
+    )
+    run_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the experiment's checkpoint instead of "
+        "recomputing completed cells",
+    )
+    run_parser.add_argument(
+        "--checkpoint-dir",
+        default=".scwsc-checkpoints",
+        help="directory for per-experiment checkpoint files "
+        "(default: .scwsc-checkpoints)",
+    )
+    run_parser.add_argument(
+        "--no-checkpoint",
+        action="store_true",
+        help="disable checkpoint snapshots entirely",
     )
 
     solve_parser = commands.add_parser(
@@ -102,6 +130,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     solve_parser.add_argument(
         "--eps", type=float, default=1.0, help="CMC solution-size slack"
+    )
+    solve_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="wall-clock budget in seconds; the solve degrades through "
+        "the resilient fallback chain instead of overrunning",
+    )
+    solve_parser.add_argument(
+        "--fallback",
+        nargs="?",
+        const="default",
+        default=None,
+        metavar="CHAIN",
+        help="solve via the resilient fallback chain; optionally a "
+        "comma-separated stage list (exact, lp_rounding, cwsc, cmc, "
+        "cmc_epsilon, universal). Bare --fallback uses the default "
+        "chain",
     )
     solve_parser.add_argument(
         "--json",
@@ -188,7 +234,11 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_solve(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 1
+        return error.exit_code
+    except OSError as error:
+        # Unreadable/unwritable input or output file: bad input.
+        print(f"error: {error}", file=sys.stderr)
+        return ValidationError.exit_code
 
 
 def _cmd_list() -> int:
@@ -198,6 +248,10 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.experiments.base import CheckpointStore
+
     ids = (
         list(available_experiments())
         if args.experiment == "all"
@@ -205,7 +259,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     chunks = []
     for experiment_id in ids:
-        report = run_experiment(experiment_id, scale=args.scale)
+        store = None
+        if not args.no_checkpoint:
+            path = (
+                Path(args.checkpoint_dir)
+                / f"{experiment_id}-{args.scale}.json"
+            )
+            store = CheckpointStore(path)
+            if args.resume:
+                if len(store):
+                    print(
+                        f"resuming {experiment_id} from {path} "
+                        f"({len(store)} cell(s) done)",
+                        file=sys.stderr,
+                    )
+            else:
+                store.clear()
+        report = run_experiment(
+            experiment_id, scale=args.scale, checkpoint=store
+        )
         chunks.append(report.text)
     output = "\n\n".join(chunks)
     print(output)
@@ -222,7 +294,9 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     )
     cost_name = args.cost or ("max" if args.measure else "count")
     cost = get_cost_function(cost_name)
-    if args.algorithm == "cwsc":
+    if args.fallback is not None or args.timeout is not None:
+        result = _solve_resilient(args, table, cost)
+    elif args.algorithm == "cwsc":
         result = optimized_cwsc(
             table, args.k, args.coverage, cost=cost,
             on_infeasible="full_cover",
@@ -238,18 +312,65 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         result = optimized_cmc(
             table, args.k, args.coverage, b=args.b, cost=cost, eps=args.eps
         )
+    provenance = result.params.get("resilience")
     if args.json:
-        print(json.dumps(result.to_dict(), indent=2))
+        payload = result.to_dict()
+        if provenance is not None:
+            payload["resilience"] = provenance
+        print(json.dumps(payload, indent=2))
         return 0
     print(result.summary())
     for pattern in result.labels:
         print(f"  {pattern.format(attributes)}")
+    if provenance is not None:
+        print(f"resilience: answered by stage {provenance['stage']!r}")
+        for record in provenance["stages"]:
+            line = f"  {record['stage']:12s} {record['status']}"
+            if record["detail"]:
+                line += f" ({record['detail']})"
+            print(line)
     if args.sql:
         from repro.patterns.sql import solution_to_sql
 
         print()
         print(solution_to_sql(result, attributes, table_name="records"))
     return 0
+
+
+def _solve_resilient(args: argparse.Namespace, table, cost):
+    """``scwsc solve`` under the resilient harness (--timeout/--fallback).
+
+    Runs on the fully enumerated set system so every chain stage is
+    available; infeasible outcomes surface as :class:`InfeasibleError`
+    (exit code 3), blown overall deadlines as partial degradation inside
+    the chain rather than a crash.
+    """
+    from repro.patterns.pattern_sets import build_set_system
+    from repro.resilience import DEFAULT_CHAIN, resilient_solve
+
+    if args.fallback is None or args.fallback == "default":
+        chain = {
+            "cwsc": ("cwsc", "universal"),
+            "cmc": ("cmc_epsilon", "universal"),
+            "exact": ("exact", "cwsc", "universal"),
+        }[args.algorithm] if args.fallback is None else DEFAULT_CHAIN
+    else:
+        chain = tuple(
+            name.strip() for name in args.fallback.split(",") if name.strip()
+        )
+    system = build_set_system(table, cost)
+    return resilient_solve(
+        system,
+        args.k,
+        args.coverage,
+        chain=chain,
+        timeout=args.timeout,
+        stage_options={
+            "cmc": {"b": args.b},
+            "cmc_epsilon": {"b": args.b, "eps": args.eps},
+        },
+        on_failure="raise",
+    )
 
 
 def _cmd_info(args: argparse.Namespace) -> int:

@@ -29,7 +29,9 @@ from repro.core.greedy_common import canonical_key
 from repro.core.marginal import MarginalTracker
 from repro.core.result import CoverResult, Metrics, make_result
 from repro.core.setsystem import SetSystem
-from repro.errors import InfeasibleError, ValidationError
+from repro.errors import DeadlineExceeded, InfeasibleError, ValidationError
+from repro.resilience import faults
+from repro.resilience.deadline import Deadline
 
 OnInfeasible = Literal["raise", "partial"]
 
@@ -45,6 +47,7 @@ def cmc(
     s_hat: float,
     b: float = 1.0,
     on_infeasible: OnInfeasible = "raise",
+    deadline: Deadline | None = None,
 ) -> CoverResult:
     """Run Cheap Max Coverage with the original (up to ``5k``) levels.
 
@@ -66,6 +69,10 @@ def cmc(
         reaches the target (only possible without a full-coverage set);
         ``"partial"`` returns the last round's sets with
         ``feasible=False``.
+    deadline:
+        Optional cooperative deadline, polled per budget round and per
+        heap pop; expiry raises :class:`~repro.errors.DeadlineExceeded`
+        with the current round's partial selection attached.
     """
     params = {"k": k, "s_hat": s_hat, "b": b, "variant": "standard"}
     return run_cmc_driver(
@@ -77,6 +84,7 @@ def cmc(
         algorithm="cmc",
         params=params,
         on_infeasible=on_infeasible,
+        deadline=deadline,
     )
 
 
@@ -89,6 +97,7 @@ def run_cmc_driver(
     algorithm: str,
     params: dict,
     on_infeasible: OnInfeasible = "raise",
+    deadline: Deadline | None = None,
 ) -> CoverResult:
     """Shared CMC driver, parameterized by the level scheme.
 
@@ -108,6 +117,20 @@ def run_cmc_driver(
     initial = sum(system.cheapest_costs(k))
     ceiling = system.total_cost
 
+    def _partial(chosen_now: list[int]) -> CoverResult:
+        metrics.runtime_seconds = time.perf_counter() - start
+        return make_result(
+            algorithm=algorithm,
+            chosen=chosen_now,
+            labels=[system[set_id].label for set_id in chosen_now],
+            total_cost=system.cost_of(chosen_now),
+            covered=system.coverage_of(chosen_now),
+            n_elements=system.n_elements,
+            feasible=False,
+            params=params,
+            metrics=metrics,
+        )
+
     chosen: list[int] = []
     first_round = True
     for budget in budget_schedule(initial, b, ceiling):
@@ -115,13 +138,28 @@ def run_cmc_driver(
             first_round = False
         else:
             metrics.budget_rounds += 1
+        if deadline is not None and deadline.expired():
+            raise DeadlineExceeded(
+                f"{algorithm}: deadline expired after "
+                f"{metrics.budget_rounds} budget round(s)",
+                partial=_partial(chosen),
+            )
         # Fig. 1 lines 3-5: every round recomputes the marginal benefit of
         # every candidate set from scratch. (A shared tracker with
         # :meth:`MarginalTracker.reset` would amortize this, but the
         # unoptimized algorithm the paper measures does not.)
         tracker = MarginalTracker(system, metrics=metrics)
         scheme = scheme_factory(budget, k)
-        chosen, reached = _run_round(system, tracker, scheme, target)
+        try:
+            chosen, reached = _run_round(
+                system, tracker, scheme, target, deadline
+            )
+        except _RoundDeadline as signal:
+            raise DeadlineExceeded(
+                f"{algorithm}: deadline expired mid-round at budget "
+                f"{budget:g}",
+                partial=_partial(signal.chosen),
+            ) from None
         if reached:
             metrics.runtime_seconds = time.perf_counter() - start
             params["final_budget"] = budget
@@ -159,15 +197,25 @@ def run_cmc_driver(
     )
 
 
+class _RoundDeadline(Exception):
+    """Internal signal: the deadline expired inside a budget round."""
+
+    def __init__(self, chosen: list[int]) -> None:
+        self.chosen = chosen
+
+
 def _run_round(
     system: SetSystem,
     tracker: MarginalTracker,
     scheme: LevelScheme,
     target: float,
+    deadline: Deadline | None = None,
 ) -> tuple[list[int], bool]:
     """One budget round: level-by-level quota-bounded greedy max coverage.
 
     Returns the selections of this round and whether the target was hit.
+    Raises :class:`_RoundDeadline` (carrying the round's selections so
+    far) when the deadline expires mid-round.
     """
     # Partition live sets into per-level lazy heaps. Heap entries are
     # (-|MBen|, cost, canonical_key, set_id): heapq pops the smallest
@@ -188,11 +236,14 @@ def _run_round(
     rem = target
     if rem <= _EPS:
         return chosen, True
+    injector = faults.active()
     for level in range(scheme.n_levels):
         heap = heaps[level]
         quota = scheme.quotas[level]
         picked = 0
         while picked < quota and heap:
+            if deadline is not None and deadline.poll():
+                raise _RoundDeadline(chosen)
             neg_size, cost, canon, set_id = heapq.heappop(heap)
             current = tracker.marginal_size(set_id)
             if current == 0:
@@ -201,7 +252,11 @@ def _run_round(
                 # Stale entry: re-insert with the up-to-date benefit.
                 heapq.heappush(heap, (-current, cost, canon, set_id))
                 continue
+            if injector is not None:
+                injector.iteration()
             newly = tracker.select(set_id)
+            if injector is not None:
+                newly = injector.corrupt_marginal(newly)
             chosen.append(set_id)
             picked += 1
             rem -= newly

@@ -20,6 +20,7 @@ from repro.core.cmc import OnInfeasible, run_cmc_driver
 from repro.core.result import CoverResult
 from repro.core.setsystem import SetSystem
 from repro.errors import ValidationError
+from repro.resilience.deadline import Deadline
 
 
 def cmc_epsilon(
@@ -29,6 +30,7 @@ def cmc_epsilon(
     b: float = 1.0,
     eps: float = 1.0,
     on_infeasible: OnInfeasible = "raise",
+    deadline: Deadline | None = None,
 ) -> CoverResult:
     """Run CMC with the merged levels of Section V-A3.
 
@@ -53,6 +55,7 @@ def cmc_epsilon(
         algorithm="cmc_epsilon",
         params=params,
         on_infeasible=on_infeasible,
+        deadline=deadline,
     )
 
 
@@ -63,6 +66,7 @@ def cmc_generalized(
     b: float = 1.0,
     l: float = 1.0,
     on_infeasible: OnInfeasible = "raise",
+    deadline: Deadline | None = None,
 ) -> CoverResult:
     """Run CMC with geometric level base ``1 + l`` (Section V-A2).
 
@@ -87,4 +91,5 @@ def cmc_generalized(
         algorithm="cmc_generalized",
         params=params,
         on_infeasible=on_infeasible,
+        deadline=deadline,
     )

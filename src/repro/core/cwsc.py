@@ -17,7 +17,9 @@ from repro.core.greedy_common import gain_key
 from repro.core.marginal import MarginalTracker
 from repro.core.result import CoverResult, Metrics, make_result
 from repro.core.setsystem import SetSystem
-from repro.errors import InfeasibleError, ValidationError
+from repro.errors import DeadlineExceeded, InfeasibleError, ValidationError
+from repro.resilience import faults
+from repro.resilience.deadline import Deadline
 
 #: What to do when no set clears the ``rem / i`` threshold (Fig. 2 line 7).
 #:
@@ -40,6 +42,7 @@ def cwsc(
     k: int,
     s_hat: float,
     on_infeasible: OnInfeasible = "raise",
+    deadline: Deadline | None = None,
 ) -> CoverResult:
     """Run Concise Weighted Set Cover on an arbitrary set system.
 
@@ -54,6 +57,11 @@ def cwsc(
     on_infeasible:
         Fallback policy when the threshold selection fails; see
         :data:`OnInfeasible`.
+    deadline:
+        Optional cooperative deadline, polled once per pick and every few
+        candidate scans; expiry raises
+        :class:`~repro.errors.DeadlineExceeded` with the best partial
+        result attached.
 
     Returns
     -------
@@ -86,11 +94,29 @@ def cwsc(
     if rem <= _EPS:
         return _finish(system, "cwsc", chosen, True, params, metrics, start)
 
+    injector = faults.active()
     for i in range(k, 0, -1):
+        if deadline is not None and deadline.expired():
+            raise DeadlineExceeded(
+                f"cwsc: deadline expired after {len(chosen)} of {k} picks",
+                partial=_finish(
+                    system, "cwsc", chosen, False, params, metrics, start
+                ),
+            )
+        if injector is not None:
+            injector.iteration()
         threshold = rem / i - _EPS
         best_id = None
         best_key = None
         for set_id, size in tracker.live_items():
+            if deadline is not None and deadline.poll():
+                raise DeadlineExceeded(
+                    f"cwsc: deadline expired scanning candidates for pick "
+                    f"{len(chosen) + 1}",
+                    partial=_finish(
+                        system, "cwsc", chosen, False, params, metrics, start
+                    ),
+                )
             if size < threshold:
                 continue
             key = gain_key(
@@ -108,6 +134,8 @@ def cwsc(
                 system, "cwsc", chosen, rem, on_infeasible, params, metrics, start
             )
         newly = tracker.select(best_id)
+        if injector is not None:
+            newly = injector.corrupt_marginal(newly)
         trace.append(
             {
                 "picks_left": i,

@@ -19,16 +19,26 @@ import itertools
 import math
 import time
 
+from repro.core.fallbacks import greedy_partial
 from repro.core.result import CoverResult, Metrics, make_result
 from repro.core.setsystem import SetSystem
-from repro.errors import InfeasibleError, ValidationError
+from repro.errors import DeadlineExceeded, InfeasibleError, ValidationError
+from repro.resilience.deadline import Deadline
 
 
-def brute_force(system: SetSystem, k: int, s_hat: float) -> CoverResult:
+def brute_force(
+    system: SetSystem,
+    k: int,
+    s_hat: float,
+    deadline: Deadline | None = None,
+) -> CoverResult:
     """Enumerate every subset of at most ``k`` sets; return the cheapest
     feasible one.
 
     Exponential in ``m`` — only for cross-checking on tiny instances.
+    The optional ``deadline`` is polled between subsets; on expiry the
+    cheapest feasible subset found so far (or a greedy best-effort
+    partial) is attached to the :class:`DeadlineExceeded`.
     """
     if k < 1:
         raise ValidationError(f"k must be >= 1, got {k}")
@@ -39,6 +49,16 @@ def brute_force(system: SetSystem, k: int, s_hat: float) -> CoverResult:
     best: tuple[float, tuple[int, ...]] | None = None
     for size in range(0, min(k, system.n_sets) + 1):
         for combo in itertools.combinations(ids, size):
+            if deadline is not None and deadline.poll():
+                partial = (
+                    _result("brute_force", system, list(best[1]), k, s_hat, metrics)
+                    if best is not None
+                    else greedy_partial(system, k, s_hat)
+                )
+                raise DeadlineExceeded(
+                    "brute_force: deadline expired mid-enumeration",
+                    partial=partial,
+                )
             metrics.sets_considered += 1
             cost = system.cost_of(combo)
             if best is not None and cost >= best[0]:
@@ -47,7 +67,8 @@ def brute_force(system: SetSystem, k: int, s_hat: float) -> CoverResult:
                 best = (cost, combo)
     if best is None:
         raise InfeasibleError(
-            f"brute_force: no subset of <= {k} sets covers {required} elements"
+            f"brute_force: no subset of <= {k} sets covers {required} elements",
+            partial=greedy_partial(system, k, s_hat),
         )
     metrics.runtime_seconds = time.perf_counter() - start
     cost, combo = best
@@ -59,6 +80,7 @@ def solve_exact(
     k: int,
     s_hat: float,
     node_limit: int | None = None,
+    deadline: Deadline | None = None,
 ) -> CoverResult:
     """Find an optimal solution by branch and bound.
 
@@ -74,6 +96,10 @@ def solve_exact(
         :class:`InfeasibleError` with the incumbent attached to
         ``partial`` so callers can distinguish "proved optimal" from
         "ran out of budget".
+    deadline:
+        Optional cooperative deadline, polled inside the search; expiry
+        raises :class:`~repro.errors.DeadlineExceeded` with the incumbent
+        (or a greedy best-effort partial) attached.
     """
     if k < 1:
         raise ValidationError(f"k must be >= 1, got {k}")
@@ -124,6 +150,8 @@ def solve_exact(
         nodes += 1
         if node_limit is not None and nodes > node_limit:
             raise _NodeLimit()
+        if deadline is not None and deadline.poll():
+            raise _DeadlineSignal()
         if len(covered) >= required:
             if cost < best_cost:
                 best_cost = cost
@@ -145,6 +173,12 @@ def solve_exact(
         # Branch 2: exclude it.
         search(index + 1, chosen, covered, cost)
 
+    def _incumbent_or_greedy() -> CoverResult:
+        """Best-so-far as a result; greedy best-effort when empty-handed."""
+        if best_choice is not None:
+            return _result("exact", system, best_choice, k, s_hat, metrics)
+        return greedy_partial(system, k, s_hat)
+
     try:
         if required == 0:
             best_cost, best_choice = 0.0, []
@@ -152,22 +186,24 @@ def solve_exact(
             search(0, [], set(), 0.0)
     except _NodeLimit:
         metrics.runtime_seconds = time.perf_counter() - start
-        partial = (
-            _result("exact", system, best_choice, k, s_hat, metrics)
-            if best_choice is not None
-            else None
-        )
         raise InfeasibleError(
             f"solve_exact: node limit {node_limit} exceeded "
-            f"({'incumbent attached' if partial else 'no incumbent'})",
-            partial=partial,
+            f"({'incumbent attached' if best_choice is not None else 'greedy partial attached'})",
+            partial=_incumbent_or_greedy(),
+        ) from None
+    except _DeadlineSignal:
+        metrics.runtime_seconds = time.perf_counter() - start
+        raise DeadlineExceeded(
+            f"solve_exact: deadline expired after {nodes} nodes",
+            partial=_incumbent_or_greedy(),
         ) from None
 
     metrics.sets_considered = nodes
     if best_choice is None:
         metrics.runtime_seconds = time.perf_counter() - start
         raise InfeasibleError(
-            f"solve_exact: no subset of <= {k} sets covers {required} elements"
+            f"solve_exact: no subset of <= {k} sets covers {required} elements",
+            partial=greedy_partial(system, k, s_hat),
         )
     metrics.runtime_seconds = time.perf_counter() - start
     return _result("exact", system, best_choice, k, s_hat, metrics)
@@ -175,6 +211,10 @@ def solve_exact(
 
 class _NodeLimit(Exception):
     """Internal signal: branch-and-bound exceeded its node budget."""
+
+
+class _DeadlineSignal(Exception):
+    """Internal signal: the cooperative deadline expired mid-search."""
 
 
 def _result(

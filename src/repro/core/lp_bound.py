@@ -34,7 +34,8 @@ from scipy import sparse
 from scipy.optimize import linprog
 
 from repro.core.setsystem import SetSystem
-from repro.errors import InfeasibleError, ValidationError
+from repro.errors import InfeasibleError, TransientSolverError, ValidationError
+from repro.resilience import faults
 
 
 @dataclass(frozen=True)
@@ -64,9 +65,17 @@ def solve_lp_relaxation(
         If even the fractional problem is infeasible (the union of all
         finite-cost sets cannot reach the required coverage with ``k``
         fractional picks).
+    TransientSolverError
+        If the backend reports a numerical (status 4) failure rather than
+        structural infeasibility — retrying, possibly after perturbing
+        nothing at all, can succeed. Also raised by the fault-injection
+        layer when chaos testing is active.
     """
     if k < 1:
         raise ValidationError(f"k must be >= 1, got {k}")
+    injector = faults.active()
+    if injector is not None:
+        injector.lp_attempt()
     required = system.required_coverage(s_hat)
     if required == 0:
         return LPRelaxation(value=0.0, set_fractions={})
@@ -116,6 +125,14 @@ def solve_lp_relaxation(
         costs, A_ub=a_ub, b_ub=b_ub, bounds=(0.0, 1.0), method="highs"
     )
     if not outcome.success:
+        # HiGHS status 4 is "numerical difficulties" — a retryable
+        # backend failure, unlike statuses 2/3 (infeasible/unbounded)
+        # which are properties of the instance.
+        if getattr(outcome, "status", None) == 4:
+            raise TransientSolverError(
+                f"lp relaxation: backend numerical failure "
+                f"({outcome.message})"
+            )
         raise InfeasibleError(
             f"lp relaxation: LP infeasible or failed ({outcome.message})"
         )

@@ -28,12 +28,14 @@ import time
 
 import numpy as np
 
+from repro.core.fallbacks import greedy_partial
 from repro.core.greedy_common import gain_key
 from repro.core.lp_bound import solve_lp_relaxation
 from repro.core.marginal import MarginalTracker
 from repro.core.result import CoverResult, Metrics, make_result
 from repro.core.setsystem import SetSystem
-from repro.errors import InfeasibleError, ValidationError
+from repro.errors import DeadlineExceeded, InfeasibleError, ValidationError
+from repro.resilience.deadline import Deadline
 
 _EPS = 1e-9
 
@@ -45,6 +47,7 @@ def lp_rounding(
     trials: int = 10,
     alpha: float = 2.0,
     seed: int = 0,
+    deadline: Deadline | None = None,
 ) -> CoverResult:
     """Round the LP relaxation into an integral cover.
 
@@ -65,6 +68,11 @@ def lp_rounding(
         Inclusion-probability multiplier on the fractional values.
     seed:
         RNG seed; runs are deterministic given identical inputs.
+    deadline:
+        Optional cooperative deadline checked before the LP solve,
+        between trials, and inside the repair loop. On expiry the best
+        repaired rounding so far (or a greedy best-effort partial) rides
+        along on the :class:`~repro.errors.DeadlineExceeded`.
     """
     if trials < 1:
         raise ValidationError(f"trials must be >= 1, got {trials}")
@@ -73,6 +81,11 @@ def lp_rounding(
     start = time.perf_counter()
     metrics = Metrics()
     required = system.required_coverage(s_hat)
+    if deadline is not None:
+        deadline.require(
+            "lp_rounding (before LP solve)",
+            partial=greedy_partial(system, k, s_hat),
+        )
     relaxation = solve_lp_relaxation(system, k, s_hat)
     rng = np.random.default_rng(seed)
 
@@ -84,16 +97,43 @@ def lp_rounding(
         ]
     )
 
+    def _best_so_far() -> CoverResult:
+        if best is not None:
+            cost, chosen = best
+            return make_result(
+                algorithm="lp_rounding",
+                chosen=chosen,
+                labels=[system[set_id].label for set_id in chosen],
+                total_cost=cost,
+                covered=system.coverage_of(chosen),
+                n_elements=system.n_elements,
+                feasible=True,
+                params={"k": k, "s_hat": s_hat, "seed": seed},
+                metrics=metrics,
+            )
+        return greedy_partial(system, k, s_hat)
+
     best: tuple[float, list[int]] | None = None
     size_violations = 0
     for _ in range(trials):
+        if deadline is not None and deadline.expired():
+            raise DeadlineExceeded(
+                "lp_rounding: deadline expired between trials",
+                partial=_best_so_far(),
+            )
         draws = rng.random(len(fractional_ids)) < probabilities
         chosen = [
             set_id
             for set_id, included in zip(fractional_ids, draws)
             if included
         ]
-        chosen = _repair(system, chosen, required, metrics)
+        try:
+            chosen = _repair(system, chosen, required, metrics, deadline)
+        except _RepairDeadline:
+            raise DeadlineExceeded(
+                "lp_rounding: deadline expired during greedy repair",
+                partial=_best_so_far(),
+            ) from None
         if chosen is None:
             continue
         if len(chosen) > k:
@@ -106,7 +146,8 @@ def lp_rounding(
     if best is None:
         raise InfeasibleError(
             "lp_rounding: no trial could be repaired to the coverage "
-            "target (the union of all sets is too small)"
+            "target (the union of all sets is too small)",
+            partial=greedy_partial(system, k, s_hat),
         )
     cost, chosen = best
     return make_result(
@@ -130,11 +171,16 @@ def lp_rounding(
     )
 
 
+class _RepairDeadline(Exception):
+    """Internal signal: deadline expired inside the repair loop."""
+
+
 def _repair(
     system: SetSystem,
     chosen: list[int],
     required: int,
     metrics: Metrics,
+    deadline: Deadline | None = None,
 ) -> list[int] | None:
     """Greedily extend a rounding until it reaches the coverage target.
 
@@ -156,6 +202,8 @@ def _repair(
         best_id = None
         best_key = None
         for set_id, size in tracker.live_items():
+            if deadline is not None and deadline.poll():
+                raise _RepairDeadline()
             key = gain_key(
                 tracker.marginal_gain(set_id),
                 size,

@@ -149,6 +149,35 @@ class CoverResult:
         }
 
 
+def result_from_dict(payload: dict) -> CoverResult:
+    """Rebuild a :class:`CoverResult` from :meth:`CoverResult.to_dict`.
+
+    The round-trip is intentionally lossy in the same places ``to_dict``
+    is: labels come back as their ``repr`` strings and only scalar params
+    survive. That is sufficient for experiment checkpoints, whose
+    consumers read costs, coverage, and metrics — not live label objects.
+    """
+    metrics_payload = payload.get("metrics", {})
+    metrics = Metrics(
+        sets_considered=int(metrics_payload.get("sets_considered", 0)),
+        marginal_updates=int(metrics_payload.get("marginal_updates", 0)),
+        budget_rounds=int(metrics_payload.get("budget_rounds", 1)),
+        selections=int(metrics_payload.get("selections", 0)),
+        runtime_seconds=float(metrics_payload.get("runtime_seconds", 0.0)),
+    )
+    return CoverResult(
+        algorithm=payload["algorithm"],
+        set_ids=tuple(payload["set_ids"]),
+        labels=tuple(payload["labels"]),
+        total_cost=payload["total_cost"],
+        covered=payload["covered"],
+        n_elements=payload["n_elements"],
+        feasible=payload["feasible"],
+        params=dict(payload.get("params", {})),
+        metrics=metrics,
+    )
+
+
 def make_result(
     algorithm: str,
     chosen: Sequence[SetId],

@@ -75,12 +75,15 @@ class SetSystem:
         self,
         n_elements: int,
         sets: Sequence[WeightedSet],
+        strict: bool = False,
     ) -> None:
         if n_elements < 0:
             raise ValidationError(f"n_elements must be >= 0, got {n_elements}")
         self._n = n_elements
         self._sets = tuple(sets)
         self._validate()
+        if strict:
+            self.validate_strict()
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -92,6 +95,7 @@ class SetSystem:
         benefits: Sequence[Iterable[ElementId]],
         costs: Sequence[Cost],
         labels: Sequence[Hashable] | None = None,
+        strict: bool = False,
     ) -> "SetSystem":
         """Build a system from parallel sequences of benefits and costs."""
         if len(benefits) != len(costs):
@@ -111,7 +115,7 @@ class SetSystem:
             )
             for i, (ben, cost) in enumerate(zip(benefits, costs))
         ]
-        return cls(n_elements, sets)
+        return cls(n_elements, sets, strict=strict)
 
     @classmethod
     def from_mapping(
@@ -129,6 +133,44 @@ class SetSystem:
         costs = [cost for _, (_, cost) in ordered]
         labels = [label for label, _ in ordered]
         return cls.from_iterables(n_elements, benefits, costs, labels=labels)
+
+    def validate_strict(self) -> "SetSystem":
+        """Reject inputs that are legal in the permissive model but almost
+        always bugs in a production pipeline.
+
+        The base constructor already rejects NaN and negative costs (see
+        :class:`WeightedSet`); strict mode additionally rejects:
+
+        * an **empty element universe** — a coverage target over nothing
+          is meaningless and silently makes every solution "feasible";
+        * a system with **no candidate sets**;
+        * **non-finite costs** — ``inf`` is a supported sentinel for
+          "never pick this set" in the research workflows, but in a
+          serving pipeline it is almost always an upstream aggregation
+          bug about to propagate garbage into the greedy loops.
+
+        Returns ``self`` so calls chain; raises
+        :class:`~repro.errors.ValidationError` otherwise. Opt in via
+        ``SetSystem(..., strict=True)``, ``from_iterables(...,
+        strict=True)``, or an explicit call (used by
+        :func:`repro.resilience.resilient_solve`'s ``strict`` flag).
+        """
+        if self._n == 0:
+            raise ValidationError(
+                "strict validation: empty element universe (n_elements=0); "
+                "a coverage target over nothing is meaningless"
+            )
+        if not self._sets:
+            raise ValidationError(
+                "strict validation: the system has no candidate sets"
+            )
+        for ws in self._sets:
+            if not math.isfinite(ws.cost):
+                raise ValidationError(
+                    f"strict validation: set {ws.set_id} "
+                    f"(label={ws.label!r}) has non-finite cost {ws.cost!r}"
+                )
+        return self
 
     def _validate(self) -> None:
         for expected_id, ws in enumerate(self._sets):

@@ -3,6 +3,21 @@
 All errors raised by this library derive from :class:`ReproError` so callers
 can catch library failures with a single ``except`` clause while still
 letting programming errors (``TypeError`` etc.) propagate.
+
+Every subclass carries an :attr:`ReproError.exit_code` so the CLI can map
+failures to distinct, documented process exit statuses (``scwsc`` prints the
+message to stderr and exits with that code). Codes are stable API:
+
+====  =========================  =======================================
+code  exception                  meaning
+====  =========================  =======================================
+1     ReproError                 unclassified library failure
+2     ValidationError            bad input (system, table, parameter)
+3     InfeasibleError            no solution found under the constraints
+4     DeadlineExceeded           a deadline/timeout expired mid-solve
+5     PatternSpaceError          pattern enumeration would be intractable
+6     TransientSolverError       a retryable backend (LP) failure
+====  =========================  =======================================
 """
 
 from __future__ import annotations
@@ -11,9 +26,14 @@ from __future__ import annotations
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
+    #: Process exit status the CLI uses for this error class.
+    exit_code: int = 1
+
 
 class ValidationError(ReproError, ValueError):
     """An input (set system, table, parameter) failed validation."""
+
+    exit_code = 2
 
 
 class InfeasibleError(ReproError):
@@ -27,8 +47,34 @@ class InfeasibleError(ReproError):
     ----------
     partial:
         The best partial solution discovered before giving up, when one is
-        available; otherwise ``None``. Useful for diagnostics.
+        available; otherwise ``None``. Useful for diagnostics and for
+        fallback chains that degrade instead of failing.
     """
+
+    exit_code = 3
+
+    def __init__(self, message: str, partial=None):
+        super().__init__(message)
+        self.partial = partial
+
+
+class DeadlineExceeded(ReproError):
+    """A cooperative deadline expired before the solve finished.
+
+    Solvers that accept a :class:`repro.resilience.Deadline` poll it at
+    checkpoints in their inner loops and raise this instead of running
+    past the budget. The best partial solution found before the deadline
+    is always attached so callers can degrade gracefully.
+
+    Attributes
+    ----------
+    partial:
+        Best-so-far :class:`~repro.core.result.CoverResult` (possibly an
+        empty, infeasible one — but never ``None`` when raised by a
+        library solver).
+    """
+
+    exit_code = 4
 
     def __init__(self, message: str, partial=None):
         super().__init__(message)
@@ -42,3 +88,18 @@ class PatternSpaceError(ReproError):
     patterns; this error is raised instead of silently attempting an
     enumeration that cannot finish.
     """
+
+    exit_code = 5
+
+
+class TransientSolverError(ReproError):
+    """A backend failure that is plausibly transient and worth retrying.
+
+    Raised when the LP backend reports a numerical (not structural)
+    failure, or by the fault-injection layer
+    (:mod:`repro.resilience.faults`) when simulating flaky backends.
+    :func:`repro.resilience.resilient_solve` retries these with capped,
+    seeded exponential backoff before falling through to the next stage.
+    """
+
+    exit_code = 6

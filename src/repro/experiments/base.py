@@ -1,4 +1,4 @@
-"""Experiment harness plumbing: reports, scales, and the registry.
+"""Experiment harness plumbing: reports, scales, checkpoints, the registry.
 
 Every paper artifact (table or figure) has one module in this package
 exposing ``run(scale) -> ExperimentReport``. Reports carry both the
@@ -8,16 +8,33 @@ tests and EXPERIMENTS.md assertions consume).
 Scales keep the harness honest *and* testable: ``full`` is the
 reproduction configuration (pure-Python-sized, see DESIGN.md), ``small``
 is a minutes-not-hours smoke configuration used by the test suite.
+
+Checkpointing: long sweeps can snapshot per-cell results to a JSON file
+(:class:`CheckpointStore`) and resume after a crash without recomputing
+completed cells. ``run_experiment(..., checkpoint=store)`` installs the
+store for the duration of the run; experiment internals (e.g.
+:mod:`repro.experiments.quality_grid`) fetch it with
+:func:`active_checkpoint` and wrap each expensive cell in
+:meth:`CheckpointStore.cell`. The CLI exposes this as
+``scwsc run <experiment> --resume``.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import tempfile
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Literal
 
 from repro.errors import ValidationError
 
 Scale = Literal["small", "full"]
+
+#: Format marker so a future layout change can detect stale files.
+_CHECKPOINT_VERSION = 1
 
 
 @dataclass
@@ -31,6 +48,112 @@ class ExperimentReport:
 
     def __str__(self) -> str:
         return self.text
+
+
+class CheckpointStore:
+    """A JSON file of completed experiment cells, flushed after every put.
+
+    Keys are caller-chosen strings (e.g. ``"CWSC|s=0.3"``); values must
+    be JSON-serializable. Writes go to a temp file in the same directory
+    followed by :func:`os.replace`, so a crash mid-write leaves the
+    previous snapshot intact rather than a torn file.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._cells: dict[str, object] = {}
+        self.hits = 0
+        self.misses = 0
+        if self.path.exists():
+            try:
+                payload = json.loads(self.path.read_text())
+            except (OSError, json.JSONDecodeError) as error:
+                raise ValidationError(
+                    f"checkpoint file {self.path} is unreadable: {error}"
+                ) from error
+            if payload.get("version") != _CHECKPOINT_VERSION:
+                raise ValidationError(
+                    f"checkpoint file {self.path} has version "
+                    f"{payload.get('version')!r}, expected "
+                    f"{_CHECKPOINT_VERSION}; delete it to start fresh"
+                )
+            self._cells = dict(payload.get("cells", {}))
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._cells
+
+    def get(self, key: str):
+        """The stored value for ``key`` (KeyError when absent)."""
+        return self._cells[key]
+
+    def put(self, key: str, value) -> None:
+        """Store one completed cell and flush the snapshot to disk."""
+        self._cells[key] = value
+        self._flush()
+
+    def clear(self) -> None:
+        """Drop all cells (a fresh, non-resumed run starts clean)."""
+        self._cells = {}
+        if self.path.exists():
+            self._flush()
+
+    def cell(self, key: str, compute: Callable[[], object],
+             serialize: Callable = lambda value: value,
+             deserialize: Callable = lambda payload: payload):
+        """Return the cached value for ``key`` or compute-and-store it.
+
+        ``serialize``/``deserialize`` adapt rich objects (e.g.
+        :class:`~repro.core.result.CoverResult`) to their JSON form.
+        """
+        if key in self._cells:
+            self.hits += 1
+            return deserialize(self._cells[key])
+        self.misses += 1
+        value = compute()
+        self.put(key, serialize(value))
+        return value
+
+    def _flush(self) -> None:
+        payload = {"version": _CHECKPOINT_VERSION, "cells": self._cells}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(
+            dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+
+#: The store installed by :func:`checkpointing`, if any.
+_ACTIVE_CHECKPOINT: CheckpointStore | None = None
+
+
+def active_checkpoint() -> CheckpointStore | None:
+    """The checkpoint store of the current run (``None`` when off)."""
+    return _ACTIVE_CHECKPOINT
+
+
+@contextmanager
+def checkpointing(store: CheckpointStore | None):
+    """Install ``store`` as the active checkpoint for the duration."""
+    global _ACTIVE_CHECKPOINT
+    previous = _ACTIVE_CHECKPOINT
+    _ACTIVE_CHECKPOINT = store
+    try:
+        yield store
+    finally:
+        _ACTIVE_CHECKPOINT = previous
 
 
 _REGISTRY: dict[str, Callable[[Scale], ExperimentReport]] = {}
@@ -58,8 +181,17 @@ def available_experiments() -> dict[str, str]:
     return dict(sorted(_DESCRIPTIONS.items()))
 
 
-def run_experiment(experiment_id: str, scale: Scale = "full") -> ExperimentReport:
-    """Run one experiment by id."""
+def run_experiment(
+    experiment_id: str,
+    scale: Scale = "full",
+    checkpoint: CheckpointStore | None = None,
+) -> ExperimentReport:
+    """Run one experiment by id.
+
+    With a ``checkpoint`` store, experiments that support per-cell
+    snapshots (currently the Table IV/V quality grid) resume completed
+    cells from it and append new ones as they finish.
+    """
     _load_all()
     if scale not in ("small", "full"):
         raise ValidationError(f"scale must be 'small' or 'full', got {scale}")
@@ -70,7 +202,8 @@ def run_experiment(experiment_id: str, scale: Scale = "full") -> ExperimentRepor
             f"unknown experiment {experiment_id!r}; "
             f"known: {sorted(_REGISTRY)}"
         ) from None
-    return fn(scale)
+    with checkpointing(checkpoint):
+        return fn(scale)
 
 
 def _load_all() -> None:

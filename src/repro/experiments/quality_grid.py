@@ -13,6 +13,8 @@ import time
 
 from repro.core.cmc_epsilon import cmc_epsilon
 from repro.core.cwsc import cwsc
+from repro.core.result import result_from_dict
+from repro.experiments.base import active_checkpoint
 from repro.experiments.sweeps import master_trace
 from repro.patterns.pattern_sets import build_set_system
 
@@ -44,8 +46,15 @@ def grid_results(scale: str) -> dict:
 
     ``label`` is ``"CWSC"`` or ``"CMC (b=.., eps=..)"``; each result is a
     :class:`~repro.core.result.CoverResult`.
+
+    When a checkpoint store is active (``scwsc run --resume``), every
+    ``(algorithm, s)`` cell is snapshotted to it as soon as it finishes,
+    and cells already present are loaded instead of recomputed. The
+    in-process memo is bypassed in that case so the store stays the
+    source of truth.
     """
-    if scale in _grid_cache:
+    store = active_checkpoint()
+    if store is None and scale in _grid_cache:
         return _grid_cache[scale]
     config = CONFIG[scale]
     table = master_trace(config["n_rows"], config["seed"])
@@ -53,22 +62,41 @@ def grid_results(scale: str) -> dict:
     system = build_set_system(table, "max")
     build_seconds = time.perf_counter() - build_start
 
+    def cell(label: str, s_hat: float, compute):
+        if store is None:
+            return compute()
+        return store.cell(
+            f"{scale}|{label}|s={s_hat:g}",
+            compute,
+            serialize=lambda result: result.to_dict(),
+            deserialize=result_from_dict,
+        )
+
     rows: dict[str, dict[float, object]] = {"CWSC": {}}
     for s_hat in config["s_values"]:
-        rows["CWSC"][s_hat] = cwsc(
-            system, config["k"], s_hat, on_infeasible="full_cover"
+        rows["CWSC"][s_hat] = cell(
+            "CWSC",
+            s_hat,
+            lambda s=s_hat: cwsc(
+                system, config["k"], s, on_infeasible="full_cover"
+            ),
         )
     for b, eps in config["cmc_configs"]:
         label = f"CMC (b={b:g}, eps={eps:g})"
         rows[label] = {}
         for s_hat in config["s_values"]:
-            rows[label][s_hat] = cmc_epsilon(
-                system, config["k"], s_hat, b=b, eps=eps
+            rows[label][s_hat] = cell(
+                label,
+                s_hat,
+                lambda s=s_hat, b=b, eps=eps: cmc_epsilon(
+                    system, config["k"], s, b=b, eps=eps
+                ),
             )
     result = {
         "build_seconds": build_seconds,
         "rows": rows,
         "config": config,
     }
-    _grid_cache[scale] = result
+    if store is None:
+        _grid_cache[scale] = result
     return result

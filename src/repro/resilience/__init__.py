@@ -1,0 +1,55 @@
+"""Resilient-solve subsystem: deadlines, fault injection, fallback chains.
+
+Public surface:
+
+* :class:`Deadline` — cooperative wall-clock budget polled by every core
+  solver (``cwsc``, ``cmc``, ``cmc_epsilon``, ``solve_exact``,
+  ``lp_rounding``); expiry raises
+  :class:`~repro.errors.DeadlineExceeded` carrying the best partial
+  result.
+* :func:`resilient_solve` — run a fallback chain of solvers under a
+  shared deadline, retry transient LP failures with seeded backoff,
+  independently verify every candidate, and (given the paper's universal
+  set) always return a feasible answer with a provenance record.
+* :mod:`repro.resilience.faults` — deterministic chaos layer (injected
+  LP failures, slow iterations, malformed marginal updates) used by the
+  chaos test suite; enable via :func:`faults.install` or the
+  ``REPRO_CHAOS`` environment variable.
+
+See ``docs/RESILIENCE.md`` for the full model.
+
+Implementation note: the core solvers import :mod:`.deadline` and
+:mod:`.faults` (which depend only on :mod:`repro.errors`), while
+:mod:`.chain` depends on the core solvers. To keep that layering
+cycle-free, this package imports the chain module lazily (PEP 562).
+"""
+
+from __future__ import annotations
+
+from repro.resilience import faults
+from repro.resilience.deadline import Deadline
+from repro.resilience.faults import FaultConfig, FaultInjector, chaos
+
+__all__ = [
+    "DEFAULT_CHAIN",
+    "Deadline",
+    "FaultConfig",
+    "FaultInjector",
+    "StageRecord",
+    "chaos",
+    "faults",
+    "resilient_solve",
+]
+
+#: Names resolved lazily from :mod:`repro.resilience.chain`.
+_CHAIN_EXPORTS = frozenset({"DEFAULT_CHAIN", "StageRecord", "resilient_solve"})
+
+
+def __getattr__(name: str):
+    if name in _CHAIN_EXPORTS:
+        from repro.resilience import chain
+
+        return getattr(chain, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

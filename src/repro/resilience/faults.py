@@ -1,0 +1,212 @@
+"""Deterministic fault injection ("chaos layer") for the solvers.
+
+Robustness claims are only as good as the failures they were tested
+against. This module lets tests (and adventurous operators) inject three
+fault families into the core solvers, at hook points the solvers call
+explicitly:
+
+* **LP failures** — :meth:`FaultInjector.lp_attempt` raises
+  :class:`~repro.errors.TransientSolverError` with probability
+  ``lp_failure``, simulating a flaky LP backend. Hooked in
+  :func:`repro.core.lp_bound.solve_lp_relaxation`.
+* **Slow iterations** — :meth:`FaultInjector.iteration` sleeps
+  ``slow_seconds`` with probability ``slow_iteration``, creating deadline
+  pressure inside greedy loops. Hooked at the solvers' deadline
+  checkpoints.
+* **Malformed marginal-gain updates** — :meth:`FaultInjector.corrupt_marginal`
+  perturbs the "newly covered" count returned by a selection with
+  probability ``corrupt_marginal``, so a solver may *believe* it reached
+  the coverage target when it did not. This is exactly the class of bug
+  :func:`repro.core.validate.verify_result` exists to catch, and the
+  fallback chain must reject such answers rather than return them.
+
+All randomness comes from one ``random.Random(seed)``, so a given config
+produces the same fault schedule on every run — failures reproduce.
+
+Enabling
+--------
+* Tests / code: ``with chaos(FaultConfig(lp_failure=0.5, seed=7)): ...``
+  or :func:`install` / :func:`uninstall`.
+* Environment: set ``REPRO_CHAOS`` before the first solve, e.g.::
+
+      REPRO_CHAOS="lp=0.3,slow=0.05,corrupt=0.1,seed=42,slow_seconds=0.005"
+
+The solvers fetch the injector once per call via :func:`active`; when no
+injector is installed the hooks cost one ``None`` check.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.errors import TransientSolverError, ValidationError
+
+__all__ = [
+    "FaultConfig",
+    "FaultInjector",
+    "active",
+    "chaos",
+    "install",
+    "uninstall",
+]
+
+#: Mapping from ``REPRO_CHAOS`` keys to :class:`FaultConfig` fields.
+_ENV_KEYS = {
+    "lp": "lp_failure",
+    "lp_failure": "lp_failure",
+    "slow": "slow_iteration",
+    "slow_iteration": "slow_iteration",
+    "corrupt": "corrupt_marginal",
+    "corrupt_marginal": "corrupt_marginal",
+    "slow_seconds": "slow_seconds",
+    "seed": "seed",
+}
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Probabilities and knobs for one chaos schedule.
+
+    All rates are per-hook-call probabilities in ``[0, 1]``.
+    """
+
+    lp_failure: float = 0.0
+    slow_iteration: float = 0.0
+    corrupt_marginal: float = 0.0
+    slow_seconds: float = 0.002
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("lp_failure", "slow_iteration", "corrupt_marginal"):
+            rate = getattr(self, name)
+            if not (0.0 <= rate <= 1.0):
+                raise ValidationError(
+                    f"fault rate {name} must be in [0, 1], got {rate!r}"
+                )
+        if self.slow_seconds < 0:
+            raise ValidationError(
+                f"slow_seconds must be >= 0, got {self.slow_seconds!r}"
+            )
+
+
+@dataclass
+class FaultStats:
+    """Counters of what the injector actually did (for assertions)."""
+
+    lp_failures: int = 0
+    slowdowns: int = 0
+    corruptions: int = 0
+
+
+class FaultInjector:
+    """One installed chaos schedule; see the module docstring."""
+
+    def __init__(self, config: FaultConfig) -> None:
+        self.config = config
+        self.stats = FaultStats()
+        self._rng = random.Random(config.seed)
+
+    # -- hooks (called by the solvers) ---------------------------------
+    def lp_attempt(self) -> None:
+        """Possibly fail an LP backend call."""
+        if self.config.lp_failure and self._rng.random() < self.config.lp_failure:
+            self.stats.lp_failures += 1
+            raise TransientSolverError(
+                "injected fault: LP backend failed "
+                f"(#{self.stats.lp_failures})"
+            )
+
+    def iteration(self) -> None:
+        """Possibly stall one solver iteration."""
+        if (
+            self.config.slow_iteration
+            and self._rng.random() < self.config.slow_iteration
+        ):
+            self.stats.slowdowns += 1
+            time.sleep(self.config.slow_seconds)
+
+    def corrupt_marginal(self, newly: int) -> int:
+        """Possibly inflate a "newly covered" count.
+
+        Inflation (rather than deflation) is the nastier direction: the
+        solver may stop early believing it hit the coverage target, and
+        only independent verification can tell.
+        """
+        if (
+            self.config.corrupt_marginal
+            and self._rng.random() < self.config.corrupt_marginal
+        ):
+            self.stats.corruptions += 1
+            return newly + 1 + self._rng.randrange(3)
+        return newly
+
+
+#: Sentinel meaning "environment not consulted yet".
+_UNSET = object()
+_ACTIVE: FaultInjector | None | object = _UNSET
+
+
+def parse_env(value: str) -> FaultConfig:
+    """Parse a ``REPRO_CHAOS`` string into a :class:`FaultConfig`."""
+    kwargs: dict = {}
+    for part in value.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ValidationError(
+                f"REPRO_CHAOS entries must be key=value, got {part!r}"
+            )
+        key, _, raw = part.partition("=")
+        field_name = _ENV_KEYS.get(key.strip())
+        if field_name is None:
+            raise ValidationError(
+                f"unknown REPRO_CHAOS key {key.strip()!r}; "
+                f"known: {sorted(set(_ENV_KEYS))}"
+            )
+        kwargs[field_name] = (
+            int(raw) if field_name == "seed" else float(raw)
+        )
+    return FaultConfig(**kwargs)
+
+
+def install(config: FaultConfig) -> FaultInjector:
+    """Install a chaos schedule process-wide; returns the injector."""
+    global _ACTIVE
+    injector = FaultInjector(config)
+    _ACTIVE = injector
+    return injector
+
+
+def uninstall() -> None:
+    """Remove any installed injector (env var is *not* re-read)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active() -> FaultInjector | None:
+    """The installed injector, or ``None`` when chaos is off.
+
+    On first call, honors the ``REPRO_CHAOS`` environment variable.
+    """
+    global _ACTIVE
+    if _ACTIVE is _UNSET:
+        env = os.environ.get("REPRO_CHAOS", "").strip()
+        _ACTIVE = FaultInjector(parse_env(env)) if env else None
+    return _ACTIVE  # type: ignore[return-value]
+
+
+@contextmanager
+def chaos(config: FaultConfig):
+    """Context manager installing (then restoring) a chaos schedule."""
+    global _ACTIVE
+    previous = _ACTIVE
+    injector = install(config)
+    try:
+        yield injector
+    finally:
+        _ACTIVE = previous

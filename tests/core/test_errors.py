@@ -3,16 +3,24 @@
 import pytest
 
 from repro.errors import (
+    DeadlineExceeded,
     InfeasibleError,
     PatternSpaceError,
     ReproError,
+    TransientSolverError,
     ValidationError,
 )
 
 
 class TestHierarchy:
     def test_all_derive_from_repro_error(self):
-        for exc_type in (InfeasibleError, PatternSpaceError, ValidationError):
+        for exc_type in (
+            InfeasibleError,
+            PatternSpaceError,
+            ValidationError,
+            DeadlineExceeded,
+            TransientSolverError,
+        ):
             assert issubclass(exc_type, ReproError)
 
     def test_validation_error_is_value_error(self):
@@ -35,3 +43,37 @@ class TestHierarchy:
             except ReproError as error:
                 caught.append(error)
         assert len(caught) == 3
+
+    def test_deadline_carries_partial(self):
+        error = DeadlineExceeded("too slow", partial="the-partial")
+        assert error.partial == "the-partial"
+        assert DeadlineExceeded("too slow").partial is None
+
+
+class TestExitCodes:
+    """The documented CLI exit-code contract (see repro.cli docstring)."""
+
+    def test_distinct_nonzero_codes(self):
+        classes = (
+            ReproError,
+            ValidationError,
+            InfeasibleError,
+            DeadlineExceeded,
+            PatternSpaceError,
+            TransientSolverError,
+        )
+        codes = [exc_type.exit_code for exc_type in classes]
+        assert all(code > 0 for code in codes)
+        assert len(set(codes)) == len(codes)
+
+    def test_stable_mapping(self):
+        assert ReproError.exit_code == 1
+        assert ValidationError.exit_code == 2
+        assert InfeasibleError.exit_code == 3
+        assert DeadlineExceeded.exit_code == 4
+        assert PatternSpaceError.exit_code == 5
+        assert TransientSolverError.exit_code == 6
+
+    def test_instances_inherit_their_class_code(self):
+        assert InfeasibleError("x").exit_code == 3
+        assert DeadlineExceeded("x").exit_code == 4

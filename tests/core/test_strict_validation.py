@@ -1,0 +1,61 @@
+"""Opt-in strict SetSystem validation (permissive defaults unchanged)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.setsystem import SetSystem
+from repro.errors import ValidationError
+
+
+def _good_args():
+    return 3, [{0, 1}, {2}, {0, 1, 2}], [1.0, 2.0, 9.0]
+
+
+class TestStrictRejects:
+    def test_empty_universe(self):
+        with pytest.raises(ValidationError, match="empty element universe"):
+            SetSystem.from_iterables(0, [], [], strict=True)
+
+    def test_no_sets(self):
+        with pytest.raises(ValidationError, match="no candidate sets"):
+            SetSystem.from_iterables(4, [], [], strict=True)
+
+    def test_infinite_cost(self):
+        with pytest.raises(ValidationError, match="non-finite cost"):
+            SetSystem.from_iterables(
+                2, [{0}, {0, 1}], [1.0, float("inf")], strict=True
+            )
+
+    def test_constructor_strict_flag(self):
+        n, benefits, costs = _good_args()
+        system = SetSystem.from_iterables(n, benefits, costs)
+        with pytest.raises(ValidationError):
+            SetSystem(0, [], strict=True)
+        assert SetSystem(n, list(system.sets), strict=True).n_elements == n
+
+
+class TestStrictAccepts:
+    def test_clean_system_passes_and_chains(self):
+        system = SetSystem.from_iterables(*_good_args(), strict=True)
+        assert system.validate_strict() is system
+
+
+class TestPermissiveDefaultUnchanged:
+    """The research workflows depend on these staying legal by default."""
+
+    def test_empty_universe_still_legal(self):
+        system = SetSystem.from_iterables(0, [], [])
+        assert system.n_elements == 0
+
+    def test_infinite_cost_still_legal(self):
+        system = SetSystem.from_iterables(1, [{0}], [float("inf")])
+        assert system[0].cost == float("inf")
+
+    def test_nan_cost_rejected_even_permissively(self):
+        with pytest.raises(ValidationError):
+            SetSystem.from_iterables(1, [{0}], [float("nan")])
+
+    def test_negative_cost_rejected_even_permissively(self):
+        with pytest.raises(ValidationError):
+            SetSystem.from_iterables(1, [{0}], [-1.0])

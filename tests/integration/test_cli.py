@@ -26,7 +26,8 @@ class TestRun:
         assert "cost 27" in out  # the optimal solution
 
     def test_unknown_experiment_fails_cleanly(self, capsys):
-        assert main(["run", "nope"]) == 1
+        # bad input -> exit code 2 (see repro.errors)
+        assert main(["run", "nope"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
 
     def test_out_file(self, tmp_path, capsys):
@@ -167,7 +168,8 @@ class TestDemo:
         assert "optimized_cmc" in out
 
     def test_unknown_dataset_fails_cleanly(self, capsys):
-        assert main(["demo", "--dataset", "nope"]) == 1
+        # bad input -> exit code 2 (see repro.errors)
+        assert main(["demo", "--dataset", "nope"]) == 2
         assert "unknown dataset" in capsys.readouterr().err
 
     def test_unoptimized_flag_adds_rows(self, capsys):

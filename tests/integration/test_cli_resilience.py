@@ -1,0 +1,167 @@
+"""CLI failure semantics: exit codes, --timeout/--fallback, run --resume."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.datasets.entities import entities_table
+from repro.experiments import quality_grid
+from repro.resilience import FaultConfig, chaos
+
+
+@pytest.fixture
+def csv_path(tmp_path):
+    path = tmp_path / "entities.csv"
+    entities_table().to_csv(path)
+    return str(path)
+
+
+def _solve_args(csv_path, *extra):
+    return [
+        "solve", csv_path,
+        "--attributes", "Type,Location",
+        "--measure", "Cost",
+        "-k", "3", "-s", "0.5",
+        *extra,
+    ]
+
+
+class TestSolveTimeout:
+    def test_timeout_flag_routes_through_resilience(self, csv_path, capsys):
+        assert main(_solve_args(csv_path, "--timeout", "30")) == 0
+        out = capsys.readouterr().out
+        assert "resilience: answered by stage" in out
+
+    def test_tiny_timeout_still_answers(self, csv_path, capsys):
+        # Pattern systems always contain the all-wildcards full cover,
+        # so even a spent deadline degrades to a feasible answer.
+        assert main(_solve_args(csv_path, "--timeout", "0.000001")) == 0
+        out = capsys.readouterr().out
+        assert "resilience: answered by stage" in out
+
+
+class TestSolveFallback:
+    def test_bare_fallback_uses_default_chain(self, csv_path, capsys):
+        assert main(_solve_args(csv_path, "--fallback")) == 0
+        assert "resilience:" in capsys.readouterr().out
+
+    def test_explicit_chain(self, csv_path, capsys):
+        code = main(
+            _solve_args(csv_path, "--fallback", "cwsc,universal")
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "answered by stage 'cwsc'" in out
+
+    def test_json_payload_carries_provenance(self, csv_path, capsys):
+        code = main(
+            _solve_args(csv_path, "--fallback", "cwsc,universal", "--json")
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["feasible"] is True
+        prov = payload["resilience"]
+        assert prov["stage"] == "cwsc"
+        assert [r["stage"] for r in prov["stages"]] == ["cwsc"]
+
+    def test_unknown_stage_is_bad_input_exit_2(self, csv_path, capsys):
+        code = main(_solve_args(csv_path, "--fallback", "warp-drive"))
+        assert code == 2
+        assert "unknown chain stage" in capsys.readouterr().err
+
+    def test_survives_injected_lp_failures(self, csv_path, capsys):
+        with chaos(FaultConfig(lp_failure=1.0, seed=5)):
+            code = main(
+                _solve_args(
+                    csv_path, "--fallback", "lp_rounding,cwsc,universal"
+                )
+            )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lp_rounding" in out
+        assert "transient_exhausted" in out
+
+
+class TestSolveErrorReporting:
+    def test_bad_csv_path_exits_nonzero_with_stderr(self, capsys):
+        code = main(_solve_args("/nonexistent/file.csv"))
+        captured = capsys.readouterr()
+        assert code != 0
+        assert captured.err != ""
+
+    def test_bad_coverage_is_bad_input(self, csv_path, capsys):
+        code = main(
+            [
+                "solve", csv_path,
+                "--attributes", "Type,Location",
+                "-k", "3", "-s", "2.5",
+            ]
+        )
+        assert code == 2
+        assert capsys.readouterr().err != ""
+
+
+class TestRunResume:
+    @pytest.fixture(autouse=True)
+    def _fresh_memo(self, monkeypatch):
+        monkeypatch.setattr(quality_grid, "_grid_cache", {})
+
+    def test_resume_skips_completed_cells(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        ckdir = str(tmp_path / "checkpoints")
+        args = ["run", "table4", "--scale", "small", "--checkpoint-dir", ckdir]
+        assert main(args) == 0
+        capsys.readouterr()
+
+        calls = []
+        real_cwsc = quality_grid.cwsc
+        monkeypatch.setattr(
+            quality_grid,
+            "cwsc",
+            lambda *a, **kw: calls.append(1) or real_cwsc(*a, **kw),
+        )
+        real_cmc = quality_grid.cmc_epsilon
+        monkeypatch.setattr(
+            quality_grid,
+            "cmc_epsilon",
+            lambda *a, **kw: calls.append(1) or real_cmc(*a, **kw),
+        )
+        assert main([*args, "--resume"]) == 0
+        captured = capsys.readouterr()
+        assert "resuming table4" in captured.err
+        assert "cell(s) done" in captured.err
+        assert calls == []  # nothing recomputed
+        assert "Table IV" in captured.out
+
+    def test_without_resume_checkpoint_starts_fresh(
+        self, tmp_path, capsys
+    ):
+        ckdir = tmp_path / "checkpoints"
+        args = [
+            "run", "table4", "--scale", "small",
+            "--checkpoint-dir", str(ckdir),
+        ]
+        assert main(args) == 0
+        path = ckdir / "table4-small.json"
+        assert path.exists()
+        first = json.loads(path.read_text())
+        assert len(first["cells"]) > 0
+
+        # A non-resumed rerun clears the store before computing.
+        assert main(args) == 0
+        second = json.loads(path.read_text())
+        assert second["cells"].keys() == first["cells"].keys()
+
+    def test_no_checkpoint_flag_writes_nothing(self, tmp_path, capsys):
+        ckdir = tmp_path / "checkpoints"
+        assert main(
+            [
+                "run", "table4", "--scale", "small",
+                "--checkpoint-dir", str(ckdir), "--no-checkpoint",
+            ]
+        ) == 0
+        assert not ckdir.exists()

@@ -1,0 +1,125 @@
+"""Chaos suite: resilient_solve must survive every injected-fault storm.
+
+Marked ``chaos`` (run via ``make chaos`` or ``pytest -m chaos``). Every
+scenario uses a fixed seed so a failure here reproduces identically.
+
+The acceptance bar, from the resilience design: under any combination of
+injected LP failures, slowdowns, marginal-gain corruption, and deadline
+pressure, ``resilient_solve`` returns a feasible answer that passes
+independent verification against the winning stage's guarantee envelope
+— with zero uncaught exceptions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.validate import verify_result
+from repro.datasets.adversarial import bmc_adversarial_system
+from repro.resilience import FaultConfig, chaos, resilient_solve
+
+pytestmark = pytest.mark.chaos
+
+#: The fault storms. Each combines at least one fault family; the last
+#: entries turn everything on at once.
+SCENARIOS = [
+    FaultConfig(lp_failure=1.0, seed=101),
+    FaultConfig(lp_failure=0.6, seed=102),
+    FaultConfig(corrupt_marginal=1.0, seed=103),
+    FaultConfig(corrupt_marginal=0.5, seed=104),
+    FaultConfig(slow_iteration=0.5, slow_seconds=0.001, seed=105),
+    FaultConfig(lp_failure=0.5, corrupt_marginal=0.5, seed=106),
+    FaultConfig(
+        lp_failure=0.7,
+        slow_iteration=0.3,
+        corrupt_marginal=0.7,
+        slow_seconds=0.001,
+        seed=107,
+    ),
+]
+
+_FAST_BACKOFF = {"backoff_base": 0.0, "backoff_cap": 0.0}
+
+
+def _assert_clean(system, result):
+    prov = result.params["resilience"]
+    assert result.feasible, (
+        f"stage {prov['stage']!r} returned infeasible; "
+        f"stages: {[(r['stage'], r['status']) for r in prov['stages']]}"
+    )
+    problems = verify_result(
+        system, result, k=prov["k_bound"], s_hat=prov["coverage_target"]
+    )
+    assert problems == [], problems
+
+
+@pytest.mark.parametrize(
+    "config", SCENARIOS, ids=lambda c: f"seed{c.seed}"
+)
+class TestChaosScenarios:
+    def test_entities_system_survives(self, entities_system, config):
+        with chaos(config):
+            result = resilient_solve(entities_system, k=5, s_hat=0.8)
+        _assert_clean(entities_system, result)
+
+    def test_adversarial_system_survives(self, config):
+        system = bmc_adversarial_system(k=3, c=2, big_c=4)
+        with chaos(config):
+            result = resilient_solve(system, k=3, s_hat=1.0, **_FAST_BACKOFF)
+        _assert_clean(system, result)
+
+    def test_deadline_pressure_survives(self, entities_system, config):
+        with chaos(config):
+            result = resilient_solve(
+                entities_system, k=5, s_hat=0.8, timeout=0.05, **_FAST_BACKOFF
+            )
+        _assert_clean(entities_system, result)
+
+    def test_random_systems_survive(self, random_system, config):
+        for system_seed in (0, 1, 2):
+            system = random_system(
+                n_elements=25, n_sets=15, seed=system_seed
+            )
+            with chaos(config):
+                result = resilient_solve(
+                    system, k=5, s_hat=1.0, timeout=0.2, **_FAST_BACKOFF
+                )
+            _assert_clean(system, result)
+
+
+class TestChaosDeterminism:
+    def test_same_storm_same_answer(self, entities_system):
+        config = FaultConfig(
+            lp_failure=0.5, corrupt_marginal=0.5, seed=999
+        )
+
+        def run():
+            with chaos(config):
+                result = resilient_solve(
+                    entities_system, k=5, s_hat=0.8, **_FAST_BACKOFF
+                )
+            prov = result.params["resilience"]
+            return (
+                result.set_ids,
+                prov["stage"],
+                [(r["stage"], r["status"]) for r in prov["stages"]],
+            )
+
+        assert run() == run()
+
+    def test_env_var_chaos_round_trip(self, entities_system, monkeypatch):
+        """The documented REPRO_CHAOS format drives the same machinery."""
+        from repro.resilience import faults
+
+        monkeypatch.setenv(
+            "REPRO_CHAOS", "lp=0.5,corrupt=0.5,seed=999"
+        )
+        previous = faults._ACTIVE
+        faults._ACTIVE = faults._UNSET
+        try:
+            result = resilient_solve(
+                entities_system, k=5, s_hat=0.8, **_FAST_BACKOFF
+            )
+        finally:
+            faults._ACTIVE = previous
+        _assert_clean(entities_system, result)

@@ -1,0 +1,193 @@
+"""Checkpointed experiments: the store itself and crash-resume semantics."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.result import CoverResult
+from repro.errors import ValidationError
+from repro.experiments import base as exp_base
+from repro.experiments import quality_grid
+from repro.experiments.base import (
+    CheckpointStore,
+    active_checkpoint,
+    checkpointing,
+    run_experiment,
+)
+
+
+class TestCheckpointStore:
+    def test_round_trip(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ck.json")
+        store.put("a", {"x": 1})
+        store.put("b", [1, 2, 3])
+        reloaded = CheckpointStore(tmp_path / "ck.json")
+        assert len(reloaded) == 2
+        assert "a" in reloaded
+        assert reloaded.get("a") == {"x": 1}
+        assert reloaded.get("b") == [1, 2, 3]
+
+    def test_missing_file_means_empty_store(self, tmp_path):
+        store = CheckpointStore(tmp_path / "nope.json")
+        assert len(store) == 0
+
+    def test_cell_computes_once_then_hits(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ck.json")
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return 42
+
+        assert store.cell("k", compute) == 42
+        assert store.cell("k", compute) == 42
+        assert calls == [1]
+        assert store.hits == 1
+        assert store.misses == 1
+
+    def test_cell_serialize_deserialize(self, tmp_path):
+        path = tmp_path / "ck.json"
+        store = CheckpointStore(path)
+        store.cell(
+            "k",
+            lambda: {1, 2, 3},
+            serialize=lambda value: sorted(value),
+            deserialize=set,
+        )
+        reloaded = CheckpointStore(path)
+        value = reloaded.cell(
+            "k", lambda: pytest.fail("recompute"), deserialize=set
+        )
+        assert value == {1, 2, 3}
+        assert reloaded.hits == 1
+
+    def test_flush_is_valid_json_after_every_put(self, tmp_path):
+        path = tmp_path / "ck.json"
+        store = CheckpointStore(path)
+        for i in range(5):
+            store.put(f"cell-{i}", i)
+            payload = json.loads(path.read_text())
+            assert payload["version"] == exp_base._CHECKPOINT_VERSION
+            assert len(payload["cells"]) == i + 1
+
+    def test_clear_empties_disk_too(self, tmp_path):
+        path = tmp_path / "ck.json"
+        store = CheckpointStore(path)
+        store.put("a", 1)
+        store.clear()
+        assert len(CheckpointStore(path)) == 0
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text("{not json")
+        with pytest.raises(ValidationError, match="unreadable"):
+            CheckpointStore(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text(json.dumps({"version": 99, "cells": {}}))
+        with pytest.raises(ValidationError, match="version"):
+            CheckpointStore(path)
+
+    def test_checkpointing_context_installs_and_restores(self, tmp_path):
+        assert active_checkpoint() is None
+        store = CheckpointStore(tmp_path / "ck.json")
+        with checkpointing(store):
+            assert active_checkpoint() is store
+        assert active_checkpoint() is None
+
+
+class TestQualityGridResume:
+    """The acceptance scenario: interrupt table4, resume, recompute nothing."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_memo(self, monkeypatch):
+        # The in-process memo must not mask checkpoint behaviour.
+        monkeypatch.setattr(quality_grid, "_grid_cache", {})
+
+    def _counting(self, monkeypatch):
+        counts = {"cwsc": 0, "cmc_epsilon": 0}
+        real_cwsc = quality_grid.cwsc
+        real_cmc = quality_grid.cmc_epsilon
+
+        def counting_cwsc(*args, **kwargs):
+            counts["cwsc"] += 1
+            return real_cwsc(*args, **kwargs)
+
+        def counting_cmc(*args, **kwargs):
+            counts["cmc_epsilon"] += 1
+            return real_cmc(*args, **kwargs)
+
+        monkeypatch.setattr(quality_grid, "cwsc", counting_cwsc)
+        monkeypatch.setattr(quality_grid, "cmc_epsilon", counting_cmc)
+        return counts
+
+    def test_interrupted_run_resumes_without_recompute(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "table4-small.json"
+        counts = self._counting(monkeypatch)
+
+        # Full run: every cell computed, snapshotted per cell.
+        store = CheckpointStore(path)
+        report = run_experiment("table4", "small", checkpoint=store)
+        total_cells = len(store)
+        assert total_cells == store.misses > 0
+        assert counts["cwsc"] + counts["cmc_epsilon"] == total_cells
+
+        # "Crash" after some cells: keep only the first half on disk.
+        payload = json.loads(path.read_text())
+        kept = dict(list(payload["cells"].items())[: total_cells // 2])
+        payload["cells"] = kept
+        path.write_text(json.dumps(payload))
+
+        # Resume: only the missing cells are recomputed.
+        counts["cwsc"] = counts["cmc_epsilon"] = 0
+        resumed_store = CheckpointStore(path)
+        assert len(resumed_store) == len(kept)
+        resumed = run_experiment("table4", "small", checkpoint=resumed_store)
+        recomputed = counts["cwsc"] + counts["cmc_epsilon"]
+        assert recomputed == total_cells - len(kept)
+        assert resumed_store.hits == len(kept)
+        assert resumed.data["costs"] == report.data["costs"]
+
+    def test_complete_checkpoint_recomputes_nothing(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "table4-small.json"
+        store = CheckpointStore(path)
+        run_experiment("table4", "small", checkpoint=store)
+
+        counts = self._counting(monkeypatch)
+        done_store = CheckpointStore(path)
+        report = run_experiment("table4", "small", checkpoint=done_store)
+        assert counts["cwsc"] == counts["cmc_epsilon"] == 0
+        assert done_store.hits == len(done_store)
+        # Deserialized cells behave like real results downstream.
+        for costs in report.data["costs"].values():
+            for cost in costs.values():
+                assert isinstance(cost, float)
+
+    def test_checkpointed_run_matches_uncheckpointed(self, tmp_path):
+        plain = run_experiment("table4", "small")
+        store = CheckpointStore(tmp_path / "ck.json")
+        checked = run_experiment("table4", "small", checkpoint=store)
+        assert checked.data["costs"] == plain.data["costs"]
+
+
+class TestResultRoundTrip:
+    def test_result_from_dict_preserves_claims(self, random_system):
+        from repro.core.cwsc import cwsc
+        from repro.core.result import result_from_dict
+
+        system = random_system(n_elements=15, n_sets=10)
+        original = cwsc(system, 4, 0.9)
+        clone = result_from_dict(original.to_dict())
+        assert isinstance(clone, CoverResult)
+        assert clone.set_ids == original.set_ids
+        assert clone.total_cost == original.total_cost
+        assert clone.covered == original.covered
+        assert clone.feasible == original.feasible
+        assert clone.algorithm == original.algorithm

@@ -1,0 +1,86 @@
+"""The last-resort solutions: universal set and greedy partials."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fallbacks import greedy_partial, universal_result
+from repro.core.setsystem import SetSystem
+from repro.core.validate import verify_result
+from repro.datasets.adversarial import bmc_adversarial_system
+from repro.errors import InfeasibleError, ValidationError
+
+
+class TestUniversalResult:
+    def test_picks_cheapest_full_cover(self):
+        system = SetSystem.from_iterables(
+            3,
+            [{0, 1, 2}, {0, 1, 2}, {0, 1}],
+            [5.0, 2.0, 0.1],
+        )
+        result = universal_result(system, k=2, s_hat=0.5)
+        assert result.set_ids == (1,)
+        assert result.total_cost == 2.0
+        assert result.feasible
+        assert verify_result(system, result, k=2, s_hat=0.5) == []
+
+    def test_skips_infinite_cost_full_cover(self):
+        system = SetSystem.from_iterables(
+            2,
+            [{0, 1}, {0, 1}],
+            [float("inf"), 7.0],
+        )
+        result = universal_result(system, k=1, s_hat=1.0)
+        assert result.set_ids == (1,)
+
+    def test_no_full_cover_raises_with_greedy_partial(self):
+        system = bmc_adversarial_system(k=3, c=2, big_c=4)
+        with pytest.raises(InfeasibleError) as excinfo:
+            universal_result(system, k=3, s_hat=1.0)
+        partial = excinfo.value.partial
+        assert partial is not None
+        assert partial.algorithm == "greedy_partial"
+        assert len(partial.set_ids) <= 3
+
+    def test_bad_k_rejected(self, random_system):
+        with pytest.raises(ValidationError):
+            universal_result(random_system(), k=0, s_hat=1.0)
+
+
+class TestGreedyPartial:
+    def test_respects_k_and_reports_honestly(self, random_system):
+        system = random_system(n_elements=20, n_sets=12)
+        result = greedy_partial(system, k=2, s_hat=1.0)
+        assert len(result.set_ids) <= 2
+        assert result.covered == system.coverage_of(result.set_ids)
+        assert result.feasible == (
+            result.covered >= system.required_coverage(1.0)
+        )
+
+    def test_feasible_when_target_reachable(self, random_system):
+        # random_system always includes a full-coverage set.
+        system = random_system(n_elements=10, n_sets=6)
+        result = greedy_partial(system, k=6, s_hat=1.0)
+        assert result.feasible
+
+    def test_never_raises_on_unreachable_target(self):
+        system = bmc_adversarial_system(k=3, c=2, big_c=4)
+        result = greedy_partial(system, k=1, s_hat=1.0)
+        assert not result.feasible
+        assert len(result.set_ids) == 1
+
+    def test_skips_infinite_costs(self):
+        system = SetSystem.from_iterables(
+            3,
+            [{0, 1, 2}, {0}],
+            [float("inf"), 1.0],
+        )
+        result = greedy_partial(system, k=2, s_hat=1.0)
+        assert result.set_ids == (1,)
+        assert not result.feasible
+
+    def test_deterministic(self, random_system):
+        system = random_system(n_elements=25, n_sets=15, seed=4)
+        first = greedy_partial(system, k=4, s_hat=1.0)
+        second = greedy_partial(system, k=4, s_hat=1.0)
+        assert first.set_ids == second.set_ids

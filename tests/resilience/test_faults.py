@@ -1,0 +1,132 @@
+"""The chaos layer itself: config validation, env parsing, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TransientSolverError, ValidationError
+from repro.resilience import FaultConfig, FaultInjector, chaos
+from repro.resilience import faults
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_injector():
+    """Never leak an injector into (or out of) a test."""
+    previous = faults._ACTIVE
+    faults.uninstall()
+    yield
+    faults._ACTIVE = previous
+
+
+class TestFaultConfig:
+    def test_defaults_are_all_off(self):
+        config = FaultConfig()
+        assert config.lp_failure == 0.0
+        assert config.slow_iteration == 0.0
+        assert config.corrupt_marginal == 0.0
+
+    @pytest.mark.parametrize("name", ["lp_failure", "slow_iteration", "corrupt_marginal"])
+    @pytest.mark.parametrize("rate", [-0.1, 1.5])
+    def test_rates_must_be_probabilities(self, name, rate):
+        with pytest.raises(ValidationError):
+            FaultConfig(**{name: rate})
+
+    def test_negative_slow_seconds_rejected(self):
+        with pytest.raises(ValidationError):
+            FaultConfig(slow_seconds=-1.0)
+
+
+class TestParseEnv:
+    def test_short_and_long_keys(self):
+        config = faults.parse_env("lp=0.3,slow=0.05,corrupt=0.1,seed=42")
+        assert config == FaultConfig(
+            lp_failure=0.3, slow_iteration=0.05, corrupt_marginal=0.1, seed=42
+        )
+        assert faults.parse_env("lp_failure=0.3") == faults.parse_env("lp=0.3")
+
+    def test_whitespace_and_empty_entries_tolerated(self):
+        config = faults.parse_env(" lp = 0.5 , , seed = 3 ")
+        assert config.lp_failure == 0.5
+        assert config.seed == 3
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValidationError, match="unknown REPRO_CHAOS key"):
+            faults.parse_env("explode=1.0")
+
+    def test_malformed_entry_rejected(self):
+        with pytest.raises(ValidationError, match="key=value"):
+            faults.parse_env("lp")
+
+
+class TestInjectorHooks:
+    def test_lp_attempt_raises_transient_at_rate_one(self):
+        injector = FaultInjector(FaultConfig(lp_failure=1.0))
+        with pytest.raises(TransientSolverError):
+            injector.lp_attempt()
+        assert injector.stats.lp_failures == 1
+
+    def test_lp_attempt_silent_at_rate_zero(self):
+        injector = FaultInjector(FaultConfig())
+        for _ in range(100):
+            injector.lp_attempt()
+        assert injector.stats.lp_failures == 0
+
+    def test_corrupt_marginal_inflates_not_deflates(self):
+        injector = FaultInjector(FaultConfig(corrupt_marginal=1.0, seed=1))
+        for newly in range(10):
+            corrupted = injector.corrupt_marginal(newly)
+            assert corrupted > newly
+        assert injector.stats.corruptions == 10
+
+    def test_slow_iteration_counts(self):
+        injector = FaultInjector(
+            FaultConfig(slow_iteration=1.0, slow_seconds=0.0)
+        )
+        injector.iteration()
+        assert injector.stats.slowdowns == 1
+
+    def test_same_seed_same_schedule(self):
+        config = FaultConfig(lp_failure=0.4, corrupt_marginal=0.4, seed=9)
+
+        def schedule():
+            injector = FaultInjector(config)
+            events = []
+            for i in range(50):
+                try:
+                    injector.lp_attempt()
+                    events.append(("ok", i))
+                except TransientSolverError:
+                    events.append(("fail", i))
+                events.append(("gain", injector.corrupt_marginal(i)))
+            return events
+
+        assert schedule() == schedule()
+
+
+class TestActivation:
+    def test_chaos_context_installs_and_restores(self):
+        assert faults.active() is None
+        with chaos(FaultConfig(lp_failure=1.0)) as injector:
+            assert faults.active() is injector
+        assert faults.active() is None
+
+    def test_chaos_nests(self):
+        with chaos(FaultConfig(seed=1)) as outer:
+            with chaos(FaultConfig(seed=2)) as inner:
+                assert faults.active() is inner
+            assert faults.active() is outer
+
+    def test_env_var_consulted_once(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "lp=0.25,seed=11")
+        faults._ACTIVE = faults._UNSET
+        injector = faults.active()
+        assert injector is not None
+        assert injector.config == FaultConfig(lp_failure=0.25, seed=11)
+        # Later changes to the env are ignored until uninstall/reset.
+        monkeypatch.setenv("REPRO_CHAOS", "lp=0.9")
+        assert faults.active() is injector
+
+    def test_blank_env_means_no_injector(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "   ")
+        faults._ACTIVE = faults._UNSET
+        assert faults.active() is None
