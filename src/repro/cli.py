@@ -1,28 +1,39 @@
 """Command-line interface.
 
-Three subcommands:
+Subcommands:
 
 * ``list`` — show the available paper experiments;
 * ``run`` — regenerate a paper table/figure (or ``all`` of them), with
-  per-cell checkpointing and ``--resume`` for interrupted sweeps;
+  per-cell checkpointing, ``--resume`` for interrupted sweeps, and
+  ``--workers N`` to fan cells out over a supervised process pool;
 * ``solve`` — run size-constrained weighted set cover on a CSV of
   records, optionally under a ``--timeout`` and/or resilient
-  ``--fallback`` chain (see docs/RESILIENCE.md).
+  ``--fallback`` chain, or fully process-isolated with ``--isolate``
+  (see docs/RESILIENCE.md);
+* ``batch`` — execute a JSONL stream of solve requests against one CSV
+  on the worker pool, emitting one JSONL result (with provenance) per
+  request as it completes.
 
 Examples::
 
     scwsc list
     scwsc run fig5 --scale full
-    scwsc run table4 --scale small --resume
+    scwsc run table4 --scale small --resume --workers 4
     scwsc solve data.csv --attributes Type,Location --measure Cost \\
         -k 2 -s 0.5625 --algorithm cwsc
     scwsc solve data.csv --attributes Type,Location -k 2 -s 0.5 \\
         --timeout 5 --fallback exact,cwsc,universal
+    scwsc solve data.csv --attributes Type,Location -k 2 -s 0.5 \\
+        --timeout 5 --isolate --memory-limit 512
+    scwsc batch requests.jsonl --csv data.csv \\
+        --attributes Type,Location --workers 4 --out results.jsonl
 
 Failures map to documented exit codes (see :mod:`repro.errors`): 2 for
 bad input, 3 for infeasible, 4 for a blown deadline, 5 for an
-intractable pattern space, 6 for a transient backend failure; the
-message goes to stderr.
+intractable pattern space, 6 for a transient backend failure, 7 for a
+supervisor/worker protocol error; the message goes to stderr. An
+interrupt (Ctrl-C) exits 130 after flushing whatever checkpoints and
+result lines were already complete.
 """
 
 from __future__ import annotations
@@ -87,6 +98,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable checkpoint snapshots entirely",
     )
+    run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="run experiment cells on a supervised process pool of this "
+        "size (0 = in-process; composes with --resume)",
+    )
 
     solve_parser = commands.add_parser(
         "solve", help="solve an instance from a CSV of records"
@@ -150,6 +168,21 @@ def build_parser() -> argparse.ArgumentParser:
         "chain",
     )
     solve_parser.add_argument(
+        "--isolate",
+        action="store_true",
+        help="run the solve in a supervised worker process with a hard "
+        "(SIGKILL-backed) timeout; worker death is retried and degraded "
+        "instead of crashing",
+    )
+    solve_parser.add_argument(
+        "--memory-limit",
+        type=int,
+        default=None,
+        metavar="MB",
+        help="address-space headroom for the isolated worker "
+        "(requires --isolate)",
+    )
+    solve_parser.add_argument(
         "--json",
         action="store_true",
         help="emit the result as JSON instead of text",
@@ -158,6 +191,59 @@ def build_parser() -> argparse.ArgumentParser:
         "--sql",
         action="store_true",
         help="also print the solution as a SQL query over the input",
+    )
+
+    batch_parser = commands.add_parser(
+        "batch",
+        help="run a JSONL stream of solve requests on the worker pool",
+    )
+    batch_parser.add_argument(
+        "requests",
+        help="JSONL file of requests ('-' for stdin); each line is an "
+        'object like {"k": 3, "s": 0.5, "solver": "resilient", '
+        '"tag": "cell-1"}',
+    )
+    batch_parser.add_argument(
+        "--csv", required=True, help="input CSV with a header row"
+    )
+    batch_parser.add_argument(
+        "--attributes",
+        required=True,
+        help="comma-separated pattern attribute columns",
+    )
+    batch_parser.add_argument(
+        "--measure",
+        default=None,
+        help="numeric column for pattern costs (omit for count-based costs)",
+    )
+    batch_parser.add_argument(
+        "--cost",
+        default=None,
+        help="cost function: max (default with a measure), sum, mean, "
+        "count, l2",
+    )
+    batch_parser.add_argument(
+        "--out",
+        default=None,
+        help="write JSONL results here instead of stdout (flushed per "
+        "line, so partial output survives an interrupt)",
+    )
+    batch_parser.add_argument(
+        "--workers", type=int, default=2, help="pool size (default: 2)"
+    )
+    batch_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-request budget in seconds for requests that do not "
+        "set their own (enforced with SIGKILL plus a grace period)",
+    )
+    batch_parser.add_argument(
+        "--memory-limit",
+        type=int,
+        default=None,
+        metavar="MB",
+        help="address-space headroom per worker",
     )
 
     info_parser = commands.add_parser(
@@ -231,6 +317,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_demo(args)
         if args.command == "report":
             return _cmd_report(args)
+        if args.command == "batch":
+            return _cmd_batch(args)
         return _cmd_solve(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -239,6 +327,12 @@ def main(argv: list[str] | None = None) -> int:
         # Unreadable/unwritable input or output file: bad input.
         print(f"error: {error}", file=sys.stderr)
         return ValidationError.exit_code
+    except KeyboardInterrupt:
+        # Checkpoint stores flush after every put and `batch` flushes
+        # each result line, so everything completed so far is already on
+        # disk; report the interrupt with the conventional 128+SIGINT.
+        print("interrupted; partial results are flushed", file=sys.stderr)
+        return 130
 
 
 def _cmd_list() -> int:
@@ -276,7 +370,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             else:
                 store.clear()
         report = run_experiment(
-            experiment_id, scale=args.scale, checkpoint=store
+            experiment_id,
+            scale=args.scale,
+            checkpoint=store,
+            workers=args.workers,
         )
         chunks.append(report.text)
     output = "\n\n".join(chunks)
@@ -294,7 +391,9 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     )
     cost_name = args.cost or ("max" if args.measure else "count")
     cost = get_cost_function(cost_name)
-    if args.fallback is not None or args.timeout is not None:
+    if args.memory_limit is not None and not args.isolate:
+        raise ValidationError("--memory-limit requires --isolate")
+    if args.fallback is not None or args.timeout is not None or args.isolate:
         result = _solve_resilient(args, table, cost)
     elif args.algorithm == "cwsc":
         result = optimized_cwsc(
@@ -317,11 +416,29 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         payload = result.to_dict()
         if provenance is not None:
             payload["resilience"] = provenance
+        pool_provenance = result.params.get("pool")
+        if pool_provenance is not None:
+            payload["pool"] = pool_provenance
         print(json.dumps(payload, indent=2))
         return 0
     print(result.summary())
     for pattern in result.labels:
         print(f"  {pattern.format(attributes)}")
+    pool_provenance = result.params.get("pool")
+    if pool_provenance is not None:
+        attempts = pool_provenance.get("attempts", [])
+        print(
+            f"pool: {len(attempts)} attempt(s), "
+            f"{pool_provenance.get('requeues', 0)} requeue(s)"
+        )
+        for attempt in attempts:
+            line = (
+                f"  attempt {attempt['attempt']} "
+                f"(worker {attempt['worker']}): {attempt['outcome']}"
+            )
+            if attempt.get("detail"):
+                line += f" ({attempt['detail']})"
+            print(line)
     if provenance is not None:
         print(f"resilience: answered by stage {provenance['stage']!r}")
         for record in provenance["stages"]:
@@ -338,12 +455,15 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
 
 def _solve_resilient(args: argparse.Namespace, table, cost):
-    """``scwsc solve`` under the resilient harness (--timeout/--fallback).
+    """``scwsc solve`` under the resilient harness.
 
+    Triggered by ``--timeout``, ``--fallback``, and/or ``--isolate``.
     Runs on the fully enumerated set system so every chain stage is
     available; infeasible outcomes surface as :class:`InfeasibleError`
     (exit code 3), blown overall deadlines as partial degradation inside
-    the chain rather than a crash.
+    the chain rather than a crash. With ``--isolate`` the chain runs in
+    a supervised worker process, making the timeout hard and the memory
+    limit enforceable.
     """
     from repro.patterns.pattern_sets import build_set_system
     from repro.resilience import DEFAULT_CHAIN, resilient_solve
@@ -370,6 +490,122 @@ def _solve_resilient(args: argparse.Namespace, table, cost):
             "cmc_epsilon": {"b": args.b, "eps": args.eps},
         },
         on_failure="raise",
+        isolation="process" if args.isolate else "inline",
+        memory_limit_mb=args.memory_limit,
+    )
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    """``scwsc batch``: JSONL requests in, JSONL results out.
+
+    Every input line is one solve request against the shared CSV's set
+    system. Results stream out in completion order (the ``tag`` ties
+    them back), one flushed JSON line each, so an interrupted batch
+    keeps everything that finished. Exit code is 0 when every request
+    produced a verified result (``ok`` or ``fallback``), 3 otherwise.
+    """
+    from repro.patterns.pattern_sets import build_set_system
+    from repro.resilience.pool import PoolConfig, SolverPool
+
+    attributes = [name.strip() for name in args.attributes.split(",")]
+    table = PatternTable.from_csv(
+        args.csv, attributes, measure_name=args.measure
+    )
+    cost_name = args.cost or ("max" if args.measure else "count")
+    system = build_set_system(table, get_cost_function(cost_name))
+
+    out_stream = (
+        sys.stdout if args.out is None else open(args.out, "w")
+    )
+
+    def emit(payload: dict) -> None:
+        out_stream.write(json.dumps(payload) + "\n")
+        out_stream.flush()
+
+    failed = 0
+    requests = []
+    try:
+        in_stream = (
+            sys.stdin if args.requests == "-" else open(args.requests)
+        )
+        try:
+            for lineno, line in enumerate(in_stream, 1):
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                try:
+                    requests.append(_batch_request(system, line, lineno))
+                except (KeyError, TypeError, ValueError) as error:
+                    failed += 1
+                    emit(
+                        {
+                            "tag": f"line-{lineno}",
+                            "status": "invalid",
+                            "error": str(error) or repr(error),
+                        }
+                    )
+        finally:
+            if in_stream is not sys.stdin:
+                in_stream.close()
+
+        def on_result(outcome) -> None:
+            nonlocal failed
+            if outcome.status == "failed":
+                failed += 1
+            payload = {"tag": outcome.tag, "status": outcome.status}
+            if outcome.result is not None:
+                payload["result"] = outcome.result.to_dict()
+                resilience = outcome.result.params.get("resilience")
+                if resilience is not None:
+                    payload["resilience"] = resilience
+            payload["pool"] = outcome.provenance
+            emit(payload)
+
+        config = PoolConfig(
+            workers=args.workers,
+            memory_limit_mb=args.memory_limit,
+            request_timeout=args.timeout,
+        )
+        with SolverPool(config) as pool:
+            pool.run(requests, on_result=on_result)
+            breakers = pool.breaker_snapshot()
+    finally:
+        if out_stream is not sys.stdout:
+            out_stream.close()
+    print(
+        f"batch: {len(requests)} request(s) run, {failed} failed"
+        + (
+            f"; breakers tripped: "
+            f"{[n for n, b in breakers.items() if b['times_opened']]}"
+            if any(b["times_opened"] for b in breakers.values())
+            else ""
+        ),
+        file=sys.stderr,
+    )
+    return 0 if failed == 0 else 3
+
+
+def _batch_request(system, line: str, lineno: int):
+    """Parse one ``scwsc batch`` input line into a pool request."""
+    from repro.resilience.pool import SolveRequest
+
+    spec = json.loads(line)
+    if not isinstance(spec, dict):
+        raise ValueError(
+            f"expected a JSON object, got {type(spec).__name__}"
+        )
+    chain = spec.get("chain")
+    return SolveRequest(
+        system=system,
+        k=int(spec["k"]),
+        s_hat=float(spec["s"]),
+        solver=str(spec.get("solver", "resilient")),
+        chain=tuple(chain) if chain else None,
+        timeout=spec.get("timeout"),
+        stage_options=spec.get("stage_options"),
+        options=spec.get("options"),
+        seed=int(spec.get("seed", 0)),
+        tag=str(spec.get("tag", f"line-{lineno}")),
     )
 
 

@@ -17,7 +17,11 @@ code  exception                  meaning
 4     DeadlineExceeded           a deadline/timeout expired mid-solve
 5     PatternSpaceError          pattern enumeration would be intractable
 6     TransientSolverError       a retryable backend (LP) failure
+7     ProtocolError              malformed supervisor/worker IPC frame
 ====  =========================  =======================================
+
+The CLI additionally exits 130 on ``KeyboardInterrupt`` (the shell
+convention for SIGINT), after flushing any partial output.
 """
 
 from __future__ import annotations
@@ -103,3 +107,16 @@ class TransientSolverError(ReproError):
     """
 
     exit_code = 6
+
+
+class ProtocolError(ReproError):
+    """A supervisor/worker IPC frame was truncated or garbage.
+
+    Raised by :mod:`repro.resilience.pool.protocol` when a length prefix
+    is implausible, a frame body is not valid JSON, or a stream ends
+    mid-frame. The pool supervisor treats it as evidence the worker is
+    unhealthy: the worker is killed and the in-flight request requeued
+    (within its retry budget) rather than the parent process crashing.
+    """
+
+    exit_code = 7

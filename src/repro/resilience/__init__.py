@@ -12,16 +12,23 @@ Public surface:
   independently verify every candidate, and (given the paper's universal
   set) always return a feasible answer with a provenance record.
 * :mod:`repro.resilience.faults` — deterministic chaos layer (injected
-  LP failures, slow iterations, malformed marginal updates) used by the
-  chaos test suite; enable via :func:`faults.install` or the
-  ``REPRO_CHAOS`` environment variable.
+  LP failures, slow iterations, malformed marginal updates, and
+  process-level faults: worker self-SIGKILL, hangs, memory hogs, IPC
+  corruption) used by the chaos test suite; enable via
+  :func:`faults.install` or the ``REPRO_CHAOS`` environment variable.
+* :mod:`repro.resilience.pool` — the supervised process-isolated solver
+  pool (:class:`SolverPool`, :func:`run_isolated`) behind
+  ``resilient_solve(isolation="process")``: hard SIGKILL timeouts,
+  ``RLIMIT_AS`` memory guards, requeue on worker death, and per-solver
+  circuit breakers.
 
-See ``docs/RESILIENCE.md`` for the full model.
+See ``docs/RESILIENCE.md`` for the full model and operations runbook.
 
 Implementation note: the core solvers import :mod:`.deadline` and
 :mod:`.faults` (which depend only on :mod:`repro.errors`), while
-:mod:`.chain` depends on the core solvers. To keep that layering
-cycle-free, this package imports the chain module lazily (PEP 562).
+:mod:`.chain` and :mod:`.pool` depend on the core solvers. To keep that
+layering cycle-free, this package imports those modules lazily
+(PEP 562).
 """
 
 from __future__ import annotations
@@ -35,14 +42,24 @@ __all__ = [
     "Deadline",
     "FaultConfig",
     "FaultInjector",
+    "PoolConfig",
+    "PoolResult",
+    "SolveRequest",
+    "SolverPool",
     "StageRecord",
     "chaos",
     "faults",
     "resilient_solve",
+    "run_isolated",
 ]
 
 #: Names resolved lazily from :mod:`repro.resilience.chain`.
 _CHAIN_EXPORTS = frozenset({"DEFAULT_CHAIN", "StageRecord", "resilient_solve"})
+
+#: Names resolved lazily from :mod:`repro.resilience.pool`.
+_POOL_EXPORTS = frozenset(
+    {"PoolConfig", "PoolResult", "SolveRequest", "SolverPool", "run_isolated"}
+)
 
 
 def __getattr__(name: str):
@@ -50,6 +67,10 @@ def __getattr__(name: str):
         from repro.resilience import chain
 
         return getattr(chain, name)
+    if name in _POOL_EXPORTS:
+        from repro.resilience import pool
+
+        return getattr(pool, name)
     raise AttributeError(
         f"module {__name__!r} has no attribute {name!r}"
     )

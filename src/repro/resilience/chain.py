@@ -50,6 +50,7 @@ from repro.errors import (
 )
 from repro.resilience import faults
 from repro.resilience.deadline import Deadline
+from repro.resilience.debug import hang_watchdog
 
 __all__ = ["DEFAULT_CHAIN", "StageRecord", "resilient_solve"]
 
@@ -210,6 +211,9 @@ def resilient_solve(
     stage_options: dict[str, dict] | None = None,
     exact_node_limit: int | None = DEFAULT_EXACT_NODE_LIMIT,
     on_failure: str = "partial",
+    on_stage: Callable[[str], None] | None = None,
+    isolation: str = "inline",
+    memory_limit_mb: int | None = None,
 ) -> CoverResult:
     """Solve with a verified fallback chain; degrade instead of crashing.
 
@@ -249,6 +253,21 @@ def resilient_solve(
         attached. With ``"universal"`` in the chain and a full-coverage
         set present (the paper's standing assumption) this path is
         unreachable.
+    on_stage:
+        Optional callback invoked with each stage's name just before it
+        runs. The pool worker uses this to stream ``stage`` frames so
+        the supervisor can blame the right solver when a worker dies.
+    isolation:
+        ``"inline"`` (default) runs the chain in this process under
+        cooperative deadlines only. ``"process"`` delegates to
+        :func:`repro.resilience.pool.run_isolated`: the chain runs in a
+        supervised child with a *hard* (SIGKILL-backed) timeout and an
+        optional ``RLIMIT_AS`` memory guard, and worker death is retried
+        then degraded to the universal fallback. Provenance then carries
+        both ``params["resilience"]`` and ``params["pool"]``.
+    memory_limit_mb:
+        Address-space headroom for the worker (``isolation="process"``
+        only; rejected inline, where it cannot be enforced).
 
     Returns
     -------
@@ -267,6 +286,32 @@ def resilient_solve(
     if on_failure not in ("partial", "raise"):
         raise ValidationError(
             f"on_failure must be 'partial' or 'raise', got {on_failure!r}"
+        )
+    if isolation not in ("inline", "process"):
+        raise ValidationError(
+            f"isolation must be 'inline' or 'process', got {isolation!r}"
+        )
+    if isolation == "process":
+        from repro.resilience.pool.supervisor import run_isolated
+
+        return run_isolated(
+            system,
+            k,
+            s_hat,
+            chain=chain,
+            timeout=timeout,
+            memory_limit_mb=memory_limit_mb,
+            seed=seed,
+            stage_options=stage_options,
+            max_retries=max_retries,
+            strict=strict,
+            exact_node_limit=exact_node_limit,
+            on_failure=on_failure,
+        )
+    if memory_limit_mb is not None:
+        raise ValidationError(
+            "memory_limit_mb requires isolation='process'; an in-process "
+            "rlimit would take down the caller too"
         )
     specs = _stage_specs(
         system, k, s_hat, seed, exact_node_limit, stage_options or {}
@@ -338,12 +383,18 @@ def resilient_solve(
             )
             stage_deadline = overall.sub(overall.remaining() / max(1, stages_left))
 
+        if on_stage is not None:
+            on_stage(name)
         stage_start = time.perf_counter()
         outcome: CoverResult | None = None
+        watchdog_budget = (
+            stage_deadline.remaining() if stage_deadline is not None else None
+        )
         for attempt in range(max_retries + 1):
             record.attempts = attempt + 1
             try:
-                outcome = spec.run(stage_deadline)
+                with hang_watchdog(watchdog_budget, context=f"stage {name}"):
+                    outcome = spec.run(stage_deadline)
                 break
             except TransientSolverError as error:
                 record.status = "transient_exhausted"

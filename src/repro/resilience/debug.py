@@ -1,0 +1,77 @@
+"""Hang diagnostics, gated behind ``REPRO_DEBUG_HANG=1``.
+
+A solve that blows its deadline is easy to *detect* (the harness kills or
+degrades it) but hard to *explain*: by the time control returns, the
+stack that was stuck is gone. With ``REPRO_DEBUG_HANG=1`` in the
+environment, the resilience harness arms :mod:`faulthandler` watchdogs
+around deadline-bounded work, so the moment a budget is blown every
+thread's traceback is dumped to stderr — while the offending frame is
+still on the stack:
+
+* :func:`repro.resilience.resilient_solve` arms a watchdog around each
+  chain stage that runs under a finite deadline;
+* pool workers (:mod:`repro.resilience.pool.worker`) arm one around each
+  request's solve, so a worker the supervisor is about to hard-kill
+  explains itself first.
+
+The gate is read from the environment on every call (it is consulted
+once per solve, not per iteration), so operators can flip it on a
+running experiment's next cell without restarting.
+"""
+
+from __future__ import annotations
+
+import faulthandler
+import os
+import sys
+from contextlib import contextmanager
+
+__all__ = ["hang_debug_enabled", "hang_watchdog"]
+
+_ENV_VAR = "REPRO_DEBUG_HANG"
+
+
+def hang_debug_enabled() -> bool:
+    """Whether ``REPRO_DEBUG_HANG`` asks for deadline-blow tracebacks."""
+    return os.environ.get(_ENV_VAR, "").strip().lower() in {
+        "1",
+        "true",
+        "yes",
+        "on",
+    }
+
+
+@contextmanager
+def hang_watchdog(seconds: float | None, context: str = ""):
+    """Dump all-thread tracebacks if the body outlives ``seconds``.
+
+    A no-op when the gate is off, ``seconds`` is ``None``/non-positive/
+    infinite, or :mod:`faulthandler` cannot arm (no usable stderr fd).
+    The watchdog repeats every ``seconds`` until the body exits, so a
+    wedged worker keeps reporting while the supervisor's grace period
+    runs out.
+    """
+    armed = False
+    if (
+        seconds is not None
+        and 0 < seconds < float("inf")
+        and hang_debug_enabled()
+    ):
+        if context:
+            print(
+                f"REPRO_DEBUG_HANG: watchdog armed ({seconds:.3f}s) "
+                f"for {context}",
+                file=sys.stderr,
+            )
+        try:
+            faulthandler.dump_traceback_later(
+                seconds, repeat=True, file=sys.stderr
+            )
+            armed = True
+        except (ValueError, OSError, RuntimeError):  # pragma: no cover
+            armed = False
+    try:
+        yield
+    finally:
+        if armed:
+            faulthandler.cancel_dump_traceback_later()

@@ -1,9 +1,9 @@
 """Deterministic fault injection ("chaos layer") for the solvers.
 
 Robustness claims are only as good as the failures they were tested
-against. This module lets tests (and adventurous operators) inject three
-fault families into the core solvers, at hook points the solvers call
-explicitly:
+against. This module lets tests (and adventurous operators) inject fault
+families into the core solvers and the process-isolated worker pool, at
+hook points the code calls explicitly:
 
 * **LP failures** — :meth:`FaultInjector.lp_attempt` raises
   :class:`~repro.errors.TransientSolverError` with probability
@@ -20,8 +20,31 @@ explicitly:
   :func:`repro.core.validate.verify_result` exists to catch, and the
   fallback chain must reject such answers rather than return them.
 
+Process-level faults exercise the supervised worker pool
+(:mod:`repro.resilience.pool`) end to end:
+
+* **Worker SIGKILL** — ``worker_kill`` governs both
+  :meth:`FaultInjector.worker_kill_scheduled` (consulted by the
+  *supervisor* after dispatching a request, so a live child is killed
+  mid-solve) and :meth:`FaultInjector.worker_entry` (the *worker* kills
+  itself at solve start when the injector lives in the child via
+  ``REPRO_CHAOS``).
+* **Worker hang** — ``worker_hang`` makes the worker sleep
+  ``hang_seconds`` at solve start, simulating non-cooperative code that
+  ignores deadlines; only the supervisor's hard kill can end it.
+* **Worker OOM** — ``worker_oom`` makes the worker allocate memory in
+  chunks up to ``oom_bytes``; under an rlimit this dies with a real
+  ``MemoryError`` (or an OOM kill), without one a simulated
+  ``MemoryError`` is raised once the budget is reached.
+* **IPC corruption** — :meth:`FaultInjector.corrupt_frame` garbles an
+  encoded response frame with probability ``ipc_corrupt``, so the
+  supervisor's tolerant decoder must detect and recover.
+
 All randomness comes from one ``random.Random(seed)``, so a given config
 produces the same fault schedule on every run — failures reproduce.
+``fault_limit`` caps the *total* number of injected faults per injector
+(0 = unlimited), which lets a test say "kill exactly one worker, then
+behave" and watch the requeue succeed.
 
 Enabling
 --------
@@ -30,15 +53,20 @@ Enabling
 * Environment: set ``REPRO_CHAOS`` before the first solve, e.g.::
 
       REPRO_CHAOS="lp=0.3,slow=0.05,corrupt=0.1,seed=42,slow_seconds=0.005"
+      REPRO_CHAOS="kill=1,limit=1"          # first worker solve is SIGKILLed
 
 The solvers fetch the injector once per call via :func:`active`; when no
-injector is installed the hooks cost one ``None`` check.
+injector is installed the hooks cost one ``None`` check. Pool workers
+are separate processes: an injector installed in the parent drives only
+the supervisor-side hooks, while ``REPRO_CHAOS`` in the worker's
+environment drives the child-side hooks.
 """
 
 from __future__ import annotations
 
 import os
 import random
+import signal
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -64,7 +92,22 @@ _ENV_KEYS = {
     "corrupt_marginal": "corrupt_marginal",
     "slow_seconds": "slow_seconds",
     "seed": "seed",
+    "kill": "worker_kill",
+    "worker_kill": "worker_kill",
+    "hang": "worker_hang",
+    "worker_hang": "worker_hang",
+    "oom": "worker_oom",
+    "worker_oom": "worker_oom",
+    "ipc": "ipc_corrupt",
+    "ipc_corrupt": "ipc_corrupt",
+    "hang_seconds": "hang_seconds",
+    "oom_bytes": "oom_bytes",
+    "limit": "fault_limit",
+    "fault_limit": "fault_limit",
 }
+
+#: Fields parsed as integers from the environment.
+_INT_FIELDS = frozenset({"seed", "fault_limit", "oom_bytes"})
 
 
 @dataclass(frozen=True)
@@ -79,9 +122,24 @@ class FaultConfig:
     corrupt_marginal: float = 0.0
     slow_seconds: float = 0.002
     seed: int = 0
+    worker_kill: float = 0.0
+    worker_hang: float = 0.0
+    worker_oom: float = 0.0
+    ipc_corrupt: float = 0.0
+    hang_seconds: float = 30.0
+    oom_bytes: int = 256 * 1024 * 1024
+    fault_limit: int = 0
 
     def __post_init__(self) -> None:
-        for name in ("lp_failure", "slow_iteration", "corrupt_marginal"):
+        for name in (
+            "lp_failure",
+            "slow_iteration",
+            "corrupt_marginal",
+            "worker_kill",
+            "worker_hang",
+            "worker_oom",
+            "ipc_corrupt",
+        ):
             rate = getattr(self, name)
             if not (0.0 <= rate <= 1.0):
                 raise ValidationError(
@@ -90,6 +148,18 @@ class FaultConfig:
         if self.slow_seconds < 0:
             raise ValidationError(
                 f"slow_seconds must be >= 0, got {self.slow_seconds!r}"
+            )
+        if self.hang_seconds < 0:
+            raise ValidationError(
+                f"hang_seconds must be >= 0, got {self.hang_seconds!r}"
+            )
+        if self.oom_bytes < 0:
+            raise ValidationError(
+                f"oom_bytes must be >= 0, got {self.oom_bytes!r}"
+            )
+        if self.fault_limit < 0:
+            raise ValidationError(
+                f"fault_limit must be >= 0, got {self.fault_limit!r}"
             )
 
 
@@ -100,6 +170,22 @@ class FaultStats:
     lp_failures: int = 0
     slowdowns: int = 0
     corruptions: int = 0
+    worker_kills: int = 0
+    worker_hangs: int = 0
+    worker_ooms: int = 0
+    ipc_corruptions: int = 0
+
+    @property
+    def total(self) -> int:
+        return (
+            self.lp_failures
+            + self.slowdowns
+            + self.corruptions
+            + self.worker_kills
+            + self.worker_hangs
+            + self.worker_ooms
+            + self.ipc_corruptions
+        )
 
 
 class FaultInjector:
@@ -110,10 +196,27 @@ class FaultInjector:
         self.stats = FaultStats()
         self._rng = random.Random(config.seed)
 
+    def _take(self, rate: float) -> bool:
+        """Draw once against ``rate``, honoring the global fault budget.
+
+        The RNG is consumed whenever ``rate`` is non-zero (even when the
+        budget is spent) so the schedule stays identical no matter where
+        ``fault_limit`` truncates it.
+        """
+        if not rate:
+            return False
+        hit = self._rng.random() < rate
+        if not hit:
+            return False
+        limit = self.config.fault_limit
+        if limit and self.stats.total >= limit:
+            return False
+        return True
+
     # -- hooks (called by the solvers) ---------------------------------
     def lp_attempt(self) -> None:
         """Possibly fail an LP backend call."""
-        if self.config.lp_failure and self._rng.random() < self.config.lp_failure:
+        if self._take(self.config.lp_failure):
             self.stats.lp_failures += 1
             raise TransientSolverError(
                 "injected fault: LP backend failed "
@@ -122,10 +225,7 @@ class FaultInjector:
 
     def iteration(self) -> None:
         """Possibly stall one solver iteration."""
-        if (
-            self.config.slow_iteration
-            and self._rng.random() < self.config.slow_iteration
-        ):
+        if self._take(self.config.slow_iteration):
             self.stats.slowdowns += 1
             time.sleep(self.config.slow_seconds)
 
@@ -136,13 +236,67 @@ class FaultInjector:
         solver may stop early believing it hit the coverage target, and
         only independent verification can tell.
         """
-        if (
-            self.config.corrupt_marginal
-            and self._rng.random() < self.config.corrupt_marginal
-        ):
+        if self._take(self.config.corrupt_marginal):
             self.stats.corruptions += 1
             return newly + 1 + self._rng.randrange(3)
         return newly
+
+    # -- hooks (called by the pool supervisor, parent side) ------------
+    def worker_kill_scheduled(self) -> bool:
+        """Whether the supervisor should SIGKILL the worker it just
+        dispatched to, simulating a crash mid-solve."""
+        if self._take(self.config.worker_kill):
+            self.stats.worker_kills += 1
+            return True
+        return False
+
+    # -- hooks (called inside a pool worker, child side) ---------------
+    def worker_entry(self) -> None:
+        """Run process-level faults at the start of a worker solve."""
+        if self._take(self.config.worker_kill):
+            self.stats.worker_kills += 1
+            os.kill(os.getpid(), signal.SIGKILL)
+        if self._take(self.config.worker_hang):
+            self.stats.worker_hangs += 1
+            time.sleep(self.config.hang_seconds)
+        if self._take(self.config.worker_oom):
+            self.stats.worker_ooms += 1
+            self._hog_memory()
+
+    def _hog_memory(self) -> None:
+        """Allocate until the rlimit bites or the injection budget is hit.
+
+        With ``resource.setrlimit`` in force this raises a *real*
+        ``MemoryError`` (or the process is OOM-killed); without one, a
+        simulated ``MemoryError`` fires at ``oom_bytes`` so the fault
+        cannot take down an unconfined test machine.
+        """
+        chunk = 8 * 1024 * 1024
+        hog: list[bytearray] = []
+        allocated = 0
+        while allocated < self.config.oom_bytes:
+            hog.append(bytearray(chunk))
+            allocated += chunk
+        raise MemoryError(
+            f"injected fault: memory hog reached {allocated} bytes "
+            "without hitting an rlimit"
+        )
+
+    def corrupt_frame(self, data: bytes) -> bytes:
+        """Possibly garble an encoded IPC frame (worker write path)."""
+        if not self._take(self.config.ipc_corrupt):
+            return data
+        self.stats.ipc_corruptions += 1
+        mode = self._rng.randrange(3)
+        if mode == 0 and len(data) > 1:
+            return data[: len(data) // 2]  # truncated mid-frame
+        if mode == 1:
+            # Implausible length prefix followed by the old body.
+            return b"\xff\xff\xff\xff" + data[4:]
+        corrupted = bytearray(data)
+        for _ in range(max(1, len(corrupted) // 16)):
+            corrupted[self._rng.randrange(len(corrupted))] ^= 0xFF
+        return bytes(corrupted)
 
 
 #: Sentinel meaning "environment not consulted yet".
@@ -169,9 +323,36 @@ def parse_env(value: str) -> FaultConfig:
                 f"known: {sorted(set(_ENV_KEYS))}"
             )
         kwargs[field_name] = (
-            int(raw) if field_name == "seed" else float(raw)
+            int(raw) if field_name in _INT_FIELDS else float(raw)
         )
     return FaultConfig(**kwargs)
+
+
+def encode_env(config: FaultConfig) -> str:
+    """Render a config as a ``REPRO_CHAOS`` string (for worker envs)."""
+    parts = []
+    for key, value in (
+        ("lp", config.lp_failure),
+        ("slow", config.slow_iteration),
+        ("corrupt", config.corrupt_marginal),
+        ("kill", config.worker_kill),
+        ("hang", config.worker_hang),
+        ("oom", config.worker_oom),
+        ("ipc", config.ipc_corrupt),
+    ):
+        if value:
+            parts.append(f"{key}={value:g}")
+    defaults = FaultConfig()
+    if config.slow_seconds != defaults.slow_seconds:
+        parts.append(f"slow_seconds={config.slow_seconds:g}")
+    if config.hang_seconds != defaults.hang_seconds:
+        parts.append(f"hang_seconds={config.hang_seconds:g}")
+    if config.oom_bytes != defaults.oom_bytes:
+        parts.append(f"oom_bytes={config.oom_bytes}")
+    if config.fault_limit:
+        parts.append(f"limit={config.fault_limit}")
+    parts.append(f"seed={config.seed}")
+    return ",".join(parts)
 
 
 def install(config: FaultConfig) -> FaultInjector:

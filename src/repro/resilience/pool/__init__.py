@@ -1,0 +1,35 @@
+"""Supervised process-isolated solver pool.
+
+Layers, bottom up:
+
+* :mod:`.protocol` — length-prefixed JSON frames, label/system
+  serialization, :class:`SolveRequest`;
+* :mod:`.breaker` — per-solver circuit breakers and the
+  :class:`BreakerBoard` used to route chains around broken stages;
+* :mod:`.worker` — the child-process entry point
+  (``python -m repro.resilience.pool.worker``);
+* :mod:`.supervisor` — :class:`SolverPool` (spawn, dispatch, hard
+  timeouts, requeue, verify) and :func:`run_isolated`, the
+  pool-of-one behind ``resilient_solve(isolation="process")``.
+
+See ``docs/RESILIENCE.md`` for the operations runbook.
+"""
+
+from repro.resilience.pool.breaker import BreakerBoard, CircuitBreaker
+from repro.resilience.pool.protocol import SolveRequest
+from repro.resilience.pool.supervisor import (
+    PoolConfig,
+    PoolResult,
+    SolverPool,
+    run_isolated,
+)
+
+__all__ = [
+    "BreakerBoard",
+    "CircuitBreaker",
+    "PoolConfig",
+    "PoolResult",
+    "SolveRequest",
+    "SolverPool",
+    "run_isolated",
+]

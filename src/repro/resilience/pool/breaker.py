@@ -1,0 +1,183 @@
+"""Per-solver circuit breakers for the worker pool.
+
+A worker that keeps dying under the same algorithm — segfaulting LP
+backend, exact search that always blows its rlimit on this workload —
+should not get to kill a worker per request for the rest of a
+thousand-cell sweep. Each solver/stage name gets a breaker with the
+classic three states:
+
+* **closed** — healthy; failures are counted, successes reset the count.
+* **open** — ``failure_threshold`` *consecutive* failures tripped it;
+  for ``cooldown`` seconds the supervisor routes chains around the
+  stage (reusing the fallback-chain semantics: the remaining stages
+  simply move up, ``universal`` is never removed).
+* **half-open** — the cooldown elapsed; exactly one probe request may
+  include the stage again. Success closes the breaker, failure re-opens
+  it for another cooldown.
+
+The clock is injectable so tests drive state transitions without
+sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.errors import ValidationError
+
+__all__ = ["BreakerBoard", "CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Failure-rate gate for one solver/stage name."""
+
+    def __init__(
+        self,
+        name: str,
+        failure_threshold: int = 3,
+        cooldown: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValidationError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown < 0:
+            raise ValidationError(f"cooldown must be >= 0, got {cooldown}")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self._probe_outstanding = False
+        self.total_failures = 0
+        self.total_successes = 0
+        self.times_opened = 0
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing ``open -> half_open`` on cooldown."""
+        if self._state == OPEN:
+            assert self._opened_at is not None
+            if self._clock() - self._opened_at >= self.cooldown:
+                self._state = HALF_OPEN
+                self._probe_outstanding = False
+        return self._state
+
+    def allow(self) -> bool:
+        """Whether a new request may include this stage right now.
+
+        In ``half_open`` only the first caller gets ``True`` (the probe);
+        everyone else keeps routing around until the probe reports back.
+        """
+        state = self.state
+        if state == CLOSED:
+            return True
+        if state == OPEN:
+            return False
+        if self._probe_outstanding:
+            return False
+        self._probe_outstanding = True
+        return True
+
+    def record_success(self) -> None:
+        self.total_successes += 1
+        self._consecutive_failures = 0
+        self._state = CLOSED
+        self._opened_at = None
+        self._probe_outstanding = False
+
+    def record_failure(self) -> None:
+        self.total_failures += 1
+        self._consecutive_failures += 1
+        state = self.state
+        tripped = (
+            state == HALF_OPEN
+            or self._consecutive_failures >= self.failure_threshold
+        )
+        if tripped and state != OPEN:
+            self._state = OPEN
+            self._opened_at = self._clock()
+            self._probe_outstanding = False
+            self.times_opened += 1
+
+    def snapshot(self) -> dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self._consecutive_failures,
+            "total_failures": self.total_failures,
+            "total_successes": self.total_successes,
+            "times_opened": self.times_opened,
+        }
+
+
+class BreakerBoard:
+    """The pool's breakers, one per stage/solver name, created lazily."""
+
+    #: Stages that must never be routed around: ``universal`` is the
+    #: feasibility guarantee itself.
+    ALWAYS_ALLOWED = frozenset({"universal"})
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def breaker(self, name: str) -> CircuitBreaker:
+        found = self._breakers.get(name)
+        if found is None:
+            found = CircuitBreaker(
+                name,
+                failure_threshold=self.failure_threshold,
+                cooldown=self.cooldown,
+                clock=self._clock,
+            )
+            self._breakers[name] = found
+        return found
+
+    def filter_chain(
+        self, chain: tuple[str, ...]
+    ) -> tuple[tuple[str, ...], tuple[str, ...]]:
+        """Split a chain into (stages to run, stages routed around).
+
+        If the breakers would remove *every* stage, the original chain is
+        returned untouched — running a probably-broken solver beats
+        sending a request guaranteed to do nothing.
+        """
+        allowed: list[str] = []
+        routed: list[str] = []
+        for name in chain:
+            if name in self.ALWAYS_ALLOWED or self.breaker(name).allow():
+                allowed.append(name)
+            else:
+                routed.append(name)
+        if not allowed:
+            return tuple(chain), ()
+        return tuple(allowed), tuple(routed)
+
+    def record_failure(self, name: str | None) -> None:
+        if name and name not in self.ALWAYS_ALLOWED:
+            self.breaker(name).record_failure()
+
+    def record_success(self, name: str | None) -> None:
+        if name and name not in self.ALWAYS_ALLOWED:
+            self.breaker(name).record_success()
+
+    def snapshot(self) -> dict:
+        return {
+            name: breaker.snapshot()
+            for name, breaker in sorted(self._breakers.items())
+        }

@@ -1,0 +1,253 @@
+"""Pool worker: one supervised child process executing solve requests.
+
+Run as ``python -m repro.resilience.pool.worker``; the supervisor speaks
+the length-prefixed JSON protocol (:mod:`.protocol`) over stdin/stdout.
+Design points that matter for robustness:
+
+* **The frame stream owns stdout.** At startup the real stdout fd is
+  duplicated for frames and fd 1 is re-pointed at stderr, so a stray
+  ``print`` anywhere in the solver stack degrades to log noise instead
+  of corrupting the protocol.
+* **Memory guard.** ``--memory-limit-mb`` sets ``RLIMIT_AS`` to the
+  interpreter's post-import baseline plus the given headroom. A solve
+  that allocates past it gets a real ``MemoryError`` (reported as a
+  structured failure) or, if allocation happens inside C code that
+  cannot recover, the process dies and the supervisor requeues.
+* **Hang diagnostics.** With ``REPRO_DEBUG_HANG=1`` a
+  :mod:`faulthandler` watchdog is armed for each request's cooperative
+  timeout, so a worker that blows its deadline dumps the stuck stack to
+  stderr before the supervisor's hard kill lands.
+* **Chaos hooks.** ``REPRO_CHAOS`` in the worker's environment drives
+  the child-side process faults (self-SIGKILL, hang, memory hog, IPC
+  frame corruption) — see :mod:`repro.resilience.faults`.
+
+The worker never lets a request's failure end the process: every
+exception that can be caught becomes a structured ``result`` frame with
+``status="error"``. Exits happen only on clean ``shutdown``, EOF, an
+unrecoverable protocol error on stdin, or the kinds of death (SIGKILL,
+OOM) that are precisely the supervisor's job to detect.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import traceback
+
+from repro.core.result import CoverResult
+from repro.errors import ProtocolError, ReproError
+from repro.resilience import faults
+from repro.resilience.debug import hang_watchdog
+from repro.resilience.pool.protocol import (
+    SolveRequest,
+    read_frame,
+    request_from_payload,
+    write_frame,
+)
+
+__all__ = ["main", "run_request"]
+
+
+def _solver_registry() -> dict:
+    """Named solvers the worker can run directly (grid cells)."""
+    from repro.core.cmc import cmc
+    from repro.core.cmc_epsilon import cmc_epsilon
+    from repro.core.cwsc import cwsc
+    from repro.core.exact import solve_exact
+    from repro.core.fallbacks import greedy_partial, universal_result
+    from repro.core.lp_rounding import lp_rounding
+
+    return {
+        "cwsc": (cwsc, True),
+        "cmc": (cmc, True),
+        "cmc_epsilon": (cmc_epsilon, True),
+        "exact": (solve_exact, True),
+        "lp_rounding": (lp_rounding, True),
+        "universal": (universal_result, False),
+        "greedy_partial": (greedy_partial, False),
+    }
+
+
+def run_request(request: SolveRequest, on_stage=None) -> CoverResult:
+    """Execute one request in-process (shared by worker and tests)."""
+    options = dict(request.options or {})
+    if request.solver == "resilient":
+        from repro.resilience.chain import DEFAULT_CHAIN, resilient_solve
+
+        options.pop("on_failure", None)
+        return resilient_solve(
+            request.system,
+            request.k,
+            request.s_hat,
+            chain=request.chain or DEFAULT_CHAIN,
+            timeout=request.timeout,
+            seed=request.seed,
+            stage_options=request.stage_options or {},
+            on_stage=on_stage,
+            on_failure="partial",
+            **options,
+        )
+    registry = _solver_registry()
+    if request.solver not in registry:
+        raise ProtocolError(
+            f"unknown solver {request.solver!r}; "
+            f"known: {sorted(registry)} or 'resilient'"
+        )
+    fn, takes_deadline = registry[request.solver]
+    if takes_deadline and request.timeout is not None:
+        from repro.resilience.deadline import Deadline
+
+        options.setdefault("deadline", Deadline.after(request.timeout))
+    if on_stage is not None:
+        on_stage(request.solver)
+    return fn(request.system, request.k, request.s_hat, **options)
+
+
+def _result_payload(request_id: int, result: CoverResult) -> dict:
+    # params["resilience"] is a nested dict that CoverResult.to_dict
+    # would silently drop; ship it as its own key so the supervisor can
+    # reattach it.
+    resilience = result.params.pop("resilience", None)
+    return {
+        "kind": "result",
+        "id": request_id,
+        "status": "ok",
+        "result": result.to_dict(),
+        "resilience": resilience,
+    }
+
+
+def _error_payload(request_id: int, error: BaseException) -> dict:
+    payload = {
+        "kind": "result",
+        "id": request_id,
+        "status": "error",
+        "error_type": type(error).__name__,
+        "message": str(error) or type(error).__name__,
+        "exit_code": getattr(error, "exit_code", 1),
+    }
+    partial = getattr(error, "partial", None)
+    if isinstance(partial, CoverResult):
+        partial.params.pop("resilience", None)
+        payload["partial"] = partial.to_dict()
+    return payload
+
+
+def _handle_solve(out, payload: dict) -> None:
+    request_id, request = request_from_payload(payload)
+    injector = faults.active()
+
+    def emit_stage(stage: str) -> None:
+        # Stage frames are tiny and drive circuit-breaker blame; they
+        # are never chaos-corrupted so blame attribution itself stays
+        # deterministic under IPC-corruption storms.
+        write_frame(
+            out, {"kind": "stage", "id": request_id, "stage": stage}
+        )
+
+    try:
+        if injector is not None:
+            injector.worker_entry()
+        with hang_watchdog(
+            request.timeout, context=f"request {request_id}"
+        ):
+            result = run_request(request, on_stage=emit_stage)
+        response = _result_payload(request_id, result)
+    except (ReproError, MemoryError, ArithmeticError, ValueError,
+            KeyError, IndexError, TypeError, AttributeError,
+            RecursionError) as error:
+        response = _error_payload(request_id, error)
+        traceback.print_exc(file=sys.stderr)
+    write_frame(out, response, injector=injector)
+
+
+def _apply_memory_limit(headroom_mb: int | None) -> int | None:
+    """Set ``RLIMIT_AS`` to current usage + headroom; None if not set."""
+    if not headroom_mb:
+        return None
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        print(
+            "pool worker: resource module unavailable, memory limit "
+            "not applied",
+            file=sys.stderr,
+        )
+        return None
+    limit = _current_vm_bytes() + headroom_mb * 1024 * 1024
+    try:
+        resource.setrlimit(resource.RLIMIT_AS, (limit, limit))
+    except (ValueError, OSError) as error:  # pragma: no cover
+        print(
+            f"pool worker: could not set RLIMIT_AS: {error}",
+            file=sys.stderr,
+        )
+        return None
+    return limit
+
+
+def _current_vm_bytes() -> int:
+    """Address-space size right now (baseline for the headroom limit)."""
+    try:
+        with open("/proc/self/statm") as handle:
+            pages = int(handle.read().split()[0])
+        return pages * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError, IndexError):  # pragma: no cover
+        return 512 * 1024 * 1024
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-pool-worker")
+    parser.add_argument("--memory-limit-mb", type=int, default=None)
+    parser.add_argument("--worker-id", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    # Claim the frame stream, then point fd 1 at stderr so stray prints
+    # from solver code cannot corrupt the protocol.
+    out = os.fdopen(os.dup(sys.stdout.fileno()), "wb")
+    os.dup2(sys.stderr.fileno(), sys.stdout.fileno())
+    inp = sys.stdin.buffer
+
+    limit = _apply_memory_limit(args.memory_limit_mb)
+    try:
+        write_frame(
+            out,
+            {
+                "kind": "ready",
+                "pid": os.getpid(),
+                "worker_id": args.worker_id,
+                "memory_limit_bytes": limit,
+            },
+        )
+    except BrokenPipeError:  # supervisor shut down while we were starting
+        return 0
+
+    while True:
+        try:
+            frame = read_frame(inp)
+        except ProtocolError as error:
+            # A lying stdin cannot be resynchronized; die loudly and let
+            # the supervisor respawn a clean worker.
+            print(f"pool worker: protocol error on stdin: {error}",
+                  file=sys.stderr)
+            return ProtocolError.exit_code
+        if frame is None:  # supervisor closed the pipe
+            return 0
+        kind = frame.get("kind")
+        try:
+            if kind == "shutdown":
+                return 0
+            if kind == "ping":
+                write_frame(out, {"kind": "pong", "pid": os.getpid()})
+            elif kind == "solve":
+                _handle_solve(out, frame)
+            else:
+                print(f"pool worker: ignoring unknown frame kind {kind!r}",
+                      file=sys.stderr)
+        except BrokenPipeError:  # supervisor died; nothing left to serve
+            return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

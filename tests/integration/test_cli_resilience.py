@@ -165,3 +165,160 @@ class TestRunResume:
             ]
         ) == 0
         assert not ckdir.exists()
+
+
+class TestSolveIsolate:
+    def test_isolated_solve_matches_inline(self, csv_path, capsys):
+        assert main(_solve_args(csv_path, "--timeout", "30")) == 0
+        inline_out = capsys.readouterr().out
+
+        assert main(
+            _solve_args(
+                csv_path, "--timeout", "30",
+                "--isolate", "--memory-limit", "512",
+            )
+        ) == 0
+        isolated_out = capsys.readouterr().out
+        assert "pool: 1 attempt(s), 0 requeue(s)" in isolated_out
+        assert "attempt 1 (worker 0): ok" in isolated_out
+
+        def result_block(text):
+            lines = []
+            for line in text.splitlines():
+                if line.startswith(("pool:", "resilience:")):
+                    break
+                lines.append(line)
+            return lines
+
+        assert result_block(isolated_out) == result_block(inline_out)
+
+    def test_isolate_json_payload_carries_pool_provenance(
+        self, csv_path, capsys
+    ):
+        code = main(_solve_args(csv_path, "--isolate", "--json"))
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["feasible"] is True
+        assert payload["pool"]["attempts"][0]["outcome"] == "ok"
+        assert payload["resilience"]["stage"]
+
+    def test_memory_limit_without_isolate_is_bad_input(
+        self, csv_path, capsys
+    ):
+        code = main(_solve_args(csv_path, "--memory-limit", "512"))
+        assert code == 2
+        assert "--memory-limit requires --isolate" in capsys.readouterr().err
+
+
+class TestBatch:
+    def _batch_args(self, requests_path, csv_path, out_path, *extra):
+        return [
+            "batch", str(requests_path),
+            "--csv", csv_path,
+            "--attributes", "Type,Location",
+            "--measure", "Cost",
+            "--out", str(out_path),
+            "--workers", "2",
+            *extra,
+        ]
+
+    def test_jsonl_in_jsonl_out(self, tmp_path, csv_path, capsys):
+        requests_path = tmp_path / "requests.jsonl"
+        requests_path.write_text(
+            "\n".join(
+                [
+                    '{"k": 3, "s": 0.5, "tag": "a"}',
+                    "# a comment line",
+                    '{"k": 4, "s": 0.7, "solver": "cwsc", "tag": "b"}',
+                    "",
+                ]
+            )
+        )
+        out_path = tmp_path / "results.jsonl"
+        code = main(self._batch_args(requests_path, csv_path, out_path))
+        assert code == 0
+        lines = [
+            json.loads(line)
+            for line in out_path.read_text().splitlines()
+        ]
+        assert sorted(entry["tag"] for entry in lines) == ["a", "b"]
+        for entry in lines:
+            assert entry["status"] == "ok"
+            assert entry["result"]["feasible"] is True
+            assert entry["pool"]["attempts"][0]["outcome"] == "ok"
+        assert "2 request(s) run, 0 failed" in capsys.readouterr().err
+
+    def test_invalid_line_reported_and_exit_3(
+        self, tmp_path, csv_path, capsys
+    ):
+        requests_path = tmp_path / "requests.jsonl"
+        requests_path.write_text(
+            '{"k": 3, "s": 0.5, "tag": "good"}\n'
+            "this is not json\n"
+            '{"s": 0.5, "tag": "missing-k"}\n'
+        )
+        out_path = tmp_path / "results.jsonl"
+        code = main(self._batch_args(requests_path, csv_path, out_path))
+        assert code == 3
+        lines = [
+            json.loads(line)
+            for line in out_path.read_text().splitlines()
+        ]
+        by_status = {}
+        for entry in lines:
+            by_status.setdefault(entry["status"], []).append(entry)
+        assert len(by_status["invalid"]) == 2
+        assert all("error" in e for e in by_status["invalid"])
+        assert [e["tag"] for e in by_status["ok"]] == ["good"]
+
+    def test_missing_requests_file_is_an_io_error(
+        self, tmp_path, csv_path, capsys
+    ):
+        code = main(
+            self._batch_args(
+                tmp_path / "nope.jsonl", csv_path, tmp_path / "out.jsonl"
+            )
+        )
+        assert code != 0
+        assert capsys.readouterr().err != ""
+
+
+class TestKeyboardInterrupt:
+    def test_ctrl_c_exits_130(self, csv_path, capsys, monkeypatch):
+        from repro import cli as cli_module
+
+        def boom(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli_module, "_cmd_solve", boom)
+        assert main(_solve_args(csv_path)) == 130
+        assert "interrupted" in capsys.readouterr().err
+
+
+class TestRunWorkers:
+    @pytest.fixture(autouse=True)
+    def _fresh_memo(self, monkeypatch):
+        monkeypatch.setattr(quality_grid, "_grid_cache", {})
+
+    def test_pooled_run_matches_sequential(self, tmp_path, capsys):
+        assert main(["run", "table4", "--scale", "small"]) == 0
+        sequential = capsys.readouterr().out
+
+        assert main(
+            ["run", "table4", "--scale", "small", "--workers", "2"]
+        ) == 0
+        pooled = capsys.readouterr().out
+        assert pooled == sequential
+
+    def test_pooled_run_resumes_from_checkpoint(self, tmp_path, capsys):
+        ckdir = str(tmp_path / "checkpoints")
+        args = [
+            "run", "table4", "--scale", "small",
+            "--checkpoint-dir", ckdir, "--workers", "2",
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main([*args, "--resume"]) == 0
+        captured = capsys.readouterr()
+        assert "cell(s) done" in captured.err
+        assert "Table IV" in captured.out

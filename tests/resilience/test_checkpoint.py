@@ -7,7 +7,6 @@ import json
 import pytest
 
 from repro.core.result import CoverResult
-from repro.errors import ValidationError
 from repro.experiments import base as exp_base
 from repro.experiments import quality_grid
 from repro.experiments.base import (
@@ -79,17 +78,88 @@ class TestCheckpointStore:
         store.clear()
         assert len(CheckpointStore(path)) == 0
 
-    def test_corrupt_file_rejected(self, tmp_path):
+    def test_corrupt_file_quarantined(self, tmp_path, capsys):
         path = tmp_path / "ck.json"
         path.write_text("{not json")
-        with pytest.raises(ValidationError, match="unreadable"):
-            CheckpointStore(path)
+        store = CheckpointStore(path)
+        assert len(store) == 0
+        assert not path.exists()
+        corrupt = tmp_path / "ck.json.corrupt"
+        assert store.quarantined_from == corrupt
+        assert corrupt.read_text() == "{not json"
+        assert "quarantined" in capsys.readouterr().err
+        # The store is fully usable after quarantine.
+        store.put("a", 1)
+        assert CheckpointStore(path).get("a") == 1
 
-    def test_wrong_version_rejected(self, tmp_path):
+    def test_truncated_file_quarantined(self, tmp_path):
         path = tmp_path / "ck.json"
-        path.write_text(json.dumps({"version": 99, "cells": {}}))
-        with pytest.raises(ValidationError, match="version"):
-            CheckpointStore(path)
+        store = CheckpointStore(path)
+        store.put("a", {"x": 1})
+        # Simulate a torn write: chop the file mid-payload.
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        reloaded = CheckpointStore(path)
+        assert len(reloaded) == 0
+        assert reloaded.quarantined_from is not None
+
+    def test_empty_file_quarantined(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text("")
+        store = CheckpointStore(path)
+        assert len(store) == 0
+        assert store.quarantined_from is not None
+
+    def test_wrong_version_quarantined(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text(json.dumps({"version": 99, "cells": {"a": 1}}))
+        store = CheckpointStore(path)
+        assert len(store) == 0
+        assert store.quarantined_from is not None
+        # The old cells are preserved in the quarantine file.
+        rescued = json.loads(store.quarantined_from.read_text())
+        assert rescued["cells"] == {"a": 1}
+
+    def test_non_object_payload_quarantined(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        assert len(CheckpointStore(path)) == 0
+
+    def test_quarantine_never_loops(self, tmp_path):
+        # Opening the store twice in a row must not trip on the same bad
+        # file (that is exactly the --resume retry loop scenario).
+        path = tmp_path / "ck.json"
+        path.write_text("garbage")
+        CheckpointStore(path)
+        second = CheckpointStore(path)
+        assert len(second) == 0
+        assert second.quarantined_from is None  # nothing left to move
+
+    def test_undecodable_cell_dropped_and_recomputed(self, tmp_path, capsys):
+        path = tmp_path / "ck.json"
+        store = CheckpointStore(path)
+        store.put("k", {"good": "payload"})
+        reloaded = CheckpointStore(path)
+
+        def deserialize(payload):
+            raise KeyError("algorithm")
+
+        value = reloaded.cell(
+            "k", lambda: "fresh",
+            serialize=lambda v: v, deserialize=deserialize,
+        )
+        assert value == "fresh"
+        assert reloaded.bad_cells == 1
+        assert reloaded.hits == 0
+        assert "recomputing" in capsys.readouterr().err
+        # The recomputed value replaced the bad payload on disk.
+        assert CheckpointStore(path).get("k") == "fresh"
+
+    def test_probe_reports_cache_state(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ck.json")
+        assert store.probe("missing") == (False, None)
+        store.put("k", 5)
+        assert store.probe("k") == (True, 5)
 
     def test_checkpointing_context_installs_and_restores(self, tmp_path):
         assert active_checkpoint() is None
@@ -175,6 +245,47 @@ class TestQualityGridResume:
         store = CheckpointStore(tmp_path / "ck.json")
         checked = run_experiment("table4", "small", checkpoint=store)
         assert checked.data["costs"] == plain.data["costs"]
+
+    def test_resume_with_corrupted_cell_recomputes_only_it(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "table4-small.json"
+        store = CheckpointStore(path)
+        report = run_experiment("table4", "small", checkpoint=store)
+        total_cells = len(store)
+
+        # Mangle one cell's payload (wrong shape entirely).
+        payload = json.loads(path.read_text())
+        bad_key = next(iter(payload["cells"]))
+        payload["cells"][bad_key] = {"oops": True}
+        path.write_text(json.dumps(payload))
+
+        counts = self._counting(monkeypatch)
+        resumed_store = CheckpointStore(path)
+        resumed = run_experiment("table4", "small", checkpoint=resumed_store)
+        assert counts["cwsc"] + counts["cmc_epsilon"] == 1
+        assert resumed_store.bad_cells == 1
+        assert resumed_store.hits == total_cells - 1
+        assert resumed.data["costs"] == report.data["costs"]
+
+    def test_resume_with_truncated_checkpoint_recomputes_all(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "table4-small.json"
+        store = CheckpointStore(path)
+        report = run_experiment("table4", "small", checkpoint=store)
+        total_cells = len(store)
+
+        # Tear the file as a crash mid-write would.
+        text = path.read_text()
+        path.write_text(text[: len(text) - 20])
+
+        counts = self._counting(monkeypatch)
+        resumed_store = CheckpointStore(path)
+        assert resumed_store.quarantined_from is not None
+        resumed = run_experiment("table4", "small", checkpoint=resumed_store)
+        assert counts["cwsc"] + counts["cmc_epsilon"] == total_cells
+        assert resumed.data["costs"] == report.data["costs"]
 
 
 class TestResultRoundTrip:

@@ -1,0 +1,143 @@
+"""Circuit breakers: state machine, probe discipline, chain routing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.resilience.pool.breaker import BreakerBoard, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_allows(self, clock):
+        breaker = CircuitBreaker("exact", clock=clock)
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_opens_after_consecutive_failures(self, clock):
+        breaker = CircuitBreaker("exact", failure_threshold=3, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.times_opened == 1
+
+    def test_success_resets_the_count(self, clock):
+        breaker = CircuitBreaker("exact", failure_threshold=2, clock=clock)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # non-consecutive
+
+    def test_cooldown_half_opens_with_single_probe(self, clock):
+        breaker = CircuitBreaker(
+            "exact", failure_threshold=1, cooldown=30.0, clock=clock
+        )
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(29.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.state == "half_open"
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # everyone else keeps waiting
+
+    def test_probe_success_closes(self, clock):
+        breaker = CircuitBreaker(
+            "exact", failure_threshold=1, cooldown=1.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_for_another_cooldown(self, clock):
+        breaker = CircuitBreaker(
+            "exact", failure_threshold=5, cooldown=1.0, clock=clock
+        )
+        for _ in range(5):
+            breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_failure()  # single half-open failure re-opens
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.times_opened == 2
+
+    def test_snapshot(self, clock):
+        breaker = CircuitBreaker("cwsc", failure_threshold=1, clock=clock)
+        breaker.record_failure()
+        snap = breaker.snapshot()
+        assert snap["state"] == "open"
+        assert snap["total_failures"] == 1
+        assert snap["times_opened"] == 1
+
+    def test_bad_parameters_rejected(self, clock):
+        with pytest.raises(ValidationError):
+            CircuitBreaker("x", failure_threshold=0, clock=clock)
+        with pytest.raises(ValidationError):
+            CircuitBreaker("x", cooldown=-1.0, clock=clock)
+
+
+class TestBreakerBoard:
+    def test_routes_around_open_stage(self, clock):
+        board = BreakerBoard(failure_threshold=1, clock=clock)
+        board.record_failure("exact")
+        allowed, routed = board.filter_chain(("exact", "cwsc", "universal"))
+        assert allowed == ("cwsc", "universal")
+        assert routed == ("exact",)
+
+    def test_universal_is_never_routed_around(self, clock):
+        board = BreakerBoard(failure_threshold=1, clock=clock)
+        board.record_failure("universal")  # silently ignored
+        allowed, routed = board.filter_chain(("universal",))
+        assert allowed == ("universal",)
+        assert routed == ()
+
+    def test_all_stages_open_falls_back_to_original_chain(self, clock):
+        board = BreakerBoard(failure_threshold=1, clock=clock)
+        board.record_failure("exact")
+        board.record_failure("cwsc")
+        allowed, routed = board.filter_chain(("exact", "cwsc"))
+        assert allowed == ("exact", "cwsc")
+        assert routed == ()
+
+    def test_success_heals_the_stage(self, clock):
+        board = BreakerBoard(failure_threshold=1, cooldown=1.0, clock=clock)
+        board.record_failure("exact")
+        clock.advance(1.0)
+        assert board.filter_chain(("exact",))[0] == ("exact",)  # probe
+        board.record_success("exact")
+        assert board.breaker("exact").state == "closed"
+
+    def test_record_none_is_a_no_op(self, clock):
+        board = BreakerBoard(clock=clock)
+        board.record_failure(None)
+        board.record_success(None)
+        assert board.snapshot() == {}
+
+    def test_snapshot_is_sorted_by_name(self, clock):
+        board = BreakerBoard(clock=clock)
+        board.record_failure("zeta")
+        board.record_failure("alpha")
+        assert list(board.snapshot()) == ["alpha", "zeta"]

@@ -1,0 +1,244 @@
+"""Chaos suite for the worker pool: process-level fault storms.
+
+Marked ``chaos`` (run via ``make chaos`` or ``pytest -m chaos``). The
+acceptance bar, from the resilience design: a worker SIGKILLed
+mid-solve, a worker that hogs memory until its rlimit, a worker that
+hangs past its hard deadline, and a worker whose result frames are
+corrupted must all end with the pool returning a *verified feasible*
+result — by requeue or by the parent-side universal fallback — with
+provenance naming the failure. No hang, no parent crash.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.validate import verify_result
+from repro.resilience import faults
+from repro.resilience.faults import FaultConfig, encode_env
+from repro.resilience.pool import PoolConfig, SolveRequest, SolverPool
+
+pytestmark = pytest.mark.chaos
+
+
+def _assert_verified_feasible(system, outcome, k, s_hat):
+    assert outcome.result is not None
+    assert outcome.result.feasible
+    resilience = outcome.result.params.get("resilience")
+    if resilience is not None and outcome.status == "ok":
+        problems = verify_result(
+            system,
+            outcome.result,
+            k=resilience["k_bound"],
+            s_hat=resilience["coverage_target"],
+        )
+    else:
+        problems = verify_result(system, outcome.result, k=k, s_hat=s_hat)
+    assert problems == [], problems
+
+
+class TestWorkerKilledMidSolve:
+    """Acceptance: SIGKILL a worker mid-solve; requeue must finish the job."""
+
+    def test_injected_sigkill_is_requeued_and_answered(self, random_system):
+        system = random_system(n_elements=20, n_sets=14, seed=21)
+        with faults.chaos(FaultConfig(worker_kill=1.0, fault_limit=1, seed=7)):
+            with SolverPool(
+                PoolConfig(workers=1, request_timeout=30)
+            ) as pool:
+                outcome = pool.solve(
+                    SolveRequest(system=system, k=4, s_hat=0.8)
+                )
+        assert outcome.status == "ok"
+        _assert_verified_feasible(system, outcome, 4, 0.8)
+        outcomes = [a["outcome"] for a in outcome.provenance["attempts"]]
+        assert outcomes == ["killed", "ok"]
+        assert "SIGKILL" in outcome.provenance["attempts"][0]["detail"]
+
+    def test_child_side_self_kill_degrades_to_fallback(self, random_system):
+        # Env-driven kills hit every respawned worker (each child re-reads
+        # REPRO_CHAOS with a fresh budget), so the retry budget runs out
+        # and the parent must answer from its own universal fallback.
+        system = random_system(n_elements=16, n_sets=10, seed=22)
+        with SolverPool(
+            PoolConfig(
+                workers=1,
+                request_timeout=30,
+                max_requeues=1,
+                worker_env={
+                    "REPRO_CHAOS": encode_env(
+                        FaultConfig(worker_kill=1.0, seed=3)
+                    )
+                },
+            )
+        ) as pool:
+            outcome = pool.solve(SolveRequest(system=system, k=4, s_hat=0.8))
+        assert outcome.status == "fallback"
+        _assert_verified_feasible(system, outcome, 4, 0.8)
+        assert "worker-died" in outcome.provenance["failure"]
+        assert outcome.provenance["fallback"] == "parent-universal"
+
+
+class TestWorkerMemoryHog:
+    """Acceptance: a memory hog dies alone; the pool still answers."""
+
+    def test_memory_hog_hits_rlimit_and_pool_answers(self, random_system):
+        system = random_system(n_elements=16, n_sets=10, seed=23)
+        with SolverPool(
+            PoolConfig(
+                workers=1,
+                request_timeout=30,
+                max_requeues=1,
+                memory_limit_mb=128,
+                worker_env={
+                    "REPRO_CHAOS": encode_env(
+                        FaultConfig(
+                            worker_oom=1.0,
+                            oom_bytes=1024 * 1024 * 1024,
+                            seed=5,
+                        )
+                    )
+                },
+            )
+        ) as pool:
+            outcome = pool.solve(SolveRequest(system=system, k=4, s_hat=0.8))
+        assert outcome.status in ("ok", "fallback")
+        _assert_verified_feasible(system, outcome, 4, 0.8)
+        if outcome.status == "fallback":
+            assert "MemoryError" in outcome.provenance["failure"]
+        named = [
+            a
+            for a in outcome.provenance["attempts"]
+            if "MemoryError" in a["outcome"] or "died" in a["outcome"]
+        ]
+        assert named, outcome.provenance["attempts"]
+
+
+class TestWorkerHang:
+    def test_hung_worker_is_hard_killed_and_pool_answers(self, random_system):
+        system = random_system(n_elements=16, n_sets=10, seed=24)
+        with SolverPool(
+            PoolConfig(
+                workers=1,
+                request_timeout=0.5,
+                grace=0.4,
+                max_requeues=1,
+                worker_env={
+                    "REPRO_CHAOS": encode_env(
+                        FaultConfig(
+                            worker_hang=1.0, hang_seconds=30.0, seed=9
+                        )
+                    )
+                },
+            )
+        ) as pool:
+            outcome = pool.solve(SolveRequest(system=system, k=4, s_hat=0.8))
+        assert outcome.status == "fallback"
+        _assert_verified_feasible(system, outcome, 4, 0.8)
+        assert all(
+            a["outcome"] == "hard-timeout"
+            for a in outcome.provenance["attempts"]
+        )
+
+
+class TestIpcCorruption:
+    def test_corrupted_result_frames_never_crash_the_parent(
+        self, random_system
+    ):
+        system = random_system(n_elements=16, n_sets=10, seed=25)
+        with SolverPool(
+            PoolConfig(
+                workers=1,
+                request_timeout=1.0,
+                grace=0.5,
+                max_requeues=2,
+                worker_env={
+                    "REPRO_CHAOS": encode_env(
+                        FaultConfig(ipc_corrupt=1.0, seed=13)
+                    )
+                },
+            )
+        ) as pool:
+            outcome = pool.solve(SolveRequest(system=system, k=4, s_hat=0.8))
+        # Whatever the corruption produced — garbage (ipc-error), a
+        # truncated frame (hard-timeout), or a lying-but-parseable result
+        # (rejected by parent verification) — the answer is verified.
+        assert outcome.status in ("ok", "fallback")
+        _assert_verified_feasible(system, outcome, 4, 0.8)
+
+
+class TestBreakerIntegration:
+    def test_in_worker_stage_failures_open_breaker_and_route(
+        self, random_system
+    ):
+        system = random_system(n_elements=16, n_sets=10, seed=26)
+        requests = [
+            SolveRequest(
+                system=system,
+                k=4,
+                s_hat=0.8,
+                chain=("lp_rounding", "universal"),
+                options={"max_retries": 0},
+                tag=f"r{i}",
+            )
+            for i in range(2)
+        ]
+        with SolverPool(
+            PoolConfig(
+                workers=1,
+                request_timeout=30,
+                breaker_threshold=1,
+                worker_env={
+                    "REPRO_CHAOS": encode_env(
+                        FaultConfig(lp_failure=1.0, seed=17)
+                    )
+                },
+            )
+        ) as pool:
+            first, second = pool.run(requests)
+            snapshot = pool.breaker_snapshot()
+        # Request 1: lp fails in-worker, universal answers; the reported
+        # stage statuses trip lp_rounding's breaker in the parent.
+        assert first.status == "ok"
+        assert first.result.params["resilience"]["stage"] == "universal"
+        assert snapshot["lp_rounding"]["times_opened"] >= 1
+        # Request 2's chain was filtered before dispatch.
+        assert second.status == "ok"
+        assert second.provenance.get("routed_around") == ["lp_rounding"]
+        stages_run = [
+            record["stage"]
+            for record in second.result.params["resilience"]["stages"]
+        ]
+        assert "lp_rounding" not in stages_run
+
+
+class TestDeterministicReplay:
+    def test_identical_storms_produce_identical_results(self, random_system):
+        system = random_system(n_elements=18, n_sets=12, seed=27)
+
+        def run_once():
+            with faults.chaos(
+                FaultConfig(worker_kill=0.7, fault_limit=2, seed=99)
+            ):
+                with SolverPool(
+                    PoolConfig(workers=2, request_timeout=30, max_requeues=3)
+                ) as pool:
+                    return pool.run(
+                        [
+                            SolveRequest(
+                                system=system,
+                                k=4,
+                                s_hat=0.8,
+                                solver="cwsc",
+                                tag=f"cell-{i}",
+                            )
+                            for i in range(4)
+                        ]
+                    )
+
+        first = run_once()
+        second = run_once()
+        assert [r.status for r in first] == [r.status for r in second]
+        for a, b in zip(first, second):
+            assert a.result.set_ids == b.result.set_ids
+            assert a.result.total_cost == b.result.total_cost
