@@ -3,6 +3,7 @@
 #   make test    tier-1 suite (what CI gates on)
 #   make chaos   fault-injection suite only, fixed seeds so failures reproduce
 #   make verify  tier-1 followed by the chaos suite — the full gate
+#   make bench   quick benchmark matrix, gated against the committed baseline
 #
 # PYTHONHASHSEED is pinned so set/dict iteration orders (and thus any
 # order-dependent tie-breaking bug the suites might expose) reproduce
@@ -12,7 +13,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONHASHSEED := 0
 
-.PHONY: test chaos verify
+.PHONY: test chaos verify bench
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -21,3 +22,6 @@ chaos:
 	$(PYTHON) -m pytest -x -q -m chaos
 
 verify: test chaos
+
+bench:
+	$(PYTHON) -m repro.bench --quick --check --out BENCH_micro.json

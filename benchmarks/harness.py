@@ -1,0 +1,32 @@
+"""Shim: the benchmark regression harness lives in :mod:`repro.bench`.
+
+Run it either as the installed CLI::
+
+    scwsc bench --quick --check
+
+or directly from a checkout without installing::
+
+    PYTHONPATH=src python benchmarks/harness.py --quick --check
+
+This file only re-exports the harness API so existing
+``benchmarks/``-relative tooling keeps one import point; all behaviour
+(workload matrix, report schema, tolerance checking) is implemented and
+tested in :mod:`repro.bench`.
+"""
+
+from repro.bench import (  # noqa: F401
+    BACKENDS,
+    BenchCase,
+    DEFAULT_BASELINE,
+    DEFAULT_OUT,
+    DEFAULT_TOLERANCE,
+    SCHEMA,
+    compare_reports,
+    default_cases,
+    main,
+    render_report,
+    run_benchmarks,
+)
+
+if __name__ == "__main__":
+    raise SystemExit(main())

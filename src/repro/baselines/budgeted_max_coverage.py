@@ -16,7 +16,7 @@ from __future__ import annotations
 import time
 
 from repro.core.greedy_common import gain_key
-from repro.core.marginal import MarginalTracker
+from repro.core.marginal import make_tracker
 from repro.core.result import CoverResult, Metrics, make_result
 from repro.core.setsystem import SetSystem
 from repro.errors import ValidationError
@@ -51,7 +51,7 @@ def budgeted_max_coverage(
     start = time.perf_counter()
     metrics = Metrics()
     params = {"budget": budget, "max_sets": max_sets}
-    tracker = MarginalTracker(system, metrics=metrics)
+    tracker = make_tracker(system, metrics=metrics)
     spent = 0.0
     chosen: list[int] = []
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 import time
 
 from repro.core.greedy_common import benefit_key
-from repro.core.marginal import MarginalTracker
+from repro.core.marginal import make_tracker
 from repro.core.result import CoverResult, Metrics, make_result
 from repro.core.setsystem import SetSystem
 from repro.errors import ValidationError
@@ -47,7 +47,7 @@ def max_coverage(
     start = time.perf_counter()
     metrics = Metrics()
     params = {"k": k, "s_hat": s_hat}
-    tracker = MarginalTracker(system, metrics=metrics)
+    tracker = make_tracker(system, metrics=metrics)
     target = s_hat * system.n_elements if s_hat is not None else None
     chosen: list[int] = []
 

@@ -21,7 +21,7 @@ import heapq
 import time
 
 from repro.core.greedy_common import canonical_key
-from repro.core.marginal import MarginalTracker
+from repro.core.marginal import make_tracker
 from repro.core.result import CoverResult, Metrics, make_result
 from repro.core.setsystem import SetSystem
 from repro.errors import InfeasibleError, ValidationError
@@ -60,7 +60,7 @@ def weighted_set_cover(
     start = time.perf_counter()
     metrics = Metrics()
     params = {"s_hat": s_hat, "max_sets": max_sets}
-    tracker = MarginalTracker(system, metrics=metrics)
+    tracker = make_tracker(system, metrics=metrics)
     rem = s_hat * system.n_elements
     chosen: list[int] = []
 

@@ -1,0 +1,470 @@
+"""Benchmark regression harness (``scwsc bench``).
+
+Runs the paper-shaped workloads under wall-clock measurement and emits a
+machine-readable report (``BENCH_micro.json``) that CI diffs against a
+committed baseline:
+
+* ``bench_table5_runtime`` — every solver at the largest workload size
+  (the shape behind the paper's Table 5 runtime comparison);
+* ``bench_fig5_datasize`` — CWSC and CMC swept across dataset sizes
+  (the shape behind Fig. 5's runtime-vs-data-size curves).
+
+Each benchmark runs on both marginal-tracker backends (``set`` and
+``bitset``; see :mod:`repro.core.marginal`), so the report also carries
+the cross-backend speedup per workload. Timings use ``warmup``
+un-timed iterations (which also populate the per-system caches: mask
+table, owners index, canonical keys) followed by ``repeat`` timed ones;
+the *median* is the comparison statistic, which makes single-run noise
+spikes harmless.
+
+Regression checking is tolerance-based, not exact: CI machines jitter,
+so ``--check`` only fails when a benchmark's median exceeds
+``tolerance x`` its committed baseline median (default 3x). The
+committed baseline lives at ``benchmarks/BENCH_baseline.json`` and is
+regenerated with ``scwsc bench --quick --out
+benchmarks/BENCH_baseline.json`` on a quiet machine.
+
+The module is importable (``repro.bench.run_benchmarks``) for tests and
+notebooks; ``benchmarks/harness.py`` is a thin shim for running it
+without an installed console script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro.core import cmc, cmc_epsilon, cwsc
+from repro.core.result import CoverResult
+from repro.core.setsystem import SetSystem
+from repro.errors import ReproError, ValidationError
+
+#: Report format version; bump on incompatible layout changes.
+SCHEMA = "scwsc-bench/1"
+
+#: Default regression tolerance: fail only when a median is more than
+#: this factor slower than the committed baseline.
+DEFAULT_TOLERANCE = 3.0
+
+DEFAULT_BASELINE = Path("benchmarks") / "BENCH_baseline.json"
+DEFAULT_OUT = Path("BENCH_micro.json")
+
+#: Solve parameters shared by every benchmark (the paper grid's center).
+BENCH_K = 10
+BENCH_S_HAT = 0.5
+
+_SOLVERS: dict[str, Callable[..., CoverResult]] = {
+    "cwsc": lambda system, backend: cwsc(
+        system, k=BENCH_K, s_hat=BENCH_S_HAT, backend=backend
+    ),
+    "cmc": lambda system, backend: cmc(
+        system, k=BENCH_K, s_hat=BENCH_S_HAT, backend=backend
+    ),
+    "cmc_epsilon": lambda system, backend: cmc_epsilon(
+        system, k=BENCH_K, s_hat=BENCH_S_HAT, eps=0.5, backend=backend
+    ),
+}
+
+#: Workload sizes (generated LBL-trace rows) and solver pools per scale.
+_SCALES: dict[str, dict] = {
+    "quick": {"sizes": (600, 1200), "solvers": ("cwsc", "cmc")},
+    "full": {
+        "sizes": (3000, 6000, 12000),
+        "solvers": ("cwsc", "cmc", "cmc_epsilon"),
+    },
+}
+
+BACKENDS = ("set", "bitset")
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One (workload, solver, size, backend) measurement."""
+
+    workload: str
+    solver: str
+    n_rows: int
+    backend: str
+
+    @property
+    def bench_id(self) -> str:
+        return (
+            f"{self.workload}[{self.solver}-n{self.n_rows}-{self.backend}]"
+        )
+
+    @property
+    def speedup_id(self) -> str:
+        return f"{self.workload}[{self.solver}-n{self.n_rows}]"
+
+
+def default_cases(
+    scale: str,
+    sizes: tuple[int, ...] | None = None,
+    backends: Iterable[str] = BACKENDS,
+) -> list[BenchCase]:
+    """The benchmark matrix for a scale, in deterministic order."""
+    try:
+        spec = _SCALES[scale]
+    except KeyError:
+        raise ValidationError(
+            f"unknown bench scale {scale!r}; known: {sorted(_SCALES)}"
+        ) from None
+    sizes = tuple(sizes) if sizes is not None else spec["sizes"]
+    backends = tuple(backends)
+    cases: list[BenchCase] = []
+    for solver in spec["solvers"]:
+        for backend in backends:
+            cases.append(
+                BenchCase("bench_table5_runtime", solver, sizes[-1], backend)
+            )
+    for solver in ("cwsc", "cmc"):
+        if solver not in spec["solvers"]:
+            continue
+        for n_rows in sizes:
+            for backend in backends:
+                cases.append(
+                    BenchCase("bench_fig5_datasize", solver, n_rows, backend)
+                )
+    return cases
+
+
+def build_system(n_rows: int, seed: int = 7) -> SetSystem:
+    """The benchmark instance: pattern sets over an LBL-style trace."""
+    from repro.datasets.registry import load_dataset
+    from repro.patterns.pattern_sets import build_set_system
+
+    table = load_dataset(f"lbl:{n_rows}@{seed}")
+    return build_set_system(table, cost="count")
+
+
+def run_case(
+    system: SetSystem, case: BenchCase, repeat: int, warmup: int
+) -> dict:
+    """Measure one case; returns its report entry."""
+    solver = _SOLVERS[case.solver]
+    runs: list[float] = []
+    result: CoverResult | None = None
+    for iteration in range(warmup + repeat):
+        started = time.perf_counter()
+        result = solver(system, case.backend)
+        elapsed = time.perf_counter() - started
+        if iteration >= warmup:
+            runs.append(elapsed)
+    assert result is not None
+    return {
+        "workload": case.workload,
+        "solver": case.solver,
+        "backend": case.backend,
+        "n_rows": case.n_rows,
+        "shape": {
+            "n_elements": system.n_elements,
+            "n_sets": system.n_sets,
+        },
+        "median_seconds": statistics.median(runs),
+        "runs": runs,
+        "metrics": {
+            "selections": result.metrics.selections,
+            "marginal_updates": result.metrics.marginal_updates,
+            "budget_rounds": result.metrics.budget_rounds,
+            "sets_considered": result.metrics.sets_considered,
+        },
+        "result": {
+            "n_sets": result.n_sets,
+            "total_cost": result.total_cost,
+            "covered": result.covered,
+            "feasible": result.feasible,
+        },
+    }
+
+
+def run_benchmarks(
+    scale: str = "full",
+    repeat: int = 3,
+    warmup: int = 1,
+    backends: Iterable[str] = BACKENDS,
+    name_filter: str | None = None,
+    sizes: tuple[int, ...] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> dict:
+    """Run the benchmark matrix and return the report dict.
+
+    Parameters
+    ----------
+    scale:
+        ``"quick"`` (small sizes, CI smoke) or ``"full"`` (paper sizes).
+    repeat / warmup:
+        Timed iterations per case / un-timed cache-warming iterations.
+    backends:
+        Subset of :data:`BACKENDS` to measure.
+    name_filter:
+        Substring filter on bench ids (``--filter``).
+    sizes:
+        Override the scale's workload sizes (tests use tiny ones).
+    progress:
+        Optional per-case callback (the CLI prints to stderr).
+    """
+    if repeat < 1:
+        raise ValidationError(f"repeat must be >= 1, got {repeat}")
+    if warmup < 0:
+        raise ValidationError(f"warmup must be >= 0, got {warmup}")
+    for backend in backends:
+        if backend not in BACKENDS:
+            raise ValidationError(
+                f"unknown backend {backend!r}; known: {list(BACKENDS)}"
+            )
+    cases = default_cases(scale, sizes=sizes, backends=backends)
+    if name_filter:
+        cases = [c for c in cases if name_filter in c.bench_id]
+    systems: dict[int, SetSystem] = {}
+    benchmarks: dict[str, dict] = {}
+    for case in cases:
+        if case.bench_id in benchmarks:
+            continue
+        system = systems.get(case.n_rows)
+        if system is None:
+            system = systems[case.n_rows] = build_system(case.n_rows)
+        entry = run_case(system, case, repeat=repeat, warmup=warmup)
+        benchmarks[case.bench_id] = entry
+        if progress is not None:
+            progress(
+                f"{case.bench_id}: {entry['median_seconds'] * 1e3:.1f} ms"
+            )
+    return {
+        "schema": SCHEMA,
+        "scale": scale,
+        "repeat": repeat,
+        "warmup": warmup,
+        "k": BENCH_K,
+        "s_hat": BENCH_S_HAT,
+        "python": platform.python_version(),
+        "benchmarks": benchmarks,
+        "speedups": _speedups(cases, benchmarks),
+    }
+
+
+def _speedups(
+    cases: list[BenchCase], benchmarks: dict[str, dict]
+) -> dict[str, float]:
+    """Cross-backend speedup (set median / bitset median) per workload."""
+    speedups: dict[str, float] = {}
+    for case in cases:
+        if case.speedup_id in speedups or case.backend != "bitset":
+            continue
+        fast = benchmarks.get(case.bench_id)
+        slow = benchmarks.get(
+            BenchCase(case.workload, case.solver, case.n_rows, "set").bench_id
+        )
+        if fast is None or slow is None or not fast["median_seconds"]:
+            continue
+        speedups[case.speedup_id] = (
+            slow["median_seconds"] / fast["median_seconds"]
+        )
+    return speedups
+
+
+def compare_reports(
+    current: dict, baseline: dict, tolerance: float = DEFAULT_TOLERANCE
+) -> tuple[list[dict], list[str]]:
+    """Tolerance-check a report against a baseline.
+
+    Returns ``(regressions, missing)``: each regression records the
+    bench id, both medians, and the ratio; ``missing`` lists baseline
+    benchmarks the current report did not run (filtered out or a
+    renamed matrix) so CI can surface them without failing the build.
+    """
+    if tolerance <= 1.0:
+        raise ValidationError(
+            f"tolerance must be > 1.0, got {tolerance}"
+        )
+    regressions: list[dict] = []
+    missing: list[str] = []
+    current_benchmarks = current.get("benchmarks", {})
+    for bench_id, base in baseline.get("benchmarks", {}).items():
+        entry = current_benchmarks.get(bench_id)
+        if entry is None:
+            missing.append(bench_id)
+            continue
+        base_median = base["median_seconds"]
+        median = entry["median_seconds"]
+        if base_median > 0 and median > tolerance * base_median:
+            regressions.append(
+                {
+                    "bench_id": bench_id,
+                    "median_seconds": median,
+                    "baseline_seconds": base_median,
+                    "ratio": median / base_median,
+                }
+            )
+    return regressions, missing
+
+
+def render_report(report: dict) -> str:
+    """Human-readable summary of a report dict."""
+    lines = [
+        f"scale={report['scale']} repeat={report['repeat']} "
+        f"warmup={report['warmup']} k={report['k']} "
+        f"s_hat={report['s_hat']:g}",
+        "",
+        f"{'benchmark':58s} {'median':>10s}  shape",
+    ]
+    for bench_id, entry in report["benchmarks"].items():
+        shape = entry["shape"]
+        lines.append(
+            f"{bench_id:58s} {entry['median_seconds'] * 1e3:8.1f} ms"
+            f"  n={shape['n_elements']} m={shape['n_sets']}"
+        )
+    if report["speedups"]:
+        lines.append("")
+        lines.append("bitset speedup over set backend (median/median):")
+        for speedup_id, ratio in report["speedups"].items():
+            lines.append(f"  {speedup_id:56s} {ratio:6.2f}x")
+    return "\n".join(lines)
+
+
+def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    """Register ``scwsc bench`` flags (shared with the shim's parser)."""
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="full",
+        help="workload scale (default: full)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shorthand for --scale quick (the CI smoke matrix)",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=3,
+        help="timed iterations per benchmark (default: 3)",
+    )
+    parser.add_argument(
+        "--warmup",
+        type=int,
+        default=1,
+        help="un-timed cache-warming iterations per benchmark (default: 1)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("both",) + BACKENDS,
+        default="both",
+        help="marginal-tracker backend(s) to measure (default: both)",
+    )
+    parser.add_argument(
+        "--filter",
+        dest="name_filter",
+        default=None,
+        metavar="SUBSTR",
+        help="only run benchmarks whose id contains this substring",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(DEFAULT_OUT),
+        help=f"write the JSON report here (default: {DEFAULT_OUT}; "
+        "'-' to skip the file)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        help="baseline report for --check "
+        f"(default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail (exit 1) when any benchmark's median exceeds "
+        "tolerance x its baseline median",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="regression factor for --check "
+        f"(default: {DEFAULT_TOLERANCE:g})",
+    )
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Execute ``scwsc bench`` from parsed arguments."""
+    scale = "quick" if args.quick else args.scale
+    backends = BACKENDS if args.backend == "both" else (args.backend,)
+    report = run_benchmarks(
+        scale=scale,
+        repeat=args.repeat,
+        warmup=args.warmup,
+        backends=backends,
+        name_filter=args.name_filter,
+        progress=lambda line: print(f"bench: {line}", file=sys.stderr),
+    )
+    print(render_report(report))
+    if args.out != "-":
+        out_path = Path(args.out)
+        out_path.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"bench: report written to {out_path}", file=sys.stderr)
+    if not args.check:
+        return 0
+    baseline_path = Path(args.baseline)
+    if not baseline_path.exists():
+        raise ValidationError(
+            f"--check: baseline {baseline_path} does not exist; generate "
+            "one with `scwsc bench --quick --out "
+            f"{baseline_path}`"
+        )
+    baseline = json.loads(baseline_path.read_text())
+    regressions, missing = compare_reports(
+        report, baseline, tolerance=args.tolerance
+    )
+    for bench_id in missing:
+        print(
+            f"bench: note: baseline benchmark {bench_id} was not run",
+            file=sys.stderr,
+        )
+    if regressions:
+        print(
+            f"bench: {len(regressions)} regression(s) beyond "
+            f"{args.tolerance:g}x tolerance:",
+            file=sys.stderr,
+        )
+        for regression in regressions:
+            print(
+                f"  {regression['bench_id']}: "
+                f"{regression['median_seconds'] * 1e3:.1f} ms vs baseline "
+                f"{regression['baseline_seconds'] * 1e3:.1f} ms "
+                f"({regression['ratio']:.2f}x)",
+                file=sys.stderr,
+            )
+        return 1
+    print(
+        f"bench: no regressions beyond {args.tolerance:g}x "
+        f"(baseline {baseline_path})",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone entry point (``python benchmarks/harness.py``)."""
+    parser = argparse.ArgumentParser(
+        prog="scwsc-bench",
+        description="benchmark regression harness for the scwsc solvers",
+    )
+    add_bench_arguments(parser)
+    args = parser.parse_args(argv)
+    try:
+        return run_from_args(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return error.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -12,7 +12,10 @@ Subcommands:
   (see docs/RESILIENCE.md);
 * ``batch`` — execute a JSONL stream of solve requests against one CSV
   on the worker pool, emitting one JSONL result (with provenance) per
-  request as it completes.
+  request as it completes;
+* ``bench`` — run the benchmark regression harness
+  (:mod:`repro.bench`): paper-shaped workloads on both marginal-tracker
+  backends, JSON report, tolerance check against a committed baseline.
 
 Examples::
 
@@ -284,6 +287,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the enumeration-based algorithms and the LP bound",
     )
 
+    bench_parser = commands.add_parser(
+        "bench",
+        help="run the benchmark regression harness (see docs/PERFORMANCE.md)",
+    )
+    from repro.bench import add_bench_arguments
+
+    add_bench_arguments(bench_parser)
+
     report_parser = commands.add_parser(
         "report",
         help="run every experiment and emit a markdown report",
@@ -317,6 +328,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_demo(args)
         if args.command == "report":
             return _cmd_report(args)
+        if args.command == "bench":
+            from repro.bench import run_from_args
+
+            return run_from_args(args)
         if args.command == "batch":
             return _cmd_batch(args)
         return _cmd_solve(args)

@@ -18,6 +18,7 @@ Every solver accepts an optional ``deadline``
 it expires.
 """
 
+from repro.core.bitset import Bitset, BitsetUniverse, mask_table
 from repro.core.budget import (
     LevelScheme,
     budget_schedule,
@@ -32,7 +33,12 @@ from repro.core.exact import brute_force, solve_exact
 from repro.core.fallbacks import greedy_partial, universal_result
 from repro.core.lp_bound import LPRelaxation, lp_lower_bound, solve_lp_relaxation
 from repro.core.lp_rounding import lp_rounding
-from repro.core.marginal import MarginalTracker
+from repro.core.marginal import (
+    BitsetMarginalTracker,
+    MarginalTracker,
+    make_tracker,
+    resolve_backend,
+)
 from repro.core.postprocess import prune_redundant
 from repro.core.preprocess import remove_dominated, restrict_to_budget
 from repro.core.validate import verify_result
@@ -41,6 +47,9 @@ from repro.core.setsystem import SetSystem, WeightedSet
 
 __all__ = [
     "COVERAGE_DISCOUNT",
+    "Bitset",
+    "BitsetMarginalTracker",
+    "BitsetUniverse",
     "CoverResult",
     "LPRelaxation",
     "LevelScheme",
@@ -58,9 +67,12 @@ __all__ = [
     "greedy_partial",
     "lp_lower_bound",
     "lp_rounding",
+    "make_tracker",
+    "mask_table",
     "merged_levels",
     "prune_redundant",
     "remove_dominated",
+    "resolve_backend",
     "restrict_to_budget",
     "result_from_dict",
     "solve_exact",

@@ -21,12 +21,17 @@ from __future__ import annotations
 import heapq
 import math
 import time
+import weakref
 from typing import Callable, Literal
 
 from repro._typing import Cost
 from repro.core.budget import LevelScheme, budget_schedule, standard_levels
-from repro.core.greedy_common import canonical_key
-from repro.core.marginal import MarginalTracker
+from repro.core.greedy_common import canonical_keys
+from repro.core.marginal import (
+    TrackerBackend,
+    make_tracker,
+    resolve_backend,
+)
 from repro.core.result import CoverResult, Metrics, make_result
 from repro.core.setsystem import SetSystem
 from repro.errors import DeadlineExceeded, InfeasibleError, ValidationError
@@ -48,6 +53,7 @@ def cmc(
     b: float = 1.0,
     on_infeasible: OnInfeasible = "raise",
     deadline: Deadline | None = None,
+    backend: TrackerBackend | None = None,
 ) -> CoverResult:
     """Run Cheap Max Coverage with the original (up to ``5k``) levels.
 
@@ -73,6 +79,11 @@ def cmc(
         Optional cooperative deadline, polled per budget round and per
         heap pop; expiry raises :class:`~repro.errors.DeadlineExceeded`
         with the current round's partial selection attached.
+    backend:
+        Marginal-tracker backend (``"set"``, ``"bitset"``, ``"auto"``);
+        defaults to the auto/env selection of
+        :func:`repro.core.marginal.resolve_backend`. Both backends
+        select identical sets with identical metrics.
     """
     params = {"k": k, "s_hat": s_hat, "b": b, "variant": "standard"}
     return run_cmc_driver(
@@ -85,6 +96,7 @@ def cmc(
         params=params,
         on_infeasible=on_infeasible,
         deadline=deadline,
+        backend=backend,
     )
 
 
@@ -98,6 +110,7 @@ def run_cmc_driver(
     params: dict,
     on_infeasible: OnInfeasible = "raise",
     deadline: Deadline | None = None,
+    backend: TrackerBackend | None = None,
 ) -> CoverResult:
     """Shared CMC driver, parameterized by the level scheme.
 
@@ -111,8 +124,10 @@ def run_cmc_driver(
     start = time.perf_counter()
     metrics = Metrics()
     target = COVERAGE_DISCOUNT * s_hat * system.n_elements
+    tracker_backend = resolve_backend(system, backend)
     params = dict(params)
     params["target_elements"] = target
+    params["tracker_backend"] = tracker_backend
 
     initial = sum(system.cheapest_costs(k))
     ceiling = system.total_cost
@@ -147,8 +162,10 @@ def run_cmc_driver(
         # Fig. 1 lines 3-5: every round recomputes the marginal benefit of
         # every candidate set from scratch. (A shared tracker with
         # :meth:`MarginalTracker.reset` would amortize this, but the
-        # unoptimized algorithm the paper measures does not.)
-        tracker = MarginalTracker(system, metrics=metrics)
+        # unoptimized algorithm the paper measures does not. The bitset
+        # backend keeps the per-round rebuild but reuses the cached mask
+        # table, which is what makes restarts cheap.)
+        tracker = make_tracker(system, metrics=metrics, backend=tracker_backend)
         scheme = scheme_factory(budget, k)
         try:
             chosen, reached = _run_round(
@@ -204,33 +221,66 @@ class _RoundDeadline(Exception):
         self.chosen = chosen
 
 
+#: Sorted heap entries per system (see :func:`_sorted_entries`).
+_ENTRY_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def _sorted_entries(system: SetSystem) -> list[tuple]:
+    """Heap entries for every nonempty set, sorted ascending.
+
+    Entries are ``(-|Ben|, cost, canonical_key, set_id)`` — exactly what
+    :func:`_run_round` feeds its per-level lazy heaps. Every budget round
+    needs the same entries (a fresh tracker's marginal sizes are the full
+    benefit sizes), and building the canonical keys dominates round
+    startup on large systems, so the list is built once per system.
+    Filtering a sorted list by level keeps it sorted, and a sorted list
+    is already a valid min-heap, so rounds also skip ``heapify``.
+    """
+    try:
+        entries = _ENTRY_CACHE.get(system)
+    except TypeError:  # unhashable/unweakrefable stand-in: build fresh
+        entries = None
+    if entries is not None:
+        return entries
+    keys = canonical_keys(system)
+    entries = sorted(
+        (-ws.size, ws.cost, keys[ws.set_id], ws.set_id)
+        for ws in system.sets
+        if ws.size
+    )
+    try:
+        _ENTRY_CACHE[system] = entries
+    except TypeError:  # pragma: no cover - stand-in objects only
+        pass
+    return entries
+
+
 def _run_round(
     system: SetSystem,
-    tracker: MarginalTracker,
+    tracker,
     scheme: LevelScheme,
     target: float,
     deadline: Deadline | None = None,
 ) -> tuple[list[int], bool]:
     """One budget round: level-by-level quota-bounded greedy max coverage.
 
-    Returns the selections of this round and whether the target was hit.
-    Raises :class:`_RoundDeadline` (carrying the round's selections so
-    far) when the deadline expires mid-round.
+    Expects a *fresh, unrestricted* tracker (every live set at its full
+    benefit size), which is what the driver builds each round. Returns
+    the selections of this round and whether the target was hit. Raises
+    :class:`_RoundDeadline` (carrying the round's selections so far)
+    when the deadline expires mid-round.
     """
     # Partition live sets into per-level lazy heaps. Heap entries are
     # (-|MBen|, cost, canonical_key, set_id): heapq pops the smallest
-    # tuple, i.e. the largest benefit with ties to cheaper cost.
+    # tuple, i.e. the largest benefit with ties to cheaper cost. The
+    # cached entries arrive sorted, so each filtered level list is
+    # already a valid heap — no heapify.
     heaps: list[list[tuple]] = [[] for _ in range(scheme.n_levels)]
-    for set_id, size in tracker.live_items():
-        ws = system[set_id]
-        level = scheme.level_of(ws.cost)
-        if level is None:
-            continue
-        heaps[level].append(
-            (-size, ws.cost, canonical_key(ws.label, set_id), set_id)
-        )
-    for heap in heaps:
-        heapq.heapify(heap)
+    level_of = scheme.level_of
+    for entry in _sorted_entries(system):
+        level = level_of(entry[1])
+        if level is not None:
+            heaps[level].append(entry)
 
     chosen: list[int] = []
     rem = target

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from repro.core.budget import generalized_levels, merged_levels
 from repro.core.cmc import OnInfeasible, run_cmc_driver
+from repro.core.marginal import TrackerBackend
 from repro.core.result import CoverResult
 from repro.core.setsystem import SetSystem
 from repro.errors import ValidationError
@@ -31,6 +32,7 @@ def cmc_epsilon(
     eps: float = 1.0,
     on_infeasible: OnInfeasible = "raise",
     deadline: Deadline | None = None,
+    backend: TrackerBackend | None = None,
 ) -> CoverResult:
     """Run CMC with the merged levels of Section V-A3.
 
@@ -56,6 +58,7 @@ def cmc_epsilon(
         params=params,
         on_infeasible=on_infeasible,
         deadline=deadline,
+        backend=backend,
     )
 
 
@@ -67,6 +70,7 @@ def cmc_generalized(
     l: float = 1.0,
     on_infeasible: OnInfeasible = "raise",
     deadline: Deadline | None = None,
+    backend: TrackerBackend | None = None,
 ) -> CoverResult:
     """Run CMC with geometric level base ``1 + l`` (Section V-A2).
 
@@ -92,4 +96,5 @@ def cmc_generalized(
         params=params,
         on_infeasible=on_infeasible,
         deadline=deadline,
+        backend=backend,
     )

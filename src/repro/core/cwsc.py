@@ -13,8 +13,8 @@ from __future__ import annotations
 import time
 from typing import Literal
 
-from repro.core.greedy_common import gain_key
-from repro.core.marginal import MarginalTracker
+from repro.core.greedy_common import canonical_keys, gain_key
+from repro.core.marginal import TrackerBackend, make_tracker, resolve_backend
 from repro.core.result import CoverResult, Metrics, make_result
 from repro.core.setsystem import SetSystem
 from repro.errors import DeadlineExceeded, InfeasibleError, ValidationError
@@ -43,6 +43,7 @@ def cwsc(
     s_hat: float,
     on_infeasible: OnInfeasible = "raise",
     deadline: Deadline | None = None,
+    backend: TrackerBackend | None = None,
 ) -> CoverResult:
     """Run Concise Weighted Set Cover on an arbitrary set system.
 
@@ -62,6 +63,11 @@ def cwsc(
         candidate scans; expiry raises
         :class:`~repro.errors.DeadlineExceeded` with the best partial
         result attached.
+    backend:
+        Marginal-tracker backend (``"set"``, ``"bitset"``, ``"auto"``);
+        defaults to the auto/env selection of
+        :func:`repro.core.marginal.resolve_backend`. Both backends
+        select identical sets with identical metrics.
 
     Returns
     -------
@@ -80,9 +86,15 @@ def cwsc(
         raise ValidationError(f"s_hat must be in [0, 1], got {s_hat}")
     start = time.perf_counter()
     metrics = Metrics()
-    params = {"k": k, "s_hat": s_hat, "on_infeasible": on_infeasible}
+    tracker_backend = resolve_backend(system, backend)
+    params = {
+        "k": k,
+        "s_hat": s_hat,
+        "on_infeasible": on_infeasible,
+        "tracker_backend": tracker_backend,
+    }
 
-    tracker = MarginalTracker(system, metrics=metrics)
+    tracker = make_tracker(system, metrics=metrics, backend=tracker_backend)
     rem = s_hat * system.n_elements
     chosen: list[int] = []
     # Per-iteration diagnostics (Fig. 2's loop state), recorded in
@@ -95,6 +107,7 @@ def cwsc(
         return _finish(system, "cwsc", chosen, True, params, metrics, start)
 
     injector = faults.active()
+    canon_keys = canonical_keys(system)
     for i in range(k, 0, -1):
         if deadline is not None and deadline.expired():
             raise DeadlineExceeded(
@@ -108,6 +121,7 @@ def cwsc(
         threshold = rem / i - _EPS
         best_id = None
         best_key = None
+        sets = system.sets
         for set_id, size in tracker.live_items():
             if deadline is not None and deadline.poll():
                 raise DeadlineExceeded(
@@ -119,12 +133,23 @@ def cwsc(
                 )
             if size < threshold:
                 continue
+            ws = sets[set_id]
+            cost = ws.cost
+            # MGain(s, S) = |MBen| / cost, inlined (live sets have
+            # size > 0, so a zero cost means infinite gain).
+            gain = size / cost if cost else float("inf")
+            if best_key is not None and gain < best_key[0]:
+                # gain is the leading key component; a strictly smaller
+                # gain can never win the lexicographic comparison, so
+                # skip building the full key.
+                continue
             key = gain_key(
-                tracker.marginal_gain(set_id),
+                gain,
                 size,
-                system[set_id].cost,
-                system[set_id].label,
+                cost,
+                ws.label,
                 set_id,
+                canon_key=canon_keys[set_id],
             )
             if best_key is None or key > best_key:
                 best_id = set_id

@@ -20,7 +20,7 @@ import math
 import time
 
 from repro.core.greedy_common import gain_key
-from repro.core.marginal import MarginalTracker
+from repro.core.marginal import make_tracker
 from repro.core.result import CoverResult, Metrics, make_result
 from repro.core.setsystem import SetSystem
 from repro.errors import InfeasibleError, ValidationError
@@ -78,7 +78,7 @@ def greedy_partial(system: SetSystem, k: int, s_hat: float) -> CoverResult:
     start = time.perf_counter()
     metrics = Metrics()
     required = system.required_coverage(s_hat)
-    tracker = MarginalTracker(system, metrics=metrics)
+    tracker = make_tracker(system, metrics=metrics)
     chosen: list[int] = []
     while len(chosen) < k and tracker.covered_count < required:
         best_id = None

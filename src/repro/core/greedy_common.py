@@ -17,6 +17,7 @@ identically.
 
 from __future__ import annotations
 
+import weakref
 from typing import Callable, Hashable, Iterable, TypeVar
 
 from repro._typing import Cost, SetId
@@ -38,6 +39,36 @@ def canonical_key(label: Hashable, set_id: SetId) -> tuple:
     if sort_key is not None:
         return (sort_key(), set_id)
     return (repr(label), set_id)
+
+
+#: Canonical keys per system: building one key calls ``sort_key()`` (or
+#: ``repr``), which dominates argmax scans on large systems, yet the key
+#: of a set never changes. Weak keys so a dropped system drops its keys.
+_CANON_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def canonical_keys(system) -> tuple[tuple, ...]:
+    """``canonical_keys(system)[set_id]`` — cached per-set tie-break keys.
+
+    Equal to ``canonical_key(ws.label, ws.set_id)`` for every set of the
+    system, computed once per system and shared by every solver run
+    against it (CMC rebuilds its heaps each budget round; CWSC scans all
+    candidates each pick).
+    """
+    try:
+        keys = _CANON_CACHE.get(system)
+    except TypeError:  # unhashable/unweakrefable stand-in: build fresh
+        keys = None
+    if keys is not None:
+        return keys
+    keys = tuple(
+        canonical_key(ws.label, ws.set_id) for ws in system.sets
+    )
+    try:
+        _CANON_CACHE[system] = keys
+    except TypeError:  # pragma: no cover - stand-in objects only
+        pass
+    return keys
 
 
 def argbest(
@@ -87,23 +118,44 @@ class _Descending:
 
 
 def benefit_key(
-    mben_size: int, cost: Cost, label: Hashable, set_id: SetId
+    mben_size: int,
+    cost: Cost,
+    label: Hashable,
+    set_id: SetId,
+    canon_key: tuple | None = None,
 ) -> tuple:
-    """Ordering key for benefit-greedy steps (CMC, max coverage)."""
+    """Ordering key for benefit-greedy steps (CMC, max coverage).
+
+    Pass ``canon_key`` (from :func:`canonical_keys`) to skip recomputing
+    the tie-breaker; it must equal ``canonical_key(label, set_id)``.
+    """
+    if canon_key is None:
+        canon_key = canonical_key(label, set_id)
     return (
         mben_size,
         _Descending(cost),
-        _Descending(canonical_key(label, set_id)),
+        _Descending(canon_key),
     )
 
 
 def gain_key(
-    gain: float, mben_size: int, cost: Cost, label: Hashable, set_id: SetId
+    gain: float,
+    mben_size: int,
+    cost: Cost,
+    label: Hashable,
+    set_id: SetId,
+    canon_key: tuple | None = None,
 ) -> tuple:
-    """Ordering key for gain-greedy steps (CWSC, WSC, BMC)."""
+    """Ordering key for gain-greedy steps (CWSC, WSC, BMC).
+
+    Pass ``canon_key`` (from :func:`canonical_keys`) to skip recomputing
+    the tie-breaker; it must equal ``canonical_key(label, set_id)``.
+    """
+    if canon_key is None:
+        canon_key = canonical_key(label, set_id)
     return (
         gain,
         mben_size,
         _Descending(cost),
-        _Descending(canonical_key(label, set_id)),
+        _Descending(canon_key),
     )

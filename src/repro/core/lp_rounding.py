@@ -28,10 +28,11 @@ import time
 
 import numpy as np
 
+from repro.core.bitset import mask_table
 from repro.core.fallbacks import greedy_partial
-from repro.core.greedy_common import gain_key
+from repro.core.greedy_common import canonical_keys, gain_key
 from repro.core.lp_bound import solve_lp_relaxation
-from repro.core.marginal import MarginalTracker
+from repro.core.marginal import make_tracker
 from repro.core.result import CoverResult, Metrics, make_result
 from repro.core.setsystem import SetSystem
 from repro.errors import DeadlineExceeded, InfeasibleError, ValidationError
@@ -188,28 +189,37 @@ def _repair(
     drops nothing: removing redundant sets is a separate concern and the
     experiment reports the raw rounding behaviour.
     """
-    covered: set[int] = set()
-    for set_id in chosen:
-        covered |= system[set_id].benefit
-    if len(covered) >= required:
+    # Bitmask union over the cached mask table: every trial re-checks
+    # its rounding here, so the fast path must not pay per element.
+    if mask_table(system).coverage_of(chosen) >= required:
         return list(chosen)
 
-    tracker = MarginalTracker(system, metrics=metrics)
+    tracker = make_tracker(system, metrics=metrics)
+    canon_keys = canonical_keys(system)
     for set_id in chosen:
         tracker.select(set_id)
     repaired = list(chosen)
+    sets = system.sets
     while tracker.covered_count < required:
         best_id = None
         best_key = None
         for set_id, size in tracker.live_items():
             if deadline is not None and deadline.poll():
                 raise _RepairDeadline()
+            ws = sets[set_id]
+            cost = ws.cost
+            gain = size / cost if cost else float("inf")
+            if best_key is not None and gain < best_key[0]:
+                # gain leads the lexicographic key; strictly smaller
+                # cannot win, so skip building the full key.
+                continue
             key = gain_key(
-                tracker.marginal_gain(set_id),
+                gain,
                 size,
-                system[set_id].cost,
-                system[set_id].label,
+                cost,
+                ws.label,
                 set_id,
+                canon_key=canon_keys[set_id],
             )
             if best_key is None or key > best_key:
                 best_id = set_id

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Hashable, Iterable, Iterator, Mapping, Sequence
 
 from repro._typing import Cost, ElementId, SetId
+from repro.core.bitset import mask_table
 from repro.errors import ValidationError
 
 
@@ -81,6 +82,8 @@ class SetSystem:
             raise ValidationError(f"n_elements must be >= 0, got {n_elements}")
         self._n = n_elements
         self._sets = tuple(sets)
+        # Lazy caches over the immutable sets (see cheapest_costs).
+        self._sorted_costs: tuple[Cost, ...] | None = None
         self._validate()
         if strict:
             self.validate_strict()
@@ -233,11 +236,15 @@ class SetSystem:
     # Derived quantities
     # ------------------------------------------------------------------
     def coverage_of(self, set_ids: Iterable[SetId]) -> int:
-        """Number of distinct elements covered by a collection of sets."""
-        covered: set[ElementId] = set()
-        for set_id in set_ids:
-            covered |= self._sets[set_id].benefit
-        return len(covered)
+        """Number of distinct elements covered by a collection of sets.
+
+        Computed as a bitmask union over the system's cached mask table
+        (:func:`repro.core.bitset.mask_table`), so repeated calls — the
+        exact solver probes thousands of combinations, ``verify_result``
+        re-checks every claim — cost one OR per set instead of one hash
+        insert per element.
+        """
+        return mask_table(self).coverage_of(set_ids)
 
     def cost_of(self, set_ids: Iterable[SetId]) -> Cost:
         """Total cost of a collection of sets."""
@@ -246,11 +253,18 @@ class SetSystem:
     def cheapest_costs(self, k: int) -> list[Cost]:
         """Costs of the ``k`` cheapest sets (fewer if ``m < k``).
 
-        This seeds the CMC budget schedule (Fig. 1 line 1).
+        This seeds the CMC budget schedule (Fig. 1 line 1). The sorted
+        cost list is computed once per system and sliced per call, so
+        grids that run many CMC configurations against one system don't
+        re-sort ``m`` costs every run.
         """
         if k < 0:
             raise ValidationError(f"k must be >= 0, got {k}")
-        return sorted(ws.cost for ws in self._sets)[:k]
+        if self._sorted_costs is None:
+            self._sorted_costs = tuple(
+                sorted(ws.cost for ws in self._sets)
+            )
+        return list(self._sorted_costs[:k])
 
     def required_coverage(self, s_hat: float) -> int:
         """Smallest integer coverage satisfying ``>= s_hat * n``."""

@@ -5,6 +5,12 @@ everything from the set system and checks the claimed constraints, so tests
 (and distrustful users) never have to take a result's word for it. This is
 also the "easy to see that our problem is in NP" checker from the proof of
 Theorem 1: given a collection of sets, verify benefit and cost.
+
+Coverage is recomputed through the system's packed-bitset mask table
+(:meth:`SetSystem.coverage_of` delegates to
+:func:`repro.core.bitset.mask_table`), so verifying is cheap enough that
+the resilient harness re-checks every worker claim without a measurable
+tax.
 """
 
 from __future__ import annotations

@@ -37,8 +37,11 @@ which is what makes pool requeues and ``--workers`` grids deterministic.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import struct
+import weakref
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import BinaryIO
 
@@ -47,6 +50,7 @@ from repro.errors import ProtocolError
 
 __all__ = [
     "MAX_FRAME_BYTES",
+    "SYSTEM_CACHE_SIZE",
     "FrameReader",
     "RemoteLabel",
     "RemoteSortedLabel",
@@ -56,6 +60,7 @@ __all__ = [
     "read_frame",
     "request_from_payload",
     "system_from_payload",
+    "system_payload_and_fingerprint",
     "system_to_payload",
     "write_frame",
 ]
@@ -282,6 +287,69 @@ def system_from_payload(payload: dict) -> SetSystem:
     return SetSystem.from_iterables(n_elements, benefits, costs, labels=labels)
 
 
+#: Parent-side cache: serializing a big system once per *request* would
+#: dominate `scwsc batch` fan-out, but systems are immutable, so the
+#: payload and its fingerprint are computed once per system. Weak keys:
+#: dropping the system drops the cached payload.
+_PAYLOAD_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def system_payload_and_fingerprint(system: SetSystem) -> tuple[dict, str]:
+    """The (cached) wire payload of a system plus its content fingerprint.
+
+    The fingerprint is the SHA-256 of the canonical (sorted-keys,
+    compact) JSON encoding of the payload, so two systems fingerprint
+    equal exactly when their wire forms are identical — same universe,
+    same benefit sets, same costs, same label reprs/sort keys.
+    """
+    try:
+        cached = _PAYLOAD_CACHE.get(system)
+    except TypeError:  # unhashable/unweakrefable stand-in: build fresh
+        cached = None
+    if cached is not None:
+        return cached
+    payload = system_to_payload(system)
+    body = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+    cached = (payload, hashlib.sha256(body.encode("utf-8")).hexdigest())
+    try:
+        _PAYLOAD_CACHE[system] = cached
+    except TypeError:  # pragma: no cover - stand-in objects only
+        pass
+    return cached
+
+
+#: Worker-side cache: most recently deserialized systems, keyed by the
+#: supervisor's fingerprint. `scwsc batch` sends every request of a run
+#: against the same system, so all but the first skip the
+#: ``from_iterables`` re-parse (and share the per-system solver caches:
+#: mask table, owners index, canonical keys). Bounded so long-lived
+#: workers under ``--memory-limit`` don't accumulate dead systems.
+SYSTEM_CACHE_SIZE = 4
+
+_SYSTEM_CACHE: "OrderedDict[str, SetSystem]" = OrderedDict()
+
+
+def _system_from_payload_cached(
+    payload: dict, fingerprint: str | None
+) -> SetSystem:
+    """LRU-cached deserialization; plain rebuild without a fingerprint.
+
+    The fingerprint is trusted — the supervisor computed it from the
+    exact payload it framed — so a hit skips even reading the payload.
+    """
+    if fingerprint is None:
+        return system_from_payload(payload)
+    system = _SYSTEM_CACHE.get(fingerprint)
+    if system is not None:
+        _SYSTEM_CACHE.move_to_end(fingerprint)
+        return system
+    system = system_from_payload(payload)
+    _SYSTEM_CACHE[fingerprint] = system
+    while len(_SYSTEM_CACHE) > SYSTEM_CACHE_SIZE:
+        _SYSTEM_CACHE.popitem(last=False)
+    return system
+
+
 # ----------------------------------------------------------------------
 # Requests
 # ----------------------------------------------------------------------
@@ -314,12 +382,20 @@ class SolveRequest:
 
 
 def encode_request(request: SolveRequest, request_id: int) -> dict:
-    """The ``solve`` frame for one request."""
+    """The ``solve`` frame for one request.
+
+    The system payload is cached per system
+    (:func:`system_payload_and_fingerprint`) and travels with its
+    ``system_fp`` fingerprint so workers can skip re-parsing repeats —
+    requeues and batch runs re-encode cheaply and deserialize once.
+    """
+    payload, fingerprint = system_payload_and_fingerprint(request.system)
     return {
         "kind": "solve",
         "id": request_id,
         "solver": request.solver,
-        "system": system_to_payload(request.system),
+        "system": payload,
+        "system_fp": fingerprint,
         "k": request.k,
         "s_hat": request.s_hat,
         "chain": list(request.chain) if request.chain is not None else None,
@@ -335,8 +411,12 @@ def request_from_payload(payload: dict) -> tuple[int, SolveRequest]:
     try:
         request_id = int(payload["id"])
         chain = payload.get("chain")
+        fingerprint = payload.get("system_fp")
         request = SolveRequest(
-            system=system_from_payload(payload["system"]),
+            system=_system_from_payload_cached(
+                payload["system"],
+                fingerprint if isinstance(fingerprint, str) else None,
+            ),
             k=int(payload["k"]),
             s_hat=float(payload["s_hat"]),
             solver=str(payload.get("solver", "resilient")),

@@ -1,0 +1,216 @@
+"""Integration tests for the benchmark regression harness."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BACKENDS,
+    SCHEMA,
+    BenchCase,
+    compare_reports,
+    default_cases,
+    main,
+    render_report,
+    run_benchmarks,
+)
+from repro.errors import ValidationError
+
+#: Tiny workload so the whole matrix runs in well under a second.
+TINY = (40,)
+
+
+@pytest.fixture(scope="module")
+def tiny_report() -> dict:
+    return run_benchmarks(scale="quick", repeat=2, warmup=1, sizes=TINY)
+
+
+class TestMatrix:
+    def test_default_cases_cover_both_workloads_and_backends(self):
+        cases = default_cases("quick")
+        workloads = {case.workload for case in cases}
+        assert workloads == {
+            "bench_table5_runtime",
+            "bench_fig5_datasize",
+        }
+        assert {case.backend for case in cases} == set(BACKENDS)
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValidationError):
+            default_cases("galactic")
+
+    def test_bench_ids_unique_per_measurement(self):
+        cases = default_cases("full")
+        table5 = [
+            c for c in cases if c.workload == "bench_table5_runtime"
+        ]
+        assert len({c.bench_id for c in table5}) == len(table5)
+
+
+class TestRunBenchmarks:
+    def test_report_shape(self, tiny_report):
+        assert tiny_report["schema"] == SCHEMA
+        assert tiny_report["benchmarks"]
+        for entry in tiny_report["benchmarks"].values():
+            assert entry["median_seconds"] >= 0.0
+            assert len(entry["runs"]) == 2
+            assert entry["shape"]["n_elements"] == TINY[0]
+            assert entry["result"]["feasible"]
+            assert entry["metrics"]["selections"] >= 1
+
+    def test_speedups_present_for_each_workload(self, tiny_report):
+        case = BenchCase("bench_table5_runtime", "cwsc", TINY[0], "set")
+        assert case.speedup_id in tiny_report["speedups"]
+        assert tiny_report["speedups"][case.speedup_id] > 0.0
+
+    def test_backend_pair_selects_identically(self, tiny_report):
+        """The report itself witnesses backend equivalence: same
+        solution cost/coverage from both backends on every workload."""
+        for case in default_cases("quick", sizes=TINY):
+            if case.backend != "bitset":
+                continue
+            twin = BenchCase(case.workload, case.solver, case.n_rows, "set")
+            fast = tiny_report["benchmarks"][case.bench_id]
+            slow = tiny_report["benchmarks"][twin.bench_id]
+            assert fast["result"] == slow["result"]
+            assert fast["metrics"] == slow["metrics"]
+
+    def test_filter_restricts_cases(self):
+        report = run_benchmarks(
+            scale="quick",
+            repeat=1,
+            warmup=0,
+            sizes=TINY,
+            name_filter="cwsc",
+            backends=("bitset",),
+        )
+        assert report["benchmarks"]
+        for bench_id in report["benchmarks"]:
+            assert "cwsc" in bench_id and "bitset" in bench_id
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValidationError):
+            run_benchmarks(repeat=0)
+        with pytest.raises(ValidationError):
+            run_benchmarks(warmup=-1)
+        with pytest.raises(ValidationError):
+            run_benchmarks(backends=("frozenset",))
+
+    def test_render_report_mentions_every_benchmark(self, tiny_report):
+        text = render_report(tiny_report)
+        for bench_id in tiny_report["benchmarks"]:
+            assert bench_id in text
+
+
+class TestCompareReports:
+    def _report(self, medians: dict) -> dict:
+        return {
+            "schema": SCHEMA,
+            "benchmarks": {
+                bench_id: {"median_seconds": median}
+                for bench_id, median in medians.items()
+            },
+        }
+
+    def test_within_tolerance_passes(self):
+        current = self._report({"a": 0.029, "b": 0.010})
+        baseline = self._report({"a": 0.010, "b": 0.010})
+        regressions, missing = compare_reports(
+            current, baseline, tolerance=3.0
+        )
+        assert regressions == [] and missing == []
+
+    def test_regression_detected_with_ratio(self):
+        current = self._report({"a": 0.031})
+        baseline = self._report({"a": 0.010})
+        regressions, _ = compare_reports(current, baseline, tolerance=3.0)
+        assert len(regressions) == 1
+        assert regressions[0]["bench_id"] == "a"
+        assert regressions[0]["ratio"] == pytest.approx(3.1)
+
+    def test_missing_benchmarks_reported_not_failed(self):
+        current = self._report({})
+        baseline = self._report({"gone": 0.010})
+        regressions, missing = compare_reports(current, baseline)
+        assert regressions == [] and missing == ["gone"]
+
+    def test_zero_baseline_never_divides(self):
+        current = self._report({"a": 1.0})
+        baseline = self._report({"a": 0.0})
+        regressions, _ = compare_reports(current, baseline)
+        assert regressions == []
+
+    def test_tolerance_must_exceed_one(self):
+        with pytest.raises(ValidationError):
+            compare_reports(self._report({}), self._report({}), tolerance=1.0)
+
+
+class TestCli:
+    def test_writes_report_and_checks_baseline(self, tmp_path):
+        out = tmp_path / "BENCH_micro.json"
+        baseline = tmp_path / "baseline.json"
+        argv = [
+            "--quick",
+            "--repeat",
+            "1",
+            "--warmup",
+            "0",
+            "--filter",
+            "cwsc-n600-bitset",
+            "--out",
+            str(baseline),
+        ]
+        assert main(argv) == 0
+        assert json.loads(baseline.read_text())["schema"] == SCHEMA
+
+        argv = argv[:-1] + [
+            str(out),
+            "--baseline",
+            str(baseline),
+            "--check",
+            "--tolerance",
+            "100",
+        ]
+        assert main(argv) == 0
+        assert out.exists()
+
+    def test_check_without_baseline_is_an_input_error(self, tmp_path):
+        code = main(
+            [
+                "--quick",
+                "--repeat",
+                "1",
+                "--warmup",
+                "0",
+                "--filter",
+                "cwsc-n600-bitset",
+                "--out",
+                "-",
+                "--check",
+                "--baseline",
+                str(tmp_path / "nope.json"),
+            ]
+        )
+        assert code == ValidationError.exit_code
+
+    def test_scwsc_bench_subcommand_wired(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        out = tmp_path / "report.json"
+        code = cli_main(
+            [
+                "bench",
+                "--quick",
+                "--repeat",
+                "1",
+                "--warmup",
+                "0",
+                "--filter",
+                "cwsc-n600-bitset",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert "bench_fig5_datasize" in capsys.readouterr().out
+        assert out.exists()

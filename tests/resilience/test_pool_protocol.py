@@ -198,3 +198,80 @@ class TestRequestPayload:
     def test_malformed_request_raises(self):
         with pytest.raises(ProtocolError, match="malformed solve request"):
             request_from_payload({"kind": "solve", "id": 1})
+
+
+class TestSystemFingerprintCache:
+    """Payload/fingerprint caching on both sides of the pipe."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_worker_cache(self):
+        from repro.resilience.pool import protocol
+
+        protocol._SYSTEM_CACHE.clear()
+        yield
+        protocol._SYSTEM_CACHE.clear()
+
+    def test_payload_cached_per_system(self, random_system):
+        from repro.resilience.pool.protocol import (
+            system_payload_and_fingerprint,
+        )
+
+        system = random_system(n_elements=10, n_sets=6, seed=1)
+        first = system_payload_and_fingerprint(system)
+        assert system_payload_and_fingerprint(system) is first
+
+    def test_fingerprint_tracks_content(self, random_system):
+        from repro.resilience.pool.protocol import (
+            system_payload_and_fingerprint,
+        )
+
+        a = random_system(n_elements=10, n_sets=6, seed=1)
+        b = random_system(n_elements=10, n_sets=6, seed=1)
+        c = random_system(n_elements=10, n_sets=6, seed=2)
+        assert (
+            system_payload_and_fingerprint(a)[1]
+            == system_payload_and_fingerprint(b)[1]
+        )
+        assert (
+            system_payload_and_fingerprint(a)[1]
+            != system_payload_and_fingerprint(c)[1]
+        )
+
+    def test_encode_request_carries_fingerprint(self, random_system):
+        from repro.resilience.pool.protocol import (
+            system_payload_and_fingerprint,
+        )
+
+        system = random_system()
+        frame = encode_request(SolveRequest(system=system, k=2, s_hat=0.5), 7)
+        assert frame["system_fp"] == system_payload_and_fingerprint(system)[1]
+
+    def test_worker_reuses_system_for_repeated_fingerprint(
+        self, random_system
+    ):
+        system = random_system(n_elements=12, n_sets=7, seed=5)
+        frame = json.loads(
+            json.dumps(
+                encode_request(SolveRequest(system=system, k=2, s_hat=0.5), 1)
+            )
+        )
+        _, first = request_from_payload(dict(frame))
+        _, second = request_from_payload(dict(frame))
+        assert second.system is first.system
+
+    def test_frames_without_fingerprint_still_decode(self, random_system):
+        system = random_system()
+        frame = encode_request(SolveRequest(system=system, k=2, s_hat=0.5), 1)
+        frame.pop("system_fp")
+        _, decoded = request_from_payload(frame)
+        assert decoded.system.n_sets == system.n_sets
+
+    def test_worker_cache_is_bounded(self, random_system):
+        from repro.resilience.pool import protocol
+
+        for seed in range(protocol.SYSTEM_CACHE_SIZE + 2):
+            system = random_system(n_elements=8, n_sets=4, seed=seed)
+            request_from_payload(
+                encode_request(SolveRequest(system=system, k=1, s_hat=0.5), seed)
+            )
+        assert len(protocol._SYSTEM_CACHE) == protocol.SYSTEM_CACHE_SIZE
