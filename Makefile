@@ -1,9 +1,10 @@
 # Test and verification entry points.
 #
-#   make test    tier-1 suite (what CI gates on)
-#   make chaos   fault-injection suite only, fixed seeds so failures reproduce
-#   make verify  tier-1 followed by the chaos suite — the full gate
-#   make bench   quick benchmark matrix, gated against the committed baseline
+#   make test         tier-1 suite (what CI gates on)
+#   make chaos        fault-injection suite only, fixed seeds so failures reproduce
+#   make verify       tier-1 followed by the chaos suite — the full gate
+#   make bench        quick benchmark matrix, gated against the committed baseline
+#   make trace-smoke  traced solves (plain + --isolate), schema-validated
 #
 # PYTHONHASHSEED is pinned so set/dict iteration orders (and thus any
 # order-dependent tie-breaking bug the suites might expose) reproduce
@@ -13,7 +14,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONHASHSEED := 0
 
-.PHONY: test chaos verify bench
+.PHONY: test chaos verify bench trace-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -25,3 +26,6 @@ verify: test chaos
 
 bench:
 	$(PYTHON) -m repro.bench --quick --check --out BENCH_micro.json
+
+trace-smoke:
+	$(PYTHON) benchmarks/trace_smoke.py trace-smoke

@@ -22,6 +22,12 @@ case (:class:`PatternTable` + :func:`optimized_cwsc` /
 enumerating it.
 """
 
+import logging as _logging
+
+# Stdlib library convention: importing repro must never print or log
+# unless the application opts in (repro.obs.log.console_logging does).
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
+
 from repro.core import (
     COVERAGE_DISCOUNT,
     CoverResult,

@@ -45,6 +45,8 @@ from repro.core import cmc, cmc_epsilon, cwsc
 from repro.core.result import CoverResult
 from repro.core.setsystem import SetSystem
 from repro.errors import ReproError, ValidationError
+from repro.obs import trace as obs_trace
+from repro.obs.report import phase_rollups
 
 #: Report format version; bump on incompatible layout changes.
 SCHEMA = "scwsc-bench/1"
@@ -151,13 +153,32 @@ def run_case(
     solver = _SOLVERS[case.solver]
     runs: list[float] = []
     result: CoverResult | None = None
+    phases: dict[str, dict[str, float]] = {}
     for iteration in range(warmup + repeat):
+        if iteration == 0 and warmup > 0:
+            # Piggyback the per-phase trace capture on the first warmup
+            # iteration: the tracing overhead never touches a timed run.
+            with obs_trace.capture() as records:
+                result = solver(system, case.backend)
+            phases = phase_rollups(records)
+            continue
         started = time.perf_counter()
         result = solver(system, case.backend)
         elapsed = time.perf_counter() - started
         if iteration >= warmup:
             runs.append(elapsed)
+    if not phases:  # warmup == 0: one extra un-timed traced run
+        with obs_trace.capture() as records:
+            result = solver(system, case.backend)
+        phases = phase_rollups(records)
     assert result is not None
+    # The comparison dict deliberately excludes runtime_seconds: work
+    # counters must match across backends; wall time never does.
+    metrics = {
+        name: value
+        for name, value in result.metrics.to_dict().items()
+        if name != "runtime_seconds"
+    }
     return {
         "workload": case.workload,
         "solver": case.solver,
@@ -169,12 +190,8 @@ def run_case(
         },
         "median_seconds": statistics.median(runs),
         "runs": runs,
-        "metrics": {
-            "selections": result.metrics.selections,
-            "marginal_updates": result.metrics.marginal_updates,
-            "budget_rounds": result.metrics.budget_rounds,
-            "sets_considered": result.metrics.sets_considered,
-        },
+        "metrics": metrics,
+        "phases": phases,
         "result": {
             "n_sets": result.n_sets,
             "total_cost": result.total_cost,
@@ -391,6 +408,13 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         help="regression factor for --check "
         f"(default: {DEFAULT_TOLERANCE:g})",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a JSONL span/event trace of the bench run to PATH "
+        "(adds tracing overhead to timed runs; see docs/OBSERVABILITY.md)",
+    )
 
 
 def run_from_args(args: argparse.Namespace) -> int:
@@ -459,11 +483,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     add_bench_arguments(parser)
     args = parser.parse_args(argv)
+    if args.trace:
+        obs_trace.configure(args.trace, command="bench")
     try:
         return run_from_args(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return error.exit_code
+    finally:
+        if args.trace:
+            from repro.obs.metrics import get_registry
+
+            obs_trace.shutdown(get_registry().snapshot())
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -15,7 +15,10 @@ Subcommands:
   request as it completes;
 * ``bench`` — run the benchmark regression harness
   (:mod:`repro.bench`): paper-shaped workloads on both marginal-tracker
-  backends, JSON report, tolerance check against a committed baseline.
+  backends, JSON report, tolerance check against a committed baseline;
+* ``trace`` — summarize or schema-validate a JSONL trace produced with
+  ``--trace`` (available on ``run``, ``solve``, ``batch``, ``bench``;
+  see docs/OBSERVABILITY.md).
 
 Examples::
 
@@ -51,6 +54,16 @@ from repro.patterns.costs import get_cost_function
 from repro.patterns.optimized_cmc import optimized_cmc
 from repro.patterns.optimized_cwsc import optimized_cwsc
 from repro.patterns.table import PatternTable
+
+
+def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a JSONL span/event trace of this run to PATH "
+        "(inspect with `scwsc trace summarize`; see docs/OBSERVABILITY.md)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -108,6 +121,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run experiment cells on a supervised process pool of this "
         "size (0 = in-process; composes with --resume)",
     )
+    _add_trace_argument(run_parser)
 
     solve_parser = commands.add_parser(
         "solve", help="solve an instance from a CSV of records"
@@ -195,6 +209,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print the solution as a SQL query over the input",
     )
+    _add_trace_argument(solve_parser)
 
     batch_parser = commands.add_parser(
         "batch",
@@ -248,6 +263,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="MB",
         help="address-space headroom per worker",
     )
+    _add_trace_argument(batch_parser)
 
     info_parser = commands.add_parser(
         "info", help="profile a CSV: domains, skew, pattern space"
@@ -295,6 +311,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_bench_arguments(bench_parser)
 
+    trace_parser = commands.add_parser(
+        "trace",
+        help="inspect a JSONL trace written with --trace",
+    )
+    trace_commands = trace_parser.add_subparsers(
+        dest="trace_command", required=True
+    )
+    trace_summarize = trace_commands.add_parser(
+        "summarize",
+        help="per-phase rollup: time per phase, budget-round chart, "
+        "event tallies, final metrics snapshot",
+    )
+    trace_summarize.add_argument("path", help="trace JSONL file")
+    trace_validate = trace_commands.add_parser(
+        "validate",
+        help="validate every record against the scwsc-trace/1 schema",
+    )
+    trace_validate.add_argument("path", help="trace JSONL file")
+
     report_parser = commands.add_parser(
         "report",
         help="run every experiment and emit a markdown report",
@@ -315,8 +350,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.obs.log import console_logging
+
     parser = build_parser()
     args = parser.parse_args(argv)
+    console_logging()
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        from repro.obs import trace as obs_trace
+
+        obs_trace.configure(
+            trace_path,
+            command=args.command,
+            argv=list(argv) if argv is not None else sys.argv[1:],
+        )
     try:
         if args.command == "list":
             return _cmd_list()
@@ -328,6 +375,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_demo(args)
         if args.command == "report":
             return _cmd_report(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         if args.command == "bench":
             from repro.bench import run_from_args
 
@@ -348,6 +397,14 @@ def main(argv: list[str] | None = None) -> int:
         # disk; report the interrupt with the conventional 128+SIGINT.
         print("interrupted; partial results are flushed", file=sys.stderr)
         return 130
+    finally:
+        if trace_path:
+            from repro.obs import trace as obs_trace
+            from repro.obs.metrics import get_registry
+
+            # Close the trace with a metrics snapshot so the file is
+            # self-contained even if the command errored out.
+            obs_trace.shutdown(get_registry().snapshot())
 
 
 def _cmd_list() -> int:
@@ -426,6 +483,9 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         result = optimized_cmc(
             table, args.k, args.coverage, b=args.b, cost=cost, eps=args.eps
         )
+    from repro.obs.metrics import record_cover_result
+
+    record_cover_result(result)
     provenance = result.params.get("resilience")
     if args.json:
         payload = result.to_dict()
@@ -563,12 +623,15 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             if in_stream is not sys.stdin:
                 in_stream.close()
 
+        from repro.obs.metrics import record_cover_result
+
         def on_result(outcome) -> None:
             nonlocal failed
             if outcome.status == "failed":
                 failed += 1
             payload = {"tag": outcome.tag, "status": outcome.status}
             if outcome.result is not None:
+                record_cover_result(outcome.result)
                 payload["result"] = outcome.result.to_dict()
                 resilience = outcome.result.params.get("resilience")
                 if resilience is not None:
@@ -622,6 +685,24 @@ def _batch_request(system, line: str, lineno: int):
         seed=int(spec.get("seed", 0)),
         tag=str(spec.get("tag", f"line-{lineno}")),
     )
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """``scwsc trace summarize|validate`` over a JSONL trace file."""
+    if args.trace_command == "validate":
+        from repro.obs.schema import validate_trace_file
+
+        problems = validate_trace_file(args.path)
+        for problem in problems:
+            print(f"{args.path}: {problem}", file=sys.stderr)
+        if problems:
+            return ValidationError.exit_code
+        print(f"{args.path}: ok")
+        return 0
+    from repro.obs.report import summarize_file
+
+    print(summarize_file(args.path))
+    return 0
 
 
 def _cmd_info(args: argparse.Namespace) -> int:

@@ -35,6 +35,7 @@ from repro.core.marginal import (
 from repro.core.result import CoverResult, Metrics, make_result
 from repro.core.setsystem import SetSystem
 from repro.errors import DeadlineExceeded, InfeasibleError, ValidationError
+from repro.obs import trace as obs_trace
 from repro.resilience import faults
 from repro.resilience.deadline import Deadline
 
@@ -121,6 +122,49 @@ def run_cmc_driver(
         raise ValidationError(f"k must be >= 1, got {k}")
     if not (0.0 <= s_hat <= 1.0):
         raise ValidationError(f"s_hat must be in [0, 1], got {s_hat}")
+    traced = obs_trace.enabled()
+    with (
+        obs_trace.span("solve", algorithm=algorithm, k=k, s_hat=s_hat, b=b)
+        if traced
+        else obs_trace.NULL_SPAN
+    ) as solve_span:
+        result = _driver_body(
+            system,
+            k,
+            s_hat,
+            b,
+            scheme_factory,
+            algorithm,
+            params,
+            on_infeasible,
+            deadline,
+            backend,
+            traced,
+        )
+        if solve_span.enabled:
+            solve_span.set(
+                backend=result.params["tracker_backend"],
+                budget_rounds=result.metrics.budget_rounds,
+                n_sets=result.n_sets,
+                covered=result.covered,
+                feasible=result.feasible,
+            )
+        return result
+
+
+def _driver_body(
+    system: SetSystem,
+    k: int,
+    s_hat: float,
+    b: float,
+    scheme_factory: Callable[[Cost, int], LevelScheme],
+    algorithm: str,
+    params: dict,
+    on_infeasible: OnInfeasible,
+    deadline: Deadline | None,
+    backend: TrackerBackend | None,
+    traced: bool,
+) -> CoverResult:
     start = time.perf_counter()
     metrics = Metrics()
     target = COVERAGE_DISCOUNT * s_hat * system.n_elements
@@ -159,24 +203,44 @@ def run_cmc_driver(
                 f"{metrics.budget_rounds} budget round(s)",
                 partial=_partial(chosen),
             )
-        # Fig. 1 lines 3-5: every round recomputes the marginal benefit of
-        # every candidate set from scratch. (A shared tracker with
-        # :meth:`MarginalTracker.reset` would amortize this, but the
-        # unoptimized algorithm the paper measures does not. The bitset
-        # backend keeps the per-round rebuild but reuses the cached mask
-        # table, which is what makes restarts cheap.)
-        tracker = make_tracker(system, metrics=metrics, backend=tracker_backend)
-        scheme = scheme_factory(budget, k)
-        try:
-            chosen, reached = _run_round(
-                system, tracker, scheme, target, deadline
+        with (
+            obs_trace.span(
+                "budget_round",
+                round=metrics.budget_rounds,
+                budget=budget,
             )
-        except _RoundDeadline as signal:
-            raise DeadlineExceeded(
-                f"{algorithm}: deadline expired mid-round at budget "
-                f"{budget:g}",
-                partial=_partial(signal.chosen),
-            ) from None
+            if traced
+            else obs_trace.NULL_SPAN
+        ) as round_span:
+            # Fig. 1 lines 3-5: every round recomputes the marginal benefit
+            # of every candidate set from scratch. (A shared tracker with
+            # :meth:`MarginalTracker.reset` would amortize this, but the
+            # unoptimized algorithm the paper measures does not. The bitset
+            # backend keeps the per-round rebuild but reuses the cached
+            # mask table, which is what makes restarts cheap.)
+            with (
+                obs_trace.span(
+                    "preprocess", op="make_tracker", backend=tracker_backend
+                )
+                if traced
+                else obs_trace.NULL_SPAN
+            ):
+                tracker = make_tracker(
+                    system, metrics=metrics, backend=tracker_backend
+                )
+            scheme = scheme_factory(budget, k)
+            try:
+                chosen, reached = _run_round(
+                    system, tracker, scheme, target, deadline, traced
+                )
+            except _RoundDeadline as signal:
+                raise DeadlineExceeded(
+                    f"{algorithm}: deadline expired mid-round at budget "
+                    f"{budget:g}",
+                    partial=_partial(signal.chosen),
+                ) from None
+            if round_span.enabled:
+                round_span.set(selections=len(chosen), reached=reached)
         if reached:
             metrics.runtime_seconds = time.perf_counter() - start
             params["final_budget"] = budget
@@ -261,6 +325,7 @@ def _run_round(
     scheme: LevelScheme,
     target: float,
     deadline: Deadline | None = None,
+    traced: bool = False,
 ) -> tuple[list[int], bool]:
     """One budget round: level-by-level quota-bounded greedy max coverage.
 
@@ -304,7 +369,14 @@ def _run_round(
                 continue
             if injector is not None:
                 injector.iteration()
-            newly = tracker.select(set_id)
+            with (
+                obs_trace.span("select", level=level, set_id=set_id)
+                if traced
+                else obs_trace.NULL_SPAN
+            ) as pick_span:
+                newly = tracker.select(set_id)
+                if pick_span.enabled:
+                    pick_span.set(marginal_covered=newly)
             if injector is not None:
                 newly = injector.corrupt_marginal(newly)
             chosen.append(set_id)

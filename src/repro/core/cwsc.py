@@ -18,6 +18,7 @@ from repro.core.marginal import TrackerBackend, make_tracker, resolve_backend
 from repro.core.result import CoverResult, Metrics, make_result
 from repro.core.setsystem import SetSystem
 from repro.errors import DeadlineExceeded, InfeasibleError, ValidationError
+from repro.obs import trace as obs_trace
 from repro.resilience import faults
 from repro.resilience.deadline import Deadline
 
@@ -84,6 +85,36 @@ def cwsc(
         raise ValidationError(f"k must be >= 1, got {k}")
     if not (0.0 <= s_hat <= 1.0):
         raise ValidationError(f"s_hat must be in [0, 1], got {s_hat}")
+    # One enabled() check per solve; per-pick spans below are guarded by
+    # this bool so the disabled path allocates nothing.
+    traced = obs_trace.enabled()
+    with (
+        obs_trace.span("solve", algorithm="cwsc", k=k, s_hat=s_hat)
+        if traced
+        else obs_trace.NULL_SPAN
+    ) as solve_span:
+        result = _cwsc_body(
+            system, k, s_hat, on_infeasible, deadline, backend, traced
+        )
+        if solve_span.enabled:
+            solve_span.set(
+                backend=result.params["tracker_backend"],
+                n_sets=result.n_sets,
+                covered=result.covered,
+                feasible=result.feasible,
+            )
+        return result
+
+
+def _cwsc_body(
+    system: SetSystem,
+    k: int,
+    s_hat: float,
+    on_infeasible: OnInfeasible,
+    deadline: Deadline | None,
+    backend: TrackerBackend | None,
+    traced: bool,
+) -> CoverResult:
     start = time.perf_counter()
     metrics = Metrics()
     tracker_backend = resolve_backend(system, backend)
@@ -94,7 +125,12 @@ def cwsc(
         "tracker_backend": tracker_backend,
     }
 
-    tracker = make_tracker(system, metrics=metrics, backend=tracker_backend)
+    with (
+        obs_trace.span("preprocess", op="make_tracker", backend=tracker_backend)
+        if traced
+        else obs_trace.NULL_SPAN
+    ):
+        tracker = make_tracker(system, metrics=metrics, backend=tracker_backend)
     rem = s_hat * system.n_elements
     chosen: list[int] = []
     # Per-iteration diagnostics (Fig. 2's loop state), recorded in
@@ -119,46 +155,60 @@ def cwsc(
         if injector is not None:
             injector.iteration()
         threshold = rem / i - _EPS
-        best_id = None
-        best_key = None
-        sets = system.sets
-        for set_id, size in tracker.live_items():
-            if deadline is not None and deadline.poll():
-                raise DeadlineExceeded(
-                    f"cwsc: deadline expired scanning candidates for pick "
-                    f"{len(chosen) + 1}",
-                    partial=_finish(
-                        system, "cwsc", chosen, False, params, metrics, start
-                    ),
+        with (
+            obs_trace.span("select", picks_left=i, threshold=rem / i)
+            if traced
+            else obs_trace.NULL_SPAN
+        ) as pick_span:
+            best_id = None
+            best_key = None
+            sets = system.sets
+            for set_id, size in tracker.live_items():
+                if deadline is not None and deadline.poll():
+                    raise DeadlineExceeded(
+                        f"cwsc: deadline expired scanning candidates for pick "
+                        f"{len(chosen) + 1}",
+                        partial=_finish(
+                            system, "cwsc", chosen, False, params, metrics, start
+                        ),
+                    )
+                if size < threshold:
+                    continue
+                ws = sets[set_id]
+                cost = ws.cost
+                # MGain(s, S) = |MBen| / cost, inlined (live sets have
+                # size > 0, so a zero cost means infinite gain).
+                gain = size / cost if cost else float("inf")
+                if best_key is not None and gain < best_key[0]:
+                    # gain is the leading key component; a strictly smaller
+                    # gain can never win the lexicographic comparison, so
+                    # skip building the full key.
+                    continue
+                key = gain_key(
+                    gain,
+                    size,
+                    cost,
+                    ws.label,
+                    set_id,
+                    canon_key=canon_keys[set_id],
                 )
-            if size < threshold:
-                continue
-            ws = sets[set_id]
-            cost = ws.cost
-            # MGain(s, S) = |MBen| / cost, inlined (live sets have
-            # size > 0, so a zero cost means infinite gain).
-            gain = size / cost if cost else float("inf")
-            if best_key is not None and gain < best_key[0]:
-                # gain is the leading key component; a strictly smaller
-                # gain can never win the lexicographic comparison, so
-                # skip building the full key.
-                continue
-            key = gain_key(
-                gain,
-                size,
-                cost,
-                ws.label,
-                set_id,
-                canon_key=canon_keys[set_id],
-            )
-            if best_key is None or key > best_key:
-                best_id = set_id
-                best_key = key
-        if best_id is None:
-            return _bail(
-                system, "cwsc", chosen, rem, on_infeasible, params, metrics, start
-            )
-        newly = tracker.select(best_id)
+                if best_key is None or key > best_key:
+                    best_id = set_id
+                    best_key = key
+            if best_id is None:
+                return _bail(
+                    system,
+                    "cwsc",
+                    chosen,
+                    rem,
+                    on_infeasible,
+                    params,
+                    metrics,
+                    start,
+                )
+            newly = tracker.select(best_id)
+            if pick_span.enabled:
+                pick_span.set(set_id=best_id, marginal_covered=newly)
         if injector is not None:
             newly = injector.corrupt_marginal(newly)
         trace.append(

@@ -23,6 +23,7 @@ from repro.core.fallbacks import greedy_partial
 from repro.core.result import CoverResult, Metrics, make_result
 from repro.core.setsystem import SetSystem
 from repro.errors import DeadlineExceeded, InfeasibleError, ValidationError
+from repro.obs import trace as obs_trace
 from repro.resilience.deadline import Deadline
 
 
@@ -103,6 +104,30 @@ def solve_exact(
     """
     if k < 1:
         raise ValidationError(f"k must be >= 1, got {k}")
+    with (
+        obs_trace.span("solve", algorithm="exact", k=k, s_hat=s_hat)
+        if obs_trace.enabled()
+        else obs_trace.NULL_SPAN
+    ) as solve_span:
+        result = _solve_exact_body(
+            system, k, s_hat, node_limit, deadline
+        )
+        if solve_span.enabled:
+            solve_span.set(
+                nodes=result.metrics.sets_considered,
+                n_sets=result.n_sets,
+                total_cost=result.total_cost,
+            )
+        return result
+
+
+def _solve_exact_body(
+    system: SetSystem,
+    k: int,
+    s_hat: float,
+    node_limit: int | None,
+    deadline: Deadline | None,
+) -> CoverResult:
     required = system.required_coverage(s_hat)
     start = time.perf_counter()
     metrics = Metrics()

@@ -35,6 +35,7 @@ from scipy.optimize import linprog
 
 from repro.core.setsystem import SetSystem
 from repro.errors import InfeasibleError, TransientSolverError, ValidationError
+from repro.obs import trace as obs_trace
 from repro.resilience import faults
 
 
@@ -73,6 +74,25 @@ def solve_lp_relaxation(
     """
     if k < 1:
         raise ValidationError(f"k must be >= 1, got {k}")
+    with (
+        obs_trace.span(
+            "lp_relaxation", k=k, s_hat=s_hat, n_sets=system.n_sets
+        )
+        if obs_trace.enabled()
+        else obs_trace.NULL_SPAN
+    ) as sp:
+        relaxation = _solve_lp_relaxation(system, k, s_hat)
+        if sp.enabled:
+            sp.set(
+                lp_value=relaxation.value,
+                fractional_sets=len(relaxation.set_fractions),
+            )
+        return relaxation
+
+
+def _solve_lp_relaxation(
+    system: SetSystem, k: int, s_hat: float
+) -> LPRelaxation:
     injector = faults.active()
     if injector is not None:
         injector.lp_attempt()

@@ -36,6 +36,7 @@ from repro.core.marginal import make_tracker
 from repro.core.result import CoverResult, Metrics, make_result
 from repro.core.setsystem import SetSystem
 from repro.errors import DeadlineExceeded, InfeasibleError, ValidationError
+from repro.obs import trace as obs_trace
 from repro.resilience.deadline import Deadline
 
 _EPS = 1e-9
@@ -79,6 +80,36 @@ def lp_rounding(
         raise ValidationError(f"trials must be >= 1, got {trials}")
     if alpha <= 0:
         raise ValidationError(f"alpha must be > 0, got {alpha}")
+    traced = obs_trace.enabled()
+    with (
+        obs_trace.span(
+            "solve", algorithm="lp_rounding", k=k, s_hat=s_hat, trials=trials
+        )
+        if traced
+        else obs_trace.NULL_SPAN
+    ) as solve_span:
+        result = _lp_rounding_body(
+            system, k, s_hat, trials, alpha, seed, deadline, traced
+        )
+        if solve_span.enabled:
+            solve_span.set(
+                n_sets=result.n_sets,
+                size_violations=result.params.get("size_violations"),
+                feasible=result.feasible,
+            )
+        return result
+
+
+def _lp_rounding_body(
+    system: SetSystem,
+    k: int,
+    s_hat: float,
+    trials: int,
+    alpha: float,
+    seed: int,
+    deadline: Deadline | None,
+    traced: bool,
+) -> CoverResult:
     start = time.perf_counter()
     metrics = Metrics()
     required = system.required_coverage(s_hat)
@@ -116,7 +147,7 @@ def lp_rounding(
 
     best: tuple[float, list[int]] | None = None
     size_violations = 0
-    for _ in range(trials):
+    for trial in range(trials):
         if deadline is not None and deadline.expired():
             raise DeadlineExceeded(
                 "lp_rounding: deadline expired between trials",
@@ -135,6 +166,13 @@ def lp_rounding(
                 "lp_rounding: deadline expired during greedy repair",
                 partial=_best_so_far(),
             ) from None
+        if traced:
+            obs_trace.event(
+                "lp_trial",
+                trial=trial,
+                repaired=chosen is not None,
+                n_sets=len(chosen) if chosen is not None else 0,
+            )
         if chosen is None:
             continue
         if len(chosen) > k:

@@ -39,6 +39,7 @@ from repro.core.bitset import iter_bits, mask_table, owners_index
 from repro.core.result import Metrics
 from repro.core.setsystem import SetSystem
 from repro.errors import ValidationError
+from repro.obs import trace as obs_trace
 
 TrackerBackend = Literal["auto", "set", "bitset"]
 
@@ -178,17 +179,29 @@ class MarginalTracker:
             if element not in self._covered
         ]
         counts = self._mben_count
+        updates = 0
         for element in newly:
             self._covered.add(element)
             for other in self._element_to_sets.get(element, ()):
                 remaining = counts.get(other)
                 if remaining is None:
                     continue
-                self._metrics.marginal_updates += 1
+                updates += 1
                 if remaining == 1:
                     del counts[other]
                 else:
                     counts[other] = remaining - 1
+        self._metrics.marginal_updates += updates
+        if obs_trace.enabled():
+            obs_trace.event(
+                "tracker_update",
+                backend="set",
+                strategy="inverted",
+                set_id=set_id,
+                newly_covered=len(newly),
+                updates=updates,
+                live=len(counts),
+            )
         return len(newly)
 
 
@@ -331,9 +344,11 @@ class BitsetMarginalTracker:
         self._covered_mask |= newly_mask
         updates = 0
         if self._table.full_union() & ~self._covered_mask == 0:
+            strategy = "exhaustion"
             updates = sum(counts.values())
             counts.clear()
         elif newly * self._avg_owners <= len(counts) * self._sweep_step:
+            strategy = "owners_walk"
             owners = self._owners
             for element in iter_bits(newly_mask):
                 for other in owners[element]:
@@ -346,6 +361,7 @@ class BitsetMarginalTracker:
                     else:
                         counts[other] = remaining - 1
         else:
+            strategy = "mask_sweep"
             masks = self._masks
             evicted: list[SetId] = []
             for other, remaining in counts.items():
@@ -360,6 +376,16 @@ class BitsetMarginalTracker:
             for other in evicted:
                 del counts[other]
         self._metrics.marginal_updates += updates
+        if obs_trace.enabled():
+            obs_trace.event(
+                "tracker_update",
+                backend="bitset",
+                strategy=strategy,
+                set_id=set_id,
+                newly_covered=newly,
+                updates=updates,
+                live=len(counts),
+            )
         return newly
 
 

@@ -19,6 +19,7 @@ from bisect import bisect_right
 
 from repro.core.bitset import mask_table
 from repro.core.setsystem import SetSystem, WeightedSet
+from repro.obs import trace as obs_trace
 
 
 def remove_dominated(system: SetSystem) -> SetSystem:
@@ -38,38 +39,48 @@ def remove_dominated(system: SetSystem) -> SetSystem:
       sets satisfying the cost half of the dominance predicate are ever
       compared.
     """
-    masks = mask_table(system).masks
-    survivors: list[WeightedSet] = []
-    # Survivor masks kept sorted by (cost, insertion order) so bisect
-    # bounds the dominance scan to survivors with cost <= candidate's.
-    kept_costs: list[float] = []
-    kept_masks: list[int] = []
-    candidates = [ws for ws in system.sets if masks[ws.set_id]]
-    # Bigger-first makes the common "subset of a cheaper superset" check
-    # hit early; ties on size resolve by cost then id for determinism.
-    candidates.sort(key=lambda ws: (-ws.size, ws.cost, ws.set_id))
-    for ws in candidates:
-        mask = masks[ws.set_id]
-        hi = bisect_right(kept_costs, ws.cost)
-        if not any(
-            mask & ~kept == 0 for kept in kept_masks[:hi]
-        ):
-            survivors.append(ws)
-            kept_costs.insert(hi, ws.cost)
-            kept_masks.insert(hi, mask)
-    survivors.sort(key=lambda ws: ws.set_id)
-    return SetSystem(
-        system.n_elements,
-        [
-            WeightedSet(
-                set_id=new_id,
-                benefit=ws.benefit,
-                cost=ws.cost,
-                label=ws.label,
-            )
-            for new_id, ws in enumerate(survivors)
-        ],
-    )
+    with (
+        obs_trace.span(
+            "preprocess", op="remove_dominated", n_sets=system.n_sets
+        )
+        if obs_trace.enabled()
+        else obs_trace.NULL_SPAN
+    ) as sp:
+        masks = mask_table(system).masks
+        survivors: list[WeightedSet] = []
+        # Survivor masks kept sorted by (cost, insertion order) so bisect
+        # bounds the dominance scan to survivors with cost <= candidate's.
+        kept_costs: list[float] = []
+        kept_masks: list[int] = []
+        candidates = [ws for ws in system.sets if masks[ws.set_id]]
+        # Bigger-first makes the common "subset of a cheaper superset"
+        # check hit early; ties on size resolve by cost then id for
+        # determinism.
+        candidates.sort(key=lambda ws: (-ws.size, ws.cost, ws.set_id))
+        for ws in candidates:
+            mask = masks[ws.set_id]
+            hi = bisect_right(kept_costs, ws.cost)
+            if not any(
+                mask & ~kept == 0 for kept in kept_masks[:hi]
+            ):
+                survivors.append(ws)
+                kept_costs.insert(hi, ws.cost)
+                kept_masks.insert(hi, mask)
+        survivors.sort(key=lambda ws: ws.set_id)
+        if sp.enabled:
+            sp.set(survivors=len(survivors))
+        return SetSystem(
+            system.n_elements,
+            [
+                WeightedSet(
+                    set_id=new_id,
+                    benefit=ws.benefit,
+                    cost=ws.cost,
+                    label=ws.label,
+                )
+                for new_id, ws in enumerate(survivors)
+            ],
+        )
 
 
 def restrict_to_budget(system: SetSystem, budget: float) -> SetSystem:
@@ -78,16 +89,23 @@ def restrict_to_budget(system: SetSystem, budget: float) -> SetSystem:
     This is the Lemma 1 "threshold" view: solving with only the
     affordable sets. Set ids are re-densified; labels are preserved.
     """
-    survivors = [ws for ws in system.sets if ws.cost <= budget]
-    return SetSystem(
-        system.n_elements,
-        [
-            WeightedSet(
-                set_id=new_id,
-                benefit=ws.benefit,
-                cost=ws.cost,
-                label=ws.label,
-            )
-            for new_id, ws in enumerate(survivors)
-        ],
-    )
+    with (
+        obs_trace.span(
+            "preprocess", op="restrict_to_budget", budget=budget
+        )
+        if obs_trace.enabled()
+        else obs_trace.NULL_SPAN
+    ):
+        survivors = [ws for ws in system.sets if ws.cost <= budget]
+        return SetSystem(
+            system.n_elements,
+            [
+                WeightedSet(
+                    set_id=new_id,
+                    benefit=ws.benefit,
+                    cost=ws.cost,
+                    label=ws.label,
+                )
+                for new_id, ws in enumerate(survivors)
+            ],
+        )

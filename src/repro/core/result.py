@@ -13,6 +13,19 @@ from typing import Hashable, Sequence
 
 from repro._typing import Cost, SetId
 
+#: The one authoritative list of Metrics fields with their (type, default).
+#: Serializers everywhere — result payloads, pool IPC frames, bench report
+#: entries, the obs metrics registry — derive from this instead of
+#: hand-copying field names; adding a counter means adding it here and to
+#: the dataclass, nowhere else.
+METRIC_FIELDS: tuple[tuple[str, type, float], ...] = (
+    ("sets_considered", int, 0),
+    ("marginal_updates", int, 0),
+    ("budget_rounds", int, 1),
+    ("selections", int, 0),
+    ("runtime_seconds", float, 0.0),
+)
+
 
 @dataclass
 class Metrics:
@@ -49,11 +62,27 @@ class Metrics:
     def merge(self, other: "Metrics") -> "Metrics":
         """Sum counters with another run (used when composing phases)."""
         return Metrics(
-            sets_considered=self.sets_considered + other.sets_considered,
-            marginal_updates=self.marginal_updates + other.marginal_updates,
-            budget_rounds=self.budget_rounds + other.budget_rounds,
-            selections=self.selections + other.selections,
-            runtime_seconds=self.runtime_seconds + other.runtime_seconds,
+            **{
+                name: getattr(self, name) + getattr(other, name)
+                for name, _, _ in METRIC_FIELDS
+            }
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable counters, keyed by :data:`METRIC_FIELDS`."""
+        return {name: getattr(self, name) for name, _, _ in METRIC_FIELDS}
+
+    @classmethod
+    def from_dict(cls, payload: dict | None) -> "Metrics":
+        """Rebuild from :meth:`to_dict` output; missing keys take their
+        schema defaults, extra keys are ignored (forward compatibility
+        across pool protocol versions)."""
+        payload = payload or {}
+        return cls(
+            **{
+                name: kind(payload.get(name, default))
+                for name, kind, default in METRIC_FIELDS
+            }
         )
 
 
@@ -139,13 +168,7 @@ class CoverResult:
                 for key, value in self.params.items()
                 if isinstance(value, (int, float, str, bool, type(None)))
             },
-            "metrics": {
-                "sets_considered": self.metrics.sets_considered,
-                "marginal_updates": self.metrics.marginal_updates,
-                "budget_rounds": self.metrics.budget_rounds,
-                "selections": self.metrics.selections,
-                "runtime_seconds": self.metrics.runtime_seconds,
-            },
+            "metrics": self.metrics.to_dict(),
         }
 
 
@@ -157,14 +180,7 @@ def result_from_dict(payload: dict) -> CoverResult:
     survive. That is sufficient for experiment checkpoints, whose
     consumers read costs, coverage, and metrics — not live label objects.
     """
-    metrics_payload = payload.get("metrics", {})
-    metrics = Metrics(
-        sets_considered=int(metrics_payload.get("sets_considered", 0)),
-        marginal_updates=int(metrics_payload.get("marginal_updates", 0)),
-        budget_rounds=int(metrics_payload.get("budget_rounds", 1)),
-        selections=int(metrics_payload.get("selections", 0)),
-        runtime_seconds=float(metrics_payload.get("runtime_seconds", 0.0)),
-    )
+    metrics = Metrics.from_dict(payload.get("metrics"))
     return CoverResult(
         algorithm=payload["algorithm"],
         set_ids=tuple(payload["set_ids"]),

@@ -1,0 +1,72 @@
+"""repro.obs — zero-dependency observability: tracing, metrics, reports.
+
+The paper's evaluation is all about *where work goes* — sets considered,
+marginal updates, budget rounds (Tables 4-6, Figs. 5-9) — and the
+resilience pool adds a second axis: *what happened to each request*.
+This package makes both first-class instead of debug logging:
+
+* :mod:`repro.obs.trace` — nested monotonic-clock spans with attributes
+  and a JSONL sink, threaded through every solver, both marginal-tracker
+  backends, and the process pool. Disabled by default and near-free when
+  off: ``span()`` returns a shared no-op and hot paths guard attribute
+  dicts behind a single ``enabled()`` check.
+* :mod:`repro.obs.metrics` — a counter/gauge/histogram registry with a
+  Prometheus-style text exposition and a JSON snapshot; the solver
+  :class:`~repro.core.result.Metrics` counters publish into it through
+  one shared field schema.
+* :mod:`repro.obs.schema` — the trace record schema and a validator
+  (``python -m repro.obs.schema trace.jsonl``), used by CI's trace-smoke
+  step and ``scwsc trace validate``.
+* :mod:`repro.obs.report` — per-phase time/count rollups and the
+  renderer behind ``scwsc trace summarize``.
+* :mod:`repro.obs.log` — the package logger (``logging.getLogger
+  ("repro")`` with a ``NullHandler``) and console-handler setup for the
+  CLI and pool workers.
+
+See docs/OBSERVABILITY.md for the record schema and overhead numbers.
+"""
+
+from repro.obs.log import console_logging, get_logger
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    record_cover_result,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    Tracer,
+    capture,
+    configure,
+    enabled,
+    event,
+    get_tracer,
+    replay,
+    shutdown,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Tracer",
+    "capture",
+    "configure",
+    "console_logging",
+    "enabled",
+    "event",
+    "get_logger",
+    "get_registry",
+    "get_tracer",
+    "record_cover_result",
+    "replay",
+    "shutdown",
+    "span",
+]

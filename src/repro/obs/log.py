@@ -1,0 +1,56 @@
+"""Package logger plumbing.
+
+Library code never configures handlers — ``repro/__init__`` attaches a
+``NullHandler`` to the ``"repro"`` logger so importing the library stays
+silent, per stdlib convention. Entry points (the CLI, pool worker main)
+opt into console output with :func:`console_logging`, which honors the
+``REPRO_LOG_LEVEL`` environment variable (default WARNING, so existing
+operator-facing diagnostics like the REPRO_DEBUG_HANG watchdog — emitted
+at WARNING — keep appearing on stderr).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+ROOT_LOGGER = "repro"
+
+_CONSOLE_HANDLER: logging.Handler | None = None
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Child logger under the ``repro`` hierarchy.
+
+    Pass ``__name__`` — module names already start with ``repro.``, so
+    the handler attached to the package root covers them all.
+    """
+    if not name.startswith(ROOT_LOGGER):
+        name = f"{ROOT_LOGGER}.{name}"
+    return logging.getLogger(name)
+
+
+def console_logging(level: int | str | None = None) -> logging.Handler:
+    """Attach (once) a stderr handler to the ``repro`` logger.
+
+    Called by process entry points only. ``level`` defaults to
+    ``REPRO_LOG_LEVEL`` or WARNING. Repeat calls re-level the existing
+    handler instead of stacking duplicates.
+    """
+    global _CONSOLE_HANDLER
+    if level is None:
+        level = os.environ.get("REPRO_LOG_LEVEL", "WARNING")
+    if isinstance(level, str):
+        level = getattr(logging, level.upper(), logging.WARNING)
+    logger = logging.getLogger(ROOT_LOGGER)
+    if _CONSOLE_HANDLER is None:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(name)s %(levelname)s: %(message)s")
+        )
+        logger.addHandler(handler)
+        _CONSOLE_HANDLER = handler
+    _CONSOLE_HANDLER.setLevel(level)
+    logger.setLevel(level)
+    return _CONSOLE_HANDLER

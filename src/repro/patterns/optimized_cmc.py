@@ -44,6 +44,7 @@ from repro.core.budget import (
 from repro.core.cmc import COVERAGE_DISCOUNT
 from repro.core.result import CoverResult, Metrics, make_result
 from repro.errors import InfeasibleError, ValidationError
+from repro.obs import trace as obs_trace
 from repro.patterns.candidates import Candidate, CandidatePool, Values
 from repro.patterns.costs import CostFunction, get_cost_function
 from repro.patterns.index import PatternIndex
@@ -108,6 +109,38 @@ def optimized_cmc(
         raise ValidationError(f"l must be > 0, got {l}")
     if eps is not None and l is not None:
         raise ValidationError("eps and l are mutually exclusive")
+    traced = obs_trace.enabled()
+    with (
+        obs_trace.span("solve", algorithm="optimized_cmc", k=k, s_hat=s_hat, b=b)
+        if traced
+        else obs_trace.NULL_SPAN
+    ) as solve_span:
+        result = _optimized_cmc_body(
+            table, k, s_hat, b, cost, eps, l, initial_budget,
+            on_infeasible, traced,
+        )
+        if solve_span.enabled:
+            solve_span.set(
+                variant=result.params["variant"],
+                budget_rounds=result.metrics.budget_rounds,
+                n_sets=result.n_sets,
+                feasible=result.feasible,
+            )
+        return result
+
+
+def _optimized_cmc_body(
+    table: PatternTable,
+    k: int,
+    s_hat: float,
+    b: float,
+    cost: "str | CostFunction",
+    eps: float | None,
+    l: float | None,
+    initial_budget: float | None,
+    on_infeasible: OnInfeasible,
+    traced: bool,
+) -> CoverResult:
     start = time.perf_counter()
     metrics = Metrics()
     cost_obj = get_cost_function(cost)
@@ -127,10 +160,15 @@ def optimized_cmc(
         "variant": variant,
     }
 
-    index = PatternIndex(table)
-    cost_fn = cost_obj.bind(table)
-    all_values: Values = (ALL,) * table.n_attributes
-    all_cost = cost_fn(index.all_rows)
+    with (
+        obs_trace.span("preprocess", op="pattern_index")
+        if traced
+        else obs_trace.NULL_SPAN
+    ):
+        index = PatternIndex(table)
+        cost_fn = cost_obj.bind(table)
+        all_values: Values = (ALL,) * table.n_attributes
+        all_cost = cost_fn(index.all_rows)
     target = COVERAGE_DISCOUNT * s_hat * table.n_rows
     params["target_elements"] = target
 
@@ -158,10 +196,20 @@ def optimized_cmc(
             first_round = False
         else:
             metrics.budget_rounds += 1
-        scheme = scheme_factory(budget, k)
-        selected, reached = _run_round(
-            index, cost_fn, all_values, scheme, target, metrics, cost_cache
-        )
+        with (
+            obs_trace.span(
+                "budget_round", round=metrics.budget_rounds, budget=budget
+            )
+            if traced
+            else obs_trace.NULL_SPAN
+        ) as round_span:
+            scheme = scheme_factory(budget, k)
+            selected, reached = _run_round(
+                index, cost_fn, all_values, scheme, target, metrics,
+                cost_cache, traced,
+            )
+            if round_span.enabled:
+                round_span.set(selections=len(selected), reached=reached)
         if reached:
             params["final_budget"] = budget
             return _finish(table, selected, True, params, metrics, start)
@@ -193,6 +241,7 @@ def _run_round(
     target: float,
     metrics: Metrics,
     cost_cache: dict[Values, float],
+    traced: bool = False,
 ) -> tuple[list[Candidate], bool]:
     """One budget round of Fig. 4 (lines 8-35)."""
     pool = CandidatePool(cost_fn, metrics, cost_cache=cost_cache)
@@ -232,7 +281,18 @@ def _run_round(
             attempts[level] += 1
             placeable = attempts[level] <= scheme.quotas[level]
         if placeable:
-            newly = pool.select(candidate)
+            with (
+                obs_trace.span(
+                    "select",
+                    level=level,
+                    pattern=str(Pattern(candidate.values)),
+                )
+                if traced
+                else obs_trace.NULL_SPAN
+            ) as pick_span:
+                newly = pool.select(candidate)
+                if pick_span.enabled:
+                    pick_span.set(marginal_covered=len(newly))
             selected.append(candidate)
             selected_values.add(candidate.values)
             rem -= len(newly)

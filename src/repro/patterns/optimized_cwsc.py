@@ -23,6 +23,7 @@ from typing import Literal
 
 from repro.core.result import CoverResult, Metrics, make_result
 from repro.errors import InfeasibleError, ValidationError
+from repro.obs import trace as obs_trace
 from repro.patterns.candidates import Candidate, CandidatePool, Values
 from repro.patterns.costs import CostFunction, get_cost_function
 from repro.patterns.index import PatternIndex
@@ -63,6 +64,32 @@ def optimized_cwsc(
         raise ValidationError(f"s_hat must be in [0, 1], got {s_hat}")
     if table.n_rows == 0:
         raise ValidationError("cannot cover an empty table")
+    traced = obs_trace.enabled()
+    with (
+        obs_trace.span("solve", algorithm="optimized_cwsc", k=k, s_hat=s_hat)
+        if traced
+        else obs_trace.NULL_SPAN
+    ) as solve_span:
+        result = _optimized_cwsc_body(
+            table, k, s_hat, cost, on_infeasible, traced
+        )
+        if solve_span.enabled:
+            solve_span.set(
+                n_sets=result.n_sets,
+                covered=result.covered,
+                feasible=result.feasible,
+            )
+        return result
+
+
+def _optimized_cwsc_body(
+    table: PatternTable,
+    k: int,
+    s_hat: float,
+    cost: "str | CostFunction",
+    on_infeasible: OnInfeasible,
+    traced: bool,
+) -> CoverResult:
     start = time.perf_counter()
     metrics = Metrics()
     params = {
@@ -72,11 +99,16 @@ def optimized_cwsc(
         "on_infeasible": on_infeasible,
     }
 
-    index = PatternIndex(table)
-    cost_fn = get_cost_function(cost).bind(table)
-    pool = CandidatePool(cost_fn, metrics)
-    all_values: Values = (ALL,) * table.n_attributes
-    pool.add(pool.materialize(all_values, index.all_rows))
+    with (
+        obs_trace.span("preprocess", op="pattern_index")
+        if traced
+        else obs_trace.NULL_SPAN
+    ):
+        index = PatternIndex(table)
+        cost_fn = get_cost_function(cost).bind(table)
+        pool = CandidatePool(cost_fn, metrics)
+        all_values: Values = (ALL,) * table.n_attributes
+        pool.add(pool.materialize(all_values, index.all_rows))
 
     selected: list[Candidate] = []
     selected_values: set[Values] = set()
@@ -86,17 +118,28 @@ def optimized_cwsc(
 
     for i in range(k, 0, -1):
         threshold = rem / i - _EPS
-        # Fig. 3 lines 8-10: drop candidates below the new threshold.
-        pool.prune(lambda candidate: candidate.mben_size >= threshold)
-        _expand(pool, index, selected_values, threshold)
-        # Fig. 3 line 21: C holds exactly the threshold-clearing patterns.
-        best = pool.best_by_gain()
-        if best is None:
-            return _bail(
-                table, index, cost_fn, selected, on_infeasible,
-                params, metrics, start,
-            )
-        newly = pool.select(best)
+        with (
+            obs_trace.span("select", picks_left=i, threshold=rem / i)
+            if traced
+            else obs_trace.NULL_SPAN
+        ) as pick_span:
+            # Fig. 3 lines 8-10: drop candidates below the new threshold.
+            pool.prune(lambda candidate: candidate.mben_size >= threshold)
+            _expand(pool, index, selected_values, threshold)
+            # Fig. 3 line 21: C holds exactly the threshold-clearing
+            # patterns.
+            best = pool.best_by_gain()
+            if best is None:
+                return _bail(
+                    table, index, cost_fn, selected, on_infeasible,
+                    params, metrics, start,
+                )
+            newly = pool.select(best)
+            if pick_span.enabled:
+                pick_span.set(
+                    pattern=str(Pattern(best.values)),
+                    marginal_covered=len(newly),
+                )
         selected.append(best)
         selected_values.add(best.values)
         rem -= len(newly)

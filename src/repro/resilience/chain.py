@@ -48,6 +48,7 @@ from repro.errors import (
     TransientSolverError,
     ValidationError,
 )
+from repro.obs import trace as obs_trace
 from repro.resilience import faults
 from repro.resilience.deadline import Deadline
 from repro.resilience.debug import hang_watchdog
@@ -354,6 +355,17 @@ def resilient_solve(
         if challenger > incumbent:
             best_partial = clean
 
+    def note_stage(record: StageRecord) -> None:
+        """Mirror a finished stage record into the trace event stream."""
+        if obs_trace.enabled():
+            obs_trace.event(
+                "chain_stage",
+                stage=record.stage,
+                status=record.status,
+                attempts=record.attempts,
+                elapsed_seconds=round(record.elapsed_seconds, 6),
+            )
+
     def finalize(result: CoverResult, record: StageRecord, spec: _StageSpec
                  ) -> CoverResult:
         result.params["resilience"] = {
@@ -372,6 +384,7 @@ def resilient_solve(
         # run, even with the overall deadline spent.
         if name != "universal" and overall is not None and overall.expired():
             record.detail = "overall deadline spent before stage started"
+            note_stage(record)
             continue
         if name == "universal":
             stage_deadline = None
@@ -429,6 +442,7 @@ def resilient_solve(
         record.elapsed_seconds = time.perf_counter() - stage_start
 
         if outcome is None:
+            note_stage(record)
             continue
         problems = verify_result(
             system, outcome, k=spec.k_bound, s_hat=spec.coverage_target
@@ -437,13 +451,16 @@ def resilient_solve(
             record.status = "rejected"
             record.detail = "; ".join(problems)
             note_partial(outcome)
+            note_stage(record)
             continue
         if not outcome.feasible:
             record.status = "infeasible"
             record.detail = "stage returned a best-effort infeasible result"
             note_partial(outcome)
+            note_stage(record)
             continue
         record.status = "ok"
+        note_stage(record)
         return finalize(outcome, record, spec)
 
     # Every stage failed. Degrade to the best verified partial.
@@ -467,6 +484,7 @@ def resilient_solve(
         detail="degraded to best verified partial across stages",
     )
     records.append(record)
+    note_stage(record)
     result = finalize(best_partial, record, fallback_spec)
     if not result.feasible and on_failure == "raise":
         raise InfeasibleError(

@@ -26,9 +26,13 @@ import os
 import sys
 from contextlib import contextmanager
 
+from repro.obs.log import get_logger
+
 __all__ = ["hang_debug_enabled", "hang_watchdog"]
 
 _ENV_VAR = "REPRO_DEBUG_HANG"
+
+logger = get_logger(__name__)
 
 
 def hang_debug_enabled() -> bool:
@@ -58,10 +62,15 @@ def hang_watchdog(seconds: float | None, context: str = ""):
         and hang_debug_enabled()
     ):
         if context:
-            print(
-                f"REPRO_DEBUG_HANG: watchdog armed ({seconds:.3f}s) "
-                f"for {context}",
-                file=sys.stderr,
+            # WARNING so the message clears the default console level of
+            # repro.obs.log.console_logging — an operator who set
+            # REPRO_DEBUG_HANG asked to see this. (faulthandler itself
+            # writes raw tracebacks to stderr; only the arming notice
+            # goes through logging.)
+            logger.warning(
+                "REPRO_DEBUG_HANG: watchdog armed (%.3fs) for %s",
+                seconds,
+                context,
             )
         try:
             faulthandler.dump_traceback_later(

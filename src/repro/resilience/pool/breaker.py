@@ -26,15 +26,26 @@ from typing import Callable
 
 from repro.errors import ValidationError
 
-__all__ = ["BreakerBoard", "CircuitBreaker"]
+__all__ = ["BreakerBoard", "CircuitBreaker", "TransitionHook"]
 
 CLOSED = "closed"
 OPEN = "open"
 HALF_OPEN = "half_open"
 
 
+#: Signature of the transition hook: ``(breaker_name, old_state, new_state)``.
+TransitionHook = Callable[[str, str, str], None]
+
+
 class CircuitBreaker:
-    """Failure-rate gate for one solver/stage name."""
+    """Failure-rate gate for one solver/stage name.
+
+    ``on_transition`` (if given) fires on *every* state change with
+    ``(name, old_state, new_state)`` — including the lazy
+    ``open -> half_open`` advance inside the :attr:`state` property, so
+    an event stream sees the full closed → open → half_open → … history
+    in order.
+    """
 
     def __init__(
         self,
@@ -42,6 +53,7 @@ class CircuitBreaker:
         failure_threshold: int = 3,
         cooldown: float = 30.0,
         clock: Callable[[], float] = time.monotonic,
+        on_transition: TransitionHook | None = None,
     ) -> None:
         if failure_threshold < 1:
             raise ValidationError(
@@ -53,6 +65,7 @@ class CircuitBreaker:
         self.failure_threshold = failure_threshold
         self.cooldown = cooldown
         self._clock = clock
+        self._on_transition = on_transition
         self._state = CLOSED
         self._consecutive_failures = 0
         self._opened_at: float | None = None
@@ -61,13 +74,21 @@ class CircuitBreaker:
         self.total_successes = 0
         self.times_opened = 0
 
+    def _transition(self, new_state: str) -> None:
+        old = self._state
+        if old == new_state:
+            return
+        self._state = new_state
+        if self._on_transition is not None:
+            self._on_transition(self.name, old, new_state)
+
     @property
     def state(self) -> str:
         """Current state, advancing ``open -> half_open`` on cooldown."""
         if self._state == OPEN:
             assert self._opened_at is not None
             if self._clock() - self._opened_at >= self.cooldown:
-                self._state = HALF_OPEN
+                self._transition(HALF_OPEN)
                 self._probe_outstanding = False
         return self._state
 
@@ -90,7 +111,7 @@ class CircuitBreaker:
     def record_success(self) -> None:
         self.total_successes += 1
         self._consecutive_failures = 0
-        self._state = CLOSED
+        self._transition(CLOSED)
         self._opened_at = None
         self._probe_outstanding = False
 
@@ -103,7 +124,7 @@ class CircuitBreaker:
             or self._consecutive_failures >= self.failure_threshold
         )
         if tripped and state != OPEN:
-            self._state = OPEN
+            self._transition(OPEN)
             self._opened_at = self._clock()
             self._probe_outstanding = False
             self.times_opened += 1
@@ -130,10 +151,12 @@ class BreakerBoard:
         failure_threshold: int = 3,
         cooldown: float = 30.0,
         clock: Callable[[], float] = time.monotonic,
+        on_transition: TransitionHook | None = None,
     ) -> None:
         self.failure_threshold = failure_threshold
         self.cooldown = cooldown
         self._clock = clock
+        self._on_transition = on_transition
         self._breakers: dict[str, CircuitBreaker] = {}
 
     def breaker(self, name: str) -> CircuitBreaker:
@@ -144,6 +167,7 @@ class BreakerBoard:
                 failure_threshold=self.failure_threshold,
                 cooldown=self.cooldown,
                 clock=self._clock,
+                on_transition=self._on_transition,
             )
             self._breakers[name] = found
         return found

@@ -379,6 +379,10 @@ class SolveRequest:
     options: dict | None = None
     seed: int = 0
     tag: str | None = None
+    #: Ask the worker to capture its solver spans and ship them home in
+    #: the result frame. The supervisor also forces this on whenever the
+    #: parent process has a tracer configured.
+    trace: bool = False
 
 
 def encode_request(request: SolveRequest, request_id: int) -> dict:
@@ -403,6 +407,7 @@ def encode_request(request: SolveRequest, request_id: int) -> dict:
         "stage_options": request.stage_options or {},
         "options": request.options or {},
         "seed": request.seed,
+        "trace": request.trace,
     }
 
 
@@ -425,6 +430,7 @@ def request_from_payload(payload: dict) -> tuple[int, SolveRequest]:
             stage_options=dict(payload.get("stage_options") or {}),
             options=dict(payload.get("options") or {}),
             seed=int(payload.get("seed", 0)),
+            trace=bool(payload.get("trace", False)),
         )
     except (KeyError, TypeError, ValueError) as error:
         raise ProtocolError(

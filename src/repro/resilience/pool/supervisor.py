@@ -51,6 +51,8 @@ from repro.errors import (
     ReproError,
     ValidationError,
 )
+from repro.obs import trace as obs_trace
+from repro.obs.log import get_logger
 from repro.resilience import faults
 from repro.resilience.pool.breaker import BreakerBoard
 from repro.resilience.pool.protocol import (
@@ -61,6 +63,8 @@ from repro.resilience.pool.protocol import (
 )
 
 __all__ = ["PoolConfig", "PoolResult", "SolverPool", "run_isolated"]
+
+logger = get_logger(__name__)
 
 #: Error types in worker responses that are worth another attempt
 #: (environment-dependent), vs. deterministic outcomes that are not.
@@ -211,6 +215,7 @@ class SolverPool:
         self.board = BreakerBoard(
             failure_threshold=self.config.breaker_threshold,
             cooldown=self.config.breaker_cooldown,
+            on_transition=self._breaker_transition,
         )
         self._workers: list[_Worker] = []
         self._selector = selectors.DefaultSelector()
@@ -220,6 +225,11 @@ class SolverPool:
         self._spawn_deaths = 0
         self._closed = False
         self._on_result: Callable[[PoolResult], None] | None = None
+
+    @staticmethod
+    def _breaker_transition(name: str, old: str, new: str) -> None:
+        logger.info("breaker %r: %s -> %s", name, old, new)
+        obs_trace.event("breaker_transition", breaker=name, old=old, new=new)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -294,6 +304,7 @@ class SolverPool:
         )
         worker = _Worker(index, proc)
         self._selector.register(proc.stdout, selectors.EVENT_READ, worker)
+        obs_trace.event("worker_spawn", worker=index, pid=proc.pid)
         return worker
 
     def _ensure_workers(self) -> None:
@@ -407,6 +418,11 @@ class SolverPool:
         request = pending.request
         payload = encode_request(request, pending.request_id)
         payload["timeout"] = pending.effective_timeout
+        if obs_trace.enabled():
+            # The parent has a tracer, so ask the worker to capture its
+            # solver spans; they come home in the result frame and are
+            # replayed under this request's id (see _complete).
+            payload["trace"] = True
         if request.solver == "resilient":
             from repro.resilience.chain import DEFAULT_CHAIN
 
@@ -437,6 +453,17 @@ class SolverPool:
         injector = faults.active()
         if injector is not None and injector.worker_kill_scheduled():
             worker.chaos_kill_at = worker.dispatched_at + _CHAOS_KILL_DELAY
+        if obs_trace.enabled():
+            obs_trace.event(
+                "dispatch",
+                request_id=pending.request_id,
+                worker=worker.index,
+                pid=worker.pid,
+                attempt=pending.dispatches,
+                solver=request.solver,
+                timeout=pending.effective_timeout,
+                routed_around=list(pending.routed_around),
+            )
 
     def _select_timeout(self) -> float:
         now = time.monotonic()
@@ -470,6 +497,9 @@ class SolverPool:
         if kind == "ready":
             worker.ready = True
             self._spawn_deaths = 0
+            obs_trace.event(
+                "worker_ready", worker=worker.index, pid=worker.pid
+            )
         elif kind == "stage":
             worker.last_stage = frame.get("stage")
         elif kind == "result":
@@ -487,6 +517,12 @@ class SolverPool:
             if not worker.busy:
                 continue
             if worker.chaos_kill_at is not None and now >= worker.chaos_kill_at:
+                obs_trace.event(
+                    "chaos_kill",
+                    worker=worker.index,
+                    pid=worker.pid,
+                    request_id=worker.pending.request_id,
+                )
                 self._hard_kill(worker)
                 self._worker_failed(
                     worker,
@@ -494,6 +530,20 @@ class SolverPool:
                     "SIGKILL injected by the chaos schedule mid-solve",
                 )
             elif worker.kill_at is not None and now >= worker.kill_at:
+                logger.warning(
+                    "pool worker %d (pid %d) blew its hard deadline "
+                    "(timeout %ss + grace %gs); SIGKILL",
+                    worker.index, worker.pid, pendings(worker),
+                    self.config.grace,
+                )
+                obs_trace.event(
+                    "hard_timeout",
+                    worker=worker.index,
+                    pid=worker.pid,
+                    request_id=worker.pending.request_id,
+                    timeout=worker.pending.effective_timeout,
+                    grace=self.config.grace,
+                )
                 self._hard_kill(worker)
                 self._worker_failed(
                     worker,
@@ -533,7 +583,25 @@ class SolverPool:
         return f"worker exited with status {code}"
 
     def _worker_died(self, worker: _Worker) -> None:
-        self._worker_failed(worker, "worker-died", self._death_detail(worker))
+        detail = self._death_detail(worker)
+        pending = worker.pending
+        logger.warning(
+            "pool worker %d (pid %d): %s%s",
+            worker.index, worker.pid, detail,
+            (
+                f" (request {pending.request_id} in flight)"
+                if pending is not None
+                else ""
+            ),
+        )
+        obs_trace.event(
+            "worker_death",
+            worker=worker.index,
+            pid=worker.pid,
+            request_id=pending.request_id if pending is not None else None,
+            detail=detail,
+        )
+        self._worker_failed(worker, "worker-died", detail)
 
     def _worker_failed(self, worker: _Worker, outcome: str, detail: str
                        ) -> None:
@@ -578,6 +646,13 @@ class SolverPool:
         )
         self.board.record_failure(blame)
         if pending.dispatches <= self.config.max_requeues:
+            obs_trace.event(
+                "requeue",
+                request_id=pending.request_id,
+                attempt=pending.dispatches,
+                outcome=outcome,
+                blame=blame,
+            )
             self._queue.append(pending)
         else:
             self._finalize_fallback(pending, partial)
@@ -590,6 +665,16 @@ class SolverPool:
         worker.completed += 1
         if pending is None or pending.done:
             return
+        records = frame.get("trace")
+        if isinstance(records, list) and records and obs_trace.enabled():
+            # Prefix includes the attempt number: a retried request may
+            # ship a trace per attempt and span ids must not collide.
+            obs_trace.replay(
+                records,
+                prefix=f"r{pending.request_id}a{pending.dispatches}.",
+                request_id=pending.request_id,
+                worker=worker.index,
+            )
         if frame.get("id") != pending.request_id:
             self._record_failure(
                 pending, worker, "ipc-error",
@@ -762,12 +847,23 @@ class SolverPool:
             provenance=provenance,
         )
         self._results[pending.request_id] = pool_result
+        obs_trace.event(
+            "request_complete",
+            request_id=pending.request_id,
+            status=status,
+            attempts=len(pending.attempts),
+        )
         if self._on_result is not None:
             self._on_result(pool_result)
 
     def _finalize_fallback(self, pending: _Pending,
                            partial: CoverResult | None) -> None:
         """Retry budget spent: answer from the parent, or fail honestly."""
+        obs_trace.event(
+            "fallback",
+            request_id=pending.request_id,
+            attempts=len(pending.attempts),
+        )
         request = pending.request
         last = pending.attempts[-1] if pending.attempts else {}
         failure = (

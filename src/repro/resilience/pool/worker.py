@@ -37,6 +37,8 @@ import traceback
 
 from repro.core.result import CoverResult
 from repro.errors import ProtocolError, ReproError
+from repro.obs import trace as obs_trace
+from repro.obs.log import console_logging
 from repro.resilience import faults
 from repro.resilience.debug import hang_watchdog
 from repro.resilience.pool.protocol import (
@@ -47,6 +49,11 @@ from repro.resilience.pool.protocol import (
 )
 
 __all__ = ["main", "run_request"]
+
+#: Cap on trace records shipped per result frame: an unexpectedly hot
+#: trace must degrade to truncation, not to an oversized frame that the
+#: supervisor would treat as worker failure.
+_MAX_TRACE_RECORDS = 50_000
 
 
 def _solver_registry() -> dict:
@@ -146,19 +153,39 @@ def _handle_solve(out, payload: dict) -> None:
             out, {"kind": "stage", "id": request_id, "stage": stage}
         )
 
+    trace_records: list | None = None
     try:
         if injector is not None:
             injector.worker_entry()
         with hang_watchdog(
             request.timeout, context=f"request {request_id}"
         ):
-            result = run_request(request, on_stage=emit_stage)
+            if request.trace:
+                with obs_trace.capture() as trace_records:
+                    result = run_request(request, on_stage=emit_stage)
+            else:
+                result = run_request(request, on_stage=emit_stage)
         response = _result_payload(request_id, result)
     except (ReproError, MemoryError, ArithmeticError, ValueError,
             KeyError, IndexError, TypeError, AttributeError,
             RecursionError) as error:
         response = _error_payload(request_id, error)
         traceback.print_exc(file=sys.stderr)
+    if trace_records:
+        # Error frames keep whatever was captured before the failure:
+        # a partial trace is exactly what explains a failed attempt.
+        if len(trace_records) > _MAX_TRACE_RECORDS:
+            dropped = len(trace_records) - _MAX_TRACE_RECORDS
+            trace_records = trace_records[:_MAX_TRACE_RECORDS]
+            trace_records.append(
+                {
+                    "type": "event",
+                    "name": "trace_truncated",
+                    "t": 0.0,
+                    "attrs": {"dropped_records": dropped},
+                }
+            )
+        response["trace"] = trace_records
     write_frame(out, response, injector=injector)
 
 
@@ -202,6 +229,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--memory-limit-mb", type=int, default=None)
     parser.add_argument("--worker-id", type=int, default=0)
     args = parser.parse_args(argv)
+    # Worker stderr is operator-visible through the supervisor, so give
+    # repro loggers (watchdog notices, etc.) a handler honouring
+    # REPRO_LOG_LEVEL.
+    console_logging()
 
     # Claim the frame stream, then point fd 1 at stderr so stray prints
     # from solver code cannot corrupt the protocol.

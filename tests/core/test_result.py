@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.result import CoverResult, Metrics, make_result
+from repro.core.result import METRIC_FIELDS, CoverResult, Metrics, make_result
 
 
 class TestMetrics:
@@ -17,6 +17,42 @@ class TestMetrics:
         assert merged.selections == 3
         assert merged.budget_rounds == 3
         assert merged.runtime_seconds == pytest.approx(0.75)
+
+
+class TestMetricsSchema:
+    """The dict form is the wire format shared by the result payload and
+    the pool IPC frames — one schema, one (de)serializer."""
+
+    def test_round_trip(self):
+        original = Metrics(sets_considered=7, marginal_updates=11,
+                           selections=3, budget_rounds=2,
+                           runtime_seconds=0.125)
+        assert Metrics.from_dict(original.to_dict()) == original
+
+    def test_to_dict_covers_exactly_the_schema(self):
+        assert set(Metrics().to_dict()) == {name for name, _, _ in
+                                            METRIC_FIELDS}
+
+    def test_from_dict_fills_missing_keys_with_defaults(self):
+        metrics = Metrics.from_dict({"selections": 4})
+        assert metrics.selections == 4
+        assert metrics.sets_considered == 0
+        assert metrics.budget_rounds == 1  # schema default, not zero
+        assert metrics.runtime_seconds == 0.0
+
+    def test_from_dict_ignores_unknown_keys(self):
+        metrics = Metrics.from_dict({"selections": 1, "novel_counter": 9})
+        assert metrics.selections == 1
+        assert not hasattr(metrics, "novel_counter")
+
+    def test_from_dict_coerces_types(self):
+        metrics = Metrics.from_dict(
+            {"sets_considered": 3.0, "runtime_seconds": 1}
+        )
+        assert metrics.sets_considered == 3
+        assert isinstance(metrics.sets_considered, int)
+        assert metrics.runtime_seconds == 1.0
+        assert isinstance(metrics.runtime_seconds, float)
 
 
 class TestCoverResult:

@@ -1,0 +1,117 @@
+"""End-to-end tests for `--trace` on the CLI and the `trace` subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.datasets.entities import entities_table
+from repro.obs.schema import validate_trace_file
+
+
+@pytest.fixture
+def csv_path(tmp_path):
+    path = tmp_path / "entities.csv"
+    entities_table().to_csv(path)
+    return str(path)
+
+
+def _solve_args(csv_path):
+    return [
+        "solve", csv_path,
+        "--attributes", "Type,Location",
+        "--measure", "Cost",
+        "-k", "2", "-s", "0.5625",
+    ]
+
+
+class TestSolveTrace:
+    def test_solve_writes_valid_trace(self, csv_path, tmp_path, capsys):
+        trace = tmp_path / "solve.jsonl"
+        assert main(_solve_args(csv_path) + ["--trace", str(trace)]) == 0
+        assert validate_trace_file(str(trace)) == []
+
+        records = [
+            json.loads(line) for line in trace.read_text().splitlines()
+        ]
+        assert records[0]["type"] == "meta"
+        assert records[0]["attrs"]["command"] == "solve"
+        spans = {r["name"] for r in records if r["type"] == "span"}
+        assert {"solve", "preprocess", "select"} <= spans
+        # shutdown appends the registry snapshot
+        final = records[-1]
+        assert final["type"] == "metrics"
+        assert "scwsc_solves_total" in final["metrics"]
+
+    def test_cmc_trace_covers_every_budget_round(
+        self, csv_path, tmp_path, capsys
+    ):
+        trace = tmp_path / "cmc.jsonl"
+        code = main(
+            _solve_args(csv_path)
+            + ["--algorithm", "cmc", "--trace", str(trace)]
+        )
+        assert code == 0
+        assert validate_trace_file(str(trace)) == []
+        records = [
+            json.loads(line) for line in trace.read_text().splitlines()
+        ]
+        rounds = [
+            r for r in records
+            if r["type"] == "span" and r["name"] == "budget_round"
+        ]
+        selections = [
+            r for r in records
+            if r["type"] == "span" and r["name"] == "select"
+        ]
+        assert rounds and selections
+        # one span per budget round, numbered from 1
+        assert [r["attrs"]["round"] for r in rounds] == list(
+            range(1, len(rounds) + 1)
+        )
+
+    def test_trace_written_even_on_error(self, tmp_path, capsys):
+        trace = tmp_path / "err.jsonl"
+        code = main(
+            ["solve", str(tmp_path / "missing.csv"),
+             "--attributes", "Type", "-k", "2", "-s", "0.5",
+             "--trace", str(trace)]
+        )
+        assert code != 0
+        # file is still a self-contained, valid trace
+        assert validate_trace_file(str(trace)) == []
+
+    def test_no_trace_file_without_flag(self, csv_path, tmp_path, capsys):
+        assert main(_solve_args(csv_path)) == 0
+        assert list(tmp_path.glob("*.jsonl")) == []
+
+
+class TestTraceSubcommand:
+    @pytest.fixture
+    def trace_path(self, csv_path, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        assert main(_solve_args(csv_path) + ["--trace", str(path)]) == 0
+        capsys.readouterr()  # drop the solve output
+        return str(path)
+
+    def test_summarize(self, trace_path, capsys):
+        assert main(["trace", "summarize", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "phase rollup" in out
+        assert "solve" in out
+        assert "select" in out
+
+    def test_validate_ok(self, trace_path, capsys):
+        assert main(["trace", "validate", trace_path]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_validate_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "wat"}\n')
+        assert main(["trace", "validate", str(bad)]) != 0
+        assert capsys.readouterr().err != ""
+
+    def test_validate_missing_file(self, tmp_path, capsys):
+        assert main(
+            ["trace", "validate", str(tmp_path / "missing.jsonl")]
+        ) != 0

@@ -34,6 +34,7 @@ class TestFullPipelineOnTrace:
         assert result.feasible
         assert result.n_sets <= 8
         assert result.coverage_fraction >= 0.5
+        assert result.metrics.runtime_seconds > 0
         # Every selected pattern is expressible over the trace schema.
         for pattern in result.labels:
             assert pattern.n_attributes == trace.n_attributes
@@ -46,6 +47,9 @@ class TestFullPipelineOnTrace:
         also = optimized_cmc(trace, 6, 0.3)
         assert ours.total_cost >= lower - 1e-6
         assert also.total_cost >= 0
+        # every solver populates wall-clock runtime in its metrics
+        assert ours.metrics.runtime_seconds > 0
+        assert also.metrics.runtime_seconds > 0
 
     def test_exact_on_tiny_sample(self):
         trace = lbl_trace(600, seed=35).project(
@@ -55,6 +59,8 @@ class TestFullPipelineOnTrace:
         opt = solve_exact(system, k=3, s_hat=0.5)
         greedy = cwsc(system, k=3, s_hat=0.5, on_infeasible="full_cover")
         assert greedy.total_cost >= opt.total_cost - 1e-9
+        assert opt.metrics.runtime_seconds > 0
+        assert greedy.metrics.runtime_seconds > 0
 
 
 class TestStreamingFlow:

@@ -1,0 +1,18 @@
+"""Isolation for observability tests: no tracer or metrics leak between
+tests (both are process-global by design)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import get_registry
+
+
+@pytest.fixture(autouse=True)
+def clean_observability():
+    obs_trace.shutdown()
+    get_registry().reset()
+    yield
+    obs_trace.shutdown()
+    get_registry().reset()

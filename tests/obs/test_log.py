@@ -1,0 +1,45 @@
+"""Package logger conventions: NullHandler, get_logger, console_logging."""
+
+from __future__ import annotations
+
+import logging
+
+from repro.obs import log as obs_log
+
+
+class TestGetLogger:
+    def test_prefixes_outside_names(self):
+        assert obs_log.get_logger("thing").name == "repro.thing"
+
+    def test_keeps_repro_module_names(self):
+        logger = obs_log.get_logger("repro.resilience.debug")
+        assert logger.name == "repro.resilience.debug"
+
+    def test_import_attaches_null_handler(self):
+        import repro  # noqa: F401  (side effect under test)
+
+        root = logging.getLogger("repro")
+        assert any(
+            isinstance(handler, logging.NullHandler)
+            for handler in root.handlers
+        )
+
+
+class TestConsoleLogging:
+    def test_repeat_calls_do_not_stack_handlers(self):
+        first = obs_log.console_logging("WARNING")
+        before = list(logging.getLogger("repro").handlers)
+        second = obs_log.console_logging("INFO")
+        after = list(logging.getLogger("repro").handlers)
+        assert first is second
+        assert before == after
+        assert second.level == logging.INFO
+
+    def test_env_level(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "DEBUG")
+        handler = obs_log.console_logging()
+        assert handler.level == logging.DEBUG
+
+    def test_unknown_level_falls_back_to_warning(self):
+        handler = obs_log.console_logging("NOT_A_LEVEL")
+        assert handler.level == logging.WARNING

@@ -1,0 +1,158 @@
+"""Metrics registry: counters, gauges, histograms, exposition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.result import METRIC_FIELDS, Metrics, make_result
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    record_cover_result,
+)
+
+
+class TestCounter:
+    def test_inc_and_value_with_labels(self):
+        counter = Counter("c", "help")
+        counter.inc(algorithm="cwsc")
+        counter.inc(2.0, algorithm="cwsc")
+        counter.inc(algorithm="cmc")
+        assert counter.value(algorithm="cwsc") == 3.0
+        assert counter.value(algorithm="cmc") == 1.0
+        assert counter.value(algorithm="missing") == 0.0
+
+    def test_rejects_negative_increment(self):
+        counter = Counter("c", "")
+        with pytest.raises(ValueError):
+            counter.inc(-1.0)
+
+    def test_samples_format(self):
+        counter = Counter("scwsc_solves_total", "")
+        counter.inc(algorithm="cwsc")
+        counter.inc(5, kind="x", algorithm="cmc")
+        assert list(counter.samples()) == [
+            'scwsc_solves_total{algorithm="cmc",kind="x"} 5',
+            'scwsc_solves_total{algorithm="cwsc"} 1',
+        ]
+
+
+class TestGauge:
+    def test_goes_up_and_down(self):
+        gauge = Gauge("g", "")
+        gauge.inc(3)
+        gauge.dec(1)
+        assert gauge.value() == 2.0
+        gauge.set(10)
+        assert gauge.value() == 10.0
+
+
+class TestHistogram:
+    def test_observe_buckets_and_sum(self):
+        histogram = Histogram("h", "", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(5.0)
+        assert histogram.count() == 3
+        assert histogram.sum() == pytest.approx(5.55)
+        samples = list(histogram.samples())
+        assert 'h_bucket{le="0.1"} 1' in samples
+        assert 'h_bucket{le="1"} 2' in samples
+        assert 'h_bucket{le="+Inf"} 3' in samples
+        assert "h_count 3" in samples
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", "", buckets=(1.0, 0.1))
+
+    def test_default_buckets_are_sorted(self):
+        assert tuple(sorted(DEFAULT_BUCKETS)) == DEFAULT_BUCKETS
+
+
+class TestRegistry:
+    def test_create_or_get_same_instance(self):
+        registry = MetricsRegistry()
+        a = registry.counter("c")
+        b = registry.counter("c")
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("m")
+        with pytest.raises(ValueError):
+            registry.gauge("m")
+        with pytest.raises(ValueError):
+            registry.histogram("m")
+
+    def test_gauge_counter_conflict_both_directions(self):
+        registry = MetricsRegistry()
+        registry.gauge("g")
+        with pytest.raises(ValueError):
+            registry.counter("g")
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "help me").inc(2, algorithm="cwsc")
+        snapshot = registry.snapshot()
+        assert snapshot["c"]["kind"] == "counter"
+        assert snapshot["c"]["values"] == [
+            {"labels": {"algorithm": "cwsc"}, "value": 2.0}
+        ]
+
+    def test_exposition_has_type_and_help(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "the help").inc()
+        registry.histogram("h").observe(0.2)
+        text = registry.exposition()
+        assert "# HELP c the help" in text
+        assert "# TYPE c counter" in text
+        assert "# TYPE h histogram" in text
+        assert text.endswith("\n")
+
+    def test_reset_clears(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.snapshot() == {}
+
+
+class TestRecordCoverResult:
+    def _result(self):
+        return make_result(
+            algorithm="cwsc",
+            chosen=[0],
+            labels=[None],
+            total_cost=1.0,
+            covered=2,
+            n_elements=4,
+            feasible=True,
+            params={},
+            metrics=Metrics(
+                sets_considered=5,
+                marginal_updates=9,
+                selections=1,
+                runtime_seconds=0.02,
+            ),
+        )
+
+    def test_publishes_every_metric_field(self):
+        registry = MetricsRegistry()
+        record_cover_result(self._result(), registry)
+        record_cover_result(self._result(), registry)
+        assert registry.counter("scwsc_solves_total").value(
+            algorithm="cwsc"
+        ) == 2
+        for name, _, _ in METRIC_FIELDS:
+            if name == "runtime_seconds":
+                continue
+            counter = registry.counter(f"scwsc_{name}_total")
+            assert counter.value(algorithm="cwsc") >= 0
+        assert registry.counter("scwsc_sets_considered_total").value(
+            algorithm="cwsc"
+        ) == 10
+        histogram = registry.histogram("scwsc_solve_runtime_seconds")
+        assert histogram.count(algorithm="cwsc") == 2
+        assert histogram.sum(algorithm="cwsc") == pytest.approx(0.04)

@@ -1,0 +1,94 @@
+"""Trace rollups and the summary renderer."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.report import (
+    event_counts,
+    phase_rollups,
+    render_summary,
+    summarize_file,
+)
+from repro.obs.trace import SCHEMA
+
+
+def _span(name, duration, **attrs):
+    return {
+        "type": "span", "name": name, "span_id": "s1", "parent_id": None,
+        "t_start": 0.0, "t_end": duration, "duration": duration,
+        "attrs": attrs,
+    }
+
+
+def _event(name):
+    return {"type": "event", "name": name, "t": 0.1, "attrs": {}}
+
+
+class TestRollups:
+    def test_phase_rollups_aggregate_by_name(self):
+        records = [
+            _span("select", 0.2),
+            _span("select", 0.4),
+            _span("solve", 1.0),
+            _event("dispatch"),
+        ]
+        rollups = phase_rollups(records)
+        assert rollups["select"]["count"] == 2
+        assert rollups["select"]["total"] == 0.6000000000000001
+        assert rollups["select"]["max"] == 0.4
+        assert abs(rollups["select"]["mean"] - 0.3) < 1e-12
+        assert rollups["solve"]["count"] == 1
+
+    def test_event_counts(self):
+        records = [_event("dispatch"), _event("dispatch"), _event("requeue")]
+        assert event_counts(records) == {"dispatch": 2, "requeue": 1}
+
+
+class TestRenderSummary:
+    def test_contains_phase_table_events_and_metrics(self):
+        records = [
+            {"type": "meta", "schema": SCHEMA, "wall_time_unix": 1.0,
+             "t": 0.0, "attrs": {"command": "solve"}},
+            _span("solve", 1.0),
+            _span("select", 0.25),
+            _event("tracker_update"),
+            {"type": "metrics", "t": 2.0, "metrics": {
+                "scwsc_solves_total": {
+                    "kind": "counter",
+                    "values": [
+                        {"labels": {"algorithm": "cwsc"}, "value": 3},
+                    ],
+                },
+            }},
+        ]
+        text = render_summary(records)
+        assert "phase rollup" in text
+        assert "solve" in text and "select" in text
+        assert "tracker_update" in text
+        assert "scwsc_solves_total{algorithm=cwsc} 3" in text
+        assert "command=solve" in text
+
+    def test_budget_round_chart_when_multiple_rounds(self):
+        records = [
+            _span("budget_round", 0.1, round=0),
+            _span("budget_round", 0.3, round=1),
+            _span("budget_round", 0.2, round=2),
+        ]
+        text = render_summary(records)
+        assert "budget round" in text
+
+    def test_empty_trace_renders(self):
+        assert "no spans" in render_summary([])
+
+
+class TestSummarizeFile:
+    def test_roundtrip_through_disk(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        records = [
+            {"type": "meta", "schema": SCHEMA, "wall_time_unix": 1.0,
+             "t": 0.0, "attrs": {}},
+            _span("solve", 0.5),
+        ]
+        path.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+        assert "solve" in summarize_file(str(path))

@@ -1,0 +1,107 @@
+"""Trace schema validation: records and whole files."""
+
+from __future__ import annotations
+
+from repro.obs.schema import main, validate_record, validate_trace_file
+from repro.obs.trace import SCHEMA
+
+
+def _meta():
+    return {"type": "meta", "schema": SCHEMA, "wall_time_unix": 1.0,
+            "t": 0.0, "attrs": {}}
+
+
+def _span(**overrides):
+    record = {
+        "type": "span", "name": "solve", "span_id": "s1",
+        "parent_id": None, "t_start": 0.0, "t_end": 1.0,
+        "duration": 1.0, "attrs": {},
+    }
+    record.update(overrides)
+    return record
+
+
+class TestValidateRecord:
+    def test_valid_records_pass(self):
+        assert validate_record(_meta()) == []
+        assert validate_record(_span()) == []
+        assert validate_record(
+            {"type": "event", "name": "dispatch", "t": 0.5, "attrs": {}}
+        ) == []
+        assert validate_record(
+            {"type": "metrics", "t": 1.0, "metrics": {}}
+        ) == []
+
+    def test_non_object_rejected(self):
+        assert validate_record([1, 2]) != []
+        assert validate_record("span") != []
+
+    def test_unknown_type_rejected(self):
+        assert validate_record({"type": "wat"}) != []
+
+    def test_wrong_schema_rejected(self):
+        bad = _meta()
+        bad["schema"] = "other/9"
+        assert any("schema" in p for p in validate_record(bad))
+
+    def test_span_time_ordering_enforced(self):
+        bad = _span(t_start=2.0, t_end=1.0)
+        assert any("t_end" in p for p in validate_record(bad))
+
+    def test_span_missing_fields(self):
+        bad = _span()
+        del bad["span_id"]
+        assert any("span_id" in p for p in validate_record(bad))
+        bad = _span(attrs="nope")
+        assert any("attrs" in p for p in validate_record(bad))
+
+    def test_event_requires_name_and_time(self):
+        assert validate_record({"type": "event", "name": "", "t": 0.0,
+                                "attrs": {}}) != []
+        assert validate_record({"type": "event", "name": "x", "t": "soon",
+                                "attrs": {}}) != []
+
+
+class TestValidateTraceFile:
+    def test_valid_file(self, tmp_path):
+        import json
+
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            json.dumps(_meta()) + "\n" + json.dumps(_span()) + "\n"
+        )
+        assert validate_trace_file(str(path)) == []
+
+    def test_first_record_must_be_meta(self, tmp_path):
+        import json
+
+        path = tmp_path / "t.jsonl"
+        path.write_text(json.dumps(_span()) + "\n")
+        problems = validate_trace_file(str(path))
+        assert any("meta" in p for p in problems)
+
+    def test_empty_file_is_a_problem(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("")
+        assert validate_trace_file(str(path)) != []
+
+    def test_invalid_json_line_reported_with_lineno(self, tmp_path):
+        import json
+
+        path = tmp_path / "t.jsonl"
+        path.write_text(json.dumps(_meta()) + "\n{nope\n")
+        problems = validate_trace_file(str(path))
+        assert any(p.startswith("line 2:") for p in problems)
+
+
+class TestCli:
+    def test_main_ok_and_failure(self, tmp_path, capsys):
+        import json
+
+        good = tmp_path / "good.jsonl"
+        good.write_text(json.dumps(_meta()) + "\n")
+        assert main([str(good)]) == 0
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{}\n")
+        assert main([str(bad)]) == 1
+        assert main([]) == 2

@@ -1,0 +1,164 @@
+"""Span tracer: nesting, null-span fast path, capture/replay."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.obs import trace as obs_trace
+from repro.obs.schema import validate_record
+
+
+def _records(buffer: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in buffer.getvalue().splitlines()]
+
+
+class TestDisabledPath:
+    def test_disabled_by_default(self):
+        assert not obs_trace.enabled()
+        assert obs_trace.get_tracer() is None
+
+    def test_span_returns_shared_null_span(self):
+        span = obs_trace.span("solve", k=3)
+        assert span is obs_trace.NULL_SPAN
+        assert not span.enabled
+        with span as inner:
+            inner.set(anything=1)
+            inner.event("noop")
+
+    def test_event_and_write_raw_are_noops(self):
+        obs_trace.event("worker_spawn", worker=0)
+        obs_trace.write_raw({"type": "event", "name": "x", "t": 0.0})
+
+
+class TestConfiguredTracer:
+    def test_meta_record_comes_first_with_attrs(self):
+        buffer = io.StringIO()
+        obs_trace.configure(buffer, command="test", dataset="lbl")
+        obs_trace.shutdown()
+        records = _records(buffer)
+        assert records[0]["type"] == "meta"
+        assert records[0]["schema"] == obs_trace.SCHEMA
+        assert records[0]["attrs"] == {"command": "test", "dataset": "lbl"}
+
+    def test_spans_nest_via_parent_id(self):
+        buffer = io.StringIO()
+        obs_trace.configure(buffer)
+        with obs_trace.span("solve") as outer:
+            with obs_trace.span("select") as inner:
+                pass
+        obs_trace.shutdown()
+        records = _records(buffer)
+        spans = {r["name"]: r for r in records if r["type"] == "span"}
+        assert spans["select"]["parent_id"] == outer.span_id
+        assert spans["solve"]["parent_id"] is None
+        assert inner.span_id != outer.span_id
+        # Spans close inner-first, so select is written before solve.
+        names = [r["name"] for r in records if r["type"] == "span"]
+        assert names == ["select", "solve"]
+
+    def test_span_attrs_and_late_set(self):
+        buffer = io.StringIO()
+        obs_trace.configure(buffer)
+        with obs_trace.span("solve", k=3) as span:
+            assert span.enabled
+            span.set(covered=7)
+        obs_trace.shutdown()
+        (span_record,) = [
+            r for r in _records(buffer) if r["type"] == "span"
+        ]
+        assert span_record["attrs"] == {"k": 3, "covered": 7}
+        assert span_record["t_end"] >= span_record["t_start"]
+
+    def test_exception_is_recorded_and_propagates(self):
+        buffer = io.StringIO()
+        obs_trace.configure(buffer)
+        try:
+            with obs_trace.span("solve"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        obs_trace.shutdown()
+        (span_record,) = [
+            r for r in _records(buffer) if r["type"] == "span"
+        ]
+        assert span_record["attrs"]["error"] == "ValueError"
+
+    def test_shutdown_writes_final_metrics_record(self):
+        buffer = io.StringIO()
+        obs_trace.configure(buffer)
+        obs_trace.shutdown(metrics_snapshot={"m": {"kind": "counter"}})
+        records = _records(buffer)
+        assert records[-1]["type"] == "metrics"
+        assert records[-1]["metrics"] == {"m": {"kind": "counter"}}
+        assert not obs_trace.enabled()
+
+    def test_all_records_validate(self):
+        buffer = io.StringIO()
+        obs_trace.configure(buffer, command="t")
+        with obs_trace.span("solve", k=1):
+            obs_trace.event("tracker_update", backend="set")
+        obs_trace.shutdown(metrics_snapshot={})
+        for record in _records(buffer):
+            assert validate_record(record) == []
+
+
+class TestCaptureAndReplay:
+    def test_capture_collects_and_restores(self):
+        buffer = io.StringIO()
+        obs_trace.configure(buffer)
+        with obs_trace.capture() as records:
+            assert obs_trace.enabled()
+            with obs_trace.span("solve"):
+                pass
+        # Back on the outer tracer after capture.
+        assert obs_trace.get_tracer() is not None
+        assert [r["name"] for r in records] == ["solve"]
+        assert all(r["type"] != "meta" for r in records)
+
+    def test_capture_works_without_outer_tracer(self):
+        with obs_trace.capture() as records:
+            with obs_trace.span("solve"):
+                pass
+        assert not obs_trace.enabled()
+        assert len(records) == 1
+
+    def test_replay_prefixes_ids_and_merges_attrs(self):
+        with obs_trace.capture() as records:
+            with obs_trace.span("solve"):
+                with obs_trace.span("select"):
+                    pass
+            obs_trace.event("tracker_update", updates=3)
+        buffer = io.StringIO()
+        obs_trace.configure(buffer)
+        obs_trace.replay(records, prefix="r7a1.", request_id=7, worker=0)
+        obs_trace.shutdown()
+        out = [r for r in _records(buffer) if r["type"] != "meta"]
+        spans = {r["name"]: r for r in out if r["type"] == "span"}
+        assert spans["solve"]["span_id"].startswith("r7a1.")
+        assert spans["select"]["parent_id"] == spans["solve"]["span_id"]
+        for record in out:
+            assert record["attrs"]["request_id"] == 7
+            assert record["attrs"]["worker"] == 0
+
+    def test_replay_skips_meta_records(self):
+        buffer = io.StringIO()
+        obs_trace.configure(buffer)
+        obs_trace.replay(
+            [{"type": "meta", "schema": obs_trace.SCHEMA, "t": 0.0}]
+        )
+        obs_trace.shutdown()
+        assert [r["type"] for r in _records(buffer)] == ["meta"]
+
+
+class TestJsonlSink:
+    def test_file_target_is_owned_and_flushed(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        obs_trace.configure(str(path), command="t")
+        with obs_trace.span("solve"):
+            # Flushed per record: the meta line is on disk already.
+            assert path.read_text().count("\n") >= 1
+        obs_trace.shutdown()
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[0])["type"] == "meta"
+        assert json.loads(lines[1])["name"] == "solve"
