@@ -4,7 +4,11 @@
 #   make chaos        fault-injection suite only, fixed seeds so failures reproduce
 #   make verify       tier-1 followed by the chaos suite — the full gate
 #   make bench        quick benchmark matrix, gated against the committed baseline
+#                     (runtime AND quality); appends to BENCH_history.jsonl
 #   make trace-smoke  traced solves (plain + --isolate), schema-validated
+#   make profile-smoke  profiled solve, flamegraph export, dashboard render
+#   make dashboard    render trace-smoke's solve trace + bench history to
+#                     report.html
 #
 # PYTHONHASHSEED is pinned so set/dict iteration orders (and thus any
 # order-dependent tie-breaking bug the suites might expose) reproduce
@@ -14,7 +18,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONHASHSEED := 0
 
-.PHONY: test chaos verify bench trace-smoke
+.PHONY: test chaos verify bench trace-smoke profile-smoke dashboard
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -29,3 +33,9 @@ bench:
 
 trace-smoke:
 	$(PYTHON) benchmarks/trace_smoke.py trace-smoke
+
+profile-smoke:
+	$(PYTHON) benchmarks/profile_smoke.py profile-smoke
+
+dashboard: trace-smoke
+	$(PYTHON) -m repro.cli report trace-smoke/solve.jsonl -o report.html

@@ -24,6 +24,16 @@ committed baseline lives at ``benchmarks/BENCH_baseline.json`` and is
 regenerated with ``scwsc bench --quick --out
 benchmarks/BENCH_baseline.json`` on a quiet machine.
 
+``--check`` also gates *answer quality*, which does not jitter: every
+cell carries a quality dict (:func:`repro.obs.quality.compute_quality`
+against an LP lower bound computed once per workload size), and a cell
+whose approximation ratio worsens beyond ``--quality-tolerance``
+(default 1.1x) — or that turns infeasible where the baseline was
+feasible — fails the check even when it got *faster*. Each bench run
+additionally appends one line to ``BENCH_history.jsonl``
+(``scwsc-bench-history/1``): the per-cell medians and ratios that the
+dashboard (``scwsc report``) renders as trend sparklines.
+
 The module is importable (``repro.bench.run_benchmarks``) for tests and
 notebooks; ``benchmarks/harness.py`` is a thin shim for running it
 without an installed console script.
@@ -46,17 +56,27 @@ from repro.core.result import CoverResult
 from repro.core.setsystem import SetSystem
 from repro.errors import ReproError, ValidationError
 from repro.obs import trace as obs_trace
+from repro.obs.quality import compute_quality
 from repro.obs.report import phase_rollups
 
 #: Report format version; bump on incompatible layout changes.
 SCHEMA = "scwsc-bench/1"
 
+#: History-line format version (one JSON line per bench run).
+HISTORY_SCHEMA = "scwsc-bench-history/1"
+
 #: Default regression tolerance: fail only when a median is more than
 #: this factor slower than the committed baseline.
 DEFAULT_TOLERANCE = 3.0
 
+#: Quality-regression tolerance: approximation ratios are deterministic
+#: (no machine jitter), so the factor is much tighter than the runtime
+#: one — it only absorbs legitimate tie-break changes.
+DEFAULT_QUALITY_TOLERANCE = 1.1
+
 DEFAULT_BASELINE = Path("benchmarks") / "BENCH_baseline.json"
 DEFAULT_OUT = Path("BENCH_micro.json")
+DEFAULT_HISTORY = Path("BENCH_history.jsonl")
 
 #: Solve parameters shared by every benchmark (the paper grid's center).
 BENCH_K = 10
@@ -146,8 +166,27 @@ def build_system(n_rows: int, seed: int = 7) -> SetSystem:
     return build_set_system(table, cost="count")
 
 
+def instance_lp_bound(system: SetSystem) -> float | None:
+    """The LP lower bound for the shared bench parameters, or ``None``
+    when the LP solver (scipy) is unavailable or the relaxation fails.
+    Costs one LP solve — callers cache it per workload size."""
+    try:
+        from repro.core.lp_bound import lp_lower_bound
+
+        bound = lp_lower_bound(system, k=BENCH_K, s_hat=BENCH_S_HAT)
+    except Exception:
+        return None
+    if bound is None or bound <= 0:
+        return None
+    return float(bound)
+
+
 def run_case(
-    system: SetSystem, case: BenchCase, repeat: int, warmup: int
+    system: SetSystem,
+    case: BenchCase,
+    repeat: int,
+    warmup: int,
+    lp_bound: float | None = None,
 ) -> dict:
     """Measure one case; returns its report entry."""
     solver = _SOLVERS[case.solver]
@@ -198,6 +237,12 @@ def run_case(
             "covered": result.covered,
             "feasible": result.feasible,
         },
+        # Kept separate from "result" (the cross-backend equality probe):
+        # quality adds derived fields like the LP ratio, which tests and
+        # the --check gate consume on their own.
+        "quality": compute_quality(
+            result, k=BENCH_K, s_hat=BENCH_S_HAT, lp_bound=lp_bound
+        ),
     }
 
 
@@ -240,6 +285,7 @@ def run_benchmarks(
     if name_filter:
         cases = [c for c in cases if name_filter in c.bench_id]
     systems: dict[int, SetSystem] = {}
+    lp_bounds: dict[int, float | None] = {}
     benchmarks: dict[str, dict] = {}
     for case in cases:
         if case.bench_id in benchmarks:
@@ -247,7 +293,15 @@ def run_benchmarks(
         system = systems.get(case.n_rows)
         if system is None:
             system = systems[case.n_rows] = build_system(case.n_rows)
-        entry = run_case(system, case, repeat=repeat, warmup=warmup)
+            # One LP solve per workload size, shared by every cell on it.
+            lp_bounds[case.n_rows] = instance_lp_bound(system)
+        entry = run_case(
+            system,
+            case,
+            repeat=repeat,
+            warmup=warmup,
+            lp_bound=lp_bounds.get(case.n_rows),
+        )
         benchmarks[case.bench_id] = entry
         if progress is not None:
             progress(
@@ -287,18 +341,32 @@ def _speedups(
 
 
 def compare_reports(
-    current: dict, baseline: dict, tolerance: float = DEFAULT_TOLERANCE
+    current: dict,
+    baseline: dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+    quality_tolerance: float = DEFAULT_QUALITY_TOLERANCE,
 ) -> tuple[list[dict], list[str]]:
-    """Tolerance-check a report against a baseline.
+    """Tolerance-check a report against a baseline, on speed AND quality.
 
     Returns ``(regressions, missing)``: each regression records the
-    bench id, both medians, and the ratio; ``missing`` lists baseline
-    benchmarks the current report did not run (filtered out or a
-    renamed matrix) so CI can surface them without failing the build.
+    bench id, a ``kind`` (``"runtime"``, ``"quality"``, or
+    ``"feasibility"``), both values, and the ratio; ``missing`` lists
+    baseline benchmarks the current report did not run (filtered out or
+    a renamed matrix) so CI can surface them without failing the build.
+
+    Runtime uses the generous ``tolerance`` (machines jitter); the
+    approximation ratio uses the tight ``quality_tolerance`` (answers
+    don't), and a cell that turns infeasible where the baseline was
+    feasible always regresses. Baselines predating quality telemetry
+    (no ``quality`` key) gate on runtime only.
     """
     if tolerance <= 1.0:
         raise ValidationError(
             f"tolerance must be > 1.0, got {tolerance}"
+        )
+    if quality_tolerance <= 1.0:
+        raise ValidationError(
+            f"quality tolerance must be > 1.0, got {quality_tolerance}"
         )
     regressions: list[dict] = []
     missing: list[str] = []
@@ -313,13 +381,84 @@ def compare_reports(
         if base_median > 0 and median > tolerance * base_median:
             regressions.append(
                 {
+                    "kind": "runtime",
                     "bench_id": bench_id,
                     "median_seconds": median,
                     "baseline_seconds": base_median,
                     "ratio": median / base_median,
                 }
             )
+        base_quality = base.get("quality") or {}
+        quality = entry.get("quality") or {}
+        base_ratio = base_quality.get("approx_ratio")
+        ratio = quality.get("approx_ratio")
+        if (
+            base_ratio is not None
+            and ratio is not None
+            and base_ratio > 0
+            and ratio > quality_tolerance * base_ratio
+        ):
+            regressions.append(
+                {
+                    "kind": "quality",
+                    "bench_id": bench_id,
+                    "approx_ratio": ratio,
+                    "baseline_ratio": base_ratio,
+                    "ratio": ratio / base_ratio,
+                }
+            )
+        if base_quality.get("feasible") and quality and not quality.get(
+            "feasible"
+        ):
+            regressions.append(
+                {
+                    "kind": "feasibility",
+                    "bench_id": bench_id,
+                    "feasible": False,
+                    "baseline_feasible": True,
+                }
+            )
     return regressions, missing
+
+
+def history_entry(report: dict, wall_time_unix: float | None = None) -> dict:
+    """Condense one report into a BENCH_history.jsonl line.
+
+    The history keeps only what trends need — per-cell median, quality
+    ratio, coverage slack, feasibility, and the cross-backend speedups —
+    so the file stays a few hundred bytes per run and a year of CI
+    appends is still instantly loadable by the dashboard.
+    """
+    cells = []
+    for bench_id, entry in report.get("benchmarks", {}).items():
+        quality = entry.get("quality") or {}
+        cells.append(
+            {
+                "bench_id": bench_id,
+                "median_seconds": entry.get("median_seconds"),
+                "approx_ratio": quality.get("approx_ratio"),
+                "coverage_slack": quality.get("coverage_slack"),
+                "feasible": quality.get("feasible"),
+            }
+        )
+    return {
+        "schema": HISTORY_SCHEMA,
+        "wall_time_unix": (
+            time.time() if wall_time_unix is None else wall_time_unix
+        ),
+        "scale": report.get("scale"),
+        "python": report.get("python"),
+        "cells": cells,
+        "speedups": report.get("speedups", {}),
+    }
+
+
+def append_history(report: dict, path: str | Path) -> dict:
+    """Append one history line for ``report``; returns the entry."""
+    entry = history_entry(report)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry) + "\n")
+    return entry
 
 
 def render_report(report: dict) -> str:
@@ -342,6 +481,23 @@ def render_report(report: dict) -> str:
         lines.append("bitset speedup over set backend (median/median):")
         for speedup_id, ratio in report["speedups"].items():
             lines.append(f"  {speedup_id:56s} {ratio:6.2f}x")
+    quality_lines = []
+    for bench_id, entry in report["benchmarks"].items():
+        quality = entry.get("quality") or {}
+        ratio = quality.get("approx_ratio")
+        slack = quality.get("coverage_slack")
+        if ratio is None and slack is None:
+            continue
+        ratio_part = "ratio      –" if ratio is None else f"ratio {ratio:6.3f}"
+        slack_part = "" if slack is None else f"  cov_slack {slack:+.4f}"
+        feasible_part = "" if quality.get("feasible") else "  INFEASIBLE"
+        quality_lines.append(
+            f"  {bench_id:56s} {ratio_part}{slack_part}{feasible_part}"
+        )
+    if quality_lines:
+        lines.append("")
+        lines.append("quality (cost / LP lower bound):")
+        lines.extend(quality_lines)
     return "\n".join(lines)
 
 
@@ -409,11 +565,36 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         f"(default: {DEFAULT_TOLERANCE:g})",
     )
     parser.add_argument(
+        "--quality-tolerance",
+        type=float,
+        default=DEFAULT_QUALITY_TOLERANCE,
+        help="approximation-ratio regression factor for --check "
+        f"(default: {DEFAULT_QUALITY_TOLERANCE:g})",
+    )
+    parser.add_argument(
+        "--history",
+        default=str(DEFAULT_HISTORY),
+        metavar="PATH",
+        help="append one trend line per run to this JSONL file "
+        f"(default: {DEFAULT_HISTORY}; used by `scwsc report`)",
+    )
+    parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="do not append to the bench history file",
+    )
+    parser.add_argument(
         "--trace",
         default=None,
         metavar="PATH",
         help="write a JSONL span/event trace of the bench run to PATH "
         "(adds tracing overhead to timed runs; see docs/OBSERVABILITY.md)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the run (per-phase cProfile + tracemalloc); "
+        "profile records land in the --trace file when one is set",
     )
 
 
@@ -434,6 +615,14 @@ def run_from_args(args: argparse.Namespace) -> int:
         out_path = Path(args.out)
         out_path.write_text(json.dumps(report, indent=2) + "\n")
         print(f"bench: report written to {out_path}", file=sys.stderr)
+    # getattr defaults: tests drive this with hand-built Namespaces that
+    # predate the history/quality flags.
+    history_path = getattr(args, "history", str(DEFAULT_HISTORY))
+    if not getattr(args, "no_history", False) and history_path != "-":
+        append_history(report, history_path)
+        print(
+            f"bench: history appended to {history_path}", file=sys.stderr
+        )
     if not args.check:
         return 0
     baseline_path = Path(args.baseline)
@@ -445,7 +634,12 @@ def run_from_args(args: argparse.Namespace) -> int:
         )
     baseline = json.loads(baseline_path.read_text())
     regressions, missing = compare_reports(
-        report, baseline, tolerance=args.tolerance
+        report,
+        baseline,
+        tolerance=args.tolerance,
+        quality_tolerance=getattr(
+            args, "quality_tolerance", DEFAULT_QUALITY_TOLERANCE
+        ),
     )
     for bench_id in missing:
         print(
@@ -454,22 +648,35 @@ def run_from_args(args: argparse.Namespace) -> int:
         )
     if regressions:
         print(
-            f"bench: {len(regressions)} regression(s) beyond "
-            f"{args.tolerance:g}x tolerance:",
+            f"bench: {len(regressions)} regression(s):",
             file=sys.stderr,
         )
         for regression in regressions:
+            kind = regression.get("kind", "runtime")
+            if kind == "runtime":
+                detail = (
+                    f"{regression['median_seconds'] * 1e3:.1f} ms vs "
+                    f"baseline {regression['baseline_seconds'] * 1e3:.1f} ms "
+                    f"({regression['ratio']:.2f}x, tolerance "
+                    f"{args.tolerance:g}x)"
+                )
+            elif kind == "quality":
+                detail = (
+                    f"approx ratio {regression['approx_ratio']:.4f} vs "
+                    f"baseline {regression['baseline_ratio']:.4f} "
+                    f"({regression['ratio']:.2f}x)"
+                )
+            else:
+                detail = "infeasible result; baseline was feasible"
             print(
-                f"  {regression['bench_id']}: "
-                f"{regression['median_seconds'] * 1e3:.1f} ms vs baseline "
-                f"{regression['baseline_seconds'] * 1e3:.1f} ms "
-                f"({regression['ratio']:.2f}x)",
+                f"  [{kind}] {regression['bench_id']}: {detail}",
                 file=sys.stderr,
             )
         return 1
     print(
-        f"bench: no regressions beyond {args.tolerance:g}x "
-        f"(baseline {baseline_path})",
+        f"bench: no regressions beyond {args.tolerance:g}x runtime / "
+        f"{getattr(args, 'quality_tolerance', DEFAULT_QUALITY_TOLERANCE):g}x "
+        f"quality (baseline {baseline_path})",
         file=sys.stderr,
     )
     return 0
@@ -485,12 +692,20 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.trace:
         obs_trace.configure(args.trace, command="bench")
+    if args.profile:
+        from repro.obs import profile as obs_profile
+
+        obs_profile.start()
     try:
         return run_from_args(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return error.exit_code
     finally:
+        if args.profile:
+            from repro.obs import profile as obs_profile
+
+            obs_profile.stop()
         if args.trace:
             from repro.obs.metrics import get_registry
 

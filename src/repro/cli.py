@@ -16,9 +16,16 @@ Subcommands:
 * ``bench`` — run the benchmark regression harness
   (:mod:`repro.bench`): paper-shaped workloads on both marginal-tracker
   backends, JSON report, tolerance check against a committed baseline;
-* ``trace`` — summarize or schema-validate a JSONL trace produced with
-  ``--trace`` (available on ``run``, ``solve``, ``batch``, ``bench``;
-  see docs/OBSERVABILITY.md).
+* ``trace`` — summarize (with per-phase self time), schema-validate, or
+  flamegraph-export a JSONL trace produced with ``--trace`` (available
+  on ``run``, ``solve``, ``batch``, ``bench``, which also take
+  ``--profile`` for per-phase cProfile/tracemalloc records; see
+  docs/OBSERVABILITY.md);
+* ``report`` — with a trace argument, render the run dashboard: a
+  single self-contained HTML file with the span waterfall, self-time
+  table, quality panel, and bench-history sparklines (``scwsc report
+  run.jsonl -o report.html``); without one, regenerate the markdown
+  experiment report as before.
 
 Examples::
 
@@ -63,6 +70,13 @@ def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
         metavar="PATH",
         help="write a JSONL span/event trace of this run to PATH "
         "(inspect with `scwsc trace summarize`; see docs/OBSERVABILITY.md)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the run: per-phase cProfile + tracemalloc, emitted "
+        "as `profile` records into the --trace file (and rendered by "
+        "`scwsc report`)",
     )
 
 
@@ -329,22 +343,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate every record against the scwsc-trace/1 schema",
     )
     trace_validate.add_argument("path", help="trace JSONL file")
+    trace_flamegraph = trace_commands.add_parser(
+        "flamegraph",
+        help="export collapsed stacks (flamegraph.pl / speedscope input) "
+        "from the span tree and any --profile samples",
+    )
+    trace_flamegraph.add_argument("path", help="trace JSONL file")
+    trace_flamegraph.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the collapsed stacks here instead of stdout",
+    )
 
     report_parser = commands.add_parser(
         "report",
-        help="run every experiment and emit a markdown report",
+        help="render a trace into an HTML run dashboard, or (with no "
+        "trace) run every experiment and emit a markdown report",
+    )
+    report_parser.add_argument(
+        "trace_file",
+        nargs="?",
+        default=None,
+        metavar="TRACE",
+        help="JSONL trace to render as a self-contained HTML dashboard; "
+        "omit for the markdown experiment report",
+    )
+    report_parser.add_argument(
+        "-o",
+        "--output",
+        default="report.html",
+        metavar="PATH",
+        help="HTML output path for the dashboard (default: report.html)",
+    )
+    report_parser.add_argument(
+        "--history",
+        default=None,
+        metavar="PATH",
+        help="bench history JSONL for the trend panel "
+        "(default: BENCH_history.jsonl when it exists)",
+    )
+    report_parser.add_argument(
+        "--title",
+        default="scwsc run report",
+        help="dashboard page title",
     )
     report_parser.add_argument(
         "--scale",
         choices=("small", "full"),
         default="full",
-        help="workload scale (default: full)",
+        help="workload scale for the markdown report (default: full)",
     )
     report_parser.add_argument(
         "--out",
         type=argparse.FileType("w"),
         default=None,
-        help="write the markdown to a file instead of stdout",
+        help="write the markdown report to a file instead of stdout",
     )
     return parser
 
@@ -364,6 +419,11 @@ def main(argv: list[str] | None = None) -> int:
             command=args.command,
             argv=list(argv) if argv is not None else sys.argv[1:],
         )
+    profiling = getattr(args, "profile", False)
+    if profiling:
+        from repro.obs import profile as obs_profile
+
+        obs_profile.start()
     try:
         if args.command == "list":
             return _cmd_list()
@@ -398,6 +458,12 @@ def main(argv: list[str] | None = None) -> int:
         print("interrupted; partial results are flushed", file=sys.stderr)
         return 130
     finally:
+        if profiling:
+            from repro.obs import profile as obs_profile
+
+            # Stop before trace shutdown: the profile records belong
+            # inside the trace file, ahead of its closing metrics record.
+            obs_profile.stop()
         if trace_path:
             from repro.obs import trace as obs_trace
             from repro.obs.metrics import get_registry
@@ -688,7 +754,7 @@ def _batch_request(system, line: str, lineno: int):
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    """``scwsc trace summarize|validate`` over a JSONL trace file."""
+    """``scwsc trace summarize|validate|flamegraph`` over a JSONL trace."""
     if args.trace_command == "validate":
         from repro.obs.schema import validate_trace_file
 
@@ -698,6 +764,23 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         if problems:
             return ValidationError.exit_code
         print(f"{args.path}: ok")
+        return 0
+    if args.trace_command == "flamegraph":
+        from repro.obs.profile import collapsed_stacks
+        from repro.obs.report import load_trace
+
+        lines = collapsed_stacks(load_trace(args.path))
+        body = "\n".join(lines) + ("\n" if lines else "")
+        if args.output is None:
+            sys.stdout.write(body)
+        else:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(body)
+            print(
+                f"flamegraph: {len(lines)} stack(s) written to "
+                f"{args.output}",
+                file=sys.stderr,
+            )
         return 0
     from repro.obs.report import summarize_file
 
@@ -739,6 +822,8 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.trace_file is not None:
+        return _cmd_report_dashboard(args)
     lines = [
         "# Size-Constrained Weighted Set Cover — regenerated artifacts",
         "",
@@ -760,6 +845,27 @@ def _cmd_report(args: argparse.Namespace) -> int:
             handle.write(output + "\n")
     else:
         print(output)
+    return 0
+
+
+def _cmd_report_dashboard(args: argparse.Namespace) -> int:
+    """``scwsc report TRACE [-o report.html]``: the HTML run dashboard."""
+    from pathlib import Path
+
+    from repro.bench import DEFAULT_HISTORY
+    from repro.obs.dashboard import load_history, render_dashboard
+    from repro.obs.report import load_trace
+
+    records = load_trace(args.trace_file)
+    history_path = args.history or str(DEFAULT_HISTORY)
+    history = load_history(history_path)
+    html = render_dashboard(records, history, title=args.title)
+    Path(args.output).write_text(html, encoding="utf-8")
+    print(
+        f"report: dashboard written to {args.output} "
+        f"({len(records)} trace record(s), {len(history)} bench run(s))",
+        file=sys.stderr,
+    )
     return 0
 
 

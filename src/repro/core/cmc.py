@@ -146,6 +146,7 @@ def run_cmc_driver(
                 backend=result.params["tracker_backend"],
                 budget_rounds=result.metrics.budget_rounds,
                 n_sets=result.n_sets,
+                total_cost=result.total_cost,
                 covered=result.covered,
                 feasible=result.feasible,
             )

@@ -100,6 +100,7 @@ def cwsc(
             solve_span.set(
                 backend=result.params["tracker_backend"],
                 n_sets=result.n_sets,
+                total_cost=result.total_cost,
                 covered=result.covered,
                 feasible=result.feasible,
             )

@@ -94,6 +94,7 @@ def lp_rounding(
         if solve_span.enabled:
             solve_span.set(
                 n_sets=result.n_sets,
+                total_cost=result.total_cost,
                 size_violations=result.params.get("size_violations"),
                 feasible=result.feasible,
             )

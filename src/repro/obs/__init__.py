@@ -17,8 +17,16 @@ This package makes both first-class instead of debug logging:
 * :mod:`repro.obs.schema` — the trace record schema and a validator
   (``python -m repro.obs.schema trace.jsonl``), used by CI's trace-smoke
   step and ``scwsc trace validate``.
-* :mod:`repro.obs.report` — per-phase time/count rollups and the
-  renderer behind ``scwsc trace summarize``.
+* :mod:`repro.obs.report` — per-phase time/count/self-time rollups and
+  the renderer behind ``scwsc trace summarize``.
+* :mod:`repro.obs.profile` — span-integrated cProfile + tracemalloc +
+  peak-RSS profiling behind the CLI's ``--profile`` flag, plus the
+  collapsed-stack (flamegraph) exporter.
+* :mod:`repro.obs.quality` — solution-quality telemetry (approximation
+  ratio vs. the LP lower bound, coverage slack, sets-vs-budget),
+  published on every recorded solve and gated by ``scwsc bench --check``.
+* :mod:`repro.obs.dashboard` — the single-file static HTML run report
+  behind ``scwsc report TRACE -o report.html``.
 * :mod:`repro.obs.log` — the package logger (``logging.getLogger
   ("repro")`` with a ``NullHandler``) and console-handler setup for the
   CLI and pool workers.
@@ -26,6 +34,7 @@ This package makes both first-class instead of debug logging:
 See docs/OBSERVABILITY.md for the record schema and overhead numbers.
 """
 
+from repro.obs.dashboard import load_history, render_dashboard
 from repro.obs.log import console_logging, get_logger
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
@@ -36,6 +45,7 @@ from repro.obs.metrics import (
     get_registry,
     record_cover_result,
 )
+from repro.obs.quality import compute_quality, quality_records, record_quality
 from repro.obs.trace import (
     NULL_SPAN,
     Tracer,
@@ -58,6 +68,7 @@ __all__ = [
     "NULL_SPAN",
     "Tracer",
     "capture",
+    "compute_quality",
     "configure",
     "console_logging",
     "enabled",
@@ -65,7 +76,11 @@ __all__ = [
     "get_logger",
     "get_registry",
     "get_tracer",
+    "load_history",
+    "quality_records",
     "record_cover_result",
+    "record_quality",
+    "render_dashboard",
     "replay",
     "shutdown",
     "span",

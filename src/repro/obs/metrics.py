@@ -249,13 +249,23 @@ def get_registry() -> MetricsRegistry:
 
 
 def record_cover_result(
-    result: CoverResult, registry: MetricsRegistry | None = None
+    result: CoverResult,
+    registry: MetricsRegistry | None = None,
+    lp_bound: float | None = None,
 ) -> None:
     """Publish one finished solve into the registry.
 
     Increments ``scwsc_solves_total{algorithm=...}``, a per-field counter
     for every :data:`METRIC_FIELDS` work counter, and observes the run
-    time in ``scwsc_solve_runtime_seconds``.
+    time in ``scwsc_solve_runtime_seconds``. Also records the solve's
+    quality telemetry (:mod:`repro.obs.quality`): coverage slack and
+    solution size always, the approximation-ratio histogram when the
+    caller supplies an ``lp_bound``.
+
+    Callers publish a result exactly once, on the accepted answer — pool
+    retries ship their trace records per attempt, but only the attempt
+    the supervisor accepted reaches this function (asserted by
+    ``tests/resilience/test_metrics_once.py``).
     """
     registry = registry or _REGISTRY
     algorithm = result.algorithm
@@ -272,3 +282,7 @@ def record_cover_result(
     registry.histogram(
         "scwsc_solve_runtime_seconds", "Per-run wall time"
     ).observe(result.metrics.runtime_seconds, algorithm=algorithm)
+    # Imported here: repro.obs.quality builds on this module's registry.
+    from repro.obs.quality import record_quality
+
+    record_quality(result, lp_bound=lp_bound, registry=registry)

@@ -30,23 +30,44 @@ def load_trace(path: str) -> list[dict[str, Any]]:
 
 
 def phase_rollups(records: list[dict[str, Any]]) -> dict[str, dict[str, float]]:
-    """Per-span-name ``{count, total, mean, max}`` duration rollups."""
+    """Per-span-name ``{count, total, self, mean, max}`` duration rollups.
+
+    ``total`` is inclusive wall time; ``self`` subtracts the durations of
+    each span's *direct* children, so a parent phase like ``solve`` stops
+    double-counting the ``select`` calls nested inside it. ``self`` is
+    clamped at zero per span — clock jitter can make children sum to a
+    hair more than their parent.
+    """
+    child_durations: dict[Any, float] = {}
+    for record in records:
+        if record.get("type") != "span":
+            continue
+        parent = record.get("parent_id")
+        if parent is not None:
+            child_durations[parent] = child_durations.get(parent, 0.0) + float(
+                record.get("duration", 0.0)
+            )
     rollups: dict[str, dict[str, float]] = {}
     for record in records:
         if record.get("type") != "span":
             continue
         name = record["name"]
         duration = float(record.get("duration", 0.0))
+        self_time = max(
+            0.0, duration - child_durations.get(record.get("span_id"), 0.0)
+        )
         entry = rollups.get(name)
         if entry is None:
             rollups[name] = {
                 "count": 1,
                 "total": duration,
+                "self": self_time,
                 "max": duration,
             }
         else:
             entry["count"] += 1
             entry["total"] += duration
+            entry["self"] += self_time
             if duration > entry["max"]:
                 entry["max"] = duration
     for entry in rollups.values():
@@ -99,7 +120,10 @@ def render_summary(records: list[dict[str, Any]]) -> str:
     rollups = phase_rollups(records)
     if rollups:
         lines.append("phase rollup (by span name):")
-        header = f"  {'phase':<16} {'count':>7} {'total_s':>10} {'mean_s':>10} {'max_s':>10}"
+        header = (
+            f"  {'phase':<16} {'count':>7} {'total_s':>10} {'self_s':>10} "
+            f"{'mean_s':>10} {'max_s':>10}"
+        )
         lines.append(header)
         lines.append("  " + "-" * (len(header) - 2))
         for name, entry in sorted(
@@ -107,8 +131,8 @@ def render_summary(records: list[dict[str, Any]]) -> str:
         ):
             lines.append(
                 f"  {name:<16} {int(entry['count']):>7} "
-                f"{entry['total']:>10.4f} {entry['mean']:>10.6f} "
-                f"{entry['max']:>10.6f}"
+                f"{entry['total']:>10.4f} {entry.get('self', 0.0):>10.4f} "
+                f"{entry['mean']:>10.6f} {entry['max']:>10.6f}"
             )
     else:
         lines.append("no spans in trace")

@@ -17,7 +17,12 @@ from typing import Any
 
 from repro.obs.trace import SCHEMA
 
-_RECORD_TYPES = frozenset({"meta", "span", "event", "metrics"})
+_RECORD_TYPES = frozenset(
+    {"meta", "span", "event", "metrics", "profile", "quality"}
+)
+
+#: Legal ``profile_kind`` values for ``profile`` records.
+PROFILE_KINDS = frozenset({"cprofile", "memory", "rss"})
 
 _NUMBER = (int, float)
 
@@ -73,6 +78,46 @@ def validate_record(record: Any) -> list[str]:
         if not isinstance(record.get("t"), _NUMBER):
             problems.append("event.t must be a number")
         _check_attrs(record, problems)
+        return problems
+
+    if rtype == "profile":
+        if not isinstance(record.get("t"), _NUMBER):
+            problems.append("profile.t must be a number")
+        kind = record.get("profile_kind")
+        if kind not in PROFILE_KINDS:
+            problems.append(
+                f"profile.profile_kind must be one of "
+                f"{sorted(PROFILE_KINDS)}, got {kind!r}"
+            )
+        if not isinstance(record.get("scope"), str) or not record.get("scope"):
+            problems.append("profile.scope must be a non-empty string")
+        if not isinstance(record.get("data"), dict):
+            problems.append("profile.data must be an object")
+        span_id = record.get("span_id")
+        if span_id is not None and not isinstance(span_id, (str, int)):
+            problems.append("profile.span_id must be a string, int, or null")
+        return problems
+
+    if rtype == "quality":
+        if not isinstance(record.get("t"), _NUMBER):
+            problems.append("quality.t must be a number")
+        if (
+            not isinstance(record.get("algorithm"), str)
+            or not record.get("algorithm")
+        ):
+            problems.append("quality.algorithm must be a non-empty string")
+        quality = record.get("quality")
+        if not isinstance(quality, dict):
+            problems.append("quality.quality must be an object")
+        else:
+            for key, value in quality.items():
+                if value is not None and not isinstance(
+                    value, (bool, int, float)
+                ):
+                    problems.append(
+                        f"quality.quality[{key!r}] must be a number, "
+                        f"bool, or null"
+                    )
         return problems
 
     # metrics

@@ -38,6 +38,13 @@ Record shapes (schema ``scwsc-trace/1``, validated by
   (pool lifecycle, breaker transition, tracker update).
 * ``{"type": "metrics", "t", "metrics": {...}}`` — a registry snapshot,
   usually written once at shutdown.
+* ``{"type": "profile", "t", "profile_kind", "scope", "data": {...}}`` —
+  a profiling sample (cProfile aggregate, tracemalloc snapshot, or
+  peak-RSS report), written by :mod:`repro.obs.profile`.
+* ``{"type": "quality", "t", "algorithm", "quality": {...}}`` — one
+  solve's solution-quality telemetry (approximation ratio vs. the LP
+  bound, coverage slack, sets used vs. ``k``), written by
+  :mod:`repro.obs.quality`.
 
 All ``t`` values are seconds relative to the tracer's start on the
 monotonic clock (``time.perf_counter``); ``wall_time_unix`` in the meta
@@ -59,6 +66,29 @@ SCHEMA = "scwsc-trace/1"
 _current_span_id: ContextVar[str | None] = ContextVar(
     "repro_obs_current_span", default=None
 )
+
+#: Observers notified on every real span open/close — the profiling layer
+#: (:mod:`repro.obs.profile`) attaches here. Empty by default, so the
+#: per-span cost of the feature is one global load and a truth test, and
+#: the disabled-tracing path (NULL_SPAN) never touches it at all.
+_SPAN_HOOKS: tuple = ()
+
+
+def add_span_hook(hook) -> None:
+    """Register ``hook(phase, span)`` to observe span lifecycles.
+
+    ``phase`` is ``"enter"`` or ``"exit"``; ``span`` is the live
+    :class:`Span`. Hooks run inline on the traced thread — keep them
+    cheap and never let them raise.
+    """
+    global _SPAN_HOOKS
+    if hook not in _SPAN_HOOKS:
+        _SPAN_HOOKS = _SPAN_HOOKS + (hook,)
+
+
+def remove_span_hook(hook) -> None:
+    global _SPAN_HOOKS
+    _SPAN_HOOKS = tuple(h for h in _SPAN_HOOKS if h is not hook)
 
 
 class JsonlSink:
@@ -137,11 +167,17 @@ class Span:
         self.attrs.setdefault("_parent", parent)
         self._t_start = self._tracer.now()
         self._token = _current_span_id.set(self.span_id)
+        if _SPAN_HOOKS:
+            for hook in _SPAN_HOOKS:
+                hook("enter", self)
         return self
 
     def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
         t_end = self._tracer.now()
         _current_span_id.reset(self._token)
+        if _SPAN_HOOKS:
+            for hook in _SPAN_HOOKS:
+                hook("exit", self)
         attrs = self.attrs
         parent = attrs.pop("_parent", None)
         if exc_type is not None:

@@ -124,6 +124,8 @@ def optimized_cmc(
                 variant=result.params["variant"],
                 budget_rounds=result.metrics.budget_rounds,
                 n_sets=result.n_sets,
+                total_cost=result.total_cost,
+                covered=result.covered,
                 feasible=result.feasible,
             )
         return result

@@ -76,6 +76,7 @@ def optimized_cwsc(
         if solve_span.enabled:
             solve_span.set(
                 n_sets=result.n_sets,
+                total_cost=result.total_cost,
                 covered=result.covered,
                 feasible=result.feasible,
             )

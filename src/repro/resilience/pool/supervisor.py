@@ -675,6 +675,9 @@ class SolverPool:
                 request_id=pending.request_id,
                 worker=worker.index,
             )
+        rss = frame.get("peak_rss_bytes")
+        if isinstance(rss, (int, float)) and rss > 0:
+            self._note_worker_rss(worker, pending, int(rss))
         if frame.get("id") != pending.request_id:
             self._record_failure(
                 pending, worker, "ipc-error",
@@ -687,6 +690,37 @@ class SolverPool:
             self._complete_ok(worker, pending, frame)
         else:
             self._complete_error(worker, pending, frame)
+        if (
+            isinstance(rss, (int, float))
+            and rss > 0
+            and pending.attempts
+            and pending.attempts[-1]["attempt"] == pending.dispatches
+        ):
+            pending.attempts[-1]["peak_rss_bytes"] = int(rss)
+
+    def _note_worker_rss(
+        self, worker: _Worker, pending: _Pending, rss: int
+    ) -> None:
+        """Record a worker-reported peak RSS: gauge + trace event.
+
+        The gauge keeps the latest value per worker (``ru_maxrss`` is a
+        process-lifetime high-water mark, so it only ever rises); the
+        attempt record in provenance is attached by :meth:`_complete`
+        once the attempt's outcome is known.
+        """
+        from repro.obs.metrics import get_registry
+
+        get_registry().gauge(
+            "scwsc_worker_peak_rss_bytes",
+            "Peak resident set size reported by each pool worker",
+        ).set(rss, worker=worker.index)
+        if obs_trace.enabled():
+            obs_trace.event(
+                "worker_peak_rss",
+                request_id=pending.request_id,
+                worker=worker.index,
+                peak_rss_bytes=rss,
+            )
 
     def _complete_ok(self, worker: _Worker, pending: _Pending, frame: dict
                      ) -> None:

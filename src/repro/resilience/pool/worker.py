@@ -186,6 +186,14 @@ def _handle_solve(out, payload: dict) -> None:
                 }
             )
         response["trace"] = trace_records
+    # Peak RSS rides every result frame (one getrusage call): the
+    # supervisor turns it into attempt provenance and a worker memory
+    # gauge, giving the parent a memory story it cannot observe itself.
+    from repro.obs.profile import peak_rss_bytes
+
+    rss = peak_rss_bytes()
+    if rss is not None:
+        response["peak_rss_bytes"] = rss
     write_frame(out, response, injector=injector)
 
 

@@ -6,10 +6,12 @@ import pytest
 
 from repro.bench import (
     BACKENDS,
+    HISTORY_SCHEMA,
     SCHEMA,
     BenchCase,
     compare_reports,
     default_cases,
+    history_entry,
     main,
     render_report,
     run_benchmarks,
@@ -101,6 +103,31 @@ class TestRunBenchmarks:
         for bench_id in tiny_report["benchmarks"]:
             assert bench_id in text
 
+    def test_every_cell_carries_quality(self, tiny_report):
+        for bench_id, entry in tiny_report["benchmarks"].items():
+            quality = entry["quality"]
+            assert quality["feasible"] is True
+            assert quality["sets_used"] == entry["result"]["n_sets"]
+            assert quality["coverage_slack"] is not None
+            if "[cwsc" in bench_id:
+                # CWSC must meet the target outright; CMC's relaxation
+                # may legitimately land just under it — and its cost may
+                # then undercut the full-target LP bound (ratio < 1).
+                assert quality["coverage_slack"] >= 0.0
+                if quality["approx_ratio"] is not None:
+                    assert quality["approx_ratio"] >= 1.0 - 1e-9
+
+    def test_history_entry_condenses_report(self, tiny_report):
+        entry = history_entry(tiny_report, wall_time_unix=123.0)
+        assert entry["schema"] == HISTORY_SCHEMA
+        assert entry["wall_time_unix"] == 123.0
+        assert len(entry["cells"]) == len(tiny_report["benchmarks"])
+        by_id = {cell["bench_id"]: cell for cell in entry["cells"]}
+        for bench_id, bench in tiny_report["benchmarks"].items():
+            assert by_id[bench_id]["median_seconds"] == (
+                bench["median_seconds"]
+            )
+
 
 class TestCompareReports:
     def _report(self, medians: dict) -> dict:
@@ -144,11 +171,134 @@ class TestCompareReports:
         with pytest.raises(ValidationError):
             compare_reports(self._report({}), self._report({}), tolerance=1.0)
 
+    def _quality_report(self, cells: dict) -> dict:
+        return {
+            "schema": SCHEMA,
+            "benchmarks": {
+                bench_id: {
+                    "median_seconds": 0.01,
+                    "quality": quality,
+                }
+                for bench_id, quality in cells.items()
+            },
+        }
+
+    def test_quality_regression_detected(self):
+        baseline = self._quality_report(
+            {"a": {"approx_ratio": 1.2, "feasible": True}}
+        )
+        current = self._quality_report(
+            {"a": {"approx_ratio": 1.4, "feasible": True}}
+        )
+        regressions, _ = compare_reports(
+            current, baseline, quality_tolerance=1.1
+        )
+        assert len(regressions) == 1
+        assert regressions[0]["kind"] == "quality"
+        assert regressions[0]["ratio"] == pytest.approx(1.4 / 1.2)
+
+    def test_quality_within_tolerance_passes(self):
+        baseline = self._quality_report(
+            {"a": {"approx_ratio": 1.2, "feasible": True}}
+        )
+        current = self._quality_report(
+            {"a": {"approx_ratio": 1.25, "feasible": True}}
+        )
+        regressions, _ = compare_reports(
+            current, baseline, quality_tolerance=1.1
+        )
+        assert regressions == []
+
+    def test_turning_infeasible_always_regresses(self):
+        baseline = self._quality_report(
+            {"a": {"approx_ratio": 1.2, "feasible": True}}
+        )
+        current = self._quality_report(
+            {"a": {"approx_ratio": 1.2, "feasible": False}}
+        )
+        regressions, _ = compare_reports(current, baseline)
+        assert [r["kind"] for r in regressions] == ["feasibility"]
+
+    def test_baseline_without_quality_gates_runtime_only(self):
+        baseline = self._report({"a": 0.010})
+        current = self._quality_report(
+            {"a": {"approx_ratio": 99.0, "feasible": False}}
+        )
+        current["benchmarks"]["a"]["median_seconds"] = 0.010
+        regressions, _ = compare_reports(current, baseline)
+        assert regressions == []
+
+    def test_quality_tolerance_must_exceed_one(self):
+        with pytest.raises(ValidationError):
+            compare_reports(
+                self._report({}), self._report({}), quality_tolerance=0.9
+            )
+
+
+class TestQualityGate:
+    """``scwsc bench --check`` fails on a worsened answer, not just a
+    slower one: the acceptance scenario from the observability PR."""
+
+    ARGV = [
+        "--quick",
+        "--repeat",
+        "1",
+        "--warmup",
+        "0",
+        "--filter",
+        "cwsc-n600-bitset",
+        "--no-history",
+        "--tolerance",
+        "1000",
+    ]
+
+    def test_injected_quality_regression_fails_check(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        import dataclasses
+
+        import repro.bench as bench_module
+
+        baseline = tmp_path / "baseline.json"
+        assert main(self.ARGV + ["--out", str(baseline)]) == 0
+        base_quality = json.loads(baseline.read_text())["benchmarks"][
+            "bench_fig5_datasize[cwsc-n600-bitset]"
+        ]["quality"]
+        if base_quality["approx_ratio"] is None:
+            pytest.skip("LP lower bound unavailable (no scipy)")
+
+        real_cwsc = bench_module._SOLVERS["cwsc"]
+
+        def worsened(system, backend):
+            result = real_cwsc(system, backend)
+            # A deliberately worse answer: triple the cost, same cover.
+            return dataclasses.replace(
+                result, total_cost=result.total_cost * 3.0
+            )
+
+        monkeypatch.setitem(bench_module._SOLVERS, "cwsc", worsened)
+        code = main(
+            self.ARGV
+            + ["--out", "-", "--check", "--baseline", str(baseline)]
+        )
+        assert code == 1
+        assert "[quality]" in capsys.readouterr().err
+
+    def test_unchanged_solver_passes_check(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        assert main(self.ARGV + ["--out", str(baseline)]) == 0
+        code = main(
+            self.ARGV
+            + ["--out", "-", "--check", "--baseline", str(baseline)]
+        )
+        assert code == 0
+
 
 class TestCli:
     def test_writes_report_and_checks_baseline(self, tmp_path):
         out = tmp_path / "BENCH_micro.json"
         baseline = tmp_path / "baseline.json"
+        history = tmp_path / "history.jsonl"
         argv = [
             "--quick",
             "--repeat",
@@ -157,6 +307,8 @@ class TestCli:
             "0",
             "--filter",
             "cwsc-n600-bitset",
+            "--history",
+            str(history),
             "--out",
             str(baseline),
         ]
@@ -173,6 +325,15 @@ class TestCli:
         ]
         assert main(argv) == 0
         assert out.exists()
+        # Both runs appended one trend line each.
+        lines = [
+            json.loads(line)
+            for line in history.read_text().splitlines()
+            if line
+        ]
+        assert len(lines) == 2
+        assert all(line["schema"] == HISTORY_SCHEMA for line in lines)
+        assert lines[0]["cells"][0]["median_seconds"] > 0
 
     def test_check_without_baseline_is_an_input_error(self, tmp_path):
         code = main(
@@ -186,6 +347,7 @@ class TestCli:
                 "cwsc-n600-bitset",
                 "--out",
                 "-",
+                "--no-history",
                 "--check",
                 "--baseline",
                 str(tmp_path / "nope.json"),
@@ -207,6 +369,8 @@ class TestCli:
                 "0",
                 "--filter",
                 "cwsc-n600-bitset",
+                "--history",
+                str(tmp_path / "history.jsonl"),
                 "--out",
                 str(out),
             ]

@@ -1,6 +1,7 @@
 """End-to-end tests for `--trace` on the CLI and the `trace` subcommand."""
 
 import json
+from html.parser import HTMLParser
 
 import pytest
 
@@ -86,6 +87,151 @@ class TestSolveTrace:
         assert list(tmp_path.glob("*.jsonl")) == []
 
 
+class TestSolveProfile:
+    @pytest.fixture
+    def profiled_trace(self, csv_path, tmp_path, capsys):
+        path = tmp_path / "profiled.jsonl"
+        code = main(
+            _solve_args(csv_path) + ["--trace", str(path), "--profile"]
+        )
+        assert code == 0
+        capsys.readouterr()
+        return str(path)
+
+    def test_profile_records_are_schema_valid(self, profiled_trace):
+        assert validate_trace_file(profiled_trace) == []
+        records = [
+            json.loads(line)
+            for line in open(profiled_trace).read().splitlines()
+        ]
+        kinds = {
+            (r["profile_kind"], r["scope"])
+            for r in records
+            if r["type"] == "profile"
+        }
+        assert ("cprofile", "solve") in kinds
+        assert ("memory", "solve") in kinds
+        assert ("rss", "process") in kinds
+        # Quality telemetry rides the same trace.
+        quality = [r for r in records if r["type"] == "quality"]
+        assert quality and quality[0]["quality"]["sets_used"] >= 1
+
+    def test_flamegraph_export(self, profiled_trace, tmp_path, capsys):
+        assert main(["trace", "flamegraph", profiled_trace]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line]
+        assert lines
+        assert all(line.rsplit(" ", 1)[1].isdigit() for line in lines)
+        assert any(line.startswith("solve") for line in lines)
+        assert any(line.startswith("cpu:solve;") for line in lines)
+
+        out_path = tmp_path / "stacks.txt"
+        assert main(
+            ["trace", "flamegraph", profiled_trace, "-o", str(out_path)]
+        ) == 0
+        assert out_path.read_text().splitlines() == lines
+
+    def test_no_profile_records_without_flag(self, csv_path, tmp_path,
+                                             capsys):
+        path = tmp_path / "plain.jsonl"
+        assert main(_solve_args(csv_path) + ["--trace", str(path)]) == 0
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert all(r["type"] != "profile" for r in records)
+
+
+class _PanelParser(HTMLParser):
+    """Collects div ids and any external references in the page."""
+
+    def __init__(self):
+        super().__init__()
+        self.div_ids = set()
+        self.external = []
+        self.title_chunks = []
+        self._in_title = False
+
+    def handle_starttag(self, tag, attrs):
+        attrs = dict(attrs)
+        if tag == "div" and "id" in attrs:
+            self.div_ids.add(attrs["id"])
+        if tag == "title":
+            self._in_title = True
+        for key in ("src", "href"):
+            if attrs.get(key):
+                self.external.append(attrs[key])
+
+    def handle_endtag(self, tag):
+        if tag == "title":
+            self._in_title = False
+
+    def handle_data(self, data):
+        if self._in_title:
+            self.title_chunks.append(data)
+
+
+class TestReportDashboard:
+    @pytest.fixture
+    def profiled_trace(self, csv_path, tmp_path, capsys):
+        path = tmp_path / "profiled.jsonl"
+        code = main(
+            _solve_args(csv_path) + ["--trace", str(path), "--profile"]
+        )
+        assert code == 0
+        capsys.readouterr()
+        return str(path)
+
+    def test_report_renders_self_contained_dashboard(
+        self, profiled_trace, tmp_path, capsys
+    ):
+        out = tmp_path / "report.html"
+        code = main(
+            ["report", profiled_trace, "-o", str(out),
+             "--title", "acceptance run"]
+        )
+        assert code == 0
+        page = out.read_text()
+        parser = _PanelParser()
+        parser.feed(page)
+        assert parser.div_ids >= {
+            "waterfall", "self-time", "quality", "profile", "bench-trends"
+        }
+        assert parser.external == []  # self-contained: no src/href at all
+        assert "acceptance run" in "".join(parser.title_chunks)
+        # The run's data actually landed in the panels.
+        assert "cpu: solve" in page
+        assert 'class="bar' in page
+
+    def test_report_includes_bench_history(
+        self, profiled_trace, tmp_path, capsys
+    ):
+        history = tmp_path / "history.jsonl"
+        history.write_text(
+            json.dumps(
+                {"schema": "scwsc-bench-history/1", "wall_time_unix": 0.0,
+                 "cells": [{"bench_id": "cell-a", "median_seconds": 0.01,
+                            "approx_ratio": 1.2, "coverage_slack": 0.0,
+                            "feasible": True}]}
+            ) + "\n"
+        )
+        out = tmp_path / "report.html"
+        code = main(
+            ["report", profiled_trace, "-o", str(out),
+             "--history", str(history)]
+        )
+        assert code == 0
+        page = out.read_text()
+        assert "cell-a" in page
+        assert "1 bench run(s) in history" in page
+
+    def test_report_missing_trace_is_an_error(self, tmp_path, capsys):
+        code = main(
+            ["report", str(tmp_path / "missing.jsonl"),
+             "-o", str(tmp_path / "r.html")]
+        )
+        assert code != 0
+
+
 class TestTraceSubcommand:
     @pytest.fixture
     def trace_path(self, csv_path, tmp_path, capsys):
@@ -98,6 +244,7 @@ class TestTraceSubcommand:
         assert main(["trace", "summarize", trace_path]) == 0
         out = capsys.readouterr().out
         assert "phase rollup" in out
+        assert "self_s" in out
         assert "solve" in out
         assert "select" in out
 

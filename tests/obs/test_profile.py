@@ -1,0 +1,251 @@
+"""ProfileSession aggregation, records, and collapsed-stack export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import profile as obs_profile
+from repro.obs import trace as obs_trace
+from repro.obs.profile import (
+    PHASE_SPANS,
+    ProfileSession,
+    collapsed_stacks,
+    peak_rss_bytes,
+    profile_records,
+)
+from repro.obs.schema import validate_record
+
+
+def _burn(n: int = 20_000) -> int:
+    return sum(i * i for i in range(n))
+
+
+@pytest.fixture
+def traced():
+    """Hooks only fire on real spans, so give each test a live tracer."""
+    with obs_trace.capture():
+        yield
+
+
+class TestProfileSession:
+    def test_cprofile_record_per_outermost_phase(self, traced):
+        session = ProfileSession()
+        session.start()
+        try:
+            with obs_trace.span("solve"):
+                with obs_trace.span("select"):  # not a phase span
+                    _burn()
+                _burn()
+        finally:
+            records = session.stop()
+        cpu = [r for r in records if r["profile_kind"] == "cprofile"]
+        assert [r["scope"] for r in cpu] == ["solve"]
+        functions = cpu[0]["data"]["functions"]
+        assert functions and cpu[0]["data"]["n_functions"] >= len(functions)
+        assert all(
+            set(f) == {"func", "ncalls", "tottime", "cumtime"}
+            for f in functions
+        )
+
+    def test_nested_phase_spans_fold_into_root(self, traced):
+        """budget_round inside solve must NOT toggle the profiler: one
+        cprofile scope, the outermost one."""
+        session = ProfileSession()
+        session.start()
+        try:
+            with obs_trace.span("solve"):
+                with obs_trace.span("budget_round"):
+                    _burn()
+                with obs_trace.span("budget_round"):
+                    _burn()
+        finally:
+            records = session.stop()
+        cpu_scopes = [
+            r["scope"] for r in records if r["profile_kind"] == "cprofile"
+        ]
+        assert cpu_scopes == ["solve"]
+        # Memory deltas still attribute per phase name.
+        mem_scopes = {
+            r["scope"] for r in records if r["profile_kind"] == "memory"
+        }
+        assert mem_scopes == {"solve", "budget_round"}
+        rounds = next(
+            r for r in records
+            if r["profile_kind"] == "memory"
+            and r["scope"] == "budget_round"
+        )
+        assert rounds["data"]["samples"] == 2
+
+    def test_non_phase_spans_ignored(self, traced):
+        session = ProfileSession()
+        session.start()
+        try:
+            with obs_trace.span("select"):
+                _burn()
+        finally:
+            records = session.stop()
+        assert "select" not in PHASE_SPANS
+        assert all(r["scope"] != "select" for r in records)
+
+    def test_records_validate_against_schema(self, traced):
+        session = ProfileSession()
+        session.start()
+        try:
+            with obs_trace.span("solve"):
+                _burn()
+        finally:
+            records = session.stop()
+        assert records
+        for record in records:
+            assert validate_record(record) == []
+
+    def test_top_n_caps_function_list(self, traced):
+        session = ProfileSession(top_n=2)
+        session.start()
+        try:
+            with obs_trace.span("solve"):
+                _burn()
+                sorted(range(1000), key=lambda x: -x)
+        finally:
+            records = session.stop()
+        cpu = next(r for r in records if r["profile_kind"] == "cprofile")
+        assert len(cpu["data"]["functions"]) <= 2
+        # tottime-descending order.
+        times = [f["tottime"] for f in cpu["data"]["functions"]]
+        assert times == sorted(times, reverse=True)
+
+    def test_stop_emits_into_configured_tracer(self, tmp_path):
+        import json
+
+        path = tmp_path / "t.jsonl"
+        obs_trace.configure(str(path), command="test")
+        session = ProfileSession()
+        session.start()
+        try:
+            with obs_trace.span("solve"):
+                _burn()
+        finally:
+            session.stop()
+            obs_trace.shutdown()
+        records = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if line
+        ]
+        assert any(r["type"] == "profile" for r in records)
+
+    def test_stop_without_spans_still_reports_rss(self):
+        session = ProfileSession()
+        session.start()
+        records = session.stop()
+        kinds = {r["profile_kind"] for r in records}
+        assert kinds <= {"rss"}
+
+
+class TestModuleApi:
+    def test_start_stop_lifecycle(self, traced):
+        assert not obs_profile.enabled()
+        obs_profile.start()
+        try:
+            assert obs_profile.enabled()
+            with obs_trace.span("solve"):
+                _burn()
+        finally:
+            records = obs_profile.stop()
+        assert not obs_profile.enabled()
+        assert any(r["profile_kind"] == "cprofile" for r in records)
+        # Second stop is a no-op.
+        assert obs_profile.stop() == []
+
+    def test_start_replaces_previous_session(self):
+        first = obs_profile.start()
+        second = obs_profile.start()
+        try:
+            assert first is not second
+            assert obs_profile.enabled()
+        finally:
+            obs_profile.stop()
+
+
+class TestPeakRss:
+    def test_positive_on_posix(self):
+        rss = peak_rss_bytes()
+        assert rss is None or rss > 1024 * 1024
+
+
+def _span(name, span_id, parent_id=None, duration=1.0):
+    return {
+        "type": "span", "name": name, "span_id": span_id,
+        "parent_id": parent_id, "t_start": 0.0, "t_end": duration,
+        "duration": duration, "attrs": {},
+    }
+
+
+class TestCollapsedStacks:
+    def test_self_time_per_path_in_micros(self):
+        records = [
+            _span("solve", "s1", duration=1.0),
+            _span("select", "s2", parent_id="s1", duration=0.25),
+            _span("select", "s3", parent_id="s1", duration=0.25),
+        ]
+        lines = collapsed_stacks(records)
+        assert "solve 500000" in lines
+        assert "solve;select 500000" in lines
+
+    def test_cprofile_lines_namespaced(self):
+        records = [
+            _span("solve", "s1", duration=0.5),
+            {
+                "type": "profile", "profile_kind": "cprofile",
+                "scope": "solve", "t": 1.0,
+                "data": {"functions": [
+                    {"func": "core.py:10:greedy", "ncalls": 5,
+                     "tottime": 0.2, "cumtime": 0.4},
+                ], "n_functions": 1},
+            },
+        ]
+        lines = collapsed_stacks(records)
+        assert "cpu:solve;core.py:10:greedy 200000" in lines
+        assert collapsed_stacks(records, include_cprofile=False) == [
+            "solve 500000"
+        ]
+
+    def test_zero_self_time_paths_dropped(self):
+        records = [
+            _span("solve", "s1", duration=0.5),
+            _span("select", "s2", parent_id="s1", duration=0.5),
+        ]
+        lines = collapsed_stacks(records)
+        assert lines == ["solve;select 500000"]
+
+    def test_profile_records_filter(self):
+        records = [
+            _span("solve", "s1"),
+            {"type": "profile", "profile_kind": "rss", "scope": "process",
+             "t": 1.0, "data": {"peak_rss_bytes": 1}},
+        ]
+        assert len(profile_records(records)) == 1
+
+
+class TestDegradation:
+    def test_concurrent_profiler_degrades_to_memory_only(
+        self, traced, monkeypatch
+    ):
+        """When another profiler owns the hook (enable() raises), the
+        session must not propagate — it keeps memory snapshots and
+        simply skips CPU stats."""
+        import cProfile
+
+        def refuse(self):
+            raise ValueError("Another profiling tool is already active")
+
+        monkeypatch.setattr(cProfile.Profile, "enable", refuse)
+        session = ProfileSession()
+        session.start()
+        try:
+            with obs_trace.span("solve"):
+                _burn()
+        finally:
+            records = session.stop()
+        assert all(r["profile_kind"] != "cprofile" for r in records)
+        assert any(r["profile_kind"] == "memory" for r in records)

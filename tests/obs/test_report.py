@@ -13,11 +13,11 @@ from repro.obs.report import (
 from repro.obs.trace import SCHEMA
 
 
-def _span(name, duration, **attrs):
+def _span(name, duration, span_id="s1", parent_id=None, **attrs):
     return {
-        "type": "span", "name": name, "span_id": "s1", "parent_id": None,
-        "t_start": 0.0, "t_end": duration, "duration": duration,
-        "attrs": attrs,
+        "type": "span", "name": name, "span_id": span_id,
+        "parent_id": parent_id, "t_start": 0.0, "t_end": duration,
+        "duration": duration, "attrs": attrs,
     }
 
 
@@ -44,6 +44,33 @@ class TestRollups:
         records = [_event("dispatch"), _event("dispatch"), _event("requeue")]
         assert event_counts(records) == {"dispatch": 2, "requeue": 1}
 
+    def test_self_time_subtracts_direct_children(self):
+        records = [
+            _span("solve", 1.0, span_id="s1"),
+            _span("select", 0.2, span_id="s2", parent_id="s1"),
+            _span("select", 0.3, span_id="s3", parent_id="s1"),
+            # Grandchild: charged to its select parent, not to solve.
+            _span("scan", 0.1, span_id="s4", parent_id="s3"),
+        ]
+        rollups = phase_rollups(records)
+        assert abs(rollups["solve"]["self"] - 0.5) < 1e-12
+        assert abs(rollups["select"]["self"] - 0.4) < 1e-12
+        assert abs(rollups["scan"]["self"] - 0.1) < 1e-12
+        # Totals stay inclusive.
+        assert rollups["solve"]["total"] == 1.0
+
+    def test_self_time_clamped_at_zero(self):
+        records = [
+            _span("solve", 0.1, span_id="s1"),
+            # Clock jitter: children sum past the parent.
+            _span("select", 0.2, span_id="s2", parent_id="s1"),
+        ]
+        assert phase_rollups(records)["solve"]["self"] == 0.0
+
+    def test_root_spans_keep_full_duration_as_self(self):
+        records = [_span("solve", 0.7, span_id="s1")]
+        assert phase_rollups(records)["solve"]["self"] == 0.7
+
 
 class TestRenderSummary:
     def test_contains_phase_table_events_and_metrics(self):
@@ -64,6 +91,7 @@ class TestRenderSummary:
         ]
         text = render_summary(records)
         assert "phase rollup" in text
+        assert "self_s" in text
         assert "solve" in text and "select" in text
         assert "tracker_update" in text
         assert "scwsc_solves_total{algorithm=cwsc} 3" in text

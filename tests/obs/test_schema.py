@@ -62,6 +62,126 @@ class TestValidateRecord:
                                 "attrs": {}}) != []
 
 
+def _profile(**overrides):
+    record = {
+        "type": "profile", "profile_kind": "cprofile", "scope": "solve",
+        "t": 1.0, "data": {"functions": []},
+    }
+    record.update(overrides)
+    return record
+
+
+def _quality(**overrides):
+    record = {
+        "type": "quality", "t": 1.0, "algorithm": "cwsc",
+        "quality": {"approx_ratio": 1.25, "coverage_slack": 0.1,
+                    "sets_used": 3, "lp_bound": None, "feasible": True},
+    }
+    record.update(overrides)
+    return record
+
+
+class TestProfileRecords:
+    def test_valid_profile_kinds_pass(self):
+        assert validate_record(_profile()) == []
+        assert validate_record(
+            _profile(profile_kind="memory",
+                     data={"alloc_bytes": 10, "peak_bytes": 20})
+        ) == []
+        assert validate_record(
+            _profile(profile_kind="rss", scope="process",
+                     data={"peak_rss_bytes": 1}, span_id="s1")
+        ) == []
+
+    def test_unknown_kind_rejected(self):
+        bad = _profile(profile_kind="flame")
+        assert any("profile_kind" in p for p in validate_record(bad))
+
+    def test_missing_scope_and_data_rejected(self):
+        assert any(
+            "scope" in p for p in validate_record(_profile(scope=""))
+        )
+        assert any(
+            "data" in p for p in validate_record(_profile(data=[1, 2]))
+        )
+
+    def test_bad_time_and_span_id_rejected(self):
+        assert any("t" in p for p in validate_record(_profile(t="later")))
+        assert any(
+            "span_id" in p
+            for p in validate_record(_profile(span_id={"no": 1}))
+        )
+
+
+class TestQualityRecords:
+    def test_valid_quality_passes(self):
+        assert validate_record(_quality()) == []
+
+    def test_algorithm_required(self):
+        assert any(
+            "algorithm" in p
+            for p in validate_record(_quality(algorithm=""))
+        )
+
+    def test_quality_must_be_numeric_object(self):
+        assert any(
+            "quality" in p
+            for p in validate_record(_quality(quality="good"))
+        )
+        bad = _quality(quality={"approx_ratio": "about one"})
+        assert any("approx_ratio" in p for p in validate_record(bad))
+
+    def test_null_fields_allowed(self):
+        record = _quality(
+            quality={"approx_ratio": None, "lp_bound": None}
+        )
+        assert validate_record(record) == []
+
+
+class TestCaptureReplayRoundTrip:
+    def test_profiled_capture_replays_with_prefixes(self, tmp_path):
+        """A worker-style MemorySink capture, replayed into a file trace
+        under a request/attempt prefix, must validate end to end with
+        every span id prefixed."""
+        import json
+
+        from repro.obs import profile as obs_profile
+        from repro.obs import trace as obs_trace
+
+        session = obs_profile.ProfileSession()
+        session.start()
+        try:
+            with obs_trace.capture() as captured:
+                with obs_trace.span("solve", backend="set"):
+                    with obs_trace.span("select"):
+                        sum(range(2000))
+                    obs_trace.event("tracker_update", remaining=3)
+        finally:
+            profile_recs = session.stop()
+        captured = list(captured) + profile_recs
+
+        path = tmp_path / "replayed.jsonl"
+        obs_trace.configure(str(path), command="test")
+        try:
+            obs_trace.replay(captured, prefix="r7a2.", request_id=7)
+        finally:
+            obs_trace.shutdown()
+
+        problems = validate_trace_file(str(path))
+        assert problems == []
+        records = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if line
+        ]
+        spans = [r for r in records if r["type"] == "span"]
+        assert spans and all(
+            str(r["span_id"]).startswith("r7a2.") for r in spans
+        )
+        assert any(r["type"] == "profile" for r in records)
+        assert {r["name"] for r in spans if True} >= {"solve", "select"}
+
+
 class TestValidateTraceFile:
     def test_valid_file(self, tmp_path):
         import json

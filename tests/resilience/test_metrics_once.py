@@ -1,0 +1,105 @@
+"""Telemetry publishes once per request, not once per pool attempt.
+
+``record_cover_result`` is documented as publish-on-accept: retried pool
+attempts ship trace records per attempt, but exactly one accepted answer
+per request reaches the metrics registry. These tests pin both halves —
+the pool delivers one outcome per request even under injected retries,
+and the worker processes never leak publishes into the parent registry.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import get_registry, record_cover_result
+from repro.resilience import faults
+from repro.resilience.faults import FaultConfig
+from repro.resilience.pool import PoolConfig, SolveRequest, SolverPool
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    get_registry().reset()
+    yield
+    get_registry().reset()
+
+
+def _solves_total(snapshot) -> int:
+    metric = snapshot.get("scwsc_solves_total")
+    if metric is None:
+        return 0
+    return sum(series["value"] for series in metric["values"])
+
+
+class TestPublishOncePerRequest:
+    def test_retried_request_publishes_single_solve(self, random_system):
+        """First attempt SIGKILLed, second accepted: one outcome, and the
+        batch-style publish increments scwsc_solves_total by exactly 1."""
+        system = random_system(n_elements=20, n_sets=14, seed=31)
+        with faults.chaos(FaultConfig(worker_kill=1.0, fault_limit=1, seed=7)):
+            with SolverPool(
+                PoolConfig(workers=1, request_timeout=30)
+            ) as pool:
+                outcome = pool.solve(
+                    SolveRequest(system=system, k=4, s_hat=0.8)
+                )
+        attempts = [a["outcome"] for a in outcome.provenance["attempts"]]
+        assert len(attempts) >= 2  # the retry actually happened
+        assert outcome.result is not None
+
+        # Nothing in the pool/worker path published into this process.
+        assert _solves_total(get_registry().snapshot()) == 0
+
+        # The accepted outcome is published once (the batch CLI path).
+        record_cover_result(outcome.result)
+        assert _solves_total(get_registry().snapshot()) == 1
+
+    def test_batch_counts_requests_not_attempts(self, random_system):
+        system = random_system(n_elements=18, n_sets=12, seed=32)
+        requests = [
+            SolveRequest(system=system, k=4, s_hat=0.8, tag=f"r{i}")
+            for i in range(3)
+        ]
+        with faults.chaos(
+            FaultConfig(worker_kill=0.7, fault_limit=2, seed=99)
+        ):
+            with SolverPool(
+                PoolConfig(workers=2, request_timeout=30, max_requeues=3)
+            ) as pool:
+                outcomes = pool.run(requests)
+
+        assert len(outcomes) == len(requests)
+        assert len({o.tag for o in outcomes}) == len(requests)
+        total_attempts = sum(
+            len(o.provenance["attempts"]) for o in outcomes
+        )
+        assert total_attempts >= len(requests)
+
+        for outcome in outcomes:
+            if outcome.result is not None:
+                record_cover_result(outcome.result)
+        published = _solves_total(get_registry().snapshot())
+        assert published == sum(
+            1 for o in outcomes if o.result is not None
+        )
+        assert published == len(requests)  # every request got an answer
+        # Even when the storm forced extra attempts, the publish count
+        # tracks requests, never attempts.
+        assert published <= total_attempts
+
+    def test_worker_rss_rides_only_the_accepted_attempt(self, random_system):
+        """The supervisor attaches the worker's peak RSS to the attempt it
+        accepted — retried (killed) attempts never report one."""
+        system = random_system(n_elements=20, n_sets=14, seed=33)
+        with faults.chaos(FaultConfig(worker_kill=1.0, fault_limit=1, seed=7)):
+            with SolverPool(
+                PoolConfig(workers=1, request_timeout=30)
+            ) as pool:
+                outcome = pool.solve(
+                    SolveRequest(system=system, k=4, s_hat=0.8)
+                )
+        attempts = outcome.provenance["attempts"]
+        assert attempts[0]["outcome"] == "killed"
+        assert "peak_rss_bytes" not in attempts[0]
+        if outcome.status == "ok":
+            assert attempts[-1].get("peak_rss_bytes", 0) > 0
