@@ -7,6 +7,8 @@
 #                     (runtime AND quality); appends to BENCH_history.jsonl
 #   make trace-smoke  traced solves (plain + --isolate), schema-validated
 #   make profile-smoke  profiled solve, flamegraph export, dashboard render
+#   make serve-smoke  boot the real daemon twice: healthy mixed-deadline
+#                     traffic, then forced overload (429s) + SIGTERM drain
 #   make dashboard    render trace-smoke's solve trace + bench history to
 #                     report.html
 #
@@ -18,7 +20,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONHASHSEED := 0
 
-.PHONY: test chaos verify bench trace-smoke profile-smoke dashboard
+.PHONY: test chaos verify bench trace-smoke profile-smoke serve-smoke dashboard
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -36,6 +38,9 @@ trace-smoke:
 
 profile-smoke:
 	$(PYTHON) benchmarks/profile_smoke.py profile-smoke
+
+serve-smoke:
+	$(PYTHON) benchmarks/serve_smoke.py serve-smoke
 
 dashboard: trace-smoke
 	$(PYTHON) -m repro.cli report trace-smoke/solve.jsonl -o report.html

@@ -25,7 +25,11 @@ Subcommands:
   single self-contained HTML file with the span waterfall, self-time
   table, quality panel, and bench-history sparklines (``scwsc report
   run.jsonl -o report.html``); without one, regenerate the markdown
-  experiment report as before.
+  experiment report as before;
+* ``serve`` — run the fault-tolerant solver daemon: a warm supervised
+  pool behind an HTTP front door with admission control, per-tenant
+  rate limits, per-request deadlines, and SIGTERM graceful drain (see
+  docs/SERVING.md).
 
 Examples::
 
@@ -45,14 +49,17 @@ Failures map to documented exit codes (see :mod:`repro.errors`): 2 for
 bad input, 3 for infeasible, 4 for a blown deadline, 5 for an
 intractable pattern space, 6 for a transient backend failure, 7 for a
 supervisor/worker protocol error; the message goes to stderr. An
-interrupt (Ctrl-C) exits 130 after flushing whatever checkpoints and
-result lines were already complete.
+interrupt (Ctrl-C) exits 130, and SIGTERM exits 143, both after
+flushing whatever checkpoints and result lines were already complete —
+SIGTERM gets the same drain-and-flush treatment as Ctrl-C instead of
+killing the process mid-write.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 
 from repro.errors import ReproError, ValidationError
@@ -401,15 +408,137 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the markdown report to a file instead of stdout",
     )
+
+    serve_parser = commands.add_parser(
+        "serve",
+        help="run the solver daemon: warm worker pool, HTTP solve/batch "
+        "endpoints, admission control, graceful drain (docs/SERVING.md)",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="bind port; 0 picks a free port, printed in the boot line "
+        "(default: 8080)",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=2, help="pool size (default: 2)"
+    )
+    serve_parser.add_argument(
+        "--memory-limit",
+        type=int,
+        default=None,
+        metavar="MB",
+        help="address-space headroom per worker",
+    )
+    serve_parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=16,
+        help="global cap on admitted-but-unanswered requests; beyond it "
+        "requests shed with 429 (default: 16)",
+    )
+    serve_parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        help="cap on the dispatch backlog (default: 64)",
+    )
+    serve_parser.add_argument(
+        "--default-deadline",
+        type=float,
+        default=30.0,
+        help="end-to-end budget in seconds for requests without their "
+        "own (default: 30)",
+    )
+    serve_parser.add_argument(
+        "--max-deadline",
+        type=float,
+        default=300.0,
+        help="largest per-request deadline honored (default: 300)",
+    )
+    serve_parser.add_argument(
+        "--tenant-rate",
+        type=float,
+        default=50.0,
+        help="per-tenant sustained requests/second (default: 50)",
+    )
+    serve_parser.add_argument(
+        "--tenant-burst",
+        type=float,
+        default=100.0,
+        help="per-tenant token-bucket burst (default: 100)",
+    )
+    serve_parser.add_argument(
+        "--tenant-inflight",
+        type=int,
+        default=8,
+        help="per-tenant concurrent-request cap (default: 8)",
+    )
+    serve_parser.add_argument(
+        "--read-timeout",
+        type=float,
+        default=10.0,
+        help="socket timeout for reading a request; slow clients are "
+        "dropped (default: 10)",
+    )
+    serve_parser.add_argument(
+        "--grace",
+        type=float,
+        default=1.0,
+        help="SIGKILL slack past a request's deadline (default: 1)",
+    )
+    serve_parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help="on SIGTERM, how long to wait for in-flight work "
+        "(default: 30)",
+    )
+    _add_trace_argument(serve_parser)
     return parser
+
+
+class _Terminated(KeyboardInterrupt):
+    """SIGTERM, surfaced through the KeyboardInterrupt cleanup path.
+
+    Subclassing ``KeyboardInterrupt`` reuses every flush-and-unwind
+    path the codebase already has for Ctrl-C (checkpoint stores flush
+    per put, ``batch`` flushes per result line, pool context managers
+    close their workers), while letting :func:`main` report the
+    conventional 128+SIGTERM exit code instead of 130.
+    """
+
+
+def _install_sigterm_drain() -> object | None:
+    """Route SIGTERM through :class:`_Terminated`; returns the previous
+    handler (``None`` when not running in the main thread)."""
+
+    def _on_sigterm(signum: int, frame) -> None:
+        raise _Terminated()
+
+    try:
+        return signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:  # not the main thread (embedded use); skip
+        return None
 
 
 def main(argv: list[str] | None = None) -> int:
     from repro.obs.log import console_logging
+    from repro.obs.metrics import publish_build_info
 
     parser = build_parser()
     args = parser.parse_args(argv)
     console_logging()
+    publish_build_info()
+    # `serve` owns its signals (drain handshake inside run_server);
+    # every other command gets the same clean SIGTERM exit as Ctrl-C.
+    previous_sigterm = (
+        None if args.command == "serve" else _install_sigterm_drain()
+    )
     trace_path = getattr(args, "trace", None)
     if trace_path:
         from repro.obs import trace as obs_trace
@@ -443,6 +572,8 @@ def main(argv: list[str] | None = None) -> int:
             return run_from_args(args)
         if args.command == "batch":
             return _cmd_batch(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         return _cmd_solve(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -451,6 +582,11 @@ def main(argv: list[str] | None = None) -> int:
         # Unreadable/unwritable input or output file: bad input.
         print(f"error: {error}", file=sys.stderr)
         return ValidationError.exit_code
+    except _Terminated:
+        # Same drain-and-flush guarantees as Ctrl-C below, reported
+        # with the conventional 128+SIGTERM.
+        print("terminated; partial results are flushed", file=sys.stderr)
+        return 143
     except KeyboardInterrupt:
         # Checkpoint stores flush after every put and `batch` flushes
         # each result line, so everything completed so far is already on
@@ -458,6 +594,8 @@ def main(argv: list[str] | None = None) -> int:
         print("interrupted; partial results are flushed", file=sys.stderr)
         return 130
     finally:
+        if previous_sigterm is not None:
+            signal.signal(signal.SIGTERM, previous_sigterm)
         if profiling:
             from repro.obs import profile as obs_profile
 
@@ -846,6 +984,29 @@ def _cmd_report(args: argparse.Namespace) -> int:
     else:
         print(output)
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``scwsc serve``: boot the daemon and block until SIGTERM/SIGINT."""
+    from repro.serve import ServeConfig, run_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        memory_limit_mb=args.memory_limit,
+        max_inflight=args.max_inflight,
+        max_queue_depth=args.queue_depth,
+        default_deadline=args.default_deadline,
+        max_deadline=args.max_deadline,
+        tenant_rate=args.tenant_rate,
+        tenant_burst=args.tenant_burst,
+        tenant_max_inflight=args.tenant_inflight,
+        read_timeout=args.read_timeout,
+        grace=args.grace,
+        drain_timeout=args.drain_timeout,
+    )
+    return run_server(config)
 
 
 def _cmd_report_dashboard(args: argparse.Namespace) -> int:

@@ -40,6 +40,24 @@ Process-level faults exercise the supervised worker pool
   encoded response frame with probability ``ipc_corrupt``, so the
   supervisor's tolerant decoder must detect and recover.
 
+Server-facing faults model misbehaving *clients* of the ``scwsc serve``
+daemon (:mod:`repro.serve`); the chaos client in the serve test suite
+consults them to decide how to abuse a connection:
+
+* **Slow client** — :meth:`FaultInjector.slow_client` returns a stall
+  of ``slow_client_seconds`` with probability ``slow_client``: the
+  client sends part of a request body then goes quiet, exercising the
+  daemon's read timeouts.
+* **Malformed request** — :meth:`FaultInjector.malformed_request`
+  garbles an encoded HTTP request body with probability
+  ``malformed_request`` (truncation, bit flips, or non-JSON noise), so
+  the daemon's length-checked JSON parsing must reject without
+  wedging the accept loop.
+* **Connection reset** — :meth:`FaultInjector.conn_reset` tells the
+  client to abort the TCP connection mid-request with probability
+  ``conn_reset``, exercising the daemon's tolerance of clients that
+  vanish before (or while) a response is written.
+
 All randomness comes from one ``random.Random(seed)``, so a given config
 produces the same fault schedule on every run — failures reproduce.
 ``fault_limit`` caps the *total* number of injected faults per injector
@@ -102,6 +120,12 @@ _ENV_KEYS = {
     "ipc_corrupt": "ipc_corrupt",
     "hang_seconds": "hang_seconds",
     "oom_bytes": "oom_bytes",
+    "slow_client": "slow_client",
+    "malformed": "malformed_request",
+    "malformed_request": "malformed_request",
+    "reset": "conn_reset",
+    "conn_reset": "conn_reset",
+    "slow_client_seconds": "slow_client_seconds",
     "limit": "fault_limit",
     "fault_limit": "fault_limit",
 }
@@ -128,6 +152,10 @@ class FaultConfig:
     ipc_corrupt: float = 0.0
     hang_seconds: float = 30.0
     oom_bytes: int = 256 * 1024 * 1024
+    slow_client: float = 0.0
+    malformed_request: float = 0.0
+    conn_reset: float = 0.0
+    slow_client_seconds: float = 1.0
     fault_limit: int = 0
 
     def __post_init__(self) -> None:
@@ -139,6 +167,9 @@ class FaultConfig:
             "worker_hang",
             "worker_oom",
             "ipc_corrupt",
+            "slow_client",
+            "malformed_request",
+            "conn_reset",
         ):
             rate = getattr(self, name)
             if not (0.0 <= rate <= 1.0):
@@ -152,6 +183,11 @@ class FaultConfig:
         if self.hang_seconds < 0:
             raise ValidationError(
                 f"hang_seconds must be >= 0, got {self.hang_seconds!r}"
+            )
+        if self.slow_client_seconds < 0:
+            raise ValidationError(
+                f"slow_client_seconds must be >= 0, "
+                f"got {self.slow_client_seconds!r}"
             )
         if self.oom_bytes < 0:
             raise ValidationError(
@@ -174,6 +210,9 @@ class FaultStats:
     worker_hangs: int = 0
     worker_ooms: int = 0
     ipc_corruptions: int = 0
+    slow_clients: int = 0
+    malformed_requests: int = 0
+    conn_resets: int = 0
 
     @property
     def total(self) -> int:
@@ -185,6 +224,9 @@ class FaultStats:
             + self.worker_hangs
             + self.worker_ooms
             + self.ipc_corruptions
+            + self.slow_clients
+            + self.malformed_requests
+            + self.conn_resets
         )
 
 
@@ -282,6 +324,36 @@ class FaultInjector:
             "without hitting an rlimit"
         )
 
+    # -- hooks (called by a chaos HTTP client of `scwsc serve`) --------
+    def slow_client(self) -> float:
+        """Seconds the client should stall mid-request (0 = behave)."""
+        if self._take(self.config.slow_client):
+            self.stats.slow_clients += 1
+            return self.config.slow_client_seconds
+        return 0.0
+
+    def malformed_request(self, body: bytes) -> bytes:
+        """Possibly garble an encoded HTTP request body."""
+        if not self._take(self.config.malformed_request):
+            return body
+        self.stats.malformed_requests += 1
+        mode = self._rng.randrange(3)
+        if mode == 0 and len(body) > 1:
+            return body[: len(body) // 2]  # truncated JSON
+        if mode == 1:
+            return b"\x00\xfe not json at all \xff" + body[:8]
+        corrupted = bytearray(body)
+        for _ in range(max(1, len(corrupted) // 16)):
+            corrupted[self._rng.randrange(len(corrupted))] ^= 0xFF
+        return bytes(corrupted)
+
+    def conn_reset(self) -> bool:
+        """Whether the client should abort the connection mid-request."""
+        if self._take(self.config.conn_reset):
+            self.stats.conn_resets += 1
+            return True
+        return False
+
     def corrupt_frame(self, data: bytes) -> bytes:
         """Possibly garble an encoded IPC frame (worker write path)."""
         if not self._take(self.config.ipc_corrupt):
@@ -339,6 +411,9 @@ def encode_env(config: FaultConfig) -> str:
         ("hang", config.worker_hang),
         ("oom", config.worker_oom),
         ("ipc", config.ipc_corrupt),
+        ("slow_client", config.slow_client),
+        ("malformed", config.malformed_request),
+        ("reset", config.conn_reset),
     ):
         if value:
             parts.append(f"{key}={value:g}")
@@ -347,6 +422,10 @@ def encode_env(config: FaultConfig) -> str:
         parts.append(f"slow_seconds={config.slow_seconds:g}")
     if config.hang_seconds != defaults.hang_seconds:
         parts.append(f"hang_seconds={config.hang_seconds:g}")
+    if config.slow_client_seconds != defaults.slow_client_seconds:
+        parts.append(
+            f"slow_client_seconds={config.slow_client_seconds:g}"
+        )
     if config.oom_bytes != defaults.oom_bytes:
         parts.append(f"oom_bytes={config.oom_bytes}")
     if config.fault_limit:

@@ -83,6 +83,11 @@ _STAGE_FAILURE_STATUSES = frozenset(
 #: long enough for the worker to be genuinely mid-solve.
 _CHAOS_KILL_DELAY = 0.05
 
+#: Under absolute deadlines, a request whose remaining budget is below
+#: this is not worth a dispatch round-trip; it goes straight to the
+#: parent-side fallback.
+_MIN_DISPATCH_SLICE = 0.02
+
 
 @dataclass
 class PoolConfig:
@@ -97,6 +102,15 @@ class PoolConfig:
     first. ``worker_env`` entries overlay the inherited environment
     (``None`` values remove keys) — chiefly for ``REPRO_CHAOS`` /
     ``REPRO_DEBUG_HANG``.
+
+    With ``absolute_deadlines`` a request's ``timeout`` is an
+    *end-to-end* budget starting when the request enters the pool:
+    queue wait and requeues all burn the same clock, each dispatch gets
+    only the remaining slice, and a request whose budget is spent skips
+    the worker entirely and degrades to the parent-side fallback. This
+    is what `scwsc serve` uses so a client's deadline bounds its total
+    latency; the default (per-attempt budgets) preserves the batch/grid
+    semantics of earlier releases.
     """
 
     workers: int = 2
@@ -108,6 +122,7 @@ class PoolConfig:
     breaker_cooldown: float = 30.0
     worker_env: dict | None = None
     spawn_retry_limit: int = 3
+    absolute_deadlines: bool = False
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -147,15 +162,18 @@ class _Pending:
     """Supervisor-side state for one request."""
 
     __slots__ = (
-        "request_id", "request", "effective_timeout", "dispatches",
-        "attempts", "routed_around", "done",
+        "request_id", "request", "effective_timeout", "deadline_at",
+        "dispatches", "attempts", "routed_around", "done",
     )
 
     def __init__(self, request_id: int, request: SolveRequest,
-                 effective_timeout: float | None) -> None:
+                 effective_timeout: float | None,
+                 deadline_at: float | None = None) -> None:
         self.request_id = request_id
         self.request = request
         self.effective_timeout = effective_timeout
+        #: Absolute monotonic deadline (absolute_deadlines mode only).
+        self.deadline_at = deadline_at
         self.dispatches = 0
         self.attempts: list[dict] = []
         self.routed_around: list[str] = []
@@ -220,10 +238,11 @@ class SolverPool:
         self._workers: list[_Worker] = []
         self._selector = selectors.DefaultSelector()
         self._queue: deque[_Pending] = deque()
-        self._results: dict[int, PoolResult] = {}
+        self._completed: list[PoolResult] = []
         self._next_id = 0
         self._spawn_deaths = 0
         self._closed = False
+        self._draining = False
         self._on_result: Callable[[PoolResult], None] | None = None
 
     @staticmethod
@@ -354,27 +373,123 @@ class SolverPool:
         which lets callers stream output (``scwsc batch``) and checkpoint
         incrementally.
         """
-        if self._closed:
-            raise ValidationError("pool is closed")
-        self._ensure_workers()
         self._on_result = on_result
-        ids = []
-        for request in requests:
-            pending = self._prepare(request)
-            ids.append(pending.request_id)
-            self._queue.append(pending)
         try:
-            self._loop(ids)
+            ids = [self.submit(request) for request in requests]
+            outstanding = set(ids)
+            collected: dict[int, PoolResult] = {}
+            while outstanding:
+                for pool_result in self.poll():
+                    collected[pool_result.request_id] = pool_result
+                    outstanding.discard(pool_result.request_id)
         finally:
             self._on_result = None
-        return [self._results.pop(request_id) for request_id in ids]
+        return [collected[request_id] for request_id in ids]
 
     def solve(self, request: SolveRequest) -> PoolResult:
         """Run one request (convenience wrapper over :meth:`run`)."""
         return self.run([request])[0]
 
+    def submit(self, request: SolveRequest) -> int:
+        """Enqueue one request; returns its pool request id.
+
+        The serving entry point: callers that cannot block (the
+        ``scwsc serve`` dispatcher) submit work and collect finished
+        :class:`PoolResult`\\ s from :meth:`poll` as they complete.
+        """
+        if self._closed:
+            raise ValidationError("pool is closed")
+        if self._draining:
+            raise ValidationError("pool is draining; no new work accepted")
+        self._ensure_workers()
+        pending = self._prepare(request)
+        self._queue.append(pending)
+        return pending.request_id
+
+    def poll(self, timeout: float = 0.25) -> list[PoolResult]:
+        """One supervision step; returns requests that finished during it.
+
+        Dispatches queued work to free workers, waits up to ``timeout``
+        seconds for worker frames, enforces hard deadlines and reaps
+        dead workers. Safe to call with nothing queued (used by
+        :meth:`warm`). Results are returned in completion order exactly
+        once; ``on_result`` callbacks passed to :meth:`run` fire from
+        inside this method.
+        """
+        if self._closed:
+            raise ValidationError("pool is closed")
+        self._dispatch_all()
+        select_timeout = min(max(timeout, 0.0), self._select_timeout())
+        for key, _ in self._selector.select(select_timeout):
+            self._on_readable(key.data)
+        self._enforce_deadlines()
+        self._reap_silent_deaths()
+        completed = self._completed
+        self._completed = []
+        return completed
+
+    def warm(self, timeout: float = 30.0) -> bool:
+        """Spawn workers and block until all have sent ``ready`` frames.
+
+        The daemon's warm-start hook: ``/readyz`` should not report
+        ready while workers are still importing. Returns ``False`` when
+        the timeout elapsed first (workers may still warm up later);
+        raises :class:`ReproError` if workers keep dying at startup,
+        exactly as dispatch-time spawning would.
+        """
+        self._ensure_workers()
+        deadline = time.monotonic() + timeout
+        while not all(worker.ready for worker in self._workers):
+            if time.monotonic() >= deadline:
+                return False
+            self.poll(0.05)
+        return True
+
+    def drain(self, timeout: float | None = None) -> list[PoolResult]:
+        """Finish queued and in-flight work, accepting nothing new.
+
+        The graceful-shutdown hook: after ``drain`` returns, every
+        request submitted before it has either completed (results are
+        returned here, and through ``poll``'s usual ``on_result`` path)
+        or — when ``timeout`` elapsed first — remains in flight for the
+        caller to abandon via :meth:`close`. Hard deadlines keep being
+        enforced throughout, so a drain bounded by request timeouts
+        terminates. The pool stays draining afterwards; :meth:`close`
+        is the expected next call.
+        """
+        self._draining = True
+        results: list[PoolResult] = []
+        give_up_at = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        while self._queue or any(w.busy for w in self._workers):
+            if give_up_at is not None and time.monotonic() >= give_up_at:
+                break
+            results.extend(self.poll(0.1))
+        results.extend(self._completed)
+        self._completed = []
+        return results
+
     def breaker_snapshot(self) -> dict:
         return self.board.snapshot()
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests accepted but not yet dispatched to a worker."""
+        return len(self._queue)
+
+    @property
+    def busy_workers(self) -> int:
+        return sum(1 for worker in self._workers if worker.busy)
+
+    @property
+    def ready_workers(self) -> int:
+        """Workers that have finished importing and sent ``ready``."""
+        return sum(1 for worker in self._workers if worker.ready)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
 
     # ------------------------------------------------------------------
     # Event loop
@@ -385,26 +500,14 @@ class SolverPool:
             if request.timeout is not None
             else self.config.request_timeout
         )
-        pending = _Pending(self._next_id, request, effective)
+        deadline_at = (
+            time.monotonic() + effective
+            if self.config.absolute_deadlines and effective is not None
+            else None
+        )
+        pending = _Pending(self._next_id, request, effective, deadline_at)
         self._next_id += 1
         return pending
-
-    def _loop(self, ids: list[int]) -> None:
-        outstanding = set(ids)
-        while outstanding:
-            outstanding = {
-                request_id
-                for request_id in outstanding
-                if request_id not in self._results
-            }
-            if not outstanding:
-                break
-            self._dispatch_all()
-            timeout = self._select_timeout()
-            for key, _ in self._selector.select(timeout):
-                self._on_readable(key.data)
-            self._enforce_deadlines()
-            self._reap_silent_deaths()
 
     def _dispatch_all(self) -> None:
         for worker in list(self._workers):
@@ -416,8 +519,28 @@ class SolverPool:
 
     def _dispatch(self, worker: _Worker, pending: _Pending) -> None:
         request = pending.request
+        attempt_timeout = pending.effective_timeout
+        if pending.deadline_at is not None:
+            # Absolute deadline: this attempt gets only what is left of
+            # the end-to-end budget. A spent budget skips the worker and
+            # degrades immediately — the serve path's guarantee that
+            # queue wait and requeues cannot stretch a client's deadline.
+            attempt_timeout = pending.deadline_at - time.monotonic()
+            if attempt_timeout <= _MIN_DISPATCH_SLICE:
+                pending.attempts.append(
+                    {
+                        "attempt": pending.dispatches,
+                        "worker": None,
+                        "pid": None,
+                        "outcome": "deadline-exhausted",
+                        "detail": "end-to-end budget spent before dispatch",
+                        "stage": None,
+                    }
+                )
+                self._finalize_fallback(pending, None)
+                return
         payload = encode_request(request, pending.request_id)
-        payload["timeout"] = pending.effective_timeout
+        payload["timeout"] = attempt_timeout
         if obs_trace.enabled():
             # The parent has a tracer, so ask the worker to capture its
             # solver spans; they come home in the result frame and are
@@ -443,12 +566,15 @@ class SolverPool:
         worker.pending = pending
         worker.dispatched_at = time.monotonic()
         worker.last_stage = None
-        worker.kill_at = (
-            worker.dispatched_at + pending.effective_timeout
-            + self.config.grace
-            if pending.effective_timeout is not None
-            else None
-        )
+        if pending.deadline_at is not None:
+            worker.kill_at = pending.deadline_at + self.config.grace
+        else:
+            worker.kill_at = (
+                worker.dispatched_at + pending.effective_timeout
+                + self.config.grace
+                if pending.effective_timeout is not None
+                else None
+            )
         worker.chaos_kill_at = None
         injector = faults.active()
         if injector is not None and injector.worker_kill_scheduled():
@@ -461,7 +587,7 @@ class SolverPool:
                 pid=worker.pid,
                 attempt=pending.dispatches,
                 solver=request.solver,
-                timeout=pending.effective_timeout,
+                timeout=attempt_timeout,
                 routed_around=list(pending.routed_around),
             )
 
@@ -880,7 +1006,7 @@ class SolverPool:
             result=result,
             provenance=provenance,
         )
-        self._results[pending.request_id] = pool_result
+        self._completed.append(pool_result)
         obs_trace.event(
             "request_complete",
             request_id=pending.request_id,

@@ -1,0 +1,37 @@
+"""``scwsc serve``: a fault-tolerant solver daemon.
+
+The serving stack, bottom up:
+
+* :mod:`.config` — :class:`ServeConfig`, every knob in one dataclass;
+* :mod:`.admission` — token buckets, per-tenant and global caps, shed
+  reasons (:class:`AdmissionController`);
+* :mod:`.engine` — :class:`ServeEngine`, the single dispatcher thread
+  that owns the warm :class:`~repro.resilience.pool.SolverPool` and
+  trades :class:`Ticket`\\ s with HTTP handler threads;
+* :mod:`.server` — :class:`SolverServer` (routes, length-checked JSON
+  bodies, load shedding, graceful drain) and :func:`run_server`, the
+  CLI entry point.
+
+See ``docs/SERVING.md`` for the operator's view.
+"""
+
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    TokenBucket,
+)
+from repro.serve.config import ServeConfig
+from repro.serve.engine import ServeEngine, Ticket
+from repro.serve.server import SolverServer, build_solve_request, run_server
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "ServeConfig",
+    "ServeEngine",
+    "SolverServer",
+    "Ticket",
+    "TokenBucket",
+    "build_solve_request",
+    "run_server",
+]

@@ -1,0 +1,130 @@
+"""Tuning for the ``scwsc serve`` daemon (:mod:`repro.serve`).
+
+One dataclass so the CLI, the tests, and the smoke harness configure a
+server the same way. Validation happens at construction: a daemon that
+would boot with a nonsensical admission policy should fail before it
+binds a port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+__all__ = ["ServeConfig"]
+
+
+@dataclass
+class ServeConfig:
+    """Knobs for one :class:`~repro.serve.server.SolverServer`.
+
+    Admission control:
+
+    ``max_inflight``
+        Ceiling on requests admitted but not yet answered (executing in
+        a worker *or* queued inside the pool) — the "admission cap".
+        Hitting it sheds with 429 + ``Retry-After``.
+    ``max_queue_depth``
+        Independent ceiling on the pool's internal dispatch queue, so a
+        burst of slow requests cannot build unbounded latency even when
+        ``max_inflight`` would admit them.
+    ``tenant_rate`` / ``tenant_burst``
+        Per-tenant token bucket: sustained requests/second and burst
+        capacity. Tenants are named by the ``X-Scwsc-Tenant`` header
+        (``default`` otherwise).
+    ``tenant_max_inflight``
+        Per-tenant concurrent-request cap, so one tenant cannot occupy
+        the whole admission budget.
+
+    Deadlines:
+
+    ``default_deadline`` / ``max_deadline``
+        Per-request end-to-end budgets in seconds: requests may ask for
+        their own ``deadline`` up to ``max_deadline``; omitting it gets
+        ``default_deadline``. Budgets are enforced absolutely by the
+        pool (queue wait and requeues included) with the SIGKILL
+        hard-timeout path behind them; a spent budget degrades to the
+        verified universal fallback instead of overrunning.
+    ``grace``
+        SIGKILL slack past the deadline, and therefore the tolerance on
+        end-to-end latency.
+
+    Robustness:
+
+    ``read_timeout``
+        Socket timeout for reading a request (line, headers, body); a
+        slow-loris client is dropped, not waited on.
+    ``max_body_bytes``
+        Reject larger request bodies with 413 before reading them.
+    ``drain_timeout``
+        On SIGTERM, how long to wait for in-flight work before closing
+        anyway (deadlines keep being enforced during the drain, so this
+        only bites when something is badly wrong).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    workers: int = 2
+    memory_limit_mb: int | None = None
+    max_inflight: int = 16
+    max_queue_depth: int = 64
+    tenant_rate: float = 50.0
+    tenant_burst: float = 100.0
+    tenant_max_inflight: int = 8
+    default_deadline: float = 30.0
+    max_deadline: float = 300.0
+    grace: float = 1.0
+    max_requeues: int = 1
+    read_timeout: float = 10.0
+    max_body_bytes: int = 32 * 1024 * 1024
+    max_batch: int = 256
+    retry_after: float = 1.0
+    drain_timeout: float = 30.0
+    warm_timeout: float = 30.0
+    breaker_threshold: int = 3
+    breaker_cooldown: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValidationError(f"workers must be >= 1, got {self.workers}")
+        if self.max_inflight < 1:
+            raise ValidationError(
+                f"max_inflight must be >= 1, got {self.max_inflight}"
+            )
+        if self.max_queue_depth < 0:
+            raise ValidationError(
+                f"max_queue_depth must be >= 0, got {self.max_queue_depth}"
+            )
+        if self.tenant_rate <= 0 or self.tenant_burst <= 0:
+            raise ValidationError(
+                "tenant_rate and tenant_burst must be > 0, got "
+                f"{self.tenant_rate}/{self.tenant_burst}"
+            )
+        if self.tenant_max_inflight < 1:
+            raise ValidationError(
+                f"tenant_max_inflight must be >= 1, "
+                f"got {self.tenant_max_inflight}"
+            )
+        if self.default_deadline <= 0 or self.max_deadline <= 0:
+            raise ValidationError(
+                "default_deadline and max_deadline must be > 0, got "
+                f"{self.default_deadline}/{self.max_deadline}"
+            )
+        if self.default_deadline > self.max_deadline:
+            raise ValidationError(
+                f"default_deadline {self.default_deadline} exceeds "
+                f"max_deadline {self.max_deadline}"
+            )
+        if self.read_timeout <= 0:
+            raise ValidationError(
+                f"read_timeout must be > 0, got {self.read_timeout}"
+            )
+        if self.max_body_bytes < 1:
+            raise ValidationError(
+                f"max_body_bytes must be >= 1, got {self.max_body_bytes}"
+            )
+        if self.max_batch < 1:
+            raise ValidationError(
+                f"max_batch must be >= 1, got {self.max_batch}"
+            )

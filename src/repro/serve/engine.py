@@ -1,0 +1,292 @@
+"""Dispatcher engine: the bridge between HTTP threads and the pool.
+
+:class:`~repro.resilience.pool.SolverPool` is deliberately
+single-threaded (one selector loop owns the worker pipes), while
+:class:`http.server.ThreadingHTTPServer` hands every connection its own
+thread. :class:`ServeEngine` reconciles the two with the classic
+inbox/ticket pattern:
+
+* HTTP handler threads call :meth:`ServeEngine.submit`, which drops a
+  :class:`Ticket` into a thread-safe inbox and returns immediately.
+* One dispatcher thread — the only thread that ever touches the pool —
+  drains the inbox into :meth:`SolverPool.submit`, drives
+  :meth:`SolverPool.poll`, and resolves tickets as results complete.
+* Handler threads block on :meth:`Ticket.wait`; the pool's absolute
+  deadlines guarantee the wait is bounded.
+
+Shutdown mirrors the pool's drain contract: :meth:`ServeEngine.stop`
+stops intake, lets in-flight work finish (or deadline out) up to
+``drain_timeout``, resolves anything still unanswered as ``None``, and
+closes the pool.
+"""
+
+from __future__ import annotations
+
+import logging
+import queue
+import threading
+import time
+
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import get_registry, record_cover_result
+from repro.resilience.pool import PoolConfig, PoolResult, SolveRequest, SolverPool
+from repro.serve.config import ServeConfig
+
+__all__ = ["Ticket", "ServeEngine"]
+
+logger = logging.getLogger(__name__)
+
+
+class Ticket:
+    """One submitted request's rendezvous point.
+
+    The dispatcher thread fills :attr:`result` (or :attr:`error`) and
+    sets the event; the submitting HTTP thread blocks in :meth:`wait`.
+    """
+
+    __slots__ = ("request", "submitted_at", "result", "error", "_done")
+
+    def __init__(self, request: SolveRequest) -> None:
+        self.request = request
+        self.submitted_at = time.monotonic()
+        self.result: PoolResult | None = None
+        self.error: str | None = None
+        self._done = threading.Event()
+
+    def resolve(self, result: PoolResult | None, error: str | None = None) -> None:
+        self.result = result
+        self.error = error
+        self._done.set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until resolved; ``False`` only if ``timeout`` elapsed."""
+        return self._done.wait(timeout)
+
+
+class ServeEngine:
+    """Owns the warm :class:`SolverPool` behind ``scwsc serve``.
+
+    All pool access happens on the dispatcher thread; the public
+    methods (`submit`, `stop`, the state properties) are safe to call
+    from any thread. State properties read plain attributes published
+    by the dispatcher — monotonic flags and integers, so torn reads are
+    impossible and locks are unnecessary.
+    """
+
+    #: Pool poll slice. Small enough that ticket-resolution latency is
+    #: negligible next to solve time; large enough not to spin.
+    POLL_INTERVAL = 0.05
+
+    def __init__(
+        self, config: ServeConfig, worker_env: dict | None = None
+    ) -> None:
+        self.config = config
+        self.pool = SolverPool(
+            PoolConfig(
+                workers=config.workers,
+                memory_limit_mb=config.memory_limit_mb,
+                request_timeout=config.default_deadline,
+                grace=config.grace,
+                max_requeues=config.max_requeues,
+                breaker_threshold=config.breaker_threshold,
+                breaker_cooldown=config.breaker_cooldown,
+                worker_env=worker_env,
+                absolute_deadlines=True,
+            )
+        )
+        self._inbox: queue.Queue[Ticket] = queue.Queue()
+        self._tickets: dict[int, Ticket] = {}
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._warm = False
+        self._warm_failed: str | None = None
+        self._queue_depth = 0
+        self._draining = False
+        self._drain_requested = True
+        self._breakers: dict = {}
+        self._registry = get_registry()
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("engine already started")
+        self._thread = threading.Thread(
+            target=self._run, name="scwsc-dispatcher", daemon=True
+        )
+        self._thread.start()
+
+    def wait_warm(self, timeout: float | None = None) -> bool:
+        """Block until the pool reported warm (or failed to)."""
+        give_up_at = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        while not self._warm and self._warm_failed is None:
+            if give_up_at is not None and time.monotonic() >= give_up_at:
+                return False
+            time.sleep(0.01)
+        return self._warm
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the dispatcher; optionally drain in-flight work first.
+
+        Idempotent. With ``drain`` the dispatcher finishes (or
+        deadline-outs) everything already submitted before closing the
+        pool; without it, outstanding tickets resolve immediately with
+        an error.
+        """
+        self._drain_requested = drain
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            # Generous join bound: drain itself is capped by
+            # drain_timeout, plus slack for pool close.
+            thread.join(self.config.drain_timeout + 10.0)
+            if thread.is_alive():  # pragma: no cover - last-resort guard
+                logger.error("dispatcher thread failed to stop")
+        self._thread = None
+
+    # -- submission (any thread) -----------------------------------------
+
+    def submit(self, request: SolveRequest) -> Ticket:
+        """Queue one request for the dispatcher; returns its ticket.
+
+        Admission control happens *before* this call — the engine
+        trusts the server to have reserved capacity already.
+        """
+        ticket = Ticket(request)
+        if self._stop.is_set() or self._draining:
+            ticket.resolve(None, "draining")
+            return ticket
+        self._inbox.put(ticket)
+        return ticket
+
+    # -- state (any thread) ----------------------------------------------
+
+    @property
+    def warm(self) -> bool:
+        return self._warm
+
+    @property
+    def warm_failed(self) -> str | None:
+        return self._warm_failed
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def queue_depth(self) -> int:
+        """Dispatch backlog: inbox plus the pool's undispatched queue."""
+        return self._inbox.qsize() + self._queue_depth
+
+    def breaker_snapshot(self) -> dict:
+        """Breaker states as last published by the dispatcher."""
+        return dict(self._breakers)
+
+    @property
+    def open_breakers(self) -> list[str]:
+        return sorted(
+            name
+            for name, snap in self._breakers.items()
+            if snap.get("state") == "open"
+        )
+
+    # -- dispatcher thread -----------------------------------------------
+
+    def _run(self) -> None:
+        depth_gauge = self._registry.gauge(
+            "scwsc_server_queue_depth",
+            "Requests admitted but not yet dispatched to a worker",
+        )
+        try:
+            self._warm = self.pool.warm(self.config.warm_timeout)
+            if not self._warm:
+                self._warm_failed = (
+                    f"pool not warm after {self.config.warm_timeout:g}s"
+                )
+        except Exception as exc:  # workers keep dying at startup
+            self._warm_failed = str(exc)
+            logger.error("pool warm-up failed: %s", exc)
+        obs_trace.event(
+            "server_pool_warm",
+            ok=self._warm,
+            workers=self.pool.ready_workers,
+            error=self._warm_failed,
+        )
+        try:
+            while not self._stop.is_set():
+                self._intake()
+                self._step()
+                self._publish(depth_gauge)
+            self._draining = True
+            if self._drain_requested:
+                self._intake()  # tickets that raced the stop flag
+                self._drain(depth_gauge)
+            self._flush_unanswered("draining")
+        except Exception:  # pragma: no cover - dispatcher must not die
+            logger.exception("dispatcher loop failed")
+            self._flush_unanswered("dispatcher error")
+        finally:
+            self._draining = True
+            try:
+                self.pool.close()
+            except Exception:  # pragma: no cover
+                logger.exception("pool close failed")
+            self._flush_unanswered("shutdown")
+
+    def _intake(self) -> None:
+        while True:
+            try:
+                ticket = self._inbox.get_nowait()
+            except queue.Empty:
+                return
+            try:
+                request_id = self.pool.submit(ticket.request)
+            except Exception as exc:
+                ticket.resolve(None, str(exc))
+                continue
+            self._tickets[request_id] = ticket
+
+    def _step(self) -> None:
+        for pool_result in self.pool.poll(self.POLL_INTERVAL):
+            ticket = self._tickets.pop(pool_result.request_id, None)
+            if pool_result.result is not None:
+                # The publish-once convention: the pool leaves registry
+                # publication to its caller, and for served traffic the
+                # dispatcher is that caller — exactly one publish per
+                # accepted answer, whatever happens to the ticket.
+                record_cover_result(pool_result.result)
+            if ticket is not None:
+                ticket.resolve(pool_result)
+
+    def _publish(self, depth_gauge) -> None:
+        self._queue_depth = self.pool.queue_depth
+        depth_gauge.set(self._inbox.qsize() + self._queue_depth)
+        self._breakers = self.pool.breaker_snapshot()
+
+    def _drain(self, depth_gauge) -> None:
+        obs_trace.event(
+            "server_drain_begin",
+            outstanding=len(self._tickets),
+            queue_depth=self.pool.queue_depth,
+        )
+        give_up_at = time.monotonic() + self.config.drain_timeout
+        while self._tickets and time.monotonic() < give_up_at:
+            self._step()
+            self._publish(depth_gauge)
+        obs_trace.event(
+            "server_drained",
+            outstanding=len(self._tickets),
+            timed_out=bool(self._tickets),
+        )
+
+    def _flush_unanswered(self, reason: str) -> None:
+        while self._tickets:
+            _, ticket = self._tickets.popitem()
+            ticket.resolve(None, reason)
+        while True:
+            try:
+                self._inbox.get_nowait().resolve(None, reason)
+            except queue.Empty:
+                return

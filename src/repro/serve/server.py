@@ -1,0 +1,629 @@
+"""HTTP front-end for the solver daemon: routes, shedding, drain.
+
+Transport is deliberately boring — stdlib
+:class:`http.server.ThreadingHTTPServer`, one thread per connection,
+``Connection: close`` on every response so a half-parsed request can
+never desynchronize a keep-alive stream. The interesting parts are the
+failure paths:
+
+* request bodies are length-checked (411/413) and read under the
+  socket's ``read_timeout``, so a slow-loris client costs one thread
+  for a bounded time and then a 408;
+* malformed bytes (bad JSON, bad schema, bad set system) are a 400 on
+  that connection and nothing else — the accept loop and other
+  connections never see them;
+* admission runs before any solver work: a shed is a 429 with a
+  ``Retry-After`` hint and a ``scwsc_server_shed_total{reason=...}``
+  increment, not a queued request that times out later;
+* a worker-side failure degrades through the pool's requeue → breaker →
+  universal-fallback ladder and still produces a *verified* 200
+  (``status: "fallback"``); 5xx is reserved for the server itself
+  shutting down under a request.
+
+Endpoints::
+
+    GET  /healthz   liveness (200 while the process runs)
+    GET  /readyz    readiness (pool warm, not draining, no open breaker)
+    GET  /metrics   Prometheus text exposition
+    POST /solve     one solve request
+    POST /batch     several solve requests sharing one admission ticket
+
+See ``docs/SERVING.md`` for the request/response schema and the drain
+runbook.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import math
+import signal
+import socket
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import ProtocolError, ValidationError
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import get_registry, publish_build_info
+from repro.resilience.pool import SolveRequest
+from repro.resilience.pool.protocol import system_from_payload
+from repro.serve.admission import AdmissionController
+from repro.serve.config import ServeConfig
+from repro.serve.engine import ServeEngine, Ticket
+
+__all__ = ["SolverServer", "build_solve_request", "run_server"]
+
+logger = logging.getLogger(__name__)
+
+#: Extra server-side slack on top of a request's deadline + grace before
+#: the handler gives up waiting on its ticket. The pool's hard timeouts
+#: make this unreachable in normal operation.
+_TICKET_SLACK = 30.0
+
+
+def build_solve_request(
+    payload: dict, config: ServeConfig, system=None
+) -> SolveRequest:
+    """Validate one JSON solve payload into a :class:`SolveRequest`.
+
+    ``system`` short-circuits deserialization for batch entries sharing
+    a top-level system. Raises :class:`ValidationError` (bad schema or
+    parameters) or :class:`ProtocolError` (bad system payload), both of
+    which the handler maps to 400.
+    """
+    if not isinstance(payload, dict):
+        raise ValidationError("request body must be a JSON object")
+    if system is None:
+        system_payload = payload.get("system")
+        if not isinstance(system_payload, dict):
+            raise ValidationError("missing or invalid 'system' object")
+        system = system_from_payload(system_payload)
+    k = payload.get("k")
+    if not isinstance(k, int) or isinstance(k, bool):
+        raise ValidationError("'k' must be an integer")
+    s_hat = payload.get("s", payload.get("s_hat"))
+    if not isinstance(s_hat, (int, float)) or isinstance(s_hat, bool):
+        raise ValidationError("'s' (coverage target) must be a number")
+    deadline = payload.get("deadline")
+    if deadline is None:
+        deadline = config.default_deadline
+    elif not isinstance(deadline, (int, float)) or isinstance(deadline, bool):
+        raise ValidationError("'deadline' must be a number of seconds")
+    elif deadline <= 0:
+        raise ValidationError(f"'deadline' must be > 0, got {deadline}")
+    deadline = min(float(deadline), config.max_deadline)
+    solver = payload.get("solver", "resilient")
+    if not isinstance(solver, str):
+        raise ValidationError("'solver' must be a string")
+    chain = payload.get("chain")
+    if chain is not None:
+        if not isinstance(chain, list) or not all(
+            isinstance(stage, str) for stage in chain
+        ):
+            raise ValidationError("'chain' must be a list of stage names")
+        chain = tuple(chain)
+    seed = payload.get("seed", 0)
+    if not isinstance(seed, int) or isinstance(seed, bool):
+        raise ValidationError("'seed' must be an integer")
+    tag = payload.get("tag")
+    if tag is not None and not isinstance(tag, str):
+        raise ValidationError("'tag' must be a string")
+    for key in ("options", "stage_options"):
+        if payload.get(key) is not None and not isinstance(payload[key], dict):
+            raise ValidationError(f"'{key}' must be an object")
+    return SolveRequest(
+        system=system,
+        k=k,
+        s_hat=float(s_hat),
+        solver=solver,
+        chain=chain,
+        timeout=deadline,
+        stage_options=payload.get("stage_options"),
+        options=payload.get("options"),
+        seed=seed,
+        tag=tag,
+    )
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One connection. ``self.server`` is the :class:`SolverServer`."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "scwsc-serve"
+
+    # -- plumbing --------------------------------------------------------
+
+    def setup(self) -> None:
+        # Slow-client guard: every read on this connection (request
+        # line, headers, body) times out rather than parking the
+        # handler thread forever.
+        self.timeout = self.server.config.read_timeout
+        super().setup()
+
+    def log_message(self, format: str, *args) -> None:
+        logger.debug("%s - %s", self.address_string(), format % args)
+
+    def _send_json(
+        self, code: int, payload: dict, retry_after: float | None = None
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        try:
+            self.send_response(code)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            if retry_after is not None:
+                self.send_header(
+                    "Retry-After", str(max(1, math.ceil(retry_after)))
+                )
+            self.send_header("Connection", "close")
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError, socket.timeout):
+            # The client left; its problem, not the daemon's.
+            self.server.count_connection_error()
+        self.close_connection = True
+        self._status = code
+
+    # -- routing ---------------------------------------------------------
+
+    def do_GET(self) -> None:
+        self._route("GET")
+
+    def do_POST(self) -> None:
+        self._route("POST")
+
+    def _route(self, method: str) -> None:
+        path = self.path.split("?", 1)[0]
+        self._status = None
+        started = time.monotonic()
+        try:
+            handler = {
+                ("GET", "/healthz"): self._do_healthz,
+                ("GET", "/readyz"): self._do_readyz,
+                ("GET", "/metrics"): self._do_metrics,
+                ("POST", "/solve"): self._do_solve,
+                ("POST", "/batch"): self._do_batch,
+            }.get((method, path))
+            if handler is None:
+                self._send_json(404, {"error": f"no route {method} {path}"})
+                return
+            handler()
+        except (BrokenPipeError, ConnectionResetError) as exc:
+            self.server.count_connection_error()
+            logger.debug("client gone mid-request: %s", exc)
+            self.close_connection = True
+        except socket.timeout:
+            self._send_json(408, {"error": "timed out reading request"})
+        except Exception:
+            # Absolute backstop: a handler bug answers 500 on this one
+            # connection and the accept loop lives on.
+            logger.exception("unhandled error serving %s %s", method, path)
+            if self._status is None:
+                self._send_json(500, {"error": "internal server error"})
+        finally:
+            self.server.observe_request(
+                path, self._status, time.monotonic() - started
+            )
+
+    # -- GET endpoints ---------------------------------------------------
+
+    def _do_healthz(self) -> None:
+        self._send_json(200, {"ok": True})
+
+    def _do_readyz(self) -> None:
+        status = self.server.readiness()
+        self._send_json(200 if status["ready"] else 503, status)
+
+    def _do_metrics(self) -> None:
+        text = self.server.metrics_page().encode("utf-8")
+        try:
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; version=0.0.4")
+            self.send_header("Content-Length", str(len(text)))
+            self.send_header("Connection", "close")
+            self.end_headers()
+            self.wfile.write(text)
+        except (BrokenPipeError, ConnectionResetError, socket.timeout):
+            self.server.count_connection_error()
+        self.close_connection = True
+        self._status = 200
+
+    # -- POST endpoints --------------------------------------------------
+
+    def _read_json_body(self) -> dict | list | None:
+        """Read and decode the body, answering the error response (and
+        returning ``None``) on any malformed frame."""
+        length_header = self.headers.get("Content-Length")
+        if length_header is None:
+            self._send_json(411, {"error": "Content-Length required"})
+            return None
+        try:
+            length = int(length_header)
+        except ValueError:
+            self._send_json(400, {"error": "invalid Content-Length"})
+            return None
+        if length < 0:
+            self._send_json(400, {"error": "invalid Content-Length"})
+            return None
+        if length > self.server.config.max_body_bytes:
+            self._send_json(
+                413,
+                {
+                    "error": "body too large",
+                    "limit_bytes": self.server.config.max_body_bytes,
+                },
+            )
+            return None
+        try:
+            data = self.rfile.read(length)
+        except socket.timeout:
+            self._send_json(408, {"error": "timed out reading body"})
+            return None
+        if len(data) < length:
+            self._send_json(400, {"error": "truncated body"})
+            return None
+        try:
+            return json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._send_json(400, {"error": f"malformed JSON body: {exc}"})
+            return None
+
+    def _tenant(self) -> str:
+        header = self.headers.get("X-Scwsc-Tenant", "")
+        return header.strip() or "default"
+
+    def _shed(self, tenant: str, decision, endpoint: str, n: int) -> None:
+        self.server.count_shed(decision.reason, tenant=tenant, n=n)
+        obs_trace.event(
+            "server_shed",
+            endpoint=endpoint,
+            tenant=tenant,
+            reason=decision.reason,
+            requests=n,
+        )
+        self._send_json(
+            429,
+            {
+                "error": "request shed",
+                "reason": decision.reason,
+                "retry_after": decision.retry_after,
+            },
+            retry_after=decision.retry_after,
+        )
+
+    def _do_solve(self) -> None:
+        payload = self._read_json_body()
+        if payload is None:
+            return
+        tenant = self._tenant()
+        try:
+            request = build_solve_request(payload, self.server.config)
+        except (ValidationError, ProtocolError) as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        admission = self.server.admission
+        decision = admission.try_admit(
+            tenant, 1, queue_depth=self.server.engine.queue_depth
+        )
+        if not decision.admitted:
+            self._shed(tenant, decision, "/solve", 1)
+            return
+        self.server.count_admitted(tenant=tenant)
+        try:
+            ticket = self.server.engine.submit(request)
+            outcome = self._await(ticket)
+            if outcome is None:
+                return
+            code, body = outcome
+            self._send_json(code, body)
+            obs_trace.event(
+                "server_complete",
+                endpoint="/solve",
+                tenant=tenant,
+                code=code,
+                status=body.get("status"),
+                tag=request.tag,
+            )
+        finally:
+            admission.release(tenant, 1)
+
+    def _do_batch(self) -> None:
+        payload = self._read_json_body()
+        if payload is None:
+            return
+        tenant = self._tenant()
+        if not isinstance(payload, dict):
+            self._send_json(400, {"error": "request body must be a JSON object"})
+            return
+        entries = payload.get("requests")
+        if not isinstance(entries, list) or not entries:
+            self._send_json(
+                400, {"error": "'requests' must be a non-empty list"}
+            )
+            return
+        if len(entries) > self.server.config.max_batch:
+            self._send_json(
+                400,
+                {
+                    "error": "batch too large",
+                    "limit": self.server.config.max_batch,
+                },
+            )
+            return
+        shared_system = None
+        try:
+            if isinstance(payload.get("system"), dict):
+                shared_system = system_from_payload(payload["system"])
+            requests = [
+                build_solve_request(
+                    entry,
+                    self.server.config,
+                    system=None if isinstance(entry, dict) and "system" in entry
+                    else shared_system,
+                )
+                for entry in entries
+            ]
+        except (ValidationError, ProtocolError) as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        n = len(requests)
+        admission = self.server.admission
+        decision = admission.try_admit(
+            tenant, n, queue_depth=self.server.engine.queue_depth
+        )
+        if not decision.admitted:
+            self._shed(tenant, decision, "/batch", n)
+            return
+        self.server.count_admitted(tenant=tenant, n=n)
+        try:
+            tickets = [self.server.engine.submit(req) for req in requests]
+            results = []
+            for ticket, request in zip(tickets, requests):
+                outcome = self._await(ticket)
+                if outcome is None:
+                    return
+                _, body = outcome
+                results.append(body)
+            worst = max(
+                (entry.get("code", 200) for entry in results), default=200
+            )
+            self._send_json(200, {"count": len(results), "results": results})
+            obs_trace.event(
+                "server_complete",
+                endpoint="/batch",
+                tenant=tenant,
+                code=200,
+                requests=n,
+                worst_entry_code=worst,
+            )
+        finally:
+            admission.release(tenant, n)
+
+    def _await(self, ticket: Ticket) -> tuple[int, dict] | None:
+        """Wait for the pool's answer; map it to ``(code, body)``.
+
+        Returns ``None`` only when the ticket never resolved inside the
+        server-side backstop window (504 already sent).
+        """
+        budget = (
+            (ticket.request.timeout or self.server.config.default_deadline)
+            + self.server.config.grace
+            + _TICKET_SLACK
+        )
+        if not ticket.wait(budget):
+            self._send_json(504, {"error": "request lost in dispatcher"})
+            return None
+        if ticket.error is not None:
+            return 503, {"status": "error", "error": ticket.error, "code": 503}
+        pool_result = ticket.result
+        assert pool_result is not None
+        body: dict = {
+            "status": pool_result.status,
+            "tag": pool_result.tag,
+            "pool": pool_result.provenance,
+            "result": (
+                pool_result.result.to_dict()
+                if pool_result.result is not None
+                else None
+            ),
+        }
+        if pool_result.status in ("ok", "fallback"):
+            return 200, body
+        body["code"] = 422
+        return 422, body
+
+
+class SolverServer(ThreadingHTTPServer):
+    """The daemon: accept loop + engine + admission + metrics.
+
+    Built separately from :func:`run_server` so tests can run one
+    in-process (port 0, background thread) without signal handling.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+    # The socketserver default backlog of 5 drops SYNs under a burst of
+    # concurrent clients; the dropped connection retries ~1s later and
+    # can then straddle a drain, dying with an RST instead of a 429.
+    request_queue_size = 128
+
+    def __init__(
+        self,
+        config: ServeConfig,
+        engine: ServeEngine,
+        admission: AdmissionController,
+    ) -> None:
+        self.config = config
+        self.engine = engine
+        self.admission = admission
+        self.registry = get_registry()
+        publish_build_info(self.registry)
+        self._requests_total = self.registry.counter(
+            "scwsc_server_requests_total", "HTTP requests by endpoint and code"
+        )
+        self._admitted_total = self.registry.counter(
+            "scwsc_server_admitted_total", "Requests admitted by tenant"
+        )
+        self._shed_total = self.registry.counter(
+            "scwsc_server_shed_total", "Requests shed by reason"
+        )
+        self._conn_errors = self.registry.counter(
+            "scwsc_server_connection_errors_total",
+            "Connections dropped mid-request by the client",
+        )
+        self._inflight = self.registry.gauge(
+            "scwsc_server_inflight", "Requests admitted and not yet answered"
+        )
+        self._draining_gauge = self.registry.gauge(
+            "scwsc_server_draining", "1 while the server is draining"
+        )
+        self._latency = self.registry.histogram(
+            "scwsc_server_request_seconds", "Request wall time by endpoint"
+        )
+        self._draining_gauge.set(0)
+        super().__init__((config.host, config.port), _Handler)
+
+    # -- error containment ----------------------------------------------
+
+    def handle_error(self, request, client_address) -> None:
+        # Never let one connection's failure echo a traceback storm or
+        # kill the accept loop; disconnects are routine under chaos.
+        import sys
+
+        exc = sys.exc_info()[1]
+        if isinstance(
+            exc, (BrokenPipeError, ConnectionResetError, socket.timeout)
+        ):
+            self.count_connection_error()
+            logger.debug("connection error from %s: %s", client_address, exc)
+        else:
+            logger.exception("error handling request from %s", client_address)
+
+    # -- metrics hooks (called from handler threads) ---------------------
+
+    def count_connection_error(self) -> None:
+        self._conn_errors.inc()
+
+    def count_admitted(self, tenant: str, n: int = 1) -> None:
+        self._admitted_total.inc(n, tenant=tenant)
+        self._inflight.set(self.admission.inflight)
+
+    def count_shed(self, reason: str, tenant: str, n: int = 1) -> None:
+        self._shed_total.inc(n, reason=reason)
+
+    def observe_request(
+        self, path: str, code: int | None, seconds: float
+    ) -> None:
+        self._requests_total.inc(endpoint=path, code=str(code or "none"))
+        self._latency.observe(seconds, endpoint=path)
+        self._inflight.set(self.admission.inflight)
+
+    # -- state pages -----------------------------------------------------
+
+    def readiness(self) -> dict:
+        engine = self.engine
+        open_breakers = engine.open_breakers
+        ready = (
+            engine.warm
+            and not engine.draining
+            and not self.admission.draining
+            and not open_breakers
+            and engine.warm_failed is None
+        )
+        return {
+            "ready": ready,
+            "warm": engine.warm,
+            "draining": engine.draining or self.admission.draining,
+            "open_breakers": open_breakers,
+            "breakers": engine.breaker_snapshot(),
+            "warm_error": engine.warm_failed,
+        }
+
+    def metrics_page(self) -> str:
+        self._inflight.set(self.admission.inflight)
+        self.registry.gauge(
+            "scwsc_server_queue_depth",
+            "Requests admitted but not yet dispatched to a worker",
+        ).set(self.engine.queue_depth)
+        self._draining_gauge.set(
+            1 if (self.engine.draining or self.admission.draining) else 0
+        )
+        return self.registry.exposition()
+
+    def begin_drain(self) -> None:
+        self.admission.start_draining()
+        self._draining_gauge.set(1)
+
+
+def run_server(config: ServeConfig, worker_env: dict | None = None) -> int:
+    """Boot the daemon and block until SIGTERM/SIGINT; returns exit code.
+
+    The CLI entry point. Drain sequence on signal: stop admitting
+    (everything new sheds with ``reason: draining``), stop accepting
+    connections, let the dispatcher finish or deadline-out in-flight
+    work, close the pool, exit 0 (SIGTERM) / 130 (SIGINT).
+    """
+    publish_build_info()
+    engine = ServeEngine(config, worker_env=worker_env)
+    admission = AdmissionController(config)
+    engine.start()
+    engine.wait_warm(config.warm_timeout + 5.0)
+    if engine.warm_failed is not None:
+        engine.stop(drain=False)
+        raise ValidationError(f"solver pool failed to start: {engine.warm_failed}")
+    httpd = SolverServer(config, engine, admission)
+    host, port = httpd.server_address[:2]
+    stop = threading.Event()
+    received: dict[str, int] = {}
+
+    def _on_signal(signum: int, frame) -> None:
+        received.setdefault("signum", signum)
+        stop.set()
+
+    previous = {
+        signal.SIGTERM: signal.signal(signal.SIGTERM, _on_signal),
+        signal.SIGINT: signal.signal(signal.SIGINT, _on_signal),
+    }
+    accept_thread = threading.Thread(
+        target=httpd.serve_forever,
+        kwargs={"poll_interval": 0.1},
+        name="scwsc-accept",
+        daemon=True,
+    )
+    accept_thread.start()
+    # Machine-readable boot line (port 0 callers need the real port).
+    print(
+        json.dumps(
+            {
+                "event": "listening",
+                "host": host,
+                "port": port,
+                "workers": config.workers,
+                "ready": engine.warm,
+            }
+        ),
+        flush=True,
+    )
+    obs_trace.event(
+        "server_start",
+        host=host,
+        port=port,
+        workers=config.workers,
+        max_inflight=config.max_inflight,
+    )
+    try:
+        while not stop.wait(0.2):
+            pass
+    finally:
+        signum = received.get("signum", signal.SIGTERM)
+        logger.info("signal %d: draining", signum)
+        httpd.begin_drain()
+        httpd.shutdown()
+        accept_thread.join(5.0)
+        engine.stop(drain=True)
+        httpd.server_close()
+        for signo, handler in previous.items():
+            signal.signal(signo, handler)
+        obs_trace.event("server_stop", signum=signum)
+    return 130 if signum == signal.SIGINT else 0

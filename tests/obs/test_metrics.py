@@ -156,3 +156,48 @@ class TestRecordCoverResult:
         histogram = registry.histogram("scwsc_solve_runtime_seconds")
         assert histogram.count(algorithm="cwsc") == 2
         assert histogram.sum(algorithm="cwsc") == pytest.approx(0.04)
+
+
+class TestBuildInfo:
+    def _labels(self, backend: str = "auto") -> dict:
+        import platform
+
+        from repro import __version__
+
+        return {
+            "version": __version__,
+            "python": platform.python_version(),
+            "backend": backend,
+        }
+
+    def test_publishes_identity_gauge(self, monkeypatch):
+        from repro.core.marginal import BACKEND_ENV_VAR
+        from repro.obs.metrics import publish_build_info
+
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        registry = MetricsRegistry()
+        publish_build_info(registry)
+        assert registry.gauge("scwsc_build_info").value(**self._labels()) == 1
+
+    def test_backend_label_tracks_env(self, monkeypatch):
+        from repro.core.marginal import BACKEND_ENV_VAR
+        from repro.obs.metrics import publish_build_info
+
+        monkeypatch.setenv(BACKEND_ENV_VAR, "python")
+        registry = MetricsRegistry()
+        publish_build_info(registry)
+        assert registry.gauge("scwsc_build_info").value(
+            **self._labels("python")
+        ) == 1
+
+    def test_idempotent_single_sample(self, monkeypatch):
+        from repro.core.marginal import BACKEND_ENV_VAR
+        from repro.obs.metrics import publish_build_info
+
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        registry = MetricsRegistry()
+        publish_build_info(registry)
+        publish_build_info(registry)
+        samples = list(registry.gauge("scwsc_build_info").samples())
+        assert len(samples) == 1
+        assert samples[0].endswith(" 1")

@@ -36,6 +36,93 @@ class TestFaultConfig:
             FaultConfig(slow_seconds=-1.0)
 
 
+class TestServerFacingFaults:
+    """The client-side faults `scwsc serve` chaos tests drive."""
+
+    def test_defaults_are_off(self):
+        config = FaultConfig()
+        assert config.slow_client == 0.0
+        assert config.malformed_request == 0.0
+        assert config.conn_reset == 0.0
+
+    @pytest.mark.parametrize(
+        "name", ["slow_client", "malformed_request", "conn_reset"]
+    )
+    @pytest.mark.parametrize("rate", [-0.1, 1.5])
+    def test_rates_must_be_probabilities(self, name, rate):
+        with pytest.raises(ValidationError):
+            FaultConfig(**{name: rate})
+
+    def test_negative_slow_client_seconds_rejected(self):
+        with pytest.raises(ValidationError):
+            FaultConfig(slow_client_seconds=-1.0)
+
+    def test_slow_client_returns_configured_stall(self):
+        injector = FaultInjector(
+            FaultConfig(slow_client=1.0, slow_client_seconds=2.5)
+        )
+        assert injector.slow_client() == 2.5
+        assert injector.stats.slow_clients == 1
+
+    def test_malformed_request_always_changes_the_body(self):
+        injector = FaultInjector(FaultConfig(seed=9, malformed_request=1.0))
+        body = b'{"system": {"n": 4, "sets": []}, "k": 2, "s": 0.5}'
+        for _ in range(10):
+            assert injector.malformed_request(body) != body
+        assert injector.stats.malformed_requests == 10
+
+    def test_malformed_request_passthrough_at_rate_zero(self):
+        injector = FaultInjector(FaultConfig(seed=9))
+        body = b'{"k": 1}'
+        assert injector.malformed_request(body) is body
+        assert injector.stats.malformed_requests == 0
+
+    def test_conn_reset_counts(self):
+        injector = FaultInjector(FaultConfig(conn_reset=1.0))
+        assert injector.conn_reset()
+        assert not FaultInjector(FaultConfig()).conn_reset()
+        assert injector.stats.conn_resets == 1
+
+    def test_fault_limit_caps_server_faults_too(self):
+        injector = FaultInjector(
+            FaultConfig(conn_reset=1.0, fault_limit=2)
+        )
+        fired = [injector.conn_reset() for _ in range(5)]
+        assert fired == [True, True, False, False, False]
+
+    def test_stats_total_includes_server_faults(self):
+        injector = FaultInjector(
+            FaultConfig(
+                slow_client=1.0, malformed_request=1.0, conn_reset=1.0
+            )
+        )
+        injector.slow_client()
+        injector.malformed_request(b"{}")
+        injector.conn_reset()
+        assert injector.stats.total == 3
+
+    def test_env_round_trip(self):
+        config = FaultConfig(
+            slow_client=0.25,
+            malformed_request=0.5,
+            conn_reset=0.75,
+            slow_client_seconds=3.0,
+            seed=4,
+        )
+        assert faults.parse_env(faults.encode_env(config)) == config
+
+    def test_env_short_keys(self):
+        config = faults.parse_env(
+            "slow_client=0.1,malformed=0.2,reset=0.3"
+        )
+        assert config.slow_client == 0.1
+        assert config.malformed_request == 0.2
+        assert config.conn_reset == 0.3
+        assert faults.parse_env("malformed_request=0.2") == faults.parse_env(
+            "malformed=0.2"
+        )
+
+
 class TestParseEnv:
     def test_short_and_long_keys(self):
         config = faults.parse_env("lp=0.3,slow=0.05,corrupt=0.1,seed=42")

@@ -110,6 +110,77 @@ class TestFrameReader:
             reader.feed(struct.pack(">I", len(body)) + body)
 
 
+class TestFrameReaderAdversarial:
+    """Hostile byte streams: partial writes and interleaved garbage.
+
+    These pin the supervisor-facing contract: single-byte dribble is
+    fine, any garbage raises, and the *caller* (which kills the worker
+    and discards its pipe) is responsible for recovery — a reader that
+    saw a lying length prefix can never resynchronize.
+    """
+
+    def test_single_byte_writes_with_trailing_partial(self):
+        payloads = [{"kind": "ready", "i": i} for i in range(2)]
+        trailing = encode_frame({"kind": "result", "id": 99})
+        data = b"".join(encode_frame(p) for p in payloads) + trailing[:-4]
+        reader = FrameReader()
+        seen = []
+        for i in range(len(data)):
+            seen.extend(reader.feed(data[i : i + 1]))
+        assert seen == payloads
+        assert reader.pending_bytes == len(trailing) - 4
+        # Completing the partial frame later yields it intact.
+        assert reader.feed(trailing[-4:]) == [{"kind": "result", "id": 99}]
+        assert reader.pending_bytes == 0
+
+    def test_garbage_frame_between_valid_frames_across_feeds(self):
+        reader = FrameReader()
+        assert reader.feed(encode_frame({"kind": "a"})) == [{"kind": "a"}]
+        garbage = b"\xde\xad\xbe\xef"
+        with pytest.raises(ProtocolError, match="JSON"):
+            reader.feed(struct.pack(">I", len(garbage)) + garbage)
+        # A garbage *body* is consumed whole, so the stream position is
+        # past it: a subsequent valid frame still decodes. (In
+        # production the supervisor never reads on: it kills the
+        # worker; this documents the reader's own state.)
+        assert reader.feed(encode_frame({"kind": "b"})) == [{"kind": "b"}]
+
+    def test_garbage_in_same_chunk_raises_and_drops_earlier_frames(self):
+        reader = FrameReader()
+        garbage = b"not json"
+        chunk = (
+            encode_frame({"kind": "early"})
+            + struct.pack(">I", len(garbage))
+            + garbage
+            + encode_frame({"kind": "late"})
+        )
+        # The raise wins over partial results: frames decoded earlier in
+        # the same feed() call are lost with it. Callers that care must
+        # feed frame-by-frame — the supervisor instead treats any raise
+        # as worker death, so nothing is silently dropped in practice.
+        with pytest.raises(ProtocolError):
+            reader.feed(chunk)
+        assert reader.feed(b"") == [{"kind": "late"}]
+
+    def test_garbage_body_fed_byte_by_byte_raises_on_final_byte(self):
+        garbage = b"\x00\xffnope"
+        data = struct.pack(">I", len(garbage)) + garbage
+        reader = FrameReader()
+        for i in range(len(data) - 1):
+            assert reader.feed(data[i : i + 1]) == []
+        with pytest.raises(ProtocolError):
+            reader.feed(data[-1:])
+
+    def test_lying_length_prefix_poisons_the_reader(self):
+        reader = FrameReader()
+        with pytest.raises(ProtocolError, match="exceeds"):
+            reader.feed(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        # The prefix is unconsumed and unresynchronizable: every
+        # subsequent feed raises again, valid bytes or not.
+        with pytest.raises(ProtocolError, match="exceeds"):
+            reader.feed(encode_frame({"kind": "fine"}))
+
+
 class TestLabelShims:
     def test_remote_label_repr_fidelity(self):
         shim = RemoteLabel("Pattern('A', ALL)")

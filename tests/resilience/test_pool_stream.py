@@ -1,0 +1,241 @@
+"""The pool's incremental serving API: submit/poll/warm/drain.
+
+``scwsc serve`` drives the pool through these four methods from a
+single dispatcher thread; these tests pin their contracts directly,
+including the absolute-deadline mode where a request's timeout is an
+end-to-end budget rather than a per-attempt one.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.cwsc import cwsc
+from repro.errors import ValidationError
+from repro.resilience.pool import PoolConfig, SolveRequest, SolverPool
+
+HANG_ENV = {"REPRO_CHAOS": "hang=1.0,hang_seconds=120,fault_limit=1000000"}
+
+
+def drain_all(pool, expected, deadline=120.0):
+    results = []
+    give_up = time.monotonic() + deadline
+    while len(results) < expected:
+        assert time.monotonic() < give_up, "poll never completed"
+        results.extend(pool.poll(0.05))
+    return results
+
+
+class TestSubmitPoll:
+    def test_submit_then_poll_collects_each_result_once(self, random_system):
+        system = random_system(seed=1)
+        with SolverPool(PoolConfig(workers=2, request_timeout=60)) as pool:
+            ids = [
+                pool.submit(
+                    SolveRequest(
+                        system=system, k=3, s_hat=0.7, solver="cwsc",
+                        tag=f"r{i}",
+                    )
+                )
+                for i in range(4)
+            ]
+            assert len(set(ids)) == 4
+            results = drain_all(pool, 4)
+            # Nothing is returned twice.
+            assert pool.poll(0.05) == []
+        assert sorted(r.request_id for r in results) == sorted(ids)
+        expected = cwsc(system, 3, 0.7)
+        for outcome in results:
+            assert outcome.status == "ok"
+            assert outcome.result.set_ids == expected.set_ids
+
+    def test_poll_with_nothing_queued_is_safe(self):
+        with SolverPool(PoolConfig(workers=1)) as pool:
+            assert pool.poll(0.01) == []
+
+    def test_submit_after_close_raises(self, random_system):
+        pool = SolverPool(PoolConfig(workers=1))
+        pool.close()
+        with pytest.raises(ValidationError, match="closed"):
+            pool.submit(
+                SolveRequest(system=random_system(), k=2, s_hat=0.5)
+            )
+        with pytest.raises(ValidationError, match="closed"):
+            pool.poll(0.01)
+
+    def test_queue_and_worker_properties(self, random_system):
+        with SolverPool(
+            PoolConfig(workers=1, request_timeout=60, worker_env=HANG_ENV,
+                       grace=0.5)
+        ) as pool:
+            assert pool.queue_depth == 0
+            assert pool.busy_workers == 0
+            for _ in range(2):
+                pool.submit(
+                    SolveRequest(
+                        system=random_system(), k=2, s_hat=0.5,
+                        solver="cwsc", timeout=60,
+                    )
+                )
+            assert pool.queue_depth == 2
+            pool.poll(0.05)  # dispatches one to the lone worker
+            assert pool.busy_workers == 1
+            assert pool.queue_depth == 1
+
+
+class TestWarm:
+    def test_warm_blocks_until_workers_ready(self):
+        with SolverPool(PoolConfig(workers=2)) as pool:
+            assert pool.warm(timeout=60.0) is True
+            assert pool.ready_workers == 2
+
+    def test_warm_timeout_returns_false(self):
+        # A worker that hangs *at import* never sends ready. Simulate
+        # with a tiny timeout instead: spawning is real but readiness
+        # cannot complete in zero time.
+        with SolverPool(PoolConfig(workers=1)) as pool:
+            assert pool.warm(timeout=0.0) is False
+
+
+class TestDrain:
+    def test_drain_finishes_outstanding_work(self, random_system):
+        system = random_system(seed=6)
+        with SolverPool(PoolConfig(workers=2, request_timeout=60)) as pool:
+            ids = [
+                pool.submit(
+                    SolveRequest(system=system, k=3, s_hat=0.6, solver="cwsc")
+                )
+                for _ in range(3)
+            ]
+            results = pool.drain()
+            assert sorted(r.request_id for r in results) == sorted(ids)
+            assert pool.draining
+            with pytest.raises(ValidationError, match="draining"):
+                pool.submit(
+                    SolveRequest(system=system, k=3, s_hat=0.6)
+                )
+
+    def test_drain_timeout_leaves_stragglers_in_flight(self, random_system):
+        with SolverPool(
+            PoolConfig(workers=1, request_timeout=60, worker_env=HANG_ENV,
+                       grace=0.5)
+        ) as pool:
+            pool.submit(
+                SolveRequest(
+                    system=random_system(), k=2, s_hat=0.5, timeout=60
+                )
+            )
+            started = time.monotonic()
+            results = pool.drain(timeout=0.5)
+            assert time.monotonic() - started < 10.0
+            assert results == []  # the hung request is still in flight
+
+
+class TestAbsoluteDeadlines:
+    def test_budget_bounds_end_to_end_latency(self, random_system):
+        """Per-attempt mode would allow ~2 x (timeout + grace); the
+        absolute mode must finish (degraded) within one budget."""
+        deadline, grace = 1.0, 0.5
+        with SolverPool(
+            PoolConfig(
+                workers=1,
+                grace=grace,
+                max_requeues=3,
+                worker_env=HANG_ENV,
+                absolute_deadlines=True,
+            )
+        ) as pool:
+            pool.submit(
+                SolveRequest(
+                    system=random_system(seed=8), k=2, s_hat=0.5,
+                    timeout=deadline,
+                )
+            )
+            started = time.monotonic()
+            (outcome,) = drain_all(pool, 1, deadline=30.0)
+            elapsed = time.monotonic() - started
+        assert outcome.status == "fallback"
+        assert elapsed <= deadline + grace + 2.0, elapsed
+        outcomes = [a["outcome"] for a in outcome.provenance["attempts"]]
+        assert outcomes.count("hard-timeout") == 1
+        assert outcomes[-1] == "deadline-exhausted"
+
+    def test_queue_wait_burns_the_same_clock(self, random_system):
+        # Two hanging requests, one worker: the second spends its whole
+        # budget queued behind the first and must degrade without ever
+        # being dispatched a full slice.
+        deadline, grace = 1.0, 0.5
+        with SolverPool(
+            PoolConfig(
+                workers=1,
+                grace=grace,
+                max_requeues=1,
+                worker_env=HANG_ENV,
+                absolute_deadlines=True,
+            )
+        ) as pool:
+            first = pool.submit(
+                SolveRequest(
+                    system=random_system(seed=2), k=2, s_hat=0.5,
+                    timeout=deadline,
+                )
+            )
+            second = pool.submit(
+                SolveRequest(
+                    system=random_system(seed=3), k=2, s_hat=0.5,
+                    timeout=deadline,
+                )
+            )
+            started = time.monotonic()
+            results = {
+                r.request_id: r for r in drain_all(pool, 2, deadline=30.0)
+            }
+            elapsed = time.monotonic() - started
+        assert results[first].status == "fallback"
+        assert results[second].status == "fallback"
+        # Both budgets ran concurrently from submission: the pair
+        # completes in one deadline window, not two.
+        assert elapsed <= deadline + grace + 3.0, elapsed
+
+    def test_per_attempt_mode_still_restarts_the_clock(self, random_system):
+        # Regression guard for the default mode: a requeue gets a fresh
+        # timeout, so two attempts take about twice the budget.
+        deadline, grace = 0.6, 0.3
+        with SolverPool(
+            PoolConfig(
+                workers=1,
+                grace=grace,
+                max_requeues=1,
+                worker_env=HANG_ENV,
+                absolute_deadlines=False,
+            )
+        ) as pool:
+            pool.submit(
+                SolveRequest(
+                    system=random_system(seed=4), k=2, s_hat=0.5,
+                    timeout=deadline,
+                )
+            )
+            started = time.monotonic()
+            (outcome,) = drain_all(pool, 1, deadline=30.0)
+            elapsed = time.monotonic() - started
+        assert outcome.status == "fallback"
+        outcomes = [a["outcome"] for a in outcome.provenance["attempts"]]
+        assert outcomes.count("hard-timeout") == 2
+        assert elapsed >= 2 * deadline, elapsed
+
+    def test_ok_results_unaffected_by_absolute_mode(self, random_system):
+        system = random_system(seed=5)
+        with SolverPool(
+            PoolConfig(workers=1, absolute_deadlines=True)
+        ) as pool:
+            outcome = pool.solve(
+                SolveRequest(
+                    system=system, k=3, s_hat=0.7, solver="cwsc", timeout=60
+                )
+            )
+        expected = cwsc(system, 3, 0.7)
+        assert outcome.status == "ok"
+        assert outcome.result.set_ids == expected.set_ids

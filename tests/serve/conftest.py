@@ -1,0 +1,135 @@
+"""Serve-test fixtures: an in-process daemon and an HTTP micro-client.
+
+Tests here boot the real stack — ``ServeEngine`` (dispatcher thread +
+worker processes) behind a real ``SolverServer`` on an ephemeral port —
+because the robustness claims under test (shedding under concurrency,
+drain under signal, surviving hostile clients) only exist with real
+sockets and real processes. Pools are kept at 1–2 workers to bound
+spawn cost.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.metrics import get_registry
+from repro.resilience.pool.protocol import system_to_payload
+from repro.serve import (
+    AdmissionController,
+    ServeConfig,
+    ServeEngine,
+    SolverServer,
+)
+
+
+class LiveServer:
+    """One in-process daemon plus a blocking JSON client for it."""
+
+    def __init__(self, config: ServeConfig, worker_env: dict | None = None):
+        self.config = config
+        self.engine = ServeEngine(config, worker_env=worker_env)
+        self.admission = AdmissionController(config)
+        self.engine.start()
+        assert self.engine.wait_warm(60.0), "pool failed to warm"
+        self.httpd = SolverServer(config, self.engine, self.admission)
+        self.port = self.httpd.server_address[1]
+        self.base = f"http://127.0.0.1:{self.port}"
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            daemon=True,
+        )
+        self._thread.start()
+        self._stopped = False
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body=None,
+        headers: dict | None = None,
+        timeout: float = 60.0,
+    ):
+        """Returns ``(status_code, decoded_body, response_headers)``."""
+        data = None
+        if isinstance(body, (dict, list)):
+            data = json.dumps(body).encode("utf-8")
+        elif body is not None:
+            data = body
+        request = urllib.request.Request(
+            self.base + path, data=data, method=method, headers=headers or {}
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as response:
+                raw, code = response.read(), response.status
+                response_headers = dict(response.headers)
+        except urllib.error.HTTPError as error:
+            raw, code = error.read(), error.code
+            response_headers = dict(error.headers)
+        try:
+            decoded = json.loads(raw)
+        except (ValueError, UnicodeDecodeError):
+            decoded = raw.decode("utf-8", errors="replace")
+        return code, decoded, response_headers
+
+    def get(self, path: str, timeout: float = 60.0):
+        return self.request("GET", path, timeout=timeout)
+
+    def post(self, path: str, body, headers=None, timeout: float = 60.0):
+        return self.request("POST", path, body, headers=headers, timeout=timeout)
+
+    def stop(self, drain: bool = True) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        self.httpd.begin_drain()
+        self.httpd.shutdown()
+        self._thread.join(10.0)
+        self.engine.stop(drain=drain)
+        self.httpd.server_close()
+
+
+@pytest.fixture
+def make_server():
+    """Factory for :class:`LiveServer`\\ s, stopped at teardown.
+
+    Resets the global metrics registry first so per-test assertions on
+    ``scwsc_server_*`` values see only this test's traffic.
+    """
+    get_registry().reset()
+    servers: list[LiveServer] = []
+
+    def _make(worker_env: dict | None = None, **overrides) -> LiveServer:
+        overrides.setdefault("port", 0)
+        overrides.setdefault("workers", 1)
+        config = ServeConfig(**overrides)
+        server = LiveServer(config, worker_env=worker_env)
+        servers.append(server)
+        return server
+
+    yield _make
+    for server in servers:
+        server.stop()
+    get_registry().reset()
+
+
+@pytest.fixture
+def solve_body(random_system):
+    """A valid ``POST /solve`` JSON body over a small random system."""
+
+    def _body(seed: int = 0, **overrides) -> dict:
+        system = random_system(n_elements=12, n_sets=8, seed=seed)
+        body = {
+            "system": system_to_payload(system),
+            "k": 3,
+            "s": 0.5,
+        }
+        body.update(overrides)
+        return body
+
+    return _body

@@ -1,0 +1,166 @@
+"""Server-facing chaos: hostile clients against a live daemon.
+
+The chaos layer's new client-side faults (``slow_client``,
+``malformed_request``, ``conn_reset``) drive a misbehaving client at a
+real server while healthy traffic runs beside it. The invariant in
+every test: the daemon answers the healthy requests normally and keeps
+accepting connections — a hostile client costs at most its own
+connection.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.resilience.faults import FaultConfig, FaultInjector
+
+pytestmark = pytest.mark.chaos
+
+
+def raw_request(body: bytes, port: int) -> bytes:
+    return (
+        f"POST /solve HTTP/1.1\r\n"
+        f"Host: 127.0.0.1:{port}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    ).encode() + body
+
+
+class HealthyTraffic:
+    """Background healthy requests; join() asserts they all succeeded."""
+
+    def __init__(self, server, solve_body, count: int = 3):
+        self.server = server
+        self.codes: list[int] = []
+        self._lock = threading.Lock()
+        self._threads = [
+            threading.Thread(target=self._fire, args=(solve_body(seed=i),))
+            for i in range(count)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def _fire(self, body: dict) -> None:
+        code, _, _ = self.server.post("/solve", body, timeout=120)
+        with self._lock:
+            self.codes.append(code)
+
+    def assert_all_ok(self) -> None:
+        for thread in self._threads:
+            thread.join(120)
+            assert not thread.is_alive(), "healthy request hung"
+        assert self.codes == [200] * len(self._threads), self.codes
+
+
+class TestSlowClient:
+    def test_slow_client_is_dropped_not_waited_on(
+        self, make_server, solve_body
+    ):
+        server = make_server(workers=1, read_timeout=0.5)
+        injector = FaultInjector(
+            FaultConfig(seed=7, slow_client=1.0, slow_client_seconds=5.0)
+        )
+        healthy = HealthyTraffic(server, solve_body)
+
+        stall = injector.slow_client()
+        assert stall == 5.0
+        body = json.dumps(solve_body(seed=20)).encode()
+        with socket.create_connection(("127.0.0.1", server.port), 10) as sock:
+            frame = raw_request(body, server.port)
+            sock.sendall(frame[: len(frame) // 2])
+            started = time.monotonic()
+            sock.settimeout(min(stall, 10.0))
+            # The server hangs up once read_timeout expires — long
+            # before the client's intended stall is over.
+            tail = b""
+            try:
+                while True:
+                    chunk = sock.recv(4096)
+                    if not chunk:
+                        break
+                    tail += chunk
+            except (socket.timeout, ConnectionResetError):
+                pytest.fail("server kept the slow client alive past stall")
+            waited = time.monotonic() - started
+            assert waited < stall, "server waited out the slow client"
+
+        healthy.assert_all_ok()
+        assert server.get("/healthz")[0] == 200
+        assert injector.stats.slow_clients == 1
+
+    def test_behaving_rate_zero_never_stalls(self):
+        injector = FaultInjector(FaultConfig(seed=1, slow_client=0.0))
+        assert all(injector.slow_client() == 0.0 for _ in range(50))
+
+
+class TestMalformedRequest:
+    def test_garbled_bodies_get_400_and_accept_loop_survives(
+        self, make_server, solve_body
+    ):
+        server = make_server(workers=1)
+        injector = FaultInjector(FaultConfig(seed=11, malformed_request=1.0))
+        healthy = HealthyTraffic(server, solve_body)
+
+        clean = json.dumps(solve_body(seed=21)).encode()
+        for _ in range(6):
+            garbled = injector.malformed_request(clean)
+            assert garbled != clean
+            code, response, _ = server.post("/solve", garbled, timeout=30)
+            assert code == 400, (code, response)
+
+        healthy.assert_all_ok()
+        # And the daemon still solves for clients who behave.
+        assert server.post("/solve", solve_body(seed=22))[0] == 200
+        assert injector.stats.malformed_requests == 6
+
+    def test_interleaved_garbage_between_valid_requests(
+        self, make_server, solve_body
+    ):
+        # valid → garbage → valid on fresh connections: each malformed
+        # frame is rejected in isolation.
+        server = make_server(workers=1)
+        injector = FaultInjector(FaultConfig(seed=3, malformed_request=1.0))
+        clean = json.dumps(solve_body(seed=23)).encode()
+        assert server.post("/solve", clean)[0] == 200
+        assert server.post(
+            "/solve", injector.malformed_request(clean), timeout=30
+        )[0] == 400
+        assert server.post("/solve", clean)[0] == 200
+
+
+class TestConnReset:
+    def test_mid_request_resets_do_not_drop_healthy_traffic(
+        self, make_server, solve_body
+    ):
+        server = make_server(workers=1)
+        injector = FaultInjector(FaultConfig(seed=5, conn_reset=1.0))
+        healthy = HealthyTraffic(server, solve_body)
+
+        body = json.dumps(solve_body(seed=24)).encode()
+        resets = 0
+        for _ in range(4):
+            assert injector.conn_reset()
+            resets += 1
+            sock = socket.create_connection(("127.0.0.1", server.port), 10)
+            try:
+                frame = raw_request(body, server.port)
+                sock.sendall(frame[: max(1, len(frame) // 3)])
+                # SO_LINGER(1, 0): close sends RST, not FIN.
+                sock.setsockopt(
+                    socket.SOL_SOCKET,
+                    socket.SO_LINGER,
+                    __import__("struct").pack("ii", 1, 0),
+                )
+            finally:
+                sock.close()
+
+        healthy.assert_all_ok()
+        assert server.get("/healthz")[0] == 200
+        assert server.post("/solve", solve_body(seed=25))[0] == 200
+        assert injector.stats.conn_resets == resets
