@@ -5,6 +5,9 @@
 #   make verify       tier-1 followed by the chaos suite — the full gate
 #   make bench        quick benchmark matrix, gated against the committed baseline
 #                     (runtime AND quality); appends to BENCH_history.jsonl
+#   make bench-large  n = 10^5 packed-vs-bitset matrix (--scale large), gated
+#                     against the committed baseline's large cells (runtime,
+#                     quality, and peak RSS)
 #   make trace-smoke  traced solves (plain + --isolate), schema-validated
 #   make profile-smoke  profiled solve, flamegraph export, dashboard render
 #   make serve-smoke  boot the real daemon twice: healthy mixed-deadline
@@ -20,7 +23,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONHASHSEED := 0
 
-.PHONY: test chaos verify bench trace-smoke profile-smoke serve-smoke dashboard
+.PHONY: test chaos verify bench bench-large trace-smoke profile-smoke serve-smoke dashboard
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -32,6 +35,9 @@ verify: test chaos
 
 bench:
 	$(PYTHON) -m repro.bench --quick --check --out BENCH_micro.json
+
+bench-large:
+	$(PYTHON) -m repro.bench --scale large --repeat 2 --check --out BENCH_large.json
 
 trace-smoke:
 	$(PYTHON) benchmarks/trace_smoke.py trace-smoke

@@ -9,13 +9,23 @@ committed baseline:
 * ``bench_fig5_datasize`` — CWSC and CMC swept across dataset sizes
   (the shape behind Fig. 5's runtime-vs-data-size curves).
 
-Each benchmark runs on both marginal-tracker backends (``set`` and
-``bitset``; see :mod:`repro.core.marginal`), so the report also carries
-the cross-backend speedup per workload. Timings use ``warmup``
-un-timed iterations (which also populate the per-system caches: mask
-table, owners index, canonical keys) followed by ``repeat`` timed ones;
+Each benchmark runs on every available marginal-tracker backend
+(``set``, ``bitset``, and — with numpy >= 2.0 — ``packed``; see
+:mod:`repro.core.marginal`), so the report also carries the
+cross-backend speedups per workload. Per-system caches (mask table,
+owners index, canonical keys, the columnar packed layout, CMC's sorted
+heap entries) are warmed *explicitly* before the first measurement of
+each workload (:func:`warm_system_caches`) — relying on ``warmup=1``
+left the first cell of every workload paying the cache builds, which
+showed up as a cold-run outlier in committed baselines. Timings then
+use ``warmup`` un-timed iterations followed by ``repeat`` timed ones;
 the *median* is the comparison statistic, which makes single-run noise
 spikes harmless.
+
+Two scales beyond the CI pair probe the large-``n`` regime: ``large``
+(n = 10^5 LBL rows, ``bitset`` vs ``packed`` — the ``make bench-large``
+/ CI smoke workload) and ``xlarge`` (a synthetic n = 10^6 universe,
+packed-only, opt-in).
 
 Regression checking is tolerance-based, not exact: CI machines jitter,
 so ``--check`` only fails when a benchmark's median exceeds
@@ -74,6 +84,11 @@ DEFAULT_TOLERANCE = 3.0
 #: one — it only absorbs legitimate tie-break changes.
 DEFAULT_QUALITY_TOLERANCE = 1.1
 
+#: Memory-regression tolerance for per-cell peak RSS. RSS is a lifetime
+#: high-water mark (``ru_maxrss`` never goes down), so only genuine
+#: footprint blow-ups should trip it.
+DEFAULT_MEMORY_TOLERANCE = 2.0
+
 DEFAULT_BASELINE = Path("benchmarks") / "BENCH_baseline.json"
 DEFAULT_OUT = Path("BENCH_micro.json")
 DEFAULT_HISTORY = Path("BENCH_history.jsonl")
@@ -95,15 +110,47 @@ _SOLVERS: dict[str, Callable[..., CoverResult]] = {
 }
 
 #: Workload sizes (generated LBL-trace rows) and solver pools per scale.
+#: A scale may also pin its own ``backends`` (the large scales drop the
+#: ``set`` backend, whose per-solve index build dominates at n >= 10^5)
+#: and ``workloads`` (the large scales only run the Table-5 shape), and
+#: mark itself ``synthetic`` (universe sizes beyond the LBL generator).
 _SCALES: dict[str, dict] = {
     "quick": {"sizes": (600, 1200), "solvers": ("cwsc", "cmc")},
     "full": {
         "sizes": (3000, 6000, 12000),
         "solvers": ("cwsc", "cmc", "cmc_epsilon"),
     },
+    "large": {
+        "sizes": (100_000,),
+        "solvers": ("cwsc", "cmc"),
+        "backends": ("bitset", "packed"),
+        "workloads": ("bench_table5_runtime",),
+    },
+    "xlarge": {
+        "sizes": (1_000_000,),
+        "solvers": ("cwsc",),
+        "backends": ("packed",),
+        "workloads": ("bench_table5_runtime",),
+        "synthetic": True,
+    },
 }
 
-BACKENDS = ("set", "bitset")
+BACKENDS = ("set", "bitset", "packed")
+
+#: Skip the LP lower bound above this size: one LP solve on the
+#: n = 10^5 instance costs more than the whole benchmark matrix, and the
+#: large scales gate on runtime/memory, not approximation ratio.
+LP_BOUND_MAX_ROWS = 20_000
+
+
+def available_backends() -> tuple[str, ...]:
+    """:data:`BACKENDS` minus ``packed`` when numpy lacks
+    ``np.bitwise_count`` (numpy < 2.0 or absent)."""
+    from repro.core.packed import HAVE_NUMPY
+
+    if HAVE_NUMPY:
+        return BACKENDS
+    return tuple(b for b in BACKENDS if b != "packed")
 
 
 @dataclass(frozen=True)
@@ -129,9 +176,13 @@ class BenchCase:
 def default_cases(
     scale: str,
     sizes: tuple[int, ...] | None = None,
-    backends: Iterable[str] = BACKENDS,
+    backends: Iterable[str] | None = None,
 ) -> list[BenchCase]:
-    """The benchmark matrix for a scale, in deterministic order."""
+    """The benchmark matrix for a scale, in deterministic order.
+
+    ``backends=None`` takes the scale's own backend pool (falling back
+    to :data:`BACKENDS`); an explicit iterable overrides it.
+    """
     try:
         spec = _SCALES[scale]
     except KeyError:
@@ -139,31 +190,112 @@ def default_cases(
             f"unknown bench scale {scale!r}; known: {sorted(_SCALES)}"
         ) from None
     sizes = tuple(sizes) if sizes is not None else spec["sizes"]
+    if backends is None:
+        backends = spec.get("backends", BACKENDS)
     backends = tuple(backends)
+    workloads = spec.get(
+        "workloads", ("bench_table5_runtime", "bench_fig5_datasize")
+    )
     cases: list[BenchCase] = []
-    for solver in spec["solvers"]:
-        for backend in backends:
-            cases.append(
-                BenchCase("bench_table5_runtime", solver, sizes[-1], backend)
-            )
-    for solver in ("cwsc", "cmc"):
-        if solver not in spec["solvers"]:
-            continue
-        for n_rows in sizes:
+    if "bench_table5_runtime" in workloads:
+        for solver in spec["solvers"]:
             for backend in backends:
                 cases.append(
-                    BenchCase("bench_fig5_datasize", solver, n_rows, backend)
+                    BenchCase(
+                        "bench_table5_runtime", solver, sizes[-1], backend
+                    )
                 )
+    if "bench_fig5_datasize" in workloads:
+        for solver in ("cwsc", "cmc"):
+            if solver not in spec["solvers"]:
+                continue
+            for n_rows in sizes:
+                for backend in backends:
+                    cases.append(
+                        BenchCase(
+                            "bench_fig5_datasize", solver, n_rows, backend
+                        )
+                    )
     return cases
 
 
-def build_system(n_rows: int, seed: int = 7) -> SetSystem:
-    """The benchmark instance: pattern sets over an LBL-style trace."""
+def build_system(
+    n_rows: int, seed: int = 7, synthetic: bool = False
+) -> SetSystem:
+    """The benchmark instance: pattern sets over an LBL-style trace, or
+    the synthetic interval instance for universes beyond the generator
+    (``synthetic=True``; the ``xlarge`` scale)."""
+    if synthetic:
+        return build_synthetic_system(n_rows, seed=seed)
     from repro.datasets.registry import load_dataset
     from repro.patterns.pattern_sets import build_set_system
 
     table = load_dataset(f"lbl:{n_rows}@{seed}")
     return build_set_system(table, cost="count")
+
+
+def build_synthetic_system(n_elements: int, seed: int = 7) -> SetSystem:
+    """A synthetic instance for the 10^6-universe regime.
+
+    ``m = max(64, n / 8000)`` wrap-around interval sets, each about
+    ``n / 10`` elements wide with ±20% jitter. Intervals keep
+    construction fast (``frozenset(range(...))`` stays in C) while still
+    exercising the packed kernel's full-width word sweeps, and make the
+    instance feasible by construction for the shared bench parameters:
+    ten sets of width ~n/10 at random offsets cover well over
+    ``s_hat = 0.5`` of the universe in expectation, and the greedy
+    solvers pick near-disjoint ones.
+    """
+    import random
+
+    rng = random.Random(seed)
+    n_sets = max(64, n_elements // 8_000)
+    base_width = max(1, n_elements // 10)
+    benefits: list[frozenset[int]] = []
+    costs: list[float] = []
+    for _ in range(n_sets):
+        width = max(1, int(base_width * rng.uniform(0.8, 1.2)))
+        start = rng.randrange(n_elements)
+        stop = start + width
+        if stop <= n_elements:
+            block = frozenset(range(start, stop))
+        else:
+            block = frozenset(range(start, n_elements)) | frozenset(
+                range(stop - n_elements)
+            )
+        benefits.append(block)
+        costs.append(float(len(block) // 1_000 + 1))
+    return SetSystem.from_iterables(n_elements, benefits, costs)
+
+
+def warm_system_caches(system: SetSystem, backends: Iterable[str]) -> None:
+    """Build every per-system cache a timed run would otherwise pay for.
+
+    Called once per workload instance before its first measurement.
+    Warming used to lean on ``warmup=1``, but with ``warmup=0`` — or
+    when a cache is shared across cells — the *first* cell of a workload
+    paid the mask-table/owners-index/canonical-key builds inside its
+    timed loop and showed up as a cold-run outlier in committed
+    baselines. The set is backend-aware: the packed columnar layout is
+    only built when a ``packed`` cell will run, and the Python-int mask
+    table only for ``set``/``bitset`` cells.
+    """
+    backends = set(backends)
+    from repro.core.cmc import _sorted_entries
+    from repro.core.greedy_common import canonical_keys
+
+    canonical_keys(system)
+    _sorted_entries(system)
+    if backends & {"set", "bitset"}:
+        from repro.core.bitset import mask_table, owners_index
+
+        mask_table(system)
+        owners_index(system)
+    if "packed" in backends:
+        from repro.core.packed import canonical_ranks, packed_layout
+
+        packed_layout(system)
+        canonical_ranks(system)
 
 
 def instance_lp_bound(system: SetSystem) -> float | None:
@@ -211,6 +343,8 @@ def run_case(
             result = solver(system, case.backend)
         phases = phase_rollups(records)
     assert result is not None
+    from repro.obs.profile import peak_rss_bytes
+
     # The comparison dict deliberately excludes runtime_seconds: work
     # counters must match across backends; wall time never does.
     metrics = {
@@ -231,6 +365,10 @@ def run_case(
         "runs": runs,
         "metrics": metrics,
         "phases": phases,
+        # Process high-water RSS when this cell finished. ru_maxrss is
+        # monotone within a run, but the matrix order is deterministic,
+        # so same-position cells compare meaningfully across runs.
+        "peak_rss_bytes": peak_rss_bytes(),
         "result": {
             "n_sets": result.n_sets,
             "total_cost": result.total_cost,
@@ -250,7 +388,7 @@ def run_benchmarks(
     scale: str = "full",
     repeat: int = 3,
     warmup: int = 1,
-    backends: Iterable[str] = BACKENDS,
+    backends: Iterable[str] | None = None,
     name_filter: str | None = None,
     sizes: tuple[int, ...] | None = None,
     progress: Callable[[str], None] | None = None,
@@ -260,11 +398,16 @@ def run_benchmarks(
     Parameters
     ----------
     scale:
-        ``"quick"`` (small sizes, CI smoke) or ``"full"`` (paper sizes).
+        ``"quick"`` (small sizes, CI smoke), ``"full"`` (paper sizes),
+        ``"large"`` (n = 10^5, bitset vs packed), or ``"xlarge"``
+        (synthetic n = 10^6, packed only).
     repeat / warmup:
         Timed iterations per case / un-timed cache-warming iterations.
     backends:
-        Subset of :data:`BACKENDS` to measure.
+        Subset of :data:`BACKENDS` to measure. ``None`` (default) takes
+        the scale's backend pool intersected with
+        :func:`available_backends`; requesting ``packed`` explicitly
+        without numpy >= 2.0 is an error, never a silent skip.
     name_filter:
         Substring filter on bench ids (``--filter``).
     sizes:
@@ -276,14 +419,27 @@ def run_benchmarks(
         raise ValidationError(f"repeat must be >= 1, got {repeat}")
     if warmup < 0:
         raise ValidationError(f"warmup must be >= 0, got {warmup}")
-    for backend in backends:
-        if backend not in BACKENDS:
-            raise ValidationError(
-                f"unknown backend {backend!r}; known: {list(BACKENDS)}"
-            )
+    if backends is not None:
+        for backend in backends:
+            if backend not in BACKENDS:
+                raise ValidationError(
+                    f"unknown backend {backend!r}; known: {list(BACKENDS)}"
+                )
+            if backend not in available_backends():
+                raise ValidationError(
+                    f"backend {backend!r} requires numpy >= 2.0 "
+                    "(np.bitwise_count)"
+                )
     cases = default_cases(scale, sizes=sizes, backends=backends)
+    spec = _SCALES[scale]
+    if backends is None:
+        # Scale default: drop packed cells quietly when numpy is absent.
+        avail = available_backends()
+        cases = [c for c in cases if c.backend in avail]
     if name_filter:
         cases = [c for c in cases if name_filter in c.bench_id]
+    synthetic = bool(spec.get("synthetic"))
+    case_backends = tuple(dict.fromkeys(c.backend for c in cases))
     systems: dict[int, SetSystem] = {}
     lp_bounds: dict[int, float | None] = {}
     benchmarks: dict[str, dict] = {}
@@ -292,9 +448,19 @@ def run_benchmarks(
             continue
         system = systems.get(case.n_rows)
         if system is None:
-            system = systems[case.n_rows] = build_system(case.n_rows)
-            # One LP solve per workload size, shared by every cell on it.
-            lp_bounds[case.n_rows] = instance_lp_bound(system)
+            system = systems[case.n_rows] = build_system(
+                case.n_rows, synthetic=synthetic
+            )
+            # Build every per-system cache up front so the first cell's
+            # timed loop measures the solve, not the cache fills.
+            warm_system_caches(system, case_backends)
+            # One LP solve per workload size, shared by every cell on
+            # it; skipped above the large-n cutoff (see LP_BOUND_MAX_ROWS).
+            lp_bounds[case.n_rows] = (
+                instance_lp_bound(system)
+                if case.n_rows <= LP_BOUND_MAX_ROWS
+                else None
+            )
         entry = run_case(
             system,
             case,
@@ -317,25 +483,36 @@ def run_benchmarks(
         "python": platform.python_version(),
         "benchmarks": benchmarks,
         "speedups": _speedups(cases, benchmarks),
+        "packed_speedups": _speedups(
+            cases, benchmarks, fast="packed", slow="bitset"
+        ),
     }
 
 
 def _speedups(
-    cases: list[BenchCase], benchmarks: dict[str, dict]
+    cases: list[BenchCase],
+    benchmarks: dict[str, dict],
+    fast: str = "bitset",
+    slow: str = "set",
 ) -> dict[str, float]:
-    """Cross-backend speedup (set median / bitset median) per workload."""
+    """Cross-backend speedup (``slow`` median / ``fast`` median) per
+    workload; a workload missing either backend is skipped."""
     speedups: dict[str, float] = {}
     for case in cases:
-        if case.speedup_id in speedups or case.backend != "bitset":
+        if case.speedup_id in speedups or case.backend != fast:
             continue
-        fast = benchmarks.get(case.bench_id)
-        slow = benchmarks.get(
-            BenchCase(case.workload, case.solver, case.n_rows, "set").bench_id
+        fast_entry = benchmarks.get(case.bench_id)
+        slow_entry = benchmarks.get(
+            BenchCase(case.workload, case.solver, case.n_rows, slow).bench_id
         )
-        if fast is None or slow is None or not fast["median_seconds"]:
+        if (
+            fast_entry is None
+            or slow_entry is None
+            or not fast_entry["median_seconds"]
+        ):
             continue
         speedups[case.speedup_id] = (
-            slow["median_seconds"] / fast["median_seconds"]
+            slow_entry["median_seconds"] / fast_entry["median_seconds"]
         )
     return speedups
 
@@ -345,20 +522,25 @@ def compare_reports(
     baseline: dict,
     tolerance: float = DEFAULT_TOLERANCE,
     quality_tolerance: float = DEFAULT_QUALITY_TOLERANCE,
+    memory_tolerance: float = DEFAULT_MEMORY_TOLERANCE,
 ) -> tuple[list[dict], list[str]]:
     """Tolerance-check a report against a baseline, on speed AND quality.
 
     Returns ``(regressions, missing)``: each regression records the
-    bench id, a ``kind`` (``"runtime"``, ``"quality"``, or
-    ``"feasibility"``), both values, and the ratio; ``missing`` lists
-    baseline benchmarks the current report did not run (filtered out or
-    a renamed matrix) so CI can surface them without failing the build.
+    bench id, a ``kind`` (``"runtime"``, ``"quality"``,
+    ``"feasibility"``, or ``"memory"``), both values, and the ratio;
+    ``missing`` lists baseline benchmarks the current report did not run
+    (filtered out or a renamed matrix) so CI can surface them without
+    failing the build.
 
     Runtime uses the generous ``tolerance`` (machines jitter); the
     approximation ratio uses the tight ``quality_tolerance`` (answers
     don't), and a cell that turns infeasible where the baseline was
-    feasible always regresses. Baselines predating quality telemetry
-    (no ``quality`` key) gate on runtime only.
+    feasible always regresses. Per-cell peak RSS gates with
+    ``memory_tolerance`` — RSS is a lifetime high-water mark, but the
+    matrix order is deterministic, so same-position cells compare
+    meaningfully. Baselines predating quality/memory telemetry (no
+    ``quality`` / ``peak_rss_bytes`` keys) gate on runtime only.
     """
     if tolerance <= 1.0:
         raise ValidationError(
@@ -367,6 +549,10 @@ def compare_reports(
     if quality_tolerance <= 1.0:
         raise ValidationError(
             f"quality tolerance must be > 1.0, got {quality_tolerance}"
+        )
+    if memory_tolerance <= 1.0:
+        raise ValidationError(
+            f"memory tolerance must be > 1.0, got {memory_tolerance}"
         )
     regressions: list[dict] = []
     missing: list[str] = []
@@ -418,6 +604,18 @@ def compare_reports(
                     "baseline_feasible": True,
                 }
             )
+        base_rss = base.get("peak_rss_bytes")
+        rss = entry.get("peak_rss_bytes")
+        if base_rss and rss and rss > memory_tolerance * base_rss:
+            regressions.append(
+                {
+                    "kind": "memory",
+                    "bench_id": bench_id,
+                    "peak_rss_bytes": rss,
+                    "baseline_rss_bytes": base_rss,
+                    "ratio": rss / base_rss,
+                }
+            )
     return regressions, missing
 
 
@@ -450,6 +648,7 @@ def history_entry(report: dict, wall_time_unix: float | None = None) -> dict:
         "python": report.get("python"),
         "cells": cells,
         "speedups": report.get("speedups", {}),
+        "packed_speedups": report.get("packed_speedups", {}),
     }
 
 
@@ -480,6 +679,11 @@ def render_report(report: dict) -> str:
         lines.append("")
         lines.append("bitset speedup over set backend (median/median):")
         for speedup_id, ratio in report["speedups"].items():
+            lines.append(f"  {speedup_id:56s} {ratio:6.2f}x")
+    if report.get("packed_speedups"):
+        lines.append("")
+        lines.append("packed speedup over bitset backend (median/median):")
+        for speedup_id, ratio in report["packed_speedups"].items():
             lines.append(f"  {speedup_id:56s} {ratio:6.2f}x")
     quality_lines = []
     for bench_id, entry in report["benchmarks"].items():
@@ -528,9 +732,12 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--backend",
-        choices=("both",) + BACKENDS,
-        default="both",
-        help="marginal-tracker backend(s) to measure (default: both)",
+        choices=("all", "both") + BACKENDS,
+        default="all",
+        help="marginal-tracker backend(s) to measure: 'all' (default) "
+        "takes the scale's backend pool, skipping packed when numpy is "
+        "absent; 'both' is the legacy set+bitset pair; or one backend "
+        "by name (requesting packed without numpy >= 2.0 is an error)",
     )
     parser.add_argument(
         "--filter",
@@ -572,6 +779,13 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         f"(default: {DEFAULT_QUALITY_TOLERANCE:g})",
     )
     parser.add_argument(
+        "--memory-tolerance",
+        type=float,
+        default=DEFAULT_MEMORY_TOLERANCE,
+        help="per-cell peak-RSS regression factor for --check "
+        f"(default: {DEFAULT_MEMORY_TOLERANCE:g})",
+    )
+    parser.add_argument(
         "--history",
         default=str(DEFAULT_HISTORY),
         metavar="PATH",
@@ -601,7 +815,15 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
 def run_from_args(args: argparse.Namespace) -> int:
     """Execute ``scwsc bench`` from parsed arguments."""
     scale = "quick" if args.quick else args.scale
-    backends = BACKENDS if args.backend == "both" else (args.backend,)
+    # getattr default: hand-built Namespaces predating the packed
+    # backend pick the scale's own pool, like the CLI default.
+    backend_arg = getattr(args, "backend", "all")
+    if backend_arg == "all":
+        backends = None
+    elif backend_arg == "both":
+        backends = ("set", "bitset")
+    else:
+        backends = (backend_arg,)
     report = run_benchmarks(
         scale=scale,
         repeat=args.repeat,
@@ -640,6 +862,9 @@ def run_from_args(args: argparse.Namespace) -> int:
         quality_tolerance=getattr(
             args, "quality_tolerance", DEFAULT_QUALITY_TOLERANCE
         ),
+        memory_tolerance=getattr(
+            args, "memory_tolerance", DEFAULT_MEMORY_TOLERANCE
+        ),
     )
     for bench_id in missing:
         print(
@@ -664,6 +889,13 @@ def run_from_args(args: argparse.Namespace) -> int:
                 detail = (
                     f"approx ratio {regression['approx_ratio']:.4f} vs "
                     f"baseline {regression['baseline_ratio']:.4f} "
+                    f"({regression['ratio']:.2f}x)"
+                )
+            elif kind == "memory":
+                detail = (
+                    f"peak RSS {regression['peak_rss_bytes'] / 2**20:.0f} "
+                    f"MiB vs baseline "
+                    f"{regression['baseline_rss_bytes'] / 2**20:.0f} MiB "
                     f"({regression['ratio']:.2f}x)"
                 )
             else:

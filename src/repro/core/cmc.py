@@ -55,6 +55,7 @@ def cmc(
     on_infeasible: OnInfeasible = "raise",
     deadline: Deadline | None = None,
     backend: TrackerBackend | None = None,
+    tracker=None,
 ) -> CoverResult:
     """Run Cheap Max Coverage with the original (up to ``5k``) levels.
 
@@ -83,8 +84,13 @@ def cmc(
     backend:
         Marginal-tracker backend (``"set"``, ``"bitset"``, ``"auto"``);
         defaults to the auto/env selection of
-        :func:`repro.core.marginal.resolve_backend`. Both backends
+        :func:`repro.core.marginal.resolve_backend`. All backends
         select identical sets with identical metrics.
+    tracker:
+        Optional pre-built, resettable marginal tracker (overrides
+        ``backend``); the universe-sharded pool injects its merged
+        tracker here. Its metrics are adopted as the solve's metrics
+        and it is reset at the start of every budget round.
     """
     params = {"k": k, "s_hat": s_hat, "b": b, "variant": "standard"}
     return run_cmc_driver(
@@ -98,6 +104,7 @@ def cmc(
         on_infeasible=on_infeasible,
         deadline=deadline,
         backend=backend,
+        tracker=tracker,
     )
 
 
@@ -112,6 +119,7 @@ def run_cmc_driver(
     on_infeasible: OnInfeasible = "raise",
     deadline: Deadline | None = None,
     backend: TrackerBackend | None = None,
+    tracker=None,
 ) -> CoverResult:
     """Shared CMC driver, parameterized by the level scheme.
 
@@ -140,6 +148,7 @@ def run_cmc_driver(
             deadline,
             backend,
             traced,
+            tracker,
         )
         if solve_span.enabled:
             solve_span.set(
@@ -165,11 +174,16 @@ def _driver_body(
     deadline: Deadline | None,
     backend: TrackerBackend | None,
     traced: bool,
+    shared_tracker=None,
 ) -> CoverResult:
     start = time.perf_counter()
-    metrics = Metrics()
+    if shared_tracker is not None:
+        metrics = shared_tracker.metrics
+        tracker_backend = getattr(shared_tracker, "backend_name", "injected")
+    else:
+        metrics = Metrics()
+        tracker_backend = resolve_backend(system, backend)
     target = COVERAGE_DISCOUNT * s_hat * system.n_elements
-    tracker_backend = resolve_backend(system, backend)
     params = dict(params)
     params["target_elements"] = target
     params["tracker_backend"] = tracker_backend
@@ -226,9 +240,17 @@ def _driver_body(
                 if traced
                 else obs_trace.NULL_SPAN
             ):
-                tracker = make_tracker(
-                    system, metrics=metrics, backend=tracker_backend
-                )
+                if shared_tracker is not None:
+                    tracker = shared_tracker
+                    # A freshly built tracker already counted this
+                    # round's sets_considered in its constructor; only
+                    # reset once it has actually been mutated.
+                    if not getattr(tracker, "fresh", False):
+                        tracker.reset()
+                else:
+                    tracker = make_tracker(
+                        system, metrics=metrics, backend=tracker_backend
+                    )
             scheme = scheme_factory(budget, k)
             try:
                 chosen, reached = _run_round(
@@ -336,6 +358,10 @@ def _run_round(
     :class:`_RoundDeadline` (carrying the round's selections so far)
     when the deadline expires mid-round.
     """
+    if getattr(tracker, "best_benefit_in", None) is not None:
+        return _run_round_vector(
+            system, tracker, scheme, target, deadline, traced
+        )
     # Partition live sets into per-level lazy heaps. Heap entries are
     # (-|MBen|, cost, canonical_key, set_id): heapq pops the smallest
     # tuple, i.e. the largest benefit with ties to cheaper cost. The
@@ -368,6 +394,63 @@ def _run_round(
                 # Stale entry: re-insert with the up-to-date benefit.
                 heapq.heappush(heap, (-current, cost, canon, set_id))
                 continue
+            if injector is not None:
+                injector.iteration()
+            with (
+                obs_trace.span("select", level=level, set_id=set_id)
+                if traced
+                else obs_trace.NULL_SPAN
+            ) as pick_span:
+                newly = tracker.select(set_id)
+                if pick_span.enabled:
+                    pick_span.set(marginal_covered=newly)
+            if injector is not None:
+                newly = injector.corrupt_marginal(newly)
+            chosen.append(set_id)
+            picked += 1
+            rem -= newly
+            if rem <= _EPS:
+                return chosen, True
+    return chosen, False
+
+
+def _run_round_vector(
+    system: SetSystem,
+    tracker,
+    scheme: LevelScheme,
+    target: float,
+    deadline: Deadline | None = None,
+    traced: bool = False,
+) -> tuple[list[int], bool]:
+    """One budget round on a vectorized tracker (packed or sharded).
+
+    Replaces the lazy heaps with the tracker's
+    ``best_benefit_in(member_ids)`` argmax, which reproduces
+    :func:`repro.core.greedy_common.benefit_key` exactly (max current
+    marginal, then min cost, then the canonical key) — the same winner
+    the heap's pop-and-reinsert loop converges to — so selections and
+    metrics are identical to the heap path.
+    """
+    import numpy as np  # tracker presence implies numpy is importable
+
+    from repro.core.packed import assign_levels
+
+    levels = assign_levels(tracker.costs, scheme)
+    chosen: list[int] = []
+    rem = target
+    if rem <= _EPS:
+        return chosen, True
+    injector = faults.active()
+    for level in range(scheme.n_levels):
+        member_ids = np.nonzero(levels == level)[0]
+        quota = scheme.quotas[level]
+        picked = 0
+        while picked < quota:
+            if deadline is not None and deadline.poll():
+                raise _RoundDeadline(chosen)
+            set_id = tracker.best_benefit_in(member_ids)
+            if set_id is None:
+                break
             if injector is not None:
                 injector.iteration()
             with (

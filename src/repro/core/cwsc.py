@@ -45,6 +45,7 @@ def cwsc(
     on_infeasible: OnInfeasible = "raise",
     deadline: Deadline | None = None,
     backend: TrackerBackend | None = None,
+    tracker=None,
 ) -> CoverResult:
     """Run Concise Weighted Set Cover on an arbitrary set system.
 
@@ -67,8 +68,13 @@ def cwsc(
     backend:
         Marginal-tracker backend (``"set"``, ``"bitset"``, ``"auto"``);
         defaults to the auto/env selection of
-        :func:`repro.core.marginal.resolve_backend`. Both backends
+        :func:`repro.core.marginal.resolve_backend`. All backends
         select identical sets with identical metrics.
+    tracker:
+        Optional pre-built marginal tracker (overrides ``backend``);
+        the universe-sharded pool injects its merged tracker here. The
+        tracker must be freshly reset and its metrics are adopted as
+        the solve's metrics.
 
     Returns
     -------
@@ -94,7 +100,8 @@ def cwsc(
         else obs_trace.NULL_SPAN
     ) as solve_span:
         result = _cwsc_body(
-            system, k, s_hat, on_infeasible, deadline, backend, traced
+            system, k, s_hat, on_infeasible, deadline, backend, traced,
+            tracker,
         )
         if solve_span.enabled:
             solve_span.set(
@@ -115,10 +122,15 @@ def _cwsc_body(
     deadline: Deadline | None,
     backend: TrackerBackend | None,
     traced: bool,
+    tracker=None,
 ) -> CoverResult:
     start = time.perf_counter()
-    metrics = Metrics()
-    tracker_backend = resolve_backend(system, backend)
+    if tracker is not None:
+        metrics = tracker.metrics
+        tracker_backend = getattr(tracker, "backend_name", "injected")
+    else:
+        metrics = Metrics()
+        tracker_backend = resolve_backend(system, backend)
     params = {
         "k": k,
         "s_hat": s_hat,
@@ -126,12 +138,17 @@ def _cwsc_body(
         "tracker_backend": tracker_backend,
     }
 
-    with (
-        obs_trace.span("preprocess", op="make_tracker", backend=tracker_backend)
-        if traced
-        else obs_trace.NULL_SPAN
-    ):
-        tracker = make_tracker(system, metrics=metrics, backend=tracker_backend)
+    if tracker is None:
+        with (
+            obs_trace.span(
+                "preprocess", op="make_tracker", backend=tracker_backend
+            )
+            if traced
+            else obs_trace.NULL_SPAN
+        ):
+            tracker = make_tracker(
+                system, metrics=metrics, backend=tracker_backend
+            )
     rem = s_hat * system.n_elements
     chosen: list[int] = []
     # Per-iteration diagnostics (Fig. 2's loop state), recorded in
@@ -144,7 +161,11 @@ def _cwsc_body(
         return _finish(system, "cwsc", chosen, True, params, metrics, start)
 
     injector = faults.active()
-    canon_keys = canonical_keys(system)
+    # Vectorized trackers (packed, sharded) expose an argmax that
+    # reproduces gain_key's lexicographic order exactly; the Python scan
+    # below is the reference path for the dict-based backends.
+    fast_argmax = getattr(tracker, "best_gain_candidate", None)
+    canon_keys = canonical_keys(system) if fast_argmax is None else None
     for i in range(k, 0, -1):
         if deadline is not None and deadline.expired():
             raise DeadlineExceeded(
@@ -161,41 +182,24 @@ def _cwsc_body(
             if traced
             else obs_trace.NULL_SPAN
         ) as pick_span:
-            best_id = None
-            best_key = None
-            sets = system.sets
-            for set_id, size in tracker.live_items():
-                if deadline is not None and deadline.poll():
-                    raise DeadlineExceeded(
-                        f"cwsc: deadline expired scanning candidates for pick "
-                        f"{len(chosen) + 1}",
-                        partial=_finish(
-                            system, "cwsc", chosen, False, params, metrics, start
-                        ),
-                    )
-                if size < threshold:
-                    continue
-                ws = sets[set_id]
-                cost = ws.cost
-                # MGain(s, S) = |MBen| / cost, inlined (live sets have
-                # size > 0, so a zero cost means infinite gain).
-                gain = size / cost if cost else float("inf")
-                if best_key is not None and gain < best_key[0]:
-                    # gain is the leading key component; a strictly smaller
-                    # gain can never win the lexicographic comparison, so
-                    # skip building the full key.
-                    continue
-                key = gain_key(
-                    gain,
-                    size,
-                    cost,
-                    ws.label,
-                    set_id,
-                    canon_key=canon_keys[set_id],
+            if deadline is not None and fast_argmax is not None and deadline.poll():
+                raise DeadlineExceeded(
+                    f"cwsc: deadline expired scanning candidates for pick "
+                    f"{len(chosen) + 1}",
+                    partial=_finish(
+                        system, "cwsc", chosen, False, params, metrics, start
+                    ),
                 )
-                if best_key is None or key > best_key:
-                    best_id = set_id
-                    best_key = key
+            if fast_argmax is not None:
+                best_id = fast_argmax(threshold)
+            else:
+                best_id = _scan_candidates(
+                    system, tracker, threshold, canon_keys, deadline,
+                    lambda: _finish(
+                        system, "cwsc", chosen, False, params, metrics, start
+                    ),
+                    len(chosen),
+                )
             if best_id is None:
                 return _bail(
                     system,
@@ -231,6 +235,52 @@ def _cwsc_body(
     return _bail(
         system, "cwsc", chosen, rem, on_infeasible, params, metrics, start
     )  # pragma: no cover
+
+
+def _scan_candidates(
+    system: SetSystem,
+    tracker,
+    threshold: float,
+    canon_keys,
+    deadline: Deadline | None,
+    make_partial,
+    picks_done: int,
+):
+    """Reference argmax: scan live candidates for the best gain key."""
+    best_id = None
+    best_key = None
+    sets = system.sets
+    for set_id, size in tracker.live_items():
+        if deadline is not None and deadline.poll():
+            raise DeadlineExceeded(
+                f"cwsc: deadline expired scanning candidates for pick "
+                f"{picks_done + 1}",
+                partial=make_partial(),
+            )
+        if size < threshold:
+            continue
+        ws = sets[set_id]
+        cost = ws.cost
+        # MGain(s, S) = |MBen| / cost, inlined (live sets have
+        # size > 0, so a zero cost means infinite gain).
+        gain = size / cost if cost else float("inf")
+        if best_key is not None and gain < best_key[0]:
+            # gain is the leading key component; a strictly smaller
+            # gain can never win the lexicographic comparison, so
+            # skip building the full key.
+            continue
+        key = gain_key(
+            gain,
+            size,
+            cost,
+            ws.label,
+            set_id,
+            canon_key=canon_keys[set_id],
+        )
+        if best_key is None or key > best_key:
+            best_id = set_id
+            best_key = key
+    return best_id
 
 
 def _finish(

@@ -6,7 +6,7 @@ yet covered by the partial solution ``S``. A naive implementation recomputes
 ``Ben(s) \\ covered`` for every set after every selection (the loops in
 Fig. 1 lines 24–27 and Fig. 2 lines 12–15).
 
-Two interchangeable trackers implement the bookkeeping:
+Three interchangeable trackers implement the bookkeeping:
 
 * :class:`MarginalTracker` — a static inverted index ``element -> sets
   containing it`` plus per-set marginal *counts*, so selecting a set only
@@ -18,12 +18,20 @@ Two interchangeable trackers implement the bookkeeping:
   per system so CMC's per-budget-round rebuilds cost a handful of
   popcounts instead of an O(sum |Ben|) index rebuild. Wins by a wide
   margin on figure-scale instances.
+* :class:`~repro.core.packed.PackedMarginalTracker` — the columnar
+  numpy kernel (:mod:`repro.core.packed`): benefits live in a
+  ``(n_sets, ceil(n/64))`` ``uint64`` matrix (dense or CSR-blocked by
+  density), selection updates are vectorized gather/AND/popcount
+  passes with no per-set Python, and the solvers use its vectorized
+  argmax helpers instead of scanning ``live_items()``. Wins once the
+  universe passes ~10^4 elements; requires numpy >= 2.0.
 
-Both produce **identical selections and identical metrics counters** —
-property-tested in ``tests/property/test_props_bitset.py`` — so
-:func:`make_tracker` is free to pick by instance size (overridable via
-its ``backend`` argument or the ``REPRO_SETCOVER_BACKEND`` environment
-variable; see docs/PERFORMANCE.md).
+All three produce **identical selections and identical metrics
+counters** — property-tested in ``tests/property/test_props_bitset.py``
+— so :func:`make_tracker` is free to pick by instance size
+(overridable via its ``backend`` argument or the
+``REPRO_SETCOVER_BACKEND`` environment variable; see
+docs/PERFORMANCE.md).
 
 CMC restarts from scratch for every budget guess ``B``; :meth:`reset`
 supports that without rebuilding the static structures.
@@ -41,15 +49,28 @@ from repro.core.setsystem import SetSystem
 from repro.errors import ValidationError
 from repro.obs import trace as obs_trace
 
-TrackerBackend = Literal["auto", "set", "bitset"]
+TrackerBackend = Literal["auto", "set", "bitset", "packed"]
+
+#: Backend names accepted by :func:`resolve_backend`.
+KNOWN_BACKENDS = ("auto", "set", "bitset", "packed")
 
 #: Environment override for the default tracker backend.
 BACKEND_ENV_VAR = "REPRO_SETCOVER_BACKEND"
 
-#: ``auto`` switches to the bitset kernel once ``n_elements * n_sets``
-#: reaches this many cells — below it the per-element inverted index has
-#: less constant overhead, above it word-packed updates dominate.
+#: ``auto`` switches away from the inverted index once
+#: ``n_elements * n_sets`` reaches this many cells — below it the
+#: per-element dict index has less constant overhead, above it packed
+#: kernels dominate.
 AUTO_BITSET_MIN_CELLS = 1 << 16
+
+#: ``auto`` prefers the columnar packed kernel (when numpy is present
+#: and memory allows) from this many cells — around the scale where the
+#: bitset kernel's per-set Python loops become the bottleneck.
+AUTO_PACKED_MIN_CELLS = 1 << 24
+
+#: ``auto`` only picks ``packed`` when the estimated layout footprint
+#: stays below this fraction of ``MemAvailable``.
+AUTO_PACKED_MEM_FRACTION = 0.5
 
 
 class MarginalTracker:
@@ -70,6 +91,8 @@ class MarginalTracker:
     matching Fig. 1 lines 26–27 / Fig. 2 lines 14–15. Empty sets are never
     live.
     """
+
+    backend_name = "set"
 
     def __init__(
         self,
@@ -215,6 +238,8 @@ class BitsetMarginalTracker:
     the per-system mask table, so CMC budget rounds restart for the cost
     of one popcount per candidate.
     """
+
+    backend_name = "bitset"
 
     def __init__(
         self,
@@ -389,24 +414,84 @@ class BitsetMarginalTracker:
         return newly
 
 
+def _available_memory_bytes() -> int | None:
+    """``MemAvailable`` from /proc/meminfo; None when unknowable."""
+    try:
+        with open("/proc/meminfo") as handle:
+            for line in handle:
+                if line.startswith("MemAvailable:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):  # pragma: no cover
+        pass
+    return None
+
+
+def _packed_layout_bytes(system: SetSystem) -> int:
+    """Estimated packed-layout footprint: min(dense, CSR) in bytes.
+
+    Dense needs ``n_sets * ceil(n/64) * 8`` bytes; the CSR form needs
+    roughly 24 bytes per (set, element) pair (word + col + owner entry),
+    so density — not just cell count — decides affordability.
+    """
+    n_words = (system.n_elements + 63) >> 6
+    dense = system.n_sets * n_words * 8
+    pairs = sum(ws.size for ws in system.sets)
+    return min(dense, pairs * 24)
+
+
 def resolve_backend(
     system: SetSystem, backend: TrackerBackend | None = None
 ) -> str:
-    """Resolve ``backend`` to a concrete ``"set"`` or ``"bitset"``.
+    """Resolve ``backend`` to ``"set"``, ``"bitset"``, or ``"packed"``.
 
-    Precedence: explicit argument, then ``REPRO_SETCOVER_BACKEND``, then
-    ``"auto"``. Auto selects the bitset kernel once the instance has at
-    least :data:`AUTO_BITSET_MIN_CELLS` element-set cells.
+    Precedence: the explicit ``backend`` argument wins, then the
+    ``REPRO_SETCOVER_BACKEND`` environment variable, then ``"auto"``.
+    An explicit (argument or env) ``"packed"`` without a capable numpy
+    raises :class:`~repro.errors.ValidationError` — a requested backend
+    never silently degrades.
+
+    Auto picks by instance shape, density, and available memory:
+
+    * below :data:`AUTO_BITSET_MIN_CELLS` element-set cells the plain
+      inverted index wins on constants — ``"set"``;
+    * from :data:`AUTO_PACKED_MIN_CELLS` cells, if numpy >= 2.0 is
+      importable and the estimated columnar footprint (the cheaper of
+      dense and CSR forms, so sparse instances qualify even when the
+      dense matrix would not) fits within
+      :data:`AUTO_PACKED_MEM_FRACTION` of ``MemAvailable`` —
+      ``"packed"``;
+    * otherwise ``"bitset"``.
     """
     choice = backend or os.environ.get(BACKEND_ENV_VAR) or "auto"
-    if choice not in ("auto", "set", "bitset"):
+    if choice not in KNOWN_BACKENDS:
         raise ValidationError(
             f"unknown tracker backend {choice!r}; "
-            "expected 'auto', 'set', or 'bitset'"
+            f"expected one of {', '.join(repr(b) for b in KNOWN_BACKENDS)}"
         )
+    if choice == "packed":
+        from repro.core.packed import HAVE_NUMPY
+
+        if not HAVE_NUMPY:
+            raise ValidationError(
+                "tracker backend 'packed' requires numpy >= 2.0 "
+                "(np.bitwise_count); use 'bitset' or 'auto' instead"
+            )
+        return choice
     if choice == "auto":
         cells = system.n_elements * system.n_sets
-        return "bitset" if cells >= AUTO_BITSET_MIN_CELLS else "set"
+        if cells < AUTO_BITSET_MIN_CELLS:
+            return "set"
+        if cells >= AUTO_PACKED_MIN_CELLS:
+            from repro.core.packed import HAVE_NUMPY
+
+            if HAVE_NUMPY:
+                budget = _available_memory_bytes()
+                if budget is None or (
+                    _packed_layout_bytes(system)
+                    <= AUTO_PACKED_MEM_FRACTION * budget
+                ):
+                    return "packed"
+        return "bitset"
     return choice
 
 
@@ -415,13 +500,20 @@ def make_tracker(
     restrict_to: Iterable[SetId] | None = None,
     metrics: Metrics | None = None,
     backend: TrackerBackend | None = None,
-) -> "MarginalTracker | BitsetMarginalTracker":
+):
     """Build the marginal tracker for a system, choosing the backend.
 
-    See :func:`resolve_backend` for the selection rules. Both backends
+    See :func:`resolve_backend` for the selection rules. All backends
     yield identical selections and metrics; only speed differs.
     """
-    if resolve_backend(system, backend) == "bitset":
+    resolved = resolve_backend(system, backend)
+    if resolved == "packed":
+        from repro.core.packed import PackedMarginalTracker
+
+        return PackedMarginalTracker(
+            system, restrict_to=restrict_to, metrics=metrics
+        )
+    if resolved == "bitset":
         return BitsetMarginalTracker(
             system, restrict_to=restrict_to, metrics=metrics
         )

@@ -152,7 +152,9 @@ class CoverResult:
         """JSON-serializable representation of the result.
 
         Labels are stringified with ``repr`` (patterns round-trip as
-        their canonical text); metrics become a nested dict.
+        their canonical text); metrics become a nested dict. Params keep
+        scalars and one-level dicts of scalars (e.g. the sharding
+        provenance) — anything deeper or non-JSON is dropped.
         """
         return {
             "algorithm": self.algorithm,
@@ -166,19 +168,35 @@ class CoverResult:
             "params": {
                 key: value
                 for key, value in self.params.items()
-                if isinstance(value, (int, float, str, bool, type(None)))
+                if _wire_safe(value)
             },
             "metrics": self.metrics.to_dict(),
         }
+
+
+_SCALAR_TYPES = (int, float, str, bool, type(None))
+
+
+def _wire_safe(value) -> bool:
+    """True if a params value survives the JSON wire unchanged."""
+    if isinstance(value, _SCALAR_TYPES):
+        return True
+    if isinstance(value, dict):
+        return all(
+            isinstance(k, str) and isinstance(v, _SCALAR_TYPES)
+            for k, v in value.items()
+        )
+    return False
 
 
 def result_from_dict(payload: dict) -> CoverResult:
     """Rebuild a :class:`CoverResult` from :meth:`CoverResult.to_dict`.
 
     The round-trip is intentionally lossy in the same places ``to_dict``
-    is: labels come back as their ``repr`` strings and only scalar params
-    survive. That is sufficient for experiment checkpoints, whose
-    consumers read costs, coverage, and metrics — not live label objects.
+    is: labels come back as their ``repr`` strings and only wire-safe
+    params (scalars and flat dicts of scalars) survive. That is
+    sufficient for experiment checkpoints, whose consumers read costs,
+    coverage, and metrics — not live label objects.
     """
     metrics = Metrics.from_dict(payload.get("metrics"))
     return CoverResult(

@@ -242,8 +242,15 @@ class SetSystem:
         (:func:`repro.core.bitset.mask_table`), so repeated calls — the
         exact solver probes thousands of combinations, ``verify_result``
         re-checks every claim — cost one OR per set instead of one hash
-        insert per element.
+        insert per element. When the columnar packed layout is already
+        cached (a packed-backend solve built it), that is used instead,
+        so packed-only runs never pay for the big-int mask table.
         """
+        from repro.core.packed import cached_layout
+
+        layout = cached_layout(self)
+        if layout is not None:
+            return layout.coverage_of(set_ids)
         return mask_table(self).coverage_of(set_ids)
 
     def cost_of(self, set_ids: Iterable[SetId]) -> Cost:

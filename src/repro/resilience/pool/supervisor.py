@@ -62,9 +62,57 @@ from repro.resilience.pool.protocol import (
     write_frame,
 )
 
-__all__ = ["PoolConfig", "PoolResult", "SolverPool", "run_isolated"]
+__all__ = [
+    "PoolConfig",
+    "PoolResult",
+    "SolverPool",
+    "run_isolated",
+    "spawn_worker_process",
+]
 
 logger = get_logger(__name__)
+
+
+def spawn_worker_process(
+    index: int,
+    memory_limit_mb: int | None = None,
+    worker_env: dict | None = None,
+) -> subprocess.Popen:
+    """Spawn one pool worker speaking the frame protocol on its pipes.
+
+    Shared by :class:`SolverPool` and the universe-sharded sessions
+    (:mod:`repro.resilience.pool.sharded`), so every worker gets the
+    same import-path guarantee and environment-overlay semantics.
+    """
+    command = [
+        sys.executable,
+        "-m",
+        "repro.resilience.pool.worker",
+        "--worker-id",
+        str(index),
+    ]
+    if memory_limit_mb is not None:
+        command += ["--memory-limit-mb", str(memory_limit_mb)]
+    env = dict(os.environ)
+    # Guarantee the child can import repro no matter the caller's cwd.
+    src_root = str(Path(__file__).resolve().parents[3])
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_root + os.pathsep + existing if existing else src_root
+    )
+    for key, value in (worker_env or {}).items():
+        if value is None:
+            env.pop(key, None)
+        else:
+            env[key] = str(value)
+    return subprocess.Popen(
+        command,
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=None,  # operator-visible
+        env=env,
+        bufsize=0,
+    )
 
 #: Error types in worker responses that are worth another attempt
 #: (environment-dependent), vs. deterministic outcomes that are not.
@@ -292,34 +340,10 @@ class SolverPool:
             worker.proc.wait()
 
     def _spawn(self, index: int) -> _Worker:
-        command = [
-            sys.executable,
-            "-m",
-            "repro.resilience.pool.worker",
-            "--worker-id",
-            str(index),
-        ]
-        if self.config.memory_limit_mb is not None:
-            command += ["--memory-limit-mb", str(self.config.memory_limit_mb)]
-        env = dict(os.environ)
-        # Guarantee the child can import repro no matter the caller's cwd.
-        src_root = str(Path(__file__).resolve().parents[3])
-        existing = env.get("PYTHONPATH")
-        env["PYTHONPATH"] = (
-            src_root + os.pathsep + existing if existing else src_root
-        )
-        for key, value in (self.config.worker_env or {}).items():
-            if value is None:
-                env.pop(key, None)
-            else:
-                env[key] = str(value)
-        proc = subprocess.Popen(
-            command,
-            stdin=subprocess.PIPE,
-            stdout=subprocess.PIPE,
-            stderr=None,  # operator-visible
-            env=env,
-            bufsize=0,
+        proc = spawn_worker_process(
+            index,
+            memory_limit_mb=self.config.memory_limit_mb,
+            worker_env=self.config.worker_env,
         )
         worker = _Worker(index, proc)
         self._selector.register(proc.stdout, selectors.EVENT_READ, worker)
@@ -1077,6 +1101,8 @@ def run_isolated(
     max_requeues: int = 2,
     grace: float = 2.0,
     worker_env: dict | None = None,
+    backend: str | None = None,
+    shards: int | None = None,
 ) -> CoverResult:
     """One process-isolated resilient solve; the pool-of-one convenience.
 
@@ -1085,7 +1111,10 @@ def run_isolated(
     verified result whose ``params`` carry both the in-worker
     ``resilience`` provenance and the supervisor's ``pool`` provenance.
     ``on_failure`` applies when even the parent-side fallback cannot
-    produce a feasible answer.
+    produce a feasible answer. ``backend`` and ``shards`` ride the
+    request options into the worker's ``resilient_solve`` — the worker
+    becomes the sharding *parent*, fanning its greedy stages out to its
+    own shard workers.
     """
     if on_failure not in ("partial", "raise"):
         raise ValidationError(
@@ -1096,6 +1125,10 @@ def run_isolated(
     options: dict = {"max_retries": max_retries, "strict": strict}
     if exact_node_limit is not None:
         options["exact_node_limit"] = exact_node_limit
+    if backend is not None:
+        options["backend"] = backend
+    if shards is not None:
+        options["shards"] = shards
     request = SolveRequest(
         system=system,
         k=k,

@@ -141,6 +141,63 @@ def _error_payload(request_id: int, error: BaseException) -> dict:
     return payload
 
 
+#: Live shard trackers by shard id, for universe-sharded solves. The
+#: supervisor opens shards with ``shard_open``, drives them with
+#: ``shard_select`` / ``shard_reset``, and frees them with
+#: ``shard_close``; the backing systems flow through the same
+#: fingerprint LRU as whole solves, so repeat tenants reuse both the
+#: deserialized system and its packed layout.
+_SHARD_TRACKERS: dict = {}
+
+
+def _handle_shard(out, frame: dict) -> None:
+    """Serve one universe-shard frame (see pool/sharded.py)."""
+    from repro.resilience.pool.protocol import _system_from_payload_cached
+
+    kind = frame.get("kind")
+    shard_id = frame.get("shard")
+    try:
+        if kind == "shard_open":
+            from repro.core.packed import PackedMarginalTracker, shard_layout
+
+            system = _system_from_payload_cached(
+                frame["system"], frame.get("system_fp")
+            )
+            layout = shard_layout(system, frame["lo"], frame["hi"])
+            _SHARD_TRACKERS[shard_id] = PackedMarginalTracker(
+                system, layout=layout
+            )
+            write_frame(out, {"kind": "shard_ready", "shard": shard_id,
+                              "local_elements": layout.n_elements})
+        elif kind == "shard_select":
+            tracker = _SHARD_TRACKERS[shard_id]
+            newly, ids, overlaps = tracker.select_with_deltas(
+                frame["set_id"]
+            )
+            write_frame(out, {
+                "kind": "shard_delta",
+                "shard": shard_id,
+                "newly": newly,
+                "ids": ids,
+                "overlaps": overlaps,
+            })
+        elif kind == "shard_reset":
+            _SHARD_TRACKERS[shard_id].reset()
+            write_frame(out, {"kind": "shard_ok", "shard": shard_id})
+        elif kind == "shard_close":
+            _SHARD_TRACKERS.pop(shard_id, None)
+            write_frame(out, {"kind": "shard_ok", "shard": shard_id})
+    except (ReproError, MemoryError, ArithmeticError, ValueError,
+            KeyError, IndexError, TypeError, AttributeError) as error:
+        traceback.print_exc(file=sys.stderr)
+        write_frame(out, {
+            "kind": "shard_error",
+            "shard": shard_id,
+            "error_type": type(error).__name__,
+            "message": str(error) or type(error).__name__,
+        })
+
+
 def _handle_solve(out, payload: dict) -> None:
     request_id, request = request_from_payload(payload)
     injector = faults.active()
@@ -281,6 +338,9 @@ def main(argv: list[str] | None = None) -> int:
                 write_frame(out, {"kind": "pong", "pid": os.getpid()})
             elif kind == "solve":
                 _handle_solve(out, frame)
+            elif kind in ("shard_open", "shard_select", "shard_reset",
+                          "shard_close"):
+                _handle_shard(out, frame)
             else:
                 print(f"pool worker: ignoring unknown frame kind {kind!r}",
                       file=sys.stderr)

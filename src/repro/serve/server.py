@@ -112,6 +112,32 @@ def build_solve_request(
     for key in ("options", "stage_options"):
         if payload.get(key) is not None and not isinstance(payload[key], dict):
             raise ValidationError(f"'{key}' must be an object")
+    options = payload.get("options")
+    # Top-level backend/shard knobs (documented in docs/SERVING.md) are
+    # sugar for the matching resilient_solve options; an explicit
+    # options entry wins.
+    backend = payload.get("backend")
+    if backend is not None:
+        from repro.core.marginal import KNOWN_BACKENDS
+
+        if backend not in KNOWN_BACKENDS:
+            raise ValidationError(
+                f"'backend' must be one of {', '.join(KNOWN_BACKENDS)}, "
+                f"got {backend!r}"
+            )
+        options = dict(options or {})
+        options.setdefault("backend", backend)
+    shards = payload.get("shards")
+    if shards is not None:
+        if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
+            raise ValidationError("'shards' must be a positive integer")
+        if solver != "resilient":
+            raise ValidationError(
+                "'shards' requires the 'resilient' solver (the worker "
+                "becomes the sharding parent for its greedy stages)"
+            )
+        options = dict(options or {})
+        options.setdefault("shards", shards)
     return SolveRequest(
         system=system,
         k=k,
@@ -120,7 +146,7 @@ def build_solve_request(
         chain=chain,
         timeout=deadline,
         stage_options=payload.get("stage_options"),
-        options=payload.get("options"),
+        options=options,
         seed=seed,
         tag=tag,
     )

@@ -1,12 +1,14 @@
-"""Property-based set-vs-bitset backend equivalence.
+"""Property-based backend equivalence across every marginal tracker.
 
-The packed-bitset marginal tracker (:mod:`repro.core.bitset`,
-:class:`repro.core.marginal.BitsetMarginalTracker`) is a pure
-representation change: every solver must select the same sets, report
-the same costs/coverage, and account the same metrics counters on either
-backend. We assert this over random set systems for CWSC, CMC, and the
-CMC-(1+eps)k variant, and that the mask-based ``remove_dominated`` keeps
-exactly the survivors of the frozenset dominance predicate.
+The bitset tracker (:mod:`repro.core.bitset`,
+:class:`repro.core.marginal.BitsetMarginalTracker`) and the numpy
+columnar tracker (:mod:`repro.core.packed`, included automatically when
+numpy >= 2.0 is importable) are pure representation changes: every
+solver must select the same sets, report the same costs/coverage, and
+account the same metrics counters on every backend. We assert this over
+random set systems for CWSC, CMC, and the CMC-(1+eps)k variant, and
+that the mask-based ``remove_dominated`` keeps exactly the survivors of
+the frozenset dominance predicate.
 """
 
 from hypothesis import given, settings
@@ -16,6 +18,7 @@ from repro.core.cmc import cmc
 from repro.core.cmc_epsilon import cmc_epsilon
 from repro.core.cwsc import cwsc
 from repro.core.marginal import BitsetMarginalTracker, MarginalTracker
+from repro.core.packed import HAVE_NUMPY
 from repro.core.preprocess import remove_dominated
 from repro.core.result import Metrics
 
@@ -24,60 +27,64 @@ from tests.property.strategies import set_systems
 ks = st.integers(1, 4)
 fractions = st.floats(min_value=0.0, max_value=1.0)
 
+#: Every backend the host can run; packed requires numpy >= 2.0
+#: (``np.bitwise_count``), so it drops out rather than failing there.
+EQUIV_BACKENDS = ("set", "bitset") + (("packed",) if HAVE_NUMPY else ())
+
 
 def _run_both(fn, system, **kwargs):
-    by_backend = {}
-    for backend in ("set", "bitset"):
-        by_backend[backend] = fn(system, backend=backend, **kwargs)
-    return by_backend["set"], by_backend["bitset"]
+    by_backend = {
+        backend: fn(system, backend=backend, **kwargs)
+        for backend in EQUIV_BACKENDS
+    }
+    return by_backend["set"], by_backend
 
 
-def _assert_identical(set_result, bitset_result):
-    assert set_result.set_ids == bitset_result.set_ids
-    assert set_result.labels == bitset_result.labels
-    assert set_result.total_cost == bitset_result.total_cost
-    assert set_result.covered == bitset_result.covered
-    assert set_result.feasible == bitset_result.feasible
-    assert (
-        set_result.metrics.selections == bitset_result.metrics.selections
-    )
-    assert (
-        set_result.metrics.marginal_updates
-        == bitset_result.metrics.marginal_updates
-    )
-    assert (
-        set_result.metrics.budget_rounds
-        == bitset_result.metrics.budget_rounds
-    )
-    assert (
-        set_result.metrics.sets_considered
-        == bitset_result.metrics.sets_considered
-    )
+def _assert_identical(set_result, by_backend):
+    for result in by_backend.values():
+        assert set_result.set_ids == result.set_ids
+        assert set_result.labels == result.labels
+        assert set_result.total_cost == result.total_cost
+        assert set_result.covered == result.covered
+        assert set_result.feasible == result.feasible
+        assert set_result.metrics.selections == result.metrics.selections
+        assert (
+            set_result.metrics.marginal_updates
+            == result.metrics.marginal_updates
+        )
+        assert (
+            set_result.metrics.budget_rounds
+            == result.metrics.budget_rounds
+        )
+        assert (
+            set_result.metrics.sets_considered
+            == result.metrics.sets_considered
+        )
 
 
 class TestSolverBackendEquivalence:
     @settings(max_examples=80, deadline=None)
     @given(set_systems(), ks, fractions)
     def test_cwsc_identical(self, system, k, s_hat):
-        set_result, bitset_result = _run_both(
+        set_result, by_backend = _run_both(
             cwsc, system, k=k, s_hat=s_hat, on_infeasible="partial"
         )
-        _assert_identical(set_result, bitset_result)
+        _assert_identical(set_result, by_backend)
 
     @settings(max_examples=60, deadline=None)
     @given(set_systems(), ks, fractions, st.sampled_from([0.5, 1.0, 2.0]))
     def test_cmc_identical(self, system, k, s_hat, b):
-        set_result, bitset_result = _run_both(
+        set_result, by_backend = _run_both(
             cmc, system, k=k, s_hat=s_hat, b=b, on_infeasible="partial"
         )
-        _assert_identical(set_result, bitset_result)
-        assert set_result.params["tracker_backend"] == "set"
-        assert bitset_result.params["tracker_backend"] == "bitset"
+        _assert_identical(set_result, by_backend)
+        for backend, result in by_backend.items():
+            assert result.params["tracker_backend"] == backend
 
     @settings(max_examples=60, deadline=None)
     @given(set_systems(), ks, fractions, st.sampled_from([0.25, 1.0]))
     def test_cmc_epsilon_identical(self, system, k, s_hat, eps):
-        set_result, bitset_result = _run_both(
+        set_result, by_backend = _run_both(
             cmc_epsilon,
             system,
             k=k,
@@ -85,7 +92,7 @@ class TestSolverBackendEquivalence:
             eps=eps,
             on_infeasible="partial",
         )
-        _assert_identical(set_result, bitset_result)
+        _assert_identical(set_result, by_backend)
 
 
 class TestTrackerStepEquivalence:
@@ -93,29 +100,31 @@ class TestTrackerStepEquivalence:
     @given(set_systems(), st.randoms(use_true_random=False))
     def test_same_state_after_any_selection_sequence(self, system, rng):
         """Selecting an arbitrary id sequence (including repeats and
-        already-evicted sets) leaves both trackers in the same state
+        already-evicted sets) leaves every tracker in the same state
         with the same counters."""
-        set_metrics, bitset_metrics = Metrics(), Metrics()
+        set_metrics = Metrics()
         set_tracker = MarginalTracker(system, metrics=set_metrics)
-        bitset_tracker = BitsetMarginalTracker(
-            system, metrics=bitset_metrics
-        )
+        others = [BitsetMarginalTracker(system, metrics=Metrics())]
+        if HAVE_NUMPY:
+            from repro.core.packed import PackedMarginalTracker
+
+            others.append(PackedMarginalTracker(system, metrics=Metrics()))
         ids = [rng.randrange(system.n_sets) for _ in range(6)]
         for set_id in ids:
-            assert set_tracker.select(set_id) == bitset_tracker.select(
-                set_id
-            )
-            assert dict(set_tracker.live_items()) == dict(
-                bitset_tracker.live_items()
-            )
-            assert set_tracker.covered == bitset_tracker.covered
+            newly = set_tracker.select(set_id)
+            for other in others:
+                assert newly == other.select(set_id)
+                assert dict(set_tracker.live_items()) == dict(
+                    other.live_items()
+                )
+                assert set_tracker.covered == other.covered
+                assert set_tracker.covered_count == other.covered_count
+        for other in others:
+            assert set_metrics.selections == other.metrics.selections
             assert (
-                set_tracker.covered_count == bitset_tracker.covered_count
+                set_metrics.marginal_updates
+                == other.metrics.marginal_updates
             )
-        assert set_metrics.selections == bitset_metrics.selections
-        assert (
-            set_metrics.marginal_updates == bitset_metrics.marginal_updates
-        )
 
 
 class TestRemoveDominatedEquivalence:

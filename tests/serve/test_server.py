@@ -95,6 +95,55 @@ class TestBuildSolveRequest:
             )
 
 
+class TestBackendAndShardKnobs(TestBuildSolveRequest):
+    """Top-level ``backend``/``shards`` request fields flow into solver
+    options (and validate before any solve starts)."""
+
+    def test_backend_lands_in_options(self, random_system):
+        request = build_solve_request(
+            self.payload(random_system, backend="packed"), self.config()
+        )
+        assert request.options == {"backend": "packed"}
+
+    def test_shards_lands_in_options(self, random_system):
+        request = build_solve_request(
+            self.payload(random_system, backend="packed", shards=2),
+            self.config(),
+        )
+        assert request.options == {"backend": "packed", "shards": 2}
+
+    def test_explicit_options_win_over_top_level(self, random_system):
+        request = build_solve_request(
+            self.payload(
+                random_system,
+                backend="packed",
+                options={"backend": "bitset"},
+            ),
+            self.config(),
+        )
+        assert request.options["backend"] == "bitset"
+
+    def test_unknown_backend_rejected(self, random_system):
+        with pytest.raises(ValidationError):
+            build_solve_request(
+                self.payload(random_system, backend="gpu"), self.config()
+            )
+
+    @pytest.mark.parametrize("shards", [0, -1, 1.5, "two"])
+    def test_bad_shards_rejected(self, random_system, shards):
+        with pytest.raises(ValidationError):
+            build_solve_request(
+                self.payload(random_system, shards=shards), self.config()
+            )
+
+    def test_shards_requires_resilient_solver(self, random_system):
+        with pytest.raises(ValidationError):
+            build_solve_request(
+                self.payload(random_system, solver="cwsc", shards=2),
+                self.config(),
+            )
+
+
 class TestEndpoints:
     def test_healthz(self, make_server):
         server = make_server()
