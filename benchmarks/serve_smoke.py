@@ -5,9 +5,11 @@ Two daemon boots, both through ``scwsc serve`` subprocesses so the whole
 stack (CLI, signal handling, pool spawn) is on the hook:
 
 1. **Healthy daemon** — concurrent solves with mixed deadlines must all
-   come back 200 with verified bodies; ``/healthz``, ``/readyz``, and
-   ``/metrics`` answer; a SIGTERM exits 0 and leaves a schema-valid
-   trace, which is rendered into the run dashboard artifact.
+   come back 200 with verified bodies; an upstream ``traceparent`` is
+   adopted end to end; ``/healthz``, ``/readyz``, and ``/metrics``
+   answer; a SIGTERM exits 0 and leaves a schema-valid trace plus a
+   schema-valid access log (one record per request), both uploaded as
+   CI artifacts (the trace also renders into the run dashboard).
 2. **Overloaded daemon** — workers are forced to hang via the chaos
    layer (``REPRO_CHAOS=hang=1``) with an admission cap of 4, and 8
    concurrent requests must split into exactly 4 degraded 200s and
@@ -40,6 +42,7 @@ from repro.core.result import result_from_dict
 from repro.core.validate import verify_result
 from repro.datasets.registry import load_dataset
 from repro.obs.schema import validate_trace_file
+from repro.serve.accesslog import iter_access_records, validate_access_file
 from repro.patterns.pattern_sets import build_set_system
 from repro.resilience.pool.protocol import system_from_payload, system_to_payload
 
@@ -91,9 +94,12 @@ class Daemon:
             fail(f"{name}: bad boot record: {boot}")
         self.base = f"http://127.0.0.1:{boot['port']}"
 
-    def request(self, path: str, body=None, timeout: float = 60.0):
+    def request(self, path: str, body=None, timeout: float = 60.0,
+                headers: dict | None = None):
         data = json.dumps(body).encode() if body is not None else None
-        request = urllib.request.Request(self.base + path, data=data)
+        request = urllib.request.Request(
+            self.base + path, data=data, headers=headers or {}
+        )
         try:
             with urllib.request.urlopen(request, timeout=timeout) as response:
                 return response.status, json.loads(response.read()), dict(
@@ -142,7 +148,12 @@ def solve_payload() -> dict:
 
 
 def healthy_phase(out_dir: Path, system_payload: dict) -> Path:
-    daemon = Daemon(out_dir, "serve-healthy", [])
+    access_path = out_dir / "serve-access.jsonl"
+    if access_path.exists():
+        access_path.unlink()
+    daemon = Daemon(
+        out_dir, "serve-healthy", ["--access-log", str(access_path)]
+    )
     try:
         code, _, _ = daemon.request("/healthz")
         if code != 200:
@@ -190,11 +201,26 @@ def healthy_phase(out_dir: Path, system_payload: dict) -> Path:
             if problems:
                 fail(f"200 body failed verification: {problems}")
 
+        # One solve with an upstream traceparent: the daemon must adopt
+        # the caller's trace id end to end (response body + header).
+        upstream_tid = "ab" * 16
+        code, body, headers = daemon.request(
+            "/solve",
+            {"system": system_payload, "k": 4, "s": 0.5, "tag": "traced"},
+            headers={"traceparent": f"00-{upstream_tid}-{'cd' * 8}-01"},
+        )
+        if code != 200 or body.get("trace_id") != upstream_tid:
+            fail(f"traceparent not adopted: {code} {body.get('trace_id')}")
+        echoed = headers.get("Traceparent", "")
+        if upstream_tid not in echoed:
+            fail(f"response Traceparent header missing trace id: {echoed!r}")
+
         code, page = daemon.get_text("/metrics")
         for needle in (
             "scwsc_build_info{",
             'scwsc_server_requests_total{code="200",endpoint="/solve"}',
             "scwsc_server_request_seconds_bucket",
+            "scwsc_slo_burn_rate{",
         ):
             if needle not in page:
                 fail(f"/metrics missing {needle!r}")
@@ -204,6 +230,19 @@ def healthy_phase(out_dir: Path, system_payload: dict) -> Path:
             fail(f"healthy daemon exited {exit_code} on SIGTERM")
     finally:
         daemon.kill()
+
+    # Access log: one schema-valid record per request we made —
+    # healthz + readyz + 6 deadline solves + the traced solve + metrics.
+    count = validate_access_file(str(access_path))
+    if count != 10:
+        fail(f"expected 10 access-log records, got {count}")
+    traced = [
+        record
+        for record in iter_access_records(str(access_path))
+        if record["trace_id"] == upstream_tid
+    ]
+    if len(traced) != 1 or traced[0].get("solve_status") != "ok":
+        fail(f"bad access record for traced solve: {traced}")
     check_trace(
         daemon.trace_path,
         {"server_start", "server_complete", "server_drain_begin",

@@ -28,8 +28,12 @@ Subcommands:
   experiment report as before;
 * ``serve`` — run the fault-tolerant solver daemon: a warm supervised
   pool behind an HTTP front door with admission control, per-tenant
-  rate limits, per-request deadlines, and SIGTERM graceful drain (see
-  docs/SERVING.md).
+  rate limits, per-request deadlines, end-to-end request tracing, SLO
+  burn-rate gauges, a JSONL access log (``--access-log``), and SIGTERM
+  graceful drain (see docs/SERVING.md);
+* ``top`` — live terminal console over a running daemon's ``/metrics``:
+  in-flight/QPS, latency percentiles, SLO burn, shed reasons, breaker
+  states, worker RSS (``scwsc top http://127.0.0.1:8080``).
 
 Examples::
 
@@ -345,6 +349,12 @@ def build_parser() -> argparse.ArgumentParser:
         "event tallies, final metrics snapshot",
     )
     trace_summarize.add_argument("path", help="trace JSONL file")
+    trace_summarize.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the rollup as JSON instead of the text tables",
+    )
     trace_validate = trace_commands.add_parser(
         "validate",
         help="validate every record against the scwsc-trace/1 schema",
@@ -498,7 +508,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="on SIGTERM, how long to wait for in-flight work "
         "(default: 30)",
     )
+    serve_parser.add_argument(
+        "--access-log",
+        default=None,
+        metavar="PATH",
+        help="write one scwsc-access/1 JSONL record per HTTP request "
+        "(see docs/OBSERVABILITY.md)",
+    )
+    serve_parser.add_argument(
+        "--slo-latency-threshold",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="latency SLO threshold in seconds (default: 1.0)",
+    )
+    serve_parser.add_argument(
+        "--slo-latency-objective",
+        type=float,
+        default=0.99,
+        help="fraction of requests that must finish under the latency "
+        "threshold (default: 0.99)",
+    )
+    serve_parser.add_argument(
+        "--slo-error-objective",
+        type=float,
+        default=0.999,
+        help="fraction of requests that must avoid 5xx (default: 0.999)",
+    )
     _add_trace_argument(serve_parser)
+
+    top_parser = commands.add_parser(
+        "top",
+        help="live terminal console over a running daemon's /metrics: "
+        "in-flight, QPS, latency percentiles, SLO burn, sheds, breakers",
+    )
+    top_parser.add_argument(
+        "url",
+        help="daemon base URL or /metrics URL, e.g. http://127.0.0.1:8080",
+    )
+    top_parser.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between scrapes (default: 2)",
+    )
+    top_parser.add_argument(
+        "--once",
+        action="store_true",
+        help="render one frame and exit (no TTY required)",
+    )
     return parser
 
 
@@ -574,6 +632,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_batch(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "top":
+            from repro.obs.console import run_top
+
+            return run_top(args.url, interval=args.interval, once=args.once)
         return _cmd_solve(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -922,7 +984,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         return 0
     from repro.obs.report import summarize_file
 
-    print(summarize_file(args.path))
+    print(summarize_file(args.path, as_json=getattr(args, "as_json", False)))
     return 0
 
 
@@ -1005,6 +1067,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         read_timeout=args.read_timeout,
         grace=args.grace,
         drain_timeout=args.drain_timeout,
+        access_log=args.access_log,
+        slo_latency_threshold=args.slo_latency_threshold,
+        slo_latency_objective=args.slo_latency_objective,
+        slo_error_objective=args.slo_error_objective,
     )
     return run_server(config)
 

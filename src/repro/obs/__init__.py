@@ -9,7 +9,15 @@ This package makes both first-class instead of debug logging:
   and a JSONL sink, threaded through every solver, both marginal-tracker
   backends, and the process pool. Disabled by default and near-free when
   off: ``span()`` returns a shared no-op and hot paths guard attribute
-  dicts behind a single ``enabled()`` check.
+  dicts behind a single ``enabled()`` check. Also home to the W3C-style
+  request :class:`~repro.obs.trace.TraceContext` (``traceparent``
+  mint/parse/propagate) that stitches server, worker, and shard spans
+  into one request tree.
+* :mod:`repro.obs.slo` — per-tenant/global latency+error SLOs with
+  multi-window burn-rate gauges (``scwsc_slo_*``), fed by the serve
+  layer.
+* :mod:`repro.obs.console` — the stdlib ``scwsc top`` terminal console
+  over a daemon's ``/metrics`` page.
 * :mod:`repro.obs.metrics` — a counter/gauge/histogram registry with a
   Prometheus-style text exposition and a JSON snapshot; the solver
   :class:`~repro.core.result.Metrics` counters publish into it through
@@ -46,14 +54,18 @@ from repro.obs.metrics import (
     record_cover_result,
 )
 from repro.obs.quality import compute_quality, quality_records, record_quality
+from repro.obs.slo import GLOBAL_SCOPE, SloObjectives, SloTracker
 from repro.obs.trace import (
     NULL_SPAN,
+    TraceContext,
     Tracer,
     capture,
     configure,
     enabled,
     event,
+    get_context,
     get_tracer,
+    parse_traceparent,
     replay,
     shutdown,
     span,
@@ -62,10 +74,14 @@ from repro.obs.trace import (
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "GLOBAL_SCOPE",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_SPAN",
+    "SloObjectives",
+    "SloTracker",
+    "TraceContext",
     "Tracer",
     "capture",
     "compute_quality",
@@ -73,10 +89,12 @@ __all__ = [
     "console_logging",
     "enabled",
     "event",
+    "get_context",
     "get_logger",
     "get_registry",
     "get_tracer",
     "load_history",
+    "parse_traceparent",
     "quality_records",
     "record_cover_result",
     "record_quality",

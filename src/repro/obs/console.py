@@ -1,0 +1,394 @@
+"""``scwsc top`` — a live terminal console over the daemon's ``/metrics``.
+
+Stdlib only: :mod:`urllib.request` scrapes the Prometheus text
+exposition, a small parser (the inverse of the escaping rules in
+:mod:`repro.obs.metrics`) turns it into samples, and a renderer draws
+fixed panels:
+
+* **serve** — in-flight, queue depth, draining flag, QPS and non-2xx
+  rate (deltas between consecutive scrapes);
+* **latency** — p50/p90/p95/p99 estimated from the
+  ``scwsc_server_request_seconds`` histogram buckets;
+* **SLO** — per-scope multi-window burn rates from
+  ``scwsc_slo_burn_rate`` (burn ≥ 1 means the error budget is being
+  spent faster than the objective allows);
+* **sheds** — ``scwsc_server_shed_total`` by reason;
+* **breakers** — ``scwsc_breaker_state`` (closed/half-open/open);
+* **workers** — ``scwsc_worker_peak_rss_bytes`` per worker.
+
+Everything renders into a plain string, so tests (and ``--once``) can
+produce one frame from a scraped snapshot without a TTY; the interactive
+loop just redraws that string under an ANSI home+clear.
+"""
+
+from __future__ import annotations
+
+import time
+import urllib.request
+from typing import Iterable, Iterator, Mapping
+
+__all__ = [
+    "Sample",
+    "parse_exposition",
+    "MetricsSnapshot",
+    "histogram_quantile",
+    "render_frame",
+    "scrape",
+    "run_top",
+]
+
+
+class Sample:
+    """One exposition line: metric name, label dict, float value."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict, value: float) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Sample({self.name!r}, {self.labels!r}, {self.value!r})"
+
+
+def _parse_labels(text: str) -> dict:
+    """Parse ``key="value",...`` with Prometheus escape sequences.
+
+    The writer escapes backslash, double-quote, and newline
+    (:func:`repro.obs.metrics._escape_label_value`); this is the exact
+    inverse, so a round trip through exposition is lossless.
+    """
+    labels: dict[str, str] = {}
+    i = 0
+    n = len(text)
+    while i < n:
+        eq = text.index("=", i)
+        key = text[i:eq].strip()
+        i = eq + 1
+        if i >= n or text[i] != '"':
+            raise ValueError(f"expected quoted label value in {text!r}")
+        i += 1
+        out: list[str] = []
+        while i < n and text[i] != '"':
+            ch = text[i]
+            if ch == "\\" and i + 1 < n:
+                nxt = text[i + 1]
+                out.append({"n": "\n", "\\": "\\", '"': '"'}.get(nxt, "\\" + nxt))
+                i += 2
+            else:
+                out.append(ch)
+                i += 1
+        if i >= n:
+            raise ValueError(f"unterminated label value in {text!r}")
+        labels[key] = "".join(out)
+        i += 1  # closing quote
+        while i < n and text[i] in ", ":
+            i += 1
+    return labels
+
+
+def parse_exposition(text: str) -> list[Sample]:
+    """Parse Prometheus text exposition into samples (HELP/TYPE skipped)."""
+    samples: list[Sample] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        # name{labels} value   |   name value
+        if "{" in line:
+            name, rest = line.split("{", 1)
+            label_text, value_text = rest.rsplit("}", 1)
+            labels = _parse_labels(label_text)
+        else:
+            name, value_text = line.split(None, 1)
+            labels = {}
+        try:
+            value = float(value_text.strip())
+        except ValueError:
+            continue
+        samples.append(Sample(name.strip(), labels, value))
+    return samples
+
+
+class MetricsSnapshot:
+    """Queryable view over one scrape, with the scrape's wall-clock."""
+
+    def __init__(self, samples: Iterable[Sample], ts: float | None = None):
+        self.samples = list(samples)
+        self.ts = time.monotonic() if ts is None else ts
+        self._by_name: dict[str, list[Sample]] = {}
+        for sample in self.samples:
+            self._by_name.setdefault(sample.name, []).append(sample)
+
+    @classmethod
+    def parse(cls, text: str, ts: float | None = None) -> "MetricsSnapshot":
+        return cls(parse_exposition(text), ts=ts)
+
+    def get(self, name: str) -> list[Sample]:
+        return self._by_name.get(name, [])
+
+    def value(self, name: str, default: float | None = None, **labels):
+        """First sample of ``name`` whose labels include ``labels``."""
+        for sample in self.get(name):
+            if all(sample.labels.get(k) == v for k, v in labels.items()):
+                return sample.value
+        return default
+
+    def total(self, name: str, **labels) -> float:
+        """Sum of ``name`` samples whose labels include ``labels``."""
+        return sum(
+            sample.value
+            for sample in self.get(name)
+            if all(sample.labels.get(k) == v for k, v in labels.items())
+        )
+
+    def group(self, name: str, key: str) -> dict[str, float]:
+        """Sum of ``name`` samples keyed by one label's value."""
+        out: dict[str, float] = {}
+        for sample in self.get(name):
+            if key in sample.labels:
+                label = sample.labels[key]
+                out[label] = out.get(label, 0.0) + sample.value
+        return out
+
+    def buckets(self, name: str, **labels) -> list[tuple[float, float]]:
+        """Sorted, aggregated ``(le, cumulative_count)`` histogram pairs."""
+        acc: dict[float, float] = {}
+        for sample in self.get(f"{name}_bucket"):
+            if not all(sample.labels.get(k) == v for k, v in labels.items()):
+                continue
+            le_text = sample.labels.get("le")
+            if le_text is None:
+                continue
+            le = float("inf") if le_text == "+Inf" else float(le_text)
+            acc[le] = acc.get(le, 0.0) + sample.value
+        return sorted(acc.items())
+
+
+def histogram_quantile(
+    buckets: list[tuple[float, float]], q: float
+) -> float | None:
+    """Estimate a quantile from cumulative buckets, Prometheus-style
+    (linear interpolation inside the bucket; ``None`` when empty)."""
+    if not buckets:
+        return None
+    total = buckets[-1][1]
+    if total <= 0:
+        return None
+    rank = q * total
+    prev_le, prev_count = 0.0, 0.0
+    for le, count in buckets:
+        if count >= rank:
+            if le == float("inf"):
+                # Open-ended top bucket: the lower bound is the honest
+                # answer; anything else would be invented precision.
+                return prev_le
+            width = le - prev_le
+            inside = count - prev_count
+            if inside <= 0:
+                return le
+            return prev_le + width * (rank - prev_count) / inside
+        prev_le, prev_count = le, count
+    return buckets[-1][0]
+
+
+# ---------------------------------------------------------------------------
+# rendering
+
+
+_BREAKER_NAMES = {0: "closed", 1: "half-open", 2: "OPEN"}
+
+
+def _fmt_seconds(value: float | None) -> str:
+    if value is None:
+        return "    -"
+    if value < 1.0:
+        return f"{value * 1000:4.0f}ms"
+    return f"{value:5.2f}s"
+
+
+def _fmt_bytes(value: float) -> str:
+    if value >= 2**30:
+        return f"{value / 2**30:.2f}GiB"
+    if value >= 2**20:
+        return f"{value / 2**20:.1f}MiB"
+    return f"{value / 2**10:.0f}KiB"
+
+
+def _rule(title: str, width: int) -> str:
+    bar = "-" * max(0, width - len(title) - 4)
+    return f"-- {title} {bar}"
+
+
+def render_frame(
+    snap: MetricsSnapshot,
+    prev: MetricsSnapshot | None = None,
+    width: int = 72,
+) -> str:
+    """One console frame as a plain string (no TTY required).
+
+    ``prev`` (an earlier scrape) enables the rate panels; without it
+    QPS shows ``-``.
+    """
+    lines: list[str] = []
+
+    # -- serve panel -----------------------------------------------------
+    inflight = snap.value("scwsc_server_inflight", 0.0)
+    queue_depth = snap.value("scwsc_server_queue_depth", 0.0)
+    draining = snap.value("scwsc_server_draining", 0.0)
+    requests = snap.total("scwsc_server_requests_total")
+    qps = errps = None
+    if prev is not None and snap.ts > prev.ts:
+        elapsed = snap.ts - prev.ts
+        qps = max(0.0, requests - prev.total("scwsc_server_requests_total"))
+        qps /= elapsed
+        bad = sum(
+            value
+            for code, value in snap.group(
+                "scwsc_server_requests_total", "code"
+            ).items()
+            if not code.startswith("2")
+        )
+        prev_bad = sum(
+            value
+            for code, value in prev.group(
+                "scwsc_server_requests_total", "code"
+            ).items()
+            if not code.startswith("2")
+        )
+        errps = max(0.0, bad - prev_bad) / elapsed
+    lines.append(_rule("serve", width))
+    lines.append(
+        f"inflight {inflight:4.0f}   queue {queue_depth:4.0f}   "
+        f"qps {'-' if qps is None else f'{qps:6.1f}'}   "
+        f"non-2xx/s {'-' if errps is None else f'{errps:6.1f}'}"
+        + ("   DRAINING" if draining else "")
+    )
+
+    # -- latency panel ---------------------------------------------------
+    buckets = snap.buckets("scwsc_server_request_seconds")
+    lines.append(_rule("latency (all endpoints)", width))
+    if buckets:
+        quantiles = "  ".join(
+            f"p{int(q * 100):<2} {_fmt_seconds(histogram_quantile(buckets, q))}"
+            for q in (0.5, 0.9, 0.95, 0.99)
+        )
+        lines.append(f"{quantiles}   n={buckets[-1][1]:.0f}")
+    else:
+        lines.append("  (no samples)")
+
+    # -- SLO panel -------------------------------------------------------
+    burns = snap.get("scwsc_slo_burn_rate")
+    lines.append(_rule("slo burn (x budget)", width))
+    if burns:
+        rows: dict[tuple[str, str], dict[str, float]] = {}
+        for sample in burns:
+            key = (
+                sample.labels.get("scope", "?"),
+                sample.labels.get("objective", "?"),
+            )
+            rows.setdefault(key, {})[sample.labels.get("window", "?")] = (
+                sample.value
+            )
+        windows = sorted({w for row in rows.values() for w in row})
+        for (scope, objective), row in sorted(rows.items()):
+            cells = "  ".join(
+                f"{window}={row.get(window, 0.0):7.2f}" for window in windows
+            )
+            flag = "  <-- burning" if any(v > 1.0 for v in row.values()) else ""
+            lines.append(f"{scope:>12} {objective:<8} {cells}{flag}")
+    else:
+        lines.append("  (no slo samples)")
+
+    # -- sheds panel -----------------------------------------------------
+    sheds = snap.group("scwsc_server_shed_total", "reason")
+    lines.append(_rule("sheds by reason", width))
+    if sheds:
+        lines.append(
+            "  ".join(
+                f"{reason}={count:.0f}"
+                for reason, count in sorted(sheds.items())
+            )
+        )
+    else:
+        lines.append("  (none)")
+
+    # -- breakers panel --------------------------------------------------
+    breakers = snap.group("scwsc_breaker_state", "breaker")
+    lines.append(_rule("breakers", width))
+    if breakers:
+        lines.append(
+            "  ".join(
+                f"{name}:{_BREAKER_NAMES.get(int(state), str(state))}"
+                for name, state in sorted(breakers.items())
+            )
+        )
+    else:
+        lines.append("  (none reported)")
+
+    # -- workers panel ---------------------------------------------------
+    rss = snap.group("scwsc_worker_peak_rss_bytes", "worker")
+    lines.append(_rule("worker peak rss", width))
+    if rss:
+        lines.append(
+            "  ".join(
+                f"w{worker}={_fmt_bytes(value)}"
+                for worker, value in sorted(rss.items())
+            )
+        )
+    else:
+        lines.append("  (no worker rss yet)")
+
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# scraping / main loop
+
+
+def scrape(url: str, timeout: float = 5.0) -> MetricsSnapshot:
+    """Fetch and parse one ``/metrics`` page."""
+    if not url.rstrip("/").endswith("/metrics"):
+        url = url.rstrip("/") + "/metrics"
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        text = response.read().decode("utf-8", "replace")
+    return MetricsSnapshot.parse(text)
+
+
+def frames(
+    url: str, interval: float, timeout: float = 5.0
+) -> Iterator[str]:
+    """Yield rendered frames forever (one scrape per frame)."""
+    prev: MetricsSnapshot | None = None
+    while True:
+        snap = scrape(url, timeout=timeout)
+        yield render_frame(snap, prev)
+        prev = snap
+        time.sleep(interval)
+
+
+def run_top(
+    url: str,
+    interval: float = 2.0,
+    once: bool = False,
+    out=None,
+) -> int:
+    """Entry point for ``scwsc top``; returns a process exit code."""
+    import sys
+
+    out = out or sys.stdout
+    if once:
+        print(render_frame(scrape(url)), file=out)
+        return 0
+    try:
+        for frame in frames(url, interval):
+            # Home + clear-to-end redraw: cheap, flicker-free, and any
+            # non-ANSI terminal still gets readable scrolling frames.
+            print("\x1b[H\x1b[2J" + frame, file=out, flush=True)
+    except KeyboardInterrupt:
+        print("", file=out)
+    except OSError as error:
+        print(f"scrape failed: {error}", file=sys.stderr)
+        return 1
+    return 0

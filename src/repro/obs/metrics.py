@@ -52,10 +52,28 @@ def _label_key(labels: Mapping[str, Any] | None) -> LabelValues:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus label-value escaping: backslash, quote, newline.
+
+    Order matters — backslashes first, or the escapes themselves would
+    be re-escaped.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """``# HELP`` line escaping: backslash and newline only (no quotes)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _format_labels(key: LabelValues) -> str:
     if not key:
         return ""
-    body = ",".join(f'{name}="{value}"' for name, value in key)
+    body = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in key
+    )
     return "{" + body + "}"
 
 
@@ -81,17 +99,21 @@ class Counter:
         return self._values.get(_label_key(labels), 0.0)
 
     def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            items = sorted(self._values.items())
         return {
             "kind": self.kind,
             "help": self.help,
             "values": [
                 {"labels": dict(key), "value": value}
-                for key, value in sorted(self._values.items())
+                for key, value in items
             ],
         }
 
     def samples(self) -> Iterable[str]:
-        for key, value in sorted(self._values.items()):
+        with self._lock:
+            items = sorted(self._values.items())
+        for key, value in items:
             yield f"{self.name}{_format_labels(key)} {value:g}"
 
 
@@ -155,6 +177,21 @@ class Histogram:
         entry = self._values.get(_label_key(labels))
         return entry[1] if entry else 0.0
 
+    def _consistent_items(self) -> list[tuple[LabelValues, tuple[list[int], float, int]]]:
+        """Copy every label set's (counts, sum, count) under the lock.
+
+        ``observe`` mutates the bucket-count list in place, so reading
+        it lock-free could see a bucket increment without its matching
+        ``count`` increment (or vice versa) and emit an exposition where
+        ``_count`` disagrees with the cumulative ``+Inf`` bucket. The
+        copy pins one consistent view per scrape.
+        """
+        with self._lock:
+            return [
+                (key, (list(counts), total, n))
+                for key, (counts, total, n) in sorted(self._values.items())
+            ]
+
     def snapshot(self) -> dict[str, Any]:
         return {
             "kind": self.kind,
@@ -163,22 +200,25 @@ class Histogram:
             "values": [
                 {
                     "labels": dict(key),
-                    "counts": list(counts),
+                    "counts": counts,
                     "sum": total,
                     "count": n,
                 }
-                for key, (counts, total, n) in sorted(self._values.items())
+                for key, (counts, total, n) in self._consistent_items()
             ],
         }
 
     def samples(self) -> Iterable[str]:
-        for key, (counts, total, n) in sorted(self._values.items()):
+        for key, (counts, total, n) in self._consistent_items():
             cumulative = 0
             for bound, bucket_count in zip(self.buckets, counts):
                 cumulative += bucket_count
                 le_key = key + (("le", f"{bound:g}"),)
                 yield f"{self.name}_bucket{_format_labels(le_key)} {cumulative}"
             cumulative += counts[-1]
+            # The +Inf bucket is emitted unconditionally (even when every
+            # observation landed in a finite bucket): Prometheus clients
+            # require it and it must equal _count.
             inf_key = key + (("le", "+Inf"),)
             yield f"{self.name}_bucket{_format_labels(inf_key)} {cumulative}"
             yield f"{self.name}_sum{_format_labels(key)} {total:g}"
@@ -232,7 +272,7 @@ class MetricsRegistry:
             metrics = dict(self._metrics)
         for name, metric in sorted(metrics.items()):
             if metric.help:
-                lines.append(f"# HELP {name} {metric.help}")
+                lines.append(f"# HELP {name} {_escape_help(metric.help)}")
             lines.append(f"# TYPE {name} {metric.kind}")
             lines.extend(metric.samples())
         return "\n".join(lines) + "\n"

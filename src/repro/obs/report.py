@@ -169,5 +169,39 @@ def render_summary(records: list[dict[str, Any]]) -> str:
     return "\n".join(lines)
 
 
-def summarize_file(path: str) -> str:
-    return render_summary(load_trace(path))
+def summary_data(records: list[dict[str, Any]]) -> dict[str, Any]:
+    """The summarize rollup as plain data (``scwsc trace summarize
+    --json``): same numbers as :func:`render_summary`, machine-readable.
+    """
+    meta = next((r for r in records if r.get("type") == "meta"), None)
+    metrics_record = next(
+        (r for r in reversed(records) if r.get("type") == "metrics"), None
+    )
+    counters: list[dict[str, Any]] = []
+    if metrics_record is not None:
+        for name, metric in sorted(metrics_record.get("metrics", {}).items()):
+            if metric.get("kind") != "counter":
+                continue
+            for sample in metric.get("values", []):
+                counters.append(
+                    {
+                        "name": name,
+                        "labels": sample.get("labels", {}),
+                        "value": sample.get("value", 0),
+                    }
+                )
+    return {
+        "schema": meta.get("schema") if meta else None,
+        "meta": (meta.get("attrs") or {}) if meta else {},
+        "records": len(records),
+        "phases": phase_rollups(records),
+        "events": event_counts(records),
+        "counters": counters,
+    }
+
+
+def summarize_file(path: str, as_json: bool = False) -> str:
+    records = load_trace(path)
+    if as_json:
+        return json.dumps(summary_data(records), indent=2, sort_keys=True)
+    return render_summary(records)

@@ -1,0 +1,312 @@
+"""Per-tenant and global SLO tracking with multi-window burn rates.
+
+An SLO here is two objectives over served solve traffic:
+
+* **latency** — at least ``latency_objective`` of requests complete
+  within ``latency_threshold`` seconds;
+* **availability** — at least ``error_objective`` of requests avoid
+  server-side failure (HTTP 5xx; sheds and client errors are policy,
+  not burned budget).
+
+The tracker keeps a small ring of fixed-width time slots (no per-request
+storage) per scope — one global scope plus one per tenant seen — and
+derives, for each configured window, the classic *burn rate*::
+
+    burn = observed_bad_fraction / (1 - objective)
+
+Burn 1.0 means the error budget is being spent exactly as fast as the
+objective allows; 14.4 over 5 minutes is the textbook page threshold.
+Everything is published into the existing metrics registry
+(:mod:`repro.obs.metrics`) under ``scwsc_slo_*`` so the ``/metrics``
+endpoint, the live console (``scwsc top``), and any Prometheus scraper
+see the same numbers:
+
+* ``scwsc_slo_requests_total{scope,objective,verdict}`` — good/bad
+  counts per objective;
+* ``scwsc_slo_request_seconds{scope}`` — latency histogram on the
+  registry's standard buckets;
+* ``scwsc_slo_burn_rate{scope,objective,window}`` — multi-window burn
+  gauges;
+* ``scwsc_slo_objective_ratio{scope,objective}`` — the configured
+  target, so dashboards need no out-of-band config.
+
+The clock is injectable so tests can step time deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Mapping
+
+from repro.errors import ValidationError
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+__all__ = ["SloObjectives", "SloTracker", "GLOBAL_SCOPE"]
+
+#: Label value naming the all-tenants aggregate scope.
+GLOBAL_SCOPE = "_global"
+
+#: Time-slot width in seconds. Small enough that a 5-minute window has
+#: 30 slots of resolution, large enough that a week of uptime is only
+#: bookkeeping for the slots inside the largest window.
+SLOT_SECONDS = 10.0
+
+
+class SloObjectives:
+    """One scope's targets: latency threshold/fraction + error fraction."""
+
+    __slots__ = ("latency_threshold", "latency_objective", "error_objective")
+
+    def __init__(
+        self,
+        latency_threshold: float,
+        latency_objective: float,
+        error_objective: float,
+    ) -> None:
+        if latency_threshold <= 0:
+            raise ValidationError(
+                f"latency_threshold must be > 0, got {latency_threshold}"
+            )
+        for name, value in (
+            ("latency_objective", latency_objective),
+            ("error_objective", error_objective),
+        ):
+            if not 0.0 < value < 1.0:
+                raise ValidationError(
+                    f"{name} must be in (0, 1), got {value}"
+                )
+        self.latency_threshold = float(latency_threshold)
+        self.latency_objective = float(latency_objective)
+        self.error_objective = float(error_objective)
+
+    def override(self, spec: Mapping[str, Any]) -> "SloObjectives":
+        """A copy with fields replaced from a per-tenant override dict."""
+        known = {
+            "latency_threshold",
+            "latency_objective",
+            "error_objective",
+        }
+        unknown = set(spec) - known
+        if unknown:
+            raise ValidationError(
+                f"unknown SLO override keys {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        return SloObjectives(
+            latency_threshold=float(
+                spec.get("latency_threshold", self.latency_threshold)
+            ),
+            latency_objective=float(
+                spec.get("latency_objective", self.latency_objective)
+            ),
+            error_objective=float(
+                spec.get("error_objective", self.error_objective)
+            ),
+        )
+
+
+class _Slot:
+    """One time slot's good/bad tallies for both objectives."""
+
+    __slots__ = ("start", "total", "slow", "errors")
+
+    def __init__(self, start: float) -> None:
+        self.start = start
+        self.total = 0
+        self.slow = 0
+        self.errors = 0
+
+
+class _Scope:
+    """Ring of recent slots for one scope (global or a tenant)."""
+
+    __slots__ = ("objectives", "slots")
+
+    def __init__(self, objectives: SloObjectives) -> None:
+        self.objectives = objectives
+        self.slots: list[_Slot] = []
+
+
+class SloTracker:
+    """Aggregates request outcomes into SLO metrics and burn gauges.
+
+    ``observe`` is called once per served request from the HTTP layer;
+    ``publish`` refreshes the burn-rate gauges (cheap — sums over a few
+    hundred slots at most) and is called before each ``/metrics``
+    scrape. Thread-safe: handler threads observe concurrently.
+    """
+
+    def __init__(
+        self,
+        objectives: SloObjectives,
+        *,
+        tenant_overrides: Mapping[str, Mapping[str, Any]] | None = None,
+        windows: tuple[float, ...] = (300.0, 3600.0),
+        registry: MetricsRegistry | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not windows or any(w <= 0 for w in windows):
+            raise ValidationError(
+                f"SLO windows must be positive, got {windows}"
+            )
+        self.default_objectives = objectives
+        self.windows = tuple(sorted(float(w) for w in windows))
+        self._overrides = {
+            tenant: objectives.override(spec)
+            for tenant, spec in (tenant_overrides or {}).items()
+        }
+        self._registry = registry or get_registry()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._scopes: dict[str, _Scope] = {}
+        self._requests = self._registry.counter(
+            "scwsc_slo_requests_total",
+            "Requests judged against each SLO objective, by verdict",
+        )
+        self._latency = self._registry.histogram(
+            "scwsc_slo_request_seconds",
+            "Served request latency per SLO scope",
+        )
+        self._burn = self._registry.gauge(
+            "scwsc_slo_burn_rate",
+            "Error-budget burn rate per scope, objective, and window",
+        )
+        self._ratio = self._registry.gauge(
+            "scwsc_slo_objective_ratio",
+            "Configured SLO target fraction per scope and objective",
+        )
+
+    def objectives_for(self, tenant: str) -> SloObjectives:
+        return self._overrides.get(tenant, self.default_objectives)
+
+    # ------------------------------------------------------------------
+    def _scope(self, name: str) -> _Scope:
+        scope = self._scopes.get(name)
+        if scope is None:
+            objectives = (
+                self.default_objectives
+                if name == GLOBAL_SCOPE
+                else self.objectives_for(name)
+            )
+            scope = _Scope(objectives)
+            self._scopes[name] = scope
+            self._ratio.set(
+                objectives.latency_objective,
+                scope=name,
+                objective="latency",
+            )
+            self._ratio.set(
+                objectives.error_objective, scope=name, objective="error"
+            )
+        return scope
+
+    def _tally(self, scope: _Scope, now: float, seconds: float,
+               is_error: bool) -> tuple[bool, bool]:
+        slot_start = now - (now % SLOT_SECONDS)
+        if not scope.slots or scope.slots[-1].start != slot_start:
+            scope.slots.append(_Slot(slot_start))
+            horizon = now - self.windows[-1] - SLOT_SECONDS
+            while scope.slots and scope.slots[0].start < horizon:
+                scope.slots.pop(0)
+        slot = scope.slots[-1]
+        slow = seconds > scope.objectives.latency_threshold
+        slot.total += 1
+        if slow:
+            slot.slow += 1
+        if is_error:
+            slot.errors += 1
+        return slow, is_error
+
+    def observe(self, tenant: str, seconds: float, code: int) -> None:
+        """Record one served request's latency and outcome."""
+        is_error = code >= 500
+        now = self._clock()
+        with self._lock:
+            for name in (GLOBAL_SCOPE, tenant):
+                scope = self._scope(name)
+                slow, _ = self._tally(scope, now, seconds, is_error)
+                self._requests.inc(
+                    scope=name,
+                    objective="latency",
+                    verdict="bad" if slow else "good",
+                )
+                self._requests.inc(
+                    scope=name,
+                    objective="error",
+                    verdict="bad" if is_error else "good",
+                )
+                self._latency.observe(seconds, scope=name)
+
+    # ------------------------------------------------------------------
+    def _window_fractions(
+        self, scope: _Scope, now: float, window: float
+    ) -> tuple[float, float]:
+        """(slow_fraction, error_fraction) over the trailing window."""
+        horizon = now - window
+        total = slow = errors = 0
+        for slot in reversed(scope.slots):
+            if slot.start + SLOT_SECONDS <= horizon:
+                break
+            total += slot.total
+            slow += slot.slow
+            errors += slot.errors
+        if total == 0:
+            return 0.0, 0.0
+        return slow / total, errors / total
+
+    @staticmethod
+    def _label_for(window: float) -> str:
+        if window % 3600 == 0:
+            return f"{int(window // 3600)}h"
+        if window % 60 == 0:
+            return f"{int(window // 60)}m"
+        return f"{window:g}s"
+
+    def publish(self) -> None:
+        """Refresh every burn-rate gauge from the current rings."""
+        now = self._clock()
+        with self._lock:
+            scopes = list(self._scopes.items())
+            for name, scope in scopes:
+                latency_budget = 1.0 - scope.objectives.latency_objective
+                error_budget = 1.0 - scope.objectives.error_objective
+                for window in self.windows:
+                    slow_frac, error_frac = self._window_fractions(
+                        scope, now, window
+                    )
+                    label = self._label_for(window)
+                    self._burn.set(
+                        round(slow_frac / latency_budget, 6),
+                        scope=name,
+                        objective="latency",
+                        window=label,
+                    )
+                    self._burn.set(
+                        round(error_frac / error_budget, 6),
+                        scope=name,
+                        objective="error",
+                        window=label,
+                    )
+
+    def snapshot(self) -> dict[str, Any]:
+        """Window fractions and burn rates as plain data (tests, debug)."""
+        now = self._clock()
+        out: dict[str, Any] = {}
+        with self._lock:
+            for name, scope in self._scopes.items():
+                windows = {}
+                for window in self.windows:
+                    slow_frac, error_frac = self._window_fractions(
+                        scope, now, window
+                    )
+                    windows[self._label_for(window)] = {
+                        "slow_fraction": slow_frac,
+                        "error_fraction": error_frac,
+                        "latency_burn": slow_frac
+                        / (1.0 - scope.objectives.latency_objective),
+                        "error_burn": error_frac
+                        / (1.0 - scope.objectives.error_objective),
+                    }
+                out[name] = windows
+        return out

@@ -56,6 +56,8 @@ from __future__ import annotations
 import contextlib
 import io
 import json
+import re
+import secrets
 import threading
 import time
 from contextvars import ContextVar
@@ -66,6 +68,119 @@ SCHEMA = "scwsc-trace/1"
 _current_span_id: ContextVar[str | None] = ContextVar(
     "repro_obs_current_span", default=None
 )
+
+
+# ---------------------------------------------------------------------------
+# W3C-style trace context: the cross-process identity of one request.
+# ---------------------------------------------------------------------------
+
+_TRACEPARENT_RE = re.compile(
+    r"^([0-9a-f]{2})-([0-9a-f]{32})-([0-9a-f]{16})-([0-9a-f]{2})$"
+)
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-char (128-bit) trace id."""
+    return secrets.token_hex(16)
+
+
+def new_span_id() -> str:
+    """A fresh 16-hex-char (64-bit) span id."""
+    return secrets.token_hex(8)
+
+
+class TraceContext:
+    """Request-scoped identity carried across process boundaries.
+
+    Mirrors the W3C ``traceparent`` triple: a 128-bit ``trace_id``
+    naming the whole request, a 64-bit ``span_id`` naming the caller's
+    span, and a flags byte (``01`` = sampled). Serialized on pool frames
+    so worker- and shard-side spans replay under the originating
+    request's trace id instead of a synthetic per-request counter.
+    """
+
+    __slots__ = ("trace_id", "span_id", "flags")
+
+    def __init__(self, trace_id: str, span_id: str, flags: str = "01"):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.flags = flags
+
+    @classmethod
+    def mint(cls) -> "TraceContext":
+        return cls(new_trace_id(), new_span_id())
+
+    def child(self) -> "TraceContext":
+        """Same trace, fresh caller span id — for outbound hops."""
+        return TraceContext(self.trace_id, new_span_id(), self.flags)
+
+    def to_traceparent(self) -> str:
+        return f"00-{self.trace_id}-{self.span_id}-{self.flags}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceContext({self.to_traceparent()!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TraceContext)
+            and self.trace_id == other.trace_id
+            and self.span_id == other.span_id
+            and self.flags == other.flags
+        )
+
+
+def parse_traceparent(header: str | None) -> TraceContext | None:
+    """Parse a W3C ``traceparent`` header; None when absent or invalid.
+
+    Invalid headers are dropped (the edge mints a fresh context) rather
+    than rejected — a malformed upstream header must never fail a solve.
+    An all-zero trace or span id is invalid per the spec.
+    """
+    if not header:
+        return None
+    m = _TRACEPARENT_RE.match(header.strip().lower())
+    if m is None:
+        return None
+    version, trace_id, span_id, flags = m.groups()
+    if version == "ff" or trace_id == "0" * 32 or span_id == "0" * 16:
+        return None
+    return TraceContext(trace_id, span_id, flags)
+
+
+_current_context: ContextVar[TraceContext | None] = ContextVar(
+    "repro_obs_trace_context", default=None
+)
+
+
+def get_context() -> TraceContext | None:
+    """The trace context bound to the current thread/task, if any."""
+    return _current_context.get()
+
+
+def current_span_id() -> str | None:
+    """The id of the innermost open span, if any — used to re-parent
+    replayed shard/worker subtrees under the live span."""
+    return _current_span_id.get()
+
+
+def set_context(ctx: TraceContext | None) -> Any:
+    """Bind ``ctx`` as the current trace context; returns a reset token."""
+    return _current_context.set(ctx)
+
+
+def reset_context(token: Any) -> None:
+    """Undo a :func:`set_context` using its returned token."""
+    _current_context.reset(token)
+
+
+@contextlib.contextmanager
+def context(ctx: TraceContext | None) -> Iterator[TraceContext | None]:
+    """Scope ``ctx`` as the current trace context for a ``with`` block."""
+    token = _current_context.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _current_context.reset(token)
 
 #: Observers notified on every real span open/close — the profiling layer
 #: (:mod:`repro.obs.profile`) attaches here. Empty by default, so the
@@ -362,14 +477,19 @@ def replay(
     records: list[dict[str, Any]],
     *,
     prefix: str = "",
+    root_parent: str | None = None,
     **attrs: Any,
 ) -> None:
     """Re-emit captured records (from a worker or a :func:`capture`)
     into the global tracer.
 
     ``prefix`` namespaces span ids so records from different workers
-    cannot collide (the supervisor uses ``r<request_id>.``); ``attrs``
-    are merged into every record's ``attrs`` so a pool run's spans carry
+    cannot collide (the supervisor uses the request's trace id when one
+    exists, else ``r<request_id>a<attempt>.``); ``root_parent``
+    re-parents the capture's root spans (``parent_id`` None) under an
+    existing span id, stitching the worker subtree onto the request's
+    edge span so the whole request is one tree; ``attrs`` are merged
+    into every record's ``attrs`` so a pool run's spans carry
     ``request_id``/``worker`` without the worker knowing either.
     """
     tracer = _TRACER
@@ -379,11 +499,14 @@ def replay(
         rec = dict(record)
         if rec.get("type") == "meta":
             continue  # the outer trace already has its meta record
-        if prefix:
-            if "span_id" in rec and rec["span_id"] is not None:
+        if "span_id" in rec:
+            if prefix and rec["span_id"] is not None:
                 rec["span_id"] = f"{prefix}{rec['span_id']}"
             if rec.get("parent_id") is not None:
-                rec["parent_id"] = f"{prefix}{rec['parent_id']}"
+                if prefix:
+                    rec["parent_id"] = f"{prefix}{rec['parent_id']}"
+            elif root_parent is not None:
+                rec["parent_id"] = root_parent
         if attrs:
             merged = dict(rec.get("attrs") or {})
             merged.update(attrs)

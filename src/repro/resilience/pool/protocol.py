@@ -383,6 +383,11 @@ class SolveRequest:
     #: the result frame. The supervisor also forces this on whenever the
     #: parent process has a tracer configured.
     trace: bool = False
+    #: W3C ``traceparent`` of the originating request, when one exists.
+    #: Workers bind it as their current trace context so captured spans
+    #: (including shard-session hops) replay under the request's trace
+    #: id instead of a synthetic per-request prefix.
+    traceparent: str | None = None
 
 
 def encode_request(request: SolveRequest, request_id: int) -> dict:
@@ -408,6 +413,7 @@ def encode_request(request: SolveRequest, request_id: int) -> dict:
         "options": request.options or {},
         "seed": request.seed,
         "trace": request.trace,
+        "traceparent": request.traceparent,
     }
 
 
@@ -431,6 +437,11 @@ def request_from_payload(payload: dict) -> tuple[int, SolveRequest]:
             options=dict(payload.get("options") or {}),
             seed=int(payload.get("seed", 0)),
             trace=bool(payload.get("trace", False)),
+            traceparent=(
+                str(payload["traceparent"])
+                if payload.get("traceparent")
+                else None
+            ),
         )
     except (KeyError, TypeError, ValueError) as error:
         raise ProtocolError(

@@ -124,6 +124,15 @@ class ShardSession:
         self._readers = []
         self._selector = selectors.DefaultSelector()
         self._closed = False
+        #: Ask shard workers to capture and ship their spans whenever
+        #: this process traces — inside a pool worker's capture() this
+        #: is how shard spans ride home in the result frame. The current
+        #: trace context (if any) stamps frames with the request's
+        #: traceparent so shard workers know the originating request.
+        self._trace = obs_trace.enabled()
+        ctx = obs_trace.get_context()
+        self._traceparent = ctx.to_traceparent() if ctx else None
+        self._replay_seq = 0
         try:
             self._start(memory_limit_mb, worker_env)
         except BaseException:
@@ -167,6 +176,10 @@ class ShardSession:
             ).set(self.n_workers)
 
     def _send(self, shard: int, frame: dict) -> None:
+        if self._trace:
+            frame["trace"] = True
+            if self._traceparent is not None:
+                frame["traceparent"] = self._traceparent
         proc = self._procs[self.assignment[shard]]
         if proc.poll() is not None:
             raise ShardError(
@@ -205,6 +218,7 @@ class ShardSession:
                         "mid-solve"
                     )
                 for frame in self._readers[worker].feed(data):
+                    self._replay_trace(frame)
                     if frame.get("kind") == "shard_error":
                         raise ShardError(
                             f"shard {frame.get('shard')} failed: "
@@ -217,6 +231,26 @@ class ShardSession:
                             wanted.discard(tag)
                             got[tag] = frame
         return got
+
+    def _replay_trace(self, frame: dict) -> None:
+        """Re-emit a shard reply's captured spans into the live tracer.
+
+        Each reply gets a unique ``sh<shard>.<seq>.`` prefix so span ids
+        from different shards (and successive RPCs on one shard) never
+        collide, and its root spans are re-parented under the innermost
+        open span — inside a traced solve that is the solver span doing
+        the select, so shard work nests in the request's tree.
+        """
+        records = frame.get("trace")
+        if not (isinstance(records, list) and records and obs_trace.enabled()):
+            return
+        self._replay_seq += 1
+        obs_trace.replay(
+            records,
+            prefix=f"sh{frame.get('shard')}.{self._replay_seq}.",
+            root_parent=obs_trace.current_span_id(),
+            shard=frame.get("shard"),
+        )
 
     # -- shard RPCs ------------------------------------------------------
     def open_count(self) -> int:

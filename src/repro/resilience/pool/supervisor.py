@@ -212,6 +212,8 @@ class _Pending:
     __slots__ = (
         "request_id", "request", "effective_timeout", "deadline_at",
         "dispatches", "attempts", "routed_around", "done",
+        "trace_ctx", "enqueued_at", "queue_seconds", "solve_seconds",
+        "requeue_seconds", "last_dispatched_at", "last_attempt_end",
     )
 
     def __init__(self, request_id: int, request: SolveRequest,
@@ -226,13 +228,52 @@ class _Pending:
         self.attempts: list[dict] = []
         self.routed_around: list[str] = []
         self.done = False
+        #: The originating request's trace context, when the caller sent
+        #: a ``traceparent`` — worker spans replay under its trace id and
+        #: every pool event for this request carries it.
+        self.trace_ctx = obs_trace.parse_traceparent(request.traceparent)
+        self.enqueued_at = time.monotonic()
+        #: Deadline-budget breakdown: wait before the first dispatch,
+        #: cumulative worker-side time, and wait between attempts.
+        self.queue_seconds = 0.0
+        self.solve_seconds = 0.0
+        self.requeue_seconds = 0.0
+        self.last_dispatched_at: float | None = None
+        self.last_attempt_end: float | None = None
+
+    @property
+    def trace_id(self) -> str | None:
+        return self.trace_ctx.trace_id if self.trace_ctx else None
+
+    def note_dispatched(self, now: float) -> None:
+        if self.last_attempt_end is not None:
+            self.requeue_seconds += now - self.last_attempt_end
+        elif self.last_dispatched_at is None:
+            self.queue_seconds = now - self.enqueued_at
+        self.last_dispatched_at = now
+
+    def note_attempt_end(self, now: float) -> None:
+        if self.last_dispatched_at is not None and (
+            self.last_attempt_end is None
+            or self.last_attempt_end < self.last_dispatched_at
+        ):
+            self.solve_seconds += now - self.last_dispatched_at
+            self.last_attempt_end = now
 
     def provenance(self) -> dict:
-        return {
+        provenance = {
             "tag": self.request.tag,
             "attempts": list(self.attempts),
             "requeues": max(0, self.dispatches - 1),
+            "timings": {
+                "queue_seconds": round(self.queue_seconds, 6),
+                "solve_seconds": round(self.solve_seconds, 6),
+                "requeue_seconds": round(self.requeue_seconds, 6),
+            },
         }
+        if self.trace_ctx is not None:
+            provenance["trace_id"] = self.trace_ctx.trace_id
+        return provenance
 
 
 class _Worker:
@@ -589,6 +630,7 @@ class SolverPool:
         pending.dispatches += 1
         worker.pending = pending
         worker.dispatched_at = time.monotonic()
+        pending.note_dispatched(worker.dispatched_at)
         worker.last_stage = None
         if pending.deadline_at is not None:
             worker.kill_at = pending.deadline_at + self.config.grace
@@ -607,6 +649,7 @@ class SolverPool:
             obs_trace.event(
                 "dispatch",
                 request_id=pending.request_id,
+                trace_id=pending.trace_id,
                 worker=worker.index,
                 pid=worker.pid,
                 attempt=pending.dispatches,
@@ -672,6 +715,7 @@ class SolverPool:
                     worker=worker.index,
                     pid=worker.pid,
                     request_id=worker.pending.request_id,
+                    trace_id=worker.pending.trace_id,
                 )
                 self._hard_kill(worker)
                 self._worker_failed(
@@ -691,6 +735,7 @@ class SolverPool:
                     worker=worker.index,
                     pid=worker.pid,
                     request_id=worker.pending.request_id,
+                    trace_id=worker.pending.trace_id,
                     timeout=worker.pending.effective_timeout,
                     grace=self.config.grace,
                 )
@@ -749,6 +794,7 @@ class SolverPool:
             worker=worker.index,
             pid=worker.pid,
             request_id=pending.request_id if pending is not None else None,
+            trace_id=pending.trace_id if pending is not None else None,
             detail=detail,
         )
         self._worker_failed(worker, "worker-died", detail)
@@ -764,6 +810,7 @@ class SolverPool:
         self._respawn(worker)
         if pending is None or pending.done:
             return
+        pending.note_attempt_end(time.monotonic())
         self._record_failure(
             pending, worker, outcome, detail,
             stage or self._blame_default(pending),
@@ -799,6 +846,7 @@ class SolverPool:
             obs_trace.event(
                 "requeue",
                 request_id=pending.request_id,
+                trace_id=pending.trace_id,
                 attempt=pending.dispatches,
                 outcome=outcome,
                 blame=blame,
@@ -815,15 +863,28 @@ class SolverPool:
         worker.completed += 1
         if pending is None or pending.done:
             return
+        pending.note_attempt_end(time.monotonic())
         records = frame.get("trace")
         if isinstance(records, list) and records and obs_trace.enabled():
             # Prefix includes the attempt number: a retried request may
             # ship a trace per attempt and span ids must not collide.
+            # When the request carried a traceparent, the prefix is its
+            # trace id and the worker subtree is re-parented under the
+            # caller's span, so the whole request renders as one tree.
+            ctx = pending.trace_ctx
+            if ctx is not None:
+                prefix = f"{ctx.trace_id}.a{pending.dispatches}."
+                root_parent = ctx.span_id
+            else:
+                prefix = f"r{pending.request_id}a{pending.dispatches}."
+                root_parent = None
             obs_trace.replay(
                 records,
-                prefix=f"r{pending.request_id}a{pending.dispatches}.",
+                prefix=prefix,
+                root_parent=root_parent,
                 request_id=pending.request_id,
                 worker=worker.index,
+                **({"trace_id": ctx.trace_id} if ctx is not None else {}),
             )
         rss = frame.get("peak_rss_bytes")
         if isinstance(rss, (int, float)) and rss > 0:
@@ -1034,6 +1095,7 @@ class SolverPool:
         obs_trace.event(
             "request_complete",
             request_id=pending.request_id,
+            trace_id=pending.trace_id,
             status=status,
             attempts=len(pending.attempts),
         )
@@ -1046,6 +1108,7 @@ class SolverPool:
         obs_trace.event(
             "fallback",
             request_id=pending.request_id,
+            trace_id=pending.trace_id,
             attempts=len(pending.attempts),
         )
         request = pending.request

@@ -150,16 +150,25 @@ def _error_payload(request_id: int, error: BaseException) -> dict:
 _SHARD_TRACKERS: dict = {}
 
 
-def _handle_shard(out, frame: dict) -> None:
-    """Serve one universe-shard frame (see pool/sharded.py)."""
+#: Cap on trace records shipped per shard reply frame: shard RPCs are
+#: per-selection, so each reply carries at most a handful of spans, but
+#: a hot tracker-event storm must still degrade to truncation.
+_MAX_SHARD_TRACE_RECORDS = 1_000
+
+
+def _shard_op(out, frame: dict) -> dict:
+    """Execute one shard RPC and build (without writing) its reply."""
     from repro.resilience.pool.protocol import _system_from_payload_cached
 
     kind = frame.get("kind")
     shard_id = frame.get("shard")
-    try:
-        if kind == "shard_open":
-            from repro.core.packed import PackedMarginalTracker, shard_layout
+    if kind == "shard_open":
+        from repro.core.packed import PackedMarginalTracker, shard_layout
 
+        with obs_trace.span(
+            "shard_open", shard=shard_id,
+            lo=frame.get("lo"), hi=frame.get("hi"),
+        ):
             system = _system_from_payload_cached(
                 frame["system"], frame.get("system_fp")
             )
@@ -167,35 +176,72 @@ def _handle_shard(out, frame: dict) -> None:
             _SHARD_TRACKERS[shard_id] = PackedMarginalTracker(
                 system, layout=layout
             )
-            write_frame(out, {"kind": "shard_ready", "shard": shard_id,
-                              "local_elements": layout.n_elements})
-        elif kind == "shard_select":
+        return {"kind": "shard_ready", "shard": shard_id,
+                "local_elements": layout.n_elements}
+    if kind == "shard_select":
+        with obs_trace.span(
+            "shard_select", shard=shard_id, set_id=frame.get("set_id")
+        ):
             tracker = _SHARD_TRACKERS[shard_id]
             newly, ids, overlaps = tracker.select_with_deltas(
                 frame["set_id"]
             )
-            write_frame(out, {
-                "kind": "shard_delta",
-                "shard": shard_id,
-                "newly": newly,
-                "ids": ids,
-                "overlaps": overlaps,
-            })
-        elif kind == "shard_reset":
+        return {
+            "kind": "shard_delta",
+            "shard": shard_id,
+            "newly": newly,
+            "ids": ids,
+            "overlaps": overlaps,
+        }
+    if kind == "shard_reset":
+        with obs_trace.span("shard_reset", shard=shard_id):
             _SHARD_TRACKERS[shard_id].reset()
-            write_frame(out, {"kind": "shard_ok", "shard": shard_id})
-        elif kind == "shard_close":
-            _SHARD_TRACKERS.pop(shard_id, None)
-            write_frame(out, {"kind": "shard_ok", "shard": shard_id})
+        return {"kind": "shard_ok", "shard": shard_id}
+    # shard_close
+    _SHARD_TRACKERS.pop(shard_id, None)
+    return {"kind": "shard_ok", "shard": shard_id}
+
+
+def _handle_shard(out, frame: dict) -> None:
+    """Serve one universe-shard frame (see pool/sharded.py).
+
+    When the frame carries ``"trace": true`` the worker captures its
+    spans for the one RPC (the ``shard_*`` span plus any tracker events)
+    and ships them in the reply under ``"trace"``; the shard session on
+    the parent side replays them into its own tracer, so shard work
+    appears in the originating request's tree.
+    """
+    shard_id = frame.get("shard")
+    records: list | None = None
+    try:
+        if frame.get("trace"):
+            with obs_trace.capture() as records:
+                reply = _shard_op(out, frame)
+        else:
+            reply = _shard_op(out, frame)
     except (ReproError, MemoryError, ArithmeticError, ValueError,
             KeyError, IndexError, TypeError, AttributeError) as error:
         traceback.print_exc(file=sys.stderr)
-        write_frame(out, {
+        reply = {
             "kind": "shard_error",
             "shard": shard_id,
             "error_type": type(error).__name__,
             "message": str(error) or type(error).__name__,
-        })
+        }
+    if records:
+        if len(records) > _MAX_SHARD_TRACE_RECORDS:
+            dropped = len(records) - _MAX_SHARD_TRACE_RECORDS
+            records = records[:_MAX_SHARD_TRACE_RECORDS]
+            records.append(
+                {
+                    "type": "event",
+                    "name": "trace_truncated",
+                    "t": 0.0,
+                    "attrs": {"dropped_records": dropped},
+                }
+            )
+        reply["trace"] = records
+    write_frame(out, reply)
 
 
 def _handle_solve(out, payload: dict) -> None:
@@ -211,10 +257,14 @@ def _handle_solve(out, payload: dict) -> None:
         )
 
     trace_records: list | None = None
+    # Bind the originating request's trace context (when the supervisor
+    # forwarded one) so a worker acting as a sharding parent propagates
+    # it onto its own shard-session frames.
+    trace_ctx = obs_trace.parse_traceparent(request.traceparent)
     try:
         if injector is not None:
             injector.worker_entry()
-        with hang_watchdog(
+        with obs_trace.context(trace_ctx), hang_watchdog(
             request.timeout, context=f"request {request_id}"
         ):
             if request.trace:

@@ -8,9 +8,12 @@ The serving stack, bottom up:
 * :mod:`.engine` — :class:`ServeEngine`, the single dispatcher thread
   that owns the warm :class:`~repro.resilience.pool.SolverPool` and
   trades :class:`Ticket`\\ s with HTTP handler threads;
+* :mod:`.accesslog` — the ``scwsc-access/1`` JSONL access log: one
+  schema-validated record per HTTP request (also a module CLI,
+  ``python -m repro.serve.accesslog FILE``);
 * :mod:`.server` — :class:`SolverServer` (routes, length-checked JSON
-  bodies, load shedding, graceful drain) and :func:`run_server`, the
-  CLI entry point.
+  bodies, request tracing, load shedding, graceful drain) and
+  :func:`run_server`, the CLI entry point.
 
 See ``docs/SERVING.md`` for the operator's view.
 """

@@ -61,6 +61,26 @@ class ServeConfig:
         On SIGTERM, how long to wait for in-flight work before closing
         anyway (deadlines keep being enforced during the drain, so this
         only bites when something is badly wrong).
+
+    Observability:
+
+    ``access_log``
+        Path for the JSONL access log (schema ``scwsc-access/1``, one
+        record per HTTP request — see :mod:`repro.serve.accesslog`).
+        ``None`` disables it.
+    ``slo_latency_threshold`` / ``slo_latency_objective``
+        The latency SLO: at least ``slo_latency_objective`` of served
+        requests should finish within ``slo_latency_threshold`` seconds.
+    ``slo_error_objective``
+        The availability SLO: at least this fraction of served requests
+        should avoid 5xx outcomes.
+    ``slo_windows``
+        Trailing windows (seconds) for the ``scwsc_slo_burn_rate``
+        gauges; the defaults are the classic 5m/1h multi-window pair.
+    ``slo_tenants``
+        Per-tenant objective overrides, e.g.
+        ``{"gold": {"latency_threshold": 0.5}}`` — unset fields inherit
+        the global objectives.
     """
 
     host: str = "127.0.0.1"
@@ -84,6 +104,22 @@ class ServeConfig:
     warm_timeout: float = 30.0
     breaker_threshold: int = 3
     breaker_cooldown: float = 30.0
+    access_log: str | None = None
+    slo_latency_threshold: float = 1.0
+    slo_latency_objective: float = 0.99
+    slo_error_objective: float = 0.999
+    slo_windows: tuple[float, ...] = (300.0, 3600.0)
+    slo_tenants: dict | None = None
+
+    def slo_objectives(self):
+        """The global :class:`~repro.obs.slo.SloObjectives` (validated)."""
+        from repro.obs.slo import SloObjectives
+
+        return SloObjectives(
+            latency_threshold=self.slo_latency_threshold,
+            latency_objective=self.slo_latency_objective,
+            error_objective=self.slo_error_objective,
+        )
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -128,3 +164,22 @@ class ServeConfig:
             raise ValidationError(
                 f"max_batch must be >= 1, got {self.max_batch}"
             )
+        if not self.slo_windows or any(w <= 0 for w in self.slo_windows):
+            raise ValidationError(
+                f"slo_windows must be positive, got {self.slo_windows}"
+            )
+        self.slo_windows = tuple(float(w) for w in self.slo_windows)
+        if self.slo_tenants is not None and not isinstance(
+            self.slo_tenants, dict
+        ):
+            raise ValidationError("slo_tenants must be a dict of overrides")
+        # Validate the objectives (and every tenant override) now, so a
+        # daemon with a nonsensical SLO policy fails before binding.
+        objectives = self.slo_objectives()
+        for tenant, spec in (self.slo_tenants or {}).items():
+            if not isinstance(spec, dict):
+                raise ValidationError(
+                    f"slo_tenants[{tenant!r}] must be a dict, got "
+                    f"{type(spec).__name__}"
+                )
+            objectives.override(spec)

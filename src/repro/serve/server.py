@@ -46,8 +46,10 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from repro.errors import ProtocolError, ValidationError
 from repro.obs import trace as obs_trace
 from repro.obs.metrics import get_registry, publish_build_info
+from repro.obs.slo import SloTracker
 from repro.resilience.pool import SolveRequest
 from repro.resilience.pool.protocol import system_from_payload
+from repro.serve.accesslog import AccessLog
 from repro.serve.admission import AdmissionController
 from repro.serve.config import ServeConfig
 from repro.serve.engine import ServeEngine, Ticket
@@ -182,6 +184,11 @@ class _Handler(BaseHTTPRequestHandler):
                 self.send_header(
                     "Retry-After", str(max(1, math.ceil(retry_after)))
                 )
+            ctx = getattr(self, "_trace_ctx", None)
+            if ctx is not None:
+                # Echo the server-side trace context so the client can
+                # join its logs to the daemon's trace and access log.
+                self.send_header("Traceparent", ctx.to_traceparent())
             self.send_header("Connection", "close")
             self.end_headers()
             self.wfile.write(body)
@@ -202,24 +209,64 @@ class _Handler(BaseHTTPRequestHandler):
     def _route(self, method: str) -> None:
         path = self.path.split("?", 1)[0]
         self._status = None
+        # Every request gets a W3C-style trace context: a valid incoming
+        # ``traceparent`` keeps its trace id (with a fresh server-side
+        # span id); anything else gets a minted one. The context rides
+        # the pool frames so worker and shard spans replay under it, the
+        # response echoes it, and the access-log record carries it.
+        incoming = obs_trace.parse_traceparent(self.headers.get("traceparent"))
+        ctx = (
+            incoming.child()
+            if incoming is not None
+            else obs_trace.TraceContext.mint()
+        )
+        self._trace_ctx = ctx
+        #: Per-request facts the endpoint handlers fill in for the
+        #: access-log record written below (tenant, shed reason, pool
+        #: timing breakdown, ...).
+        self._access: dict = {}
         started = time.monotonic()
+        token = obs_trace.set_context(ctx)
+        span = obs_trace.span(
+            "server_request",
+            method=method,
+            endpoint=path,
+            trace_id=ctx.trace_id,
+        )
+        if span.enabled:
+            # The edge span IS the traceparent span: it takes the
+            # context's span id so worker subtrees replayed with
+            # ``root_parent=ctx.span_id`` attach to it, and upstream
+            # callers see their child span id in the echoed header.
+            span.span_id = ctx.span_id
+            if incoming is not None:
+                span.set(upstream_span_id=incoming.span_id)
         try:
-            handler = {
-                ("GET", "/healthz"): self._do_healthz,
-                ("GET", "/readyz"): self._do_readyz,
-                ("GET", "/metrics"): self._do_metrics,
-                ("POST", "/solve"): self._do_solve,
-                ("POST", "/batch"): self._do_batch,
-            }.get((method, path))
-            if handler is None:
-                self._send_json(404, {"error": f"no route {method} {path}"})
-                return
-            handler()
+            with span:
+                handler = {
+                    ("GET", "/healthz"): self._do_healthz,
+                    ("GET", "/readyz"): self._do_readyz,
+                    ("GET", "/metrics"): self._do_metrics,
+                    ("POST", "/solve"): self._do_solve,
+                    ("POST", "/batch"): self._do_batch,
+                }.get((method, path))
+                if handler is None:
+                    self._send_json(
+                        404, {"error": f"no route {method} {path}"}
+                    )
+                    return
+                handler()
         except (BrokenPipeError, ConnectionResetError) as exc:
             self.server.count_connection_error()
             logger.debug("client gone mid-request: %s", exc)
             self.close_connection = True
         except socket.timeout:
+            obs_trace.event(
+                "server_request_timeout",
+                endpoint=path,
+                trace_id=ctx.trace_id,
+                tenant=self._access.get("tenant"),
+            )
             self._send_json(408, {"error": "timed out reading request"})
         except Exception:
             # Absolute backstop: a handler bug answers 500 on this one
@@ -228,8 +275,21 @@ class _Handler(BaseHTTPRequestHandler):
             if self._status is None:
                 self._send_json(500, {"error": "internal server error"})
         finally:
+            obs_trace.reset_context(token)
+            duration = time.monotonic() - started
             self.server.observe_request(
-                path, self._status, time.monotonic() - started
+                path,
+                self._status,
+                duration,
+                tenant=self._access.get("tenant"),
+            )
+            self.server.log_access(
+                trace_id=ctx.trace_id,
+                method=method,
+                endpoint=path,
+                status=self._status,
+                duration_seconds=round(duration, 6),
+                **self._access,
             )
 
     # -- GET endpoints ---------------------------------------------------
@@ -301,12 +361,14 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _shed(self, tenant: str, decision, endpoint: str, n: int) -> None:
         self.server.count_shed(decision.reason, tenant=tenant, n=n)
+        self._access["shed_reason"] = decision.reason
         obs_trace.event(
             "server_shed",
             endpoint=endpoint,
             tenant=tenant,
             reason=decision.reason,
             requests=n,
+            trace_id=self._trace_ctx.trace_id,
         )
         self._send_json(
             429,
@@ -323,11 +385,13 @@ class _Handler(BaseHTTPRequestHandler):
         if payload is None:
             return
         tenant = self._tenant()
+        self._access["tenant"] = tenant
         try:
             request = build_solve_request(payload, self.server.config)
         except (ValidationError, ProtocolError) as exc:
             self._send_json(400, {"error": str(exc)})
             return
+        self._access["deadline"] = request.timeout
         admission = self.server.admission
         decision = admission.try_admit(
             tenant, 1, queue_depth=self.server.engine.queue_depth
@@ -336,12 +400,16 @@ class _Handler(BaseHTTPRequestHandler):
             self._shed(tenant, decision, "/solve", 1)
             return
         self.server.count_admitted(tenant=tenant)
+        # The pool carries the request's trace context to the worker so
+        # its captured spans replay under this trace id.
+        request.traceparent = self._trace_ctx.to_traceparent()
         try:
             ticket = self.server.engine.submit(request)
             outcome = self._await(ticket)
             if outcome is None:
                 return
             code, body = outcome
+            body["trace_id"] = self._trace_ctx.trace_id
             self._send_json(code, body)
             obs_trace.event(
                 "server_complete",
@@ -350,6 +418,7 @@ class _Handler(BaseHTTPRequestHandler):
                 code=code,
                 status=body.get("status"),
                 tag=request.tag,
+                trace_id=self._trace_ctx.trace_id,
             )
         finally:
             admission.release(tenant, 1)
@@ -359,6 +428,7 @@ class _Handler(BaseHTTPRequestHandler):
         if payload is None:
             return
         tenant = self._tenant()
+        self._access["tenant"] = tenant
         if not isinstance(payload, dict):
             self._send_json(400, {"error": "request body must be a JSON object"})
             return
@@ -402,6 +472,12 @@ class _Handler(BaseHTTPRequestHandler):
             self._shed(tenant, decision, "/batch", n)
             return
         self.server.count_admitted(tenant=tenant, n=n)
+        self._access["deadline"] = max(
+            (req.timeout for req in requests if req.timeout), default=None
+        )
+        traceparent = self._trace_ctx.to_traceparent()
+        for req in requests:
+            req.traceparent = traceparent
         try:
             tickets = [self.server.engine.submit(req) for req in requests]
             results = []
@@ -414,7 +490,14 @@ class _Handler(BaseHTTPRequestHandler):
             worst = max(
                 (entry.get("code", 200) for entry in results), default=200
             )
-            self._send_json(200, {"count": len(results), "results": results})
+            self._send_json(
+                200,
+                {
+                    "count": len(results),
+                    "results": results,
+                    "trace_id": self._trace_ctx.trace_id,
+                },
+            )
             obs_trace.event(
                 "server_complete",
                 endpoint="/batch",
@@ -422,6 +505,7 @@ class _Handler(BaseHTTPRequestHandler):
                 code=200,
                 requests=n,
                 worst_entry_code=worst,
+                trace_id=self._trace_ctx.trace_id,
             )
         finally:
             admission.release(tenant, n)
@@ -438,12 +522,15 @@ class _Handler(BaseHTTPRequestHandler):
             + _TICKET_SLACK
         )
         if not ticket.wait(budget):
+            self._access["error"] = "request lost in dispatcher"
             self._send_json(504, {"error": "request lost in dispatcher"})
             return None
         if ticket.error is not None:
+            self._access["error"] = str(ticket.error)
             return 503, {"status": "error", "error": ticket.error, "code": 503}
         pool_result = ticket.result
         assert pool_result is not None
+        self._record_pool_outcome(pool_result)
         body: dict = {
             "status": pool_result.status,
             "tag": pool_result.tag,
@@ -458,6 +545,22 @@ class _Handler(BaseHTTPRequestHandler):
             return 200, body
         body["code"] = 422
         return 422, body
+
+    def _record_pool_outcome(self, pool_result) -> None:
+        """Fold one pool answer's deadline-budget breakdown into the
+        access record. Batch requests accumulate across tickets, so the
+        logged numbers are totals over every entry."""
+        access = self._access
+        access["solve_status"] = pool_result.status
+        provenance = pool_result.provenance or {}
+        timings = provenance.get("timings") or {}
+        for key in ("queue_seconds", "solve_seconds", "requeue_seconds"):
+            value = timings.get(key)
+            if isinstance(value, (int, float)):
+                access[key] = round(access.get(key, 0.0) + value, 6)
+        requeues = provenance.get("requeues")
+        if isinstance(requeues, int):
+            access["requeues"] = access.get("requeues", 0) + requeues
 
 
 class SolverServer(ThreadingHTTPServer):
@@ -507,6 +610,19 @@ class SolverServer(ThreadingHTTPServer):
         self._latency = self.registry.histogram(
             "scwsc_server_request_seconds", "Request wall time by endpoint"
         )
+        self._breaker_state = self.registry.gauge(
+            "scwsc_breaker_state",
+            "Per-worker breaker state (0 closed, 1 half-open, 2 open)",
+        )
+        self.slo = SloTracker(
+            config.slo_objectives(),
+            tenant_overrides=config.slo_tenants,
+            windows=config.slo_windows,
+            registry=self.registry,
+        )
+        self.access_log = (
+            AccessLog(config.access_log) if config.access_log else None
+        )
         self._draining_gauge.set(0)
         super().__init__((config.host, config.port), _Handler)
 
@@ -539,11 +655,31 @@ class SolverServer(ThreadingHTTPServer):
         self._shed_total.inc(n, reason=reason)
 
     def observe_request(
-        self, path: str, code: int | None, seconds: float
+        self,
+        path: str,
+        code: int | None,
+        seconds: float,
+        tenant: str | None = None,
     ) -> None:
         self._requests_total.inc(endpoint=path, code=str(code or "none"))
         self._latency.observe(seconds, endpoint=path)
         self._inflight.set(self.admission.inflight)
+        if path in ("/solve", "/batch"):
+            # A request with no status means the client vanished before
+            # one was written — judged as a server failure (599) so the
+            # availability SLO does not silently ignore it.
+            self.slo.observe(
+                tenant or "default", seconds, code if code is not None else 599
+            )
+
+    def log_access(self, **fields) -> None:
+        """Write one access-log record; never raises into the handler."""
+        if self.access_log is None:
+            return
+        try:
+            self.access_log.log(**fields)
+        except Exception:  # pragma: no cover - defensive
+            logger.exception("failed to write access-log record")
 
     # -- state pages -----------------------------------------------------
 
@@ -566,6 +702,10 @@ class SolverServer(ThreadingHTTPServer):
             "warm_error": engine.warm_failed,
         }
 
+    #: Breaker-state label values to gauge values (monotone by severity
+    #: so ``max()`` over workers is the fleet's worst state).
+    _BREAKER_STATES = {"closed": 0, "half_open": 1, "open": 2}
+
     def metrics_page(self) -> str:
         self._inflight.set(self.admission.inflight)
         self.registry.gauge(
@@ -575,11 +715,22 @@ class SolverServer(ThreadingHTTPServer):
         self._draining_gauge.set(
             1 if (self.engine.draining or self.admission.draining) else 0
         )
+        for name, snap in (self.engine.breaker_snapshot() or {}).items():
+            state = snap.get("state") if isinstance(snap, dict) else None
+            self._breaker_state.set(
+                self._BREAKER_STATES.get(state, 0), breaker=str(name)
+            )
+        self.slo.publish()
         return self.registry.exposition()
 
     def begin_drain(self) -> None:
         self.admission.start_draining()
         self._draining_gauge.set(1)
+
+    def server_close(self) -> None:
+        super().server_close()
+        if self.access_log is not None:
+            self.access_log.close()
 
 
 def run_server(config: ServeConfig, worker_env: dict | None = None) -> int:

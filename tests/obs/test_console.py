@@ -1,0 +1,107 @@
+"""``scwsc top`` console: exposition parsing, quantiles, frame render."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.console import (
+    MetricsSnapshot,
+    histogram_quantile,
+    parse_exposition,
+    render_frame,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestParseExposition:
+    def test_skips_comments_and_parses_values(self):
+        text = (
+            "# HELP x_total help\n"
+            "# TYPE x_total counter\n"
+            "x_total 3\n"
+            'y_total{a="1",b="two"} 4.5\n'
+        )
+        samples = parse_exposition(text)
+        assert [(s.name, s.labels, s.value) for s in samples] == [
+            ("x_total", {}, 3.0),
+            ("y_total", {"a": "1", "b": "two"}, 4.5),
+        ]
+
+    def test_unescapes_label_values(self):
+        registry = MetricsRegistry()
+        hostile = 'back\\slash "quote"\nnewline'
+        registry.counter("t_total", "h").inc(1, path=hostile)
+        samples = parse_exposition(registry.exposition())
+        sample = next(s for s in samples if s.name == "t_total")
+        assert sample.labels["path"] == hostile
+
+    def test_inf_bucket_parses(self):
+        text = 'h_bucket{le="+Inf"} 7\n'
+        (sample,) = parse_exposition(text)
+        assert sample.labels["le"] == "+Inf"
+
+
+class TestHistogramQuantile:
+    def test_interpolates_inside_bucket(self):
+        buckets = [(0.1, 0.0), (0.2, 10.0), (float("inf"), 10.0)]
+        # Rank 5 of 10, all inside (0.1, 0.2]: midpoint.
+        assert histogram_quantile(buckets, 0.5) == pytest.approx(0.15)
+
+    def test_open_top_bucket_returns_lower_bound(self):
+        buckets = [(1.0, 1.0), (float("inf"), 10.0)]
+        assert histogram_quantile(buckets, 0.99) == 1.0
+
+    def test_empty_returns_none(self):
+        assert histogram_quantile([], 0.5) is None
+        assert histogram_quantile([(1.0, 0.0)], 0.5) is None
+
+
+class TestSnapshotQueries:
+    def make(self):
+        registry = MetricsRegistry()
+        registry.counter("scwsc_server_requests_total", "h").inc(
+            8, endpoint="/solve", code="200"
+        )
+        registry.counter("scwsc_server_requests_total", "h").inc(
+            2, endpoint="/solve", code="429"
+        )
+        registry.gauge("scwsc_server_inflight", "h").set(3)
+        return MetricsSnapshot.parse(registry.exposition(), ts=10.0)
+
+    def test_total_and_group(self):
+        snap = self.make()
+        assert snap.total("scwsc_server_requests_total") == 10.0
+        assert snap.group("scwsc_server_requests_total", "code") == {
+            "200": 8.0,
+            "429": 2.0,
+        }
+        assert snap.value("scwsc_server_inflight") == 3.0
+
+
+class TestRenderFrame:
+    def test_renders_panels_from_empty_snapshot(self):
+        frame = render_frame(MetricsSnapshot.parse("", ts=1.0))
+        for panel in ("serve", "latency", "slo burn", "sheds", "breakers"):
+            assert panel in frame
+
+    def test_qps_from_two_snapshots(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("scwsc_server_requests_total", "h")
+        counter.inc(10, endpoint="/solve", code="200")
+        prev = MetricsSnapshot.parse(registry.exposition(), ts=0.0)
+        counter.inc(20, endpoint="/solve", code="200")
+        now = MetricsSnapshot.parse(registry.exposition(), ts=2.0)
+        frame = render_frame(now, prev)
+        assert "qps   10.0" in frame
+
+    def test_breaker_states_and_sheds_render(self):
+        registry = MetricsRegistry()
+        registry.gauge("scwsc_breaker_state", "h").set(2, breaker="exact")
+        registry.counter("scwsc_server_shed_total", "h").inc(
+            4, reason="max_inflight"
+        )
+        frame = render_frame(
+            MetricsSnapshot.parse(registry.exposition(), ts=0.0)
+        )
+        assert "exact:OPEN" in frame
+        assert "max_inflight=4" in frame

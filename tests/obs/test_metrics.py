@@ -201,3 +201,86 @@ class TestBuildInfo:
         samples = list(registry.gauge("scwsc_build_info").samples())
         assert len(samples) == 1
         assert samples[0].endswith(" 1")
+
+
+class TestExpositionEscaping:
+    def test_label_values_escape_backslash_quote_newline(self):
+        registry = MetricsRegistry()
+        registry.counter("t_total", "h").inc(
+            1, path='a\\b', name='say "hi"', multi="one\ntwo"
+        )
+        text = registry.exposition()
+        line = next(l for l in text.splitlines() if l.startswith("t_total{"))
+        assert '\\\\b' in line          # backslash doubled
+        assert '\\"hi\\"' in line       # quotes escaped
+        assert "\\ntwo" in line         # newline escaped, not literal
+        assert "\n" not in line          # the sample stays on one line
+
+    def test_backslash_escaped_before_other_sequences(self):
+        # A literal backslash-n must not collapse into an escaped
+        # newline (escape ordering: backslashes first).
+        registry = MetricsRegistry()
+        registry.counter("t_total", "h").inc(1, v="\\n")
+        line = next(
+            l
+            for l in registry.exposition().splitlines()
+            if l.startswith("t_total{")
+        )
+        assert 'v="\\\\n"' in line
+
+    def test_help_text_escapes_newline_and_backslash(self):
+        registry = MetricsRegistry()
+        registry.counter("t_total", "line one\nline two \\ slash")
+        help_line = next(
+            l
+            for l in registry.exposition().splitlines()
+            if l.startswith("# HELP t_total")
+        )
+        assert "\\n" in help_line and "\\\\" in help_line
+
+
+class TestHistogramExpositionConsistency:
+    def test_inf_bucket_always_emitted_and_equals_count(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h_seconds", "h")
+        histogram.observe(0.02, endpoint="/solve")
+        histogram.observe(5000.0, endpoint="/solve")  # beyond top bucket
+        lines = registry.exposition().splitlines()
+        inf = next(l for l in lines if 'le="+Inf"' in l)
+        count = next(l for l in lines if l.startswith("h_seconds_count"))
+        assert inf.rsplit(" ", 1)[1] == count.rsplit(" ", 1)[1] == "2"
+
+    def test_count_consistent_with_top_bucket_under_concurrency(self):
+        import threading
+
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h_seconds", "h")
+        stop = threading.Event()
+
+        def hammer():
+            while not stop.is_set():
+                histogram.observe(0.01, endpoint="/solve")
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(50):
+                lines = registry.exposition().splitlines()
+                inf = next(
+                    (l for l in lines if 'le="+Inf"' in l), None
+                )
+                if inf is None:
+                    continue
+                count = next(
+                    l for l in lines if l.startswith("h_seconds_count")
+                )
+                # Snapshot is taken under the lock: the +Inf bucket and
+                # _count must agree even while writers hammer away.
+                assert (
+                    inf.rsplit(" ", 1)[1] == count.rsplit(" ", 1)[1]
+                ), (inf, count)
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from repro.obs.report import (
     event_counts,
     phase_rollups,
@@ -120,3 +122,21 @@ class TestSummarizeFile:
         ]
         path.write_text("\n".join(json.dumps(r) for r in records) + "\n")
         assert "solve" in summarize_file(str(path))
+
+    def test_json_output_parses_and_matches_rollups(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        records = [
+            {"type": "meta", "schema": SCHEMA, "wall_time_unix": 1.0,
+             "t": 0.0, "attrs": {"command": "solve"}},
+            _span("solve", 0.5),
+            _span("select", 0.1, span_id="s2", parent_id="s1"),
+            _event("tracker_update"),
+        ]
+        path.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+        out = summarize_file(str(path), as_json=True)
+        data = json.loads(out)  # must be valid JSON, not the text table
+        assert data["schema"] == SCHEMA
+        assert data["records"] == 4
+        assert data["meta"]["command"] == "solve"
+        assert data["phases"]["solve"]["total"] == pytest.approx(0.5)
+        assert data["events"] == {"tracker_update": 1}

@@ -1,0 +1,119 @@
+"""SLO tracker: objectives validation, windowed burn rates, metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import GLOBAL_SCOPE, SLOT_SECONDS, SloObjectives, SloTracker
+
+
+def make_tracker(clock, **kwargs):
+    kwargs.setdefault(
+        "objectives",
+        SloObjectives(
+            latency_threshold=0.5,
+            latency_objective=0.9,
+            error_objective=0.99,
+        ),
+    )
+    kwargs.setdefault("registry", MetricsRegistry())
+    return SloTracker(clock=clock, **kwargs)
+
+
+class TestObjectives:
+    def test_rejects_bad_threshold_and_fractions(self):
+        with pytest.raises(ValidationError):
+            SloObjectives(0.0, 0.9, 0.99)
+        with pytest.raises(ValidationError):
+            SloObjectives(1.0, 1.0, 0.99)
+        with pytest.raises(ValidationError):
+            SloObjectives(1.0, 0.9, 0.0)
+
+    def test_override_merges_and_rejects_unknown_keys(self):
+        base = SloObjectives(1.0, 0.9, 0.99)
+        tightened = base.override({"latency_threshold": 0.25})
+        assert tightened.latency_threshold == 0.25
+        assert tightened.latency_objective == base.latency_objective
+        with pytest.raises(ValidationError):
+            base.override({"latency_thresold": 0.25})
+
+
+class TestTracker:
+    def test_rejects_empty_or_negative_windows(self):
+        with pytest.raises(ValidationError):
+            make_tracker(lambda: 0.0, windows=())
+        with pytest.raises(ValidationError):
+            make_tracker(lambda: 0.0, windows=(60.0, -1.0))
+
+    def test_counts_good_and_bad_per_objective(self):
+        t = [100.0]
+        tracker = make_tracker(lambda: t[0])
+        tracker.observe("acme", 0.1, 200)   # good on both
+        tracker.observe("acme", 0.9, 200)   # slow, not an error
+        tracker.observe("acme", 0.1, 503)   # error, fast
+        snap = tracker.snapshot()
+        for scope in (GLOBAL_SCOPE, "acme"):
+            window = snap[scope]["5m"]
+            assert window["slow_fraction"] == pytest.approx(1 / 3)
+            assert window["error_fraction"] == pytest.approx(1 / 3)
+
+    def test_sheds_and_client_errors_do_not_burn_error_budget(self):
+        t = [100.0]
+        tracker = make_tracker(lambda: t[0])
+        tracker.observe("acme", 0.1, 429)
+        tracker.observe("acme", 0.1, 400)
+        window = tracker.snapshot()[GLOBAL_SCOPE]["5m"]
+        assert window["error_fraction"] == 0.0
+
+    def test_burn_rate_is_fraction_over_budget(self):
+        t = [100.0]
+        tracker = make_tracker(lambda: t[0])
+        # 1 bad of 2 -> 50% slow against a 10% latency budget: burn 5.
+        tracker.observe("acme", 0.9, 200)
+        tracker.observe("acme", 0.1, 200)
+        window = tracker.snapshot()[GLOBAL_SCOPE]["5m"]
+        assert window["latency_burn"] == pytest.approx(5.0)
+
+    def test_old_slots_age_out_of_the_window(self):
+        t = [100.0]
+        tracker = make_tracker(lambda: t[0], windows=(60.0,))
+        tracker.observe("acme", 0.9, 500)
+        t[0] += 60.0 + 2 * SLOT_SECONDS
+        tracker.observe("acme", 0.1, 200)
+        window = tracker.snapshot()[GLOBAL_SCOPE]["1m"]
+        assert window["slow_fraction"] == 0.0
+        assert window["error_fraction"] == 0.0
+
+    def test_tenant_override_changes_that_scope_only(self):
+        t = [100.0]
+        tracker = make_tracker(
+            lambda: t[0],
+            tenant_overrides={"gold": {"latency_threshold": 0.05}},
+        )
+        tracker.observe("gold", 0.1, 200)  # slow for gold, fast globally
+        snap = tracker.snapshot()
+        assert snap["gold"]["5m"]["slow_fraction"] == 1.0
+        assert snap[GLOBAL_SCOPE]["5m"]["slow_fraction"] == 0.0
+
+    def test_publish_exposes_burn_gauges(self):
+        t = [100.0]
+        registry = MetricsRegistry()
+        tracker = make_tracker(lambda: t[0], registry=registry)
+        tracker.observe("acme", 0.9, 500)
+        tracker.publish()
+        text = registry.exposition()
+        assert 'scwsc_slo_burn_rate{' in text
+        assert 'scope="_global"' in text
+        assert 'window="5m"' in text and 'window="1h"' in text
+        assert 'scwsc_slo_objective_ratio{' in text
+
+    def test_window_labels(self):
+        t = [0.0]
+        tracker = make_tracker(lambda: t[0], windows=(45.0, 300.0, 7200.0))
+        assert [tracker._label_for(w) for w in tracker.windows] == [
+            "45s",
+            "5m",
+            "2h",
+        ]

@@ -162,3 +162,78 @@ class TestJsonlSink:
         lines = path.read_text().splitlines()
         assert json.loads(lines[0])["type"] == "meta"
         assert json.loads(lines[1])["name"] == "solve"
+
+
+class TestTraceContext:
+    def test_mint_and_roundtrip(self):
+        ctx = obs_trace.TraceContext.mint()
+        assert len(ctx.trace_id) == 32 and len(ctx.span_id) == 16
+        parsed = obs_trace.parse_traceparent(ctx.to_traceparent())
+        assert parsed == ctx
+
+    def test_child_keeps_trace_id_fresh_span_id(self):
+        ctx = obs_trace.TraceContext.mint()
+        child = ctx.child()
+        assert child.trace_id == ctx.trace_id
+        assert child.span_id != ctx.span_id
+
+    def test_parse_rejects_invalid_headers(self):
+        assert obs_trace.parse_traceparent(None) is None
+        assert obs_trace.parse_traceparent("") is None
+        assert obs_trace.parse_traceparent("garbage") is None
+        # version ff is reserved-invalid
+        assert (
+            obs_trace.parse_traceparent(
+                "ff-" + "a" * 32 + "-" + "b" * 16 + "-01"
+            )
+            is None
+        )
+        # all-zero trace or span id is invalid
+        assert (
+            obs_trace.parse_traceparent(
+                "00-" + "0" * 32 + "-" + "b" * 16 + "-01"
+            )
+            is None
+        )
+        assert (
+            obs_trace.parse_traceparent(
+                "00-" + "a" * 32 + "-" + "0" * 16 + "-01"
+            )
+            is None
+        )
+        # uppercase hex is normalized, not rejected (lenient parse: a
+        # malformed-but-recoverable upstream header keeps its trace id)
+        parsed = obs_trace.parse_traceparent(
+            "00-" + "A" * 32 + "-" + "b" * 16 + "-01"
+        )
+        assert parsed is not None and parsed.trace_id == "a" * 32
+
+    def test_context_var_set_and_reset(self):
+        assert obs_trace.get_context() is None
+        ctx = obs_trace.TraceContext.mint()
+        with obs_trace.context(ctx):
+            assert obs_trace.get_context() == ctx
+        assert obs_trace.get_context() is None
+        # None context is a no-op wrapper
+        with obs_trace.context(None):
+            assert obs_trace.get_context() is None
+
+    def test_replay_root_parent_reparents_top_spans_only(self):
+        with obs_trace.capture() as records:
+            with obs_trace.span("solve"):
+                with obs_trace.span("select"):
+                    pass
+            obs_trace.event("tracker_update", updates=1)
+        buffer = io.StringIO()
+        obs_trace.configure(buffer)
+        obs_trace.replay(records, prefix="t1.a1.", root_parent="edgespan01")
+        obs_trace.shutdown()
+        out = [r for r in _records(buffer) if r["type"] != "meta"]
+        spans = {r["name"]: r for r in out if r["type"] == "span"}
+        # The worker's root span hangs off the request's edge span ...
+        assert spans["solve"]["parent_id"] == "edgespan01"
+        # ... while nested spans keep their prefixed worker-side parent.
+        assert spans["select"]["parent_id"] == spans["solve"]["span_id"]
+        # Events have no span ids and are never reparented.
+        events = [r for r in out if r["type"] == "event"]
+        assert all("parent_id" not in r for r in events)

@@ -192,3 +192,91 @@ class TestResilientSolveKnobs:
             resilient_solve(
                 random_system(), k=4, s_hat=0.8, backend="gpu"
             )
+
+
+class TestShardTraceCapture:
+    """Worker-side span capture over shard RPCs (shard_open / select /
+    reset frames), replayed into the parent's tracer under ``sh<N>.``
+    prefixes — the mechanism that lets a pool worker acting as sharding
+    parent ship shard spans home inside its own capture."""
+
+    def test_shard_frames_replay_spans_into_parent_tracer(
+        self, random_system
+    ):
+        import io as _io
+        import json as _json
+
+        from repro.obs import trace as obs_trace
+
+        system = random_system(n_elements=140, n_sets=10, seed=3)
+        buffer = _io.StringIO()
+        obs_trace.configure(buffer, command="shard-capture-test")
+        try:
+            with ShardSession(system, shards=2, workers=1) as session:
+                session.select(0)
+                session.reset()
+        finally:
+            obs_trace.shutdown()
+        records = [
+            _json.loads(line) for line in buffer.getvalue().splitlines()
+        ]
+        spans = [r for r in records if r.get("type") == "span"]
+        by_name: dict[str, list[dict]] = {}
+        for span in spans:
+            by_name.setdefault(span["name"], []).append(span)
+        # One open/select/reset span per shard, captured in the shard
+        # worker and replayed here.
+        assert len(by_name.get("shard_open", [])) == 2
+        assert len(by_name.get("shard_select", [])) == 2
+        assert len(by_name.get("shard_reset", [])) == 2
+        for span in (
+            by_name["shard_open"]
+            + by_name["shard_select"]
+            + by_name["shard_reset"]
+        ):
+            assert span["span_id"].startswith("sh"), span["span_id"]
+            assert span["attrs"]["shard"] in (0, 1)
+        # Replayed shard spans parent onto the live span at replay time
+        # (the shard_session_open span for open frames).
+        open_parent_ids = {s["parent_id"] for s in by_name["shard_open"]}
+        session_span = by_name["shard_session_open"][0]
+        assert open_parent_ids == {session_span["span_id"]}
+
+    def test_shard_spans_inherit_request_trace_context(self, random_system):
+        """Under a bound TraceContext the whole shard subtree replays
+        with the originating request's traceparent stamped on frames."""
+        import io as _io
+        import json as _json
+
+        from repro.obs import trace as obs_trace
+
+        system = random_system(n_elements=140, n_sets=10, seed=4)
+        ctx = obs_trace.TraceContext.mint()
+        buffer = _io.StringIO()
+        obs_trace.configure(buffer, command="shard-ctx-test")
+        try:
+            with obs_trace.context(ctx):
+                result = sharded_solve(
+                    system, k=3, s_hat=0.6, algorithm="cwsc", shards=2,
+                    workers=1,
+                )
+        finally:
+            obs_trace.shutdown()
+        assert result.feasible
+        records = [
+            _json.loads(line) for line in buffer.getvalue().splitlines()
+        ]
+        names = {
+            r["name"] for r in records if r.get("type") == "span"
+        }
+        assert "shard_open" in names and "shard_select" in names
+
+    def test_untraced_session_ships_no_trace_frames(self, random_system):
+        from repro.obs import trace as obs_trace
+
+        assert not obs_trace.enabled()
+        system = random_system(n_elements=140, n_sets=10, seed=5)
+        with ShardSession(system, shards=2, workers=1) as session:
+            assert session._trace is False
+            replies = session.select(0)
+        assert all("trace" not in frame for frame in replies.values())
