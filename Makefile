@@ -12,6 +12,10 @@
 #   make profile-smoke  profiled solve, flamegraph export, dashboard render
 #   make serve-smoke  boot the real daemon twice: healthy mixed-deadline
 #                     traffic, then forced overload (429s) + SIGTERM drain
+#   make debug-smoke  boot the daemon with a postmortem spool, SIGKILL a
+#                     pool worker mid-service, assert exactly one
+#                     schema-valid flight-recorder bundle appears and the
+#                     public debug CLI accepts it
 #   make dashboard    render trace-smoke's solve trace + bench history to
 #                     report.html
 #
@@ -23,7 +27,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONHASHSEED := 0
 
-.PHONY: test chaos verify bench bench-large trace-smoke profile-smoke serve-smoke dashboard
+.PHONY: test chaos verify bench bench-large trace-smoke profile-smoke serve-smoke debug-smoke dashboard
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -47,6 +51,9 @@ profile-smoke:
 
 serve-smoke:
 	$(PYTHON) benchmarks/serve_smoke.py serve-smoke
+
+debug-smoke:
+	$(PYTHON) benchmarks/debug_smoke.py debug-smoke
 
 dashboard: trace-smoke
 	$(PYTHON) -m repro.cli report trace-smoke/solve.jsonl -o report.html

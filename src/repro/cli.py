@@ -360,6 +360,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate every record against the scwsc-trace/1 schema",
     )
     trace_validate.add_argument("path", help="trace JSONL file")
+    trace_validate.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail on orphan spans (a parent_id that names a span "
+        "absent from the file) — enforces the zero-orphan stitching "
+        "guarantee, not just record shapes",
+    )
     trace_flamegraph = trace_commands.add_parser(
         "flamegraph",
         help="export collapsed stacks (flamegraph.pl / speedscope input) "
@@ -405,6 +412,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--title",
         default="scwsc run report",
         help="dashboard page title",
+    )
+    report_parser.add_argument(
+        "--postmortem",
+        action="append",
+        default=None,
+        metavar="BUNDLE",
+        help="scwsc-postmortem/1 bundle JSON to render in the dashboard's "
+        "postmortem panel (repeatable; also accepts a spool directory)",
     )
     report_parser.add_argument(
         "--scale",
@@ -535,6 +550,52 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.999,
         help="fraction of requests that must avoid 5xx (default: 0.999)",
     )
+    serve_parser.add_argument(
+        "--no-flightrec",
+        action="store_true",
+        help="disarm the always-on flight-recorder ring buffers",
+    )
+    serve_parser.add_argument(
+        "--no-debug-endpoints",
+        action="store_true",
+        help="disable the loopback-only GET /debug/* introspection routes",
+    )
+    serve_parser.add_argument(
+        "--postmortem-dir",
+        default=None,
+        metavar="DIR",
+        help="spool directory for triggered scwsc-postmortem/1 bundles "
+        "(worker death, breaker open, SLO fast-burn, 5xx); unset "
+        "disables triggered bundles",
+    )
+    serve_parser.add_argument(
+        "--postmortem-interval",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="per-trigger-kind rate limit between bundles (default: 60)",
+    )
+    serve_parser.add_argument(
+        "--postmortem-max-bytes",
+        type=int,
+        default=16 * 1024 * 1024,
+        metavar="BYTES",
+        help="postmortem spool byte cap, oldest deleted first "
+        "(default: 16MiB)",
+    )
+    serve_parser.add_argument(
+        "--postmortem-max-bundles",
+        type=int,
+        default=20,
+        help="postmortem spool bundle-count cap (default: 20)",
+    )
+    serve_parser.add_argument(
+        "--sampler-hz",
+        type=float,
+        default=0.0,
+        help="continuous stack-sampler frequency; 0 keeps it idle and "
+        "leaves only on-demand/trigger bursts (default: 0)",
+    )
     _add_trace_argument(serve_parser)
 
     top_parser = commands.add_parser(
@@ -556,6 +617,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--once",
         action="store_true",
         help="render one frame and exit (no TTY required)",
+    )
+
+    debug_parser = commands.add_parser(
+        "debug",
+        help="work with scwsc-postmortem/1 flight-recorder bundles: "
+        "assemble, inspect, validate (docs/OBSERVABILITY.md §12)",
+    )
+    debug_commands = debug_parser.add_subparsers(
+        dest="debug_command", required=True
+    )
+    debug_bundle = debug_commands.add_parser(
+        "bundle",
+        help="assemble a manual postmortem bundle from this process "
+        "(stack burst + metrics + rings), redacted by default",
+    )
+    debug_bundle.add_argument(
+        "-o",
+        "--output",
+        default="postmortem-manual.json",
+        metavar="PATH",
+        help="bundle output path (default: postmortem-manual.json)",
+    )
+    debug_bundle.add_argument(
+        "--reason",
+        default="manual bundle via scwsc debug bundle",
+        help="reason string recorded in the bundle",
+    )
+    debug_bundle.add_argument(
+        "--no-redact",
+        action="store_true",
+        help="skip credential redaction (bundles redact by default so "
+        "they are safe to attach to tickets)",
+    )
+    debug_inspect = debug_commands.add_parser(
+        "inspect",
+        help="pretty-print a bundle: trigger, build, ring occupancy, "
+        "recent events, hottest sampled stacks",
+    )
+    debug_inspect.add_argument("path", help="bundle JSON file")
+    debug_inspect.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the full (redacted) bundle as indented JSON",
+    )
+    debug_validate = debug_commands.add_parser(
+        "validate",
+        help="validate bundles against the scwsc-postmortem/1 schema "
+        "(ring records are re-checked against their own schemas)",
+    )
+    debug_validate.add_argument(
+        "paths", nargs="+", metavar="BUNDLE", help="bundle JSON file(s)"
     )
     return parser
 
@@ -636,6 +749,8 @@ def main(argv: list[str] | None = None) -> int:
             from repro.obs.console import run_top
 
             return run_top(args.url, interval=args.interval, once=args.once)
+        if args.command == "debug":
+            return _cmd_debug(args)
         return _cmd_solve(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -958,7 +1073,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if args.trace_command == "validate":
         from repro.obs.schema import validate_trace_file
 
-        problems = validate_trace_file(args.path)
+        problems = validate_trace_file(
+            args.path, strict=getattr(args, "strict", False)
+        )
         for problem in problems:
             print(f"{args.path}: {problem}", file=sys.stderr)
         if problems:
@@ -1071,8 +1188,108 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         slo_latency_threshold=args.slo_latency_threshold,
         slo_latency_objective=args.slo_latency_objective,
         slo_error_objective=args.slo_error_objective,
+        flightrec=not args.no_flightrec,
+        debug_endpoints=not args.no_debug_endpoints,
+        postmortem_dir=args.postmortem_dir,
+        postmortem_interval=args.postmortem_interval,
+        postmortem_max_bytes=args.postmortem_max_bytes,
+        postmortem_max_bundles=args.postmortem_max_bundles,
+        sampler_hz=args.sampler_hz,
     )
     return run_server(config)
+
+
+def _cmd_debug(args: argparse.Namespace) -> int:
+    """``scwsc debug bundle|inspect|validate`` over postmortem bundles."""
+    import json as json_module
+
+    from repro.obs import flightrec as obs_flightrec
+    from repro.obs.postmortem import (
+        build_bundle,
+        redact_bundle,
+        validate_bundle,
+        validate_bundle_file,
+    )
+
+    if args.debug_command == "bundle":
+        recorder = obs_flightrec.get_recorder()
+        if recorder is None:
+            # A CLI process has no serve daemon behind it; the manual
+            # bundle still captures this process's stacks, metrics, and
+            # build info — and exercises the full bundle pipeline.
+            recorder = obs_flightrec.FlightRecorder()
+        bundle = build_bundle(
+            recorder, trigger="manual", reason=args.reason
+        )
+        if not args.no_redact:
+            bundle = redact_bundle(bundle)
+        problems = validate_bundle(bundle)
+        if problems:
+            for problem in problems:
+                print(f"debug bundle: {problem}", file=sys.stderr)
+            return ValidationError.exit_code
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json_module.dump(bundle, handle, indent=2, default=str)
+            handle.write("\n")
+        print(f"debug: bundle written to {args.output}")
+        return 0
+
+    if args.debug_command == "validate":
+        status = 0
+        for path in args.paths:
+            try:
+                bundle = validate_bundle_file(path)
+            except (OSError, ValidationError) as error:
+                print(f"{path}: {error}", file=sys.stderr)
+                status = ValidationError.exit_code
+                continue
+            print(f"{path}: ok (trigger={bundle['trigger']})")
+        return status
+
+    # inspect
+    bundle = validate_bundle_file(args.path)
+    bundle = redact_bundle(bundle)
+    if args.as_json:
+        print(json_module.dumps(bundle, indent=2, default=str))
+        return 0
+    import datetime
+
+    created = datetime.datetime.fromtimestamp(
+        bundle["created_unix"], tz=datetime.timezone.utc
+    )
+    build = bundle["build"]
+    print(f"postmortem bundle: {args.path}")
+    print(f"  trigger   {bundle['trigger']}: {bundle['reason']}")
+    print(f"  created   {created.isoformat()}")
+    print(
+        f"  build     scwsc {build['version']} / python {build['python']} "
+        f"/ backend {build['backend']}"
+    )
+    if bundle.get("context"):
+        print(f"  context   {json_module.dumps(bundle['context'], default=str)}")
+    print("  rings:")
+    for name, ring in bundle["rings"].items():
+        print(
+            f"    {name:<8} {len(ring['records'])} record(s) "
+            f"(capacity {ring['capacity']}, dropped {ring['dropped']})"
+        )
+    workers = bundle.get("workers") or {}
+    if workers:
+        print("  worker rings:")
+        for index, ring in sorted(workers.items()):
+            last = ring[-1]["name"] if ring else "-"
+            print(f"    worker {index}: {len(ring)} record(s), last={last}")
+    events = bundle["rings"]["events"]["records"]
+    if events:
+        print("  last events:")
+        for record in events[-10:]:
+            print(f"    t={record.get('t')} {record.get('name')}")
+    collapsed = bundle["stacks"].get("collapsed") or []
+    if collapsed:
+        print("  hottest stacks:")
+        for line in collapsed[:5]:
+            print(f"    {line}")
+    return 0
 
 
 def _cmd_report_dashboard(args: argparse.Namespace) -> int:
@@ -1086,14 +1303,50 @@ def _cmd_report_dashboard(args: argparse.Namespace) -> int:
     records = load_trace(args.trace_file)
     history_path = args.history or str(DEFAULT_HISTORY)
     history = load_history(history_path)
-    html = render_dashboard(records, history, title=args.title)
+    postmortems = _load_postmortems(args.postmortem)
+    html = render_dashboard(
+        records, history, title=args.title, postmortems=postmortems
+    )
     Path(args.output).write_text(html, encoding="utf-8")
     print(
         f"report: dashboard written to {args.output} "
-        f"({len(records)} trace record(s), {len(history)} bench run(s))",
+        f"({len(records)} trace record(s), {len(history)} bench run(s), "
+        f"{len(postmortems)} postmortem(s))",
         file=sys.stderr,
     )
     return 0
+
+
+def _load_postmortems(paths: list[str] | None) -> list[dict]:
+    """Load ``--postmortem`` arguments: bundle files or spool dirs.
+
+    Unreadable/invalid bundles are reported and skipped — a dashboard
+    render must not fail because one incident artifact is corrupt.
+    """
+    import json as json_module
+    from pathlib import Path
+
+    if not paths:
+        return []
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.glob("postmortem-*.json")))
+        else:
+            files.append(path)
+    bundles: list[dict] = []
+    for path in files:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                bundle = json_module.load(handle)
+        except (OSError, ValueError) as error:
+            print(f"report: skipping {path}: {error}", file=sys.stderr)
+            continue
+        if isinstance(bundle, dict):
+            bundle.setdefault("_source", str(path))
+            bundles.append(bundle)
+    return bundles
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -38,11 +38,28 @@ This package makes both first-class instead of debug logging:
 * :mod:`repro.obs.log` — the package logger (``logging.getLogger
   ("repro")`` with a ``NullHandler``) and console-handler setup for the
   CLI and pool workers.
+* :mod:`repro.obs.flightrec` — the always-on flight recorder: bounded
+  ring buffers for spans/events/access/metrics that tee off the tracer
+  without flipping ``enabled()``, so the hot-path guards stay cold.
+* :mod:`repro.obs.stacks` — ``sys._current_frames`` stack sampling (one
+  shot, bursts, or a background :class:`~repro.obs.stacks.StackSampler`)
+  with a collapsed-stack rollup.
+* :mod:`repro.obs.postmortem` — ``scwsc-postmortem/1`` bundles: build /
+  validate / redact, the bounded on-disk :class:`~repro.obs.postmortem.
+  BundleSpool`, and the rate-limited :class:`~repro.obs.postmortem.
+  TriggerEngine` the serve daemon arms.
 
 See docs/OBSERVABILITY.md for the record schema and overhead numbers.
 """
 
 from repro.obs.dashboard import load_history, render_dashboard
+from repro.obs.flightrec import (
+    FlightRecorder,
+    RingBuffer,
+    get_recorder,
+    install,
+    uninstall,
+)
 from repro.obs.log import console_logging, get_logger
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
@@ -53,8 +70,18 @@ from repro.obs.metrics import (
     get_registry,
     record_cover_result,
 )
+from repro.obs.postmortem import (
+    POSTMORTEM_SCHEMA,
+    BundleSpool,
+    TriggerEngine,
+    build_bundle,
+    redact_bundle,
+    validate_bundle,
+    validate_bundle_file,
+)
 from repro.obs.quality import compute_quality, quality_records, record_quality
 from repro.obs.slo import GLOBAL_SCOPE, SloObjectives, SloTracker
+from repro.obs.stacks import StackSampler, collapse_samples, sample_once
 from repro.obs.trace import (
     NULL_SPAN,
     TraceContext,
@@ -66,24 +93,33 @@ from repro.obs.trace import (
     get_context,
     get_tracer,
     parse_traceparent,
+    recording,
     replay,
     shutdown,
     span,
 )
 
 __all__ = [
+    "BundleSpool",
     "Counter",
     "DEFAULT_BUCKETS",
+    "FlightRecorder",
     "GLOBAL_SCOPE",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_SPAN",
+    "POSTMORTEM_SCHEMA",
+    "RingBuffer",
     "SloObjectives",
     "SloTracker",
+    "StackSampler",
     "TraceContext",
     "Tracer",
+    "TriggerEngine",
+    "build_bundle",
     "capture",
+    "collapse_samples",
     "compute_quality",
     "configure",
     "console_logging",
@@ -91,15 +127,23 @@ __all__ = [
     "event",
     "get_context",
     "get_logger",
+    "get_recorder",
     "get_registry",
     "get_tracer",
+    "install",
     "load_history",
     "parse_traceparent",
     "quality_records",
     "record_cover_result",
     "record_quality",
+    "recording",
+    "redact_bundle",
     "render_dashboard",
     "replay",
+    "sample_once",
     "shutdown",
     "span",
+    "uninstall",
+    "validate_bundle",
+    "validate_bundle_file",
 ]

@@ -23,6 +23,7 @@ loop just redraws that string under an ANSI home+clear.
 
 from __future__ import annotations
 
+import math
 import time
 import urllib.request
 from typing import Iterable, Iterator, Mapping
@@ -170,11 +171,19 @@ def histogram_quantile(
     buckets: list[tuple[float, float]], q: float
 ) -> float | None:
     """Estimate a quantile from cumulative buckets, Prometheus-style
-    (linear interpolation inside the bucket; ``None`` when empty)."""
+    (linear interpolation inside the bucket).
+
+    Returns ``None`` — never NaN, never a division error — whenever the
+    data cannot support an estimate: no buckets at all (a daemon that
+    has not yet registered the histogram), zero observations (a fresh
+    daemon before its first request), or non-finite counts (a mangled
+    scrape)."""
     if not buckets:
         return None
     total = buckets[-1][1]
-    if total <= 0:
+    if not math.isfinite(total) or total <= 0:
+        return None
+    if any(not math.isfinite(count) for _, count in buckets):
         return None
     rank = q * total
     prev_le, prev_count = 0.0, 0.0
@@ -328,19 +337,42 @@ def render_frame(
         lines.append("  (none reported)")
 
     # -- workers panel ---------------------------------------------------
-    rss = snap.group("scwsc_worker_peak_rss_bytes", "worker")
-    lines.append(_rule("worker peak rss", width))
+    # Zero/negative values mean "not actually measured" (a platform
+    # without the resource module reports nothing real), so they never
+    # render as a misleading 0KiB.
+    rss = {
+        worker: value
+        for worker, value in snap.group(
+            "scwsc_worker_peak_rss_bytes", "worker"
+        ).items()
+        if value > 0
+    }
     if rss:
+        lines.append(_rule("worker peak rss", width))
         lines.append(
             "  ".join(
                 f"w{worker}={_fmt_bytes(value)}"
                 for worker, value in sorted(rss.items())
             )
         )
-    else:
+    elif _host_peak_rss() is not None:
+        # RSS is measurable here but no worker has reported yet (fresh
+        # daemon): keep the panel as a placeholder.
+        lines.append(_rule("worker peak rss", width))
         lines.append("  (no worker rss yet)")
+    # else: peak RSS is unknowable on this platform (no resource
+    # module) — hide the panel rather than render fictitious 0 bytes.
 
     return "\n".join(lines)
+
+
+def _host_peak_rss() -> int | None:
+    """Whether this platform can measure peak RSS at all (None = no)."""
+    try:
+        from repro.obs.profile import peak_rss_bytes
+    except ImportError:  # pragma: no cover - profile is stdlib-only
+        return None
+    return peak_rss_bytes()
 
 
 # ---------------------------------------------------------------------------

@@ -17,7 +17,10 @@ a year later. Panels:
 * **profile panel** — top functions per profiled phase and the memory /
   peak-RSS samples, when the run used ``--profile``;
 * **bench trends** — per-cell sparklines of ``median_seconds`` and the
-  approximation ratio over ``BENCH_history.jsonl``.
+  approximation ratio over ``BENCH_history.jsonl``;
+* **postmortems** — trigger/reason/ring-occupancy summaries of
+  ``scwsc-postmortem/1`` flight-recorder bundles passed via
+  ``--postmortem``.
 
 Everything here is string assembly over already-loaded records; the
 heavy lifting (rollups, quality math) lives in the sibling modules.
@@ -294,6 +297,49 @@ def _bench_trends(history: list[dict[str, Any]]) -> str:
     )
 
 
+def _postmortem_panel(bundles: list[dict[str, Any]]) -> str:
+    if not bundles:
+        return (
+            '<p class="muted">no postmortem bundles — pass '
+            "<code>--postmortem BUNDLE.json</code> (or a spool directory) "
+            "to include flight-recorder dumps</p>"
+        )
+    parts: list[str] = []
+    for bundle in bundles:
+        trigger = html.escape(str(bundle.get("trigger", "?")))
+        reason = html.escape(str(bundle.get("reason", "")))
+        created = bundle.get("created_unix")
+        created_s = _fmt(created, 3) if isinstance(created, (int, float)) else "–"
+        source = bundle.get("_source")
+        rings = bundle.get("rings") or {}
+        occupancy = " · ".join(
+            f"{html.escape(str(name))}×{len(ring.get('records') or [])}"
+            for name, ring in sorted(rings.items())
+            if isinstance(ring, dict)
+        )
+        workers = bundle.get("workers") or {}
+        stacks = bundle.get("stacks") or {}
+        samples = stacks.get("samples") or []
+        context = bundle.get("context") or {}
+        context_s = " ".join(
+            f"{html.escape(str(k))}={html.escape(str(v))}"
+            for k, v in sorted(context.items())
+        )
+        parts.append(
+            f'<h3>{trigger} @ {created_s}</h3>'
+            f'<p class="name">{reason}</p>'
+            + (f'<p class="muted">{html.escape(str(source))}</p>' if source else "")
+            + f'<p class="muted">rings: {occupancy or "empty"} · '
+            f"worker rings: {len(workers)} · "
+            f"stack samples: {len(samples)}</p>"
+            + (f'<p class="muted">{context_s}</p>' if context_s else "")
+        )
+    return (
+        f'<p class="muted">{len(bundles)} postmortem bundle(s)</p>'
+        + "".join(parts)
+    )
+
+
 def _meta_line(records: list[dict[str, Any]]) -> str:
     meta = next((r for r in records if r.get("type") == "meta"), None)
     if meta is None:
@@ -321,17 +367,20 @@ def render_dashboard(
     records: list[dict[str, Any]] | None = None,
     history: list[dict[str, Any]] | None = None,
     title: str = "scwsc run report",
+    postmortems: list[dict[str, Any]] | None = None,
 ) -> str:
     """The full dashboard page as one HTML string.
 
     ``records`` is a loaded trace (:func:`repro.obs.report.load_trace`);
     ``history`` is the parsed BENCH_history.jsonl entries
-    (:func:`load_history`). Either may be ``None``/empty — the matching
-    panels degrade to a hint instead of disappearing, so the page shape
-    is stable for tooling that greps for panel ids.
+    (:func:`load_history`); ``postmortems`` is a list of loaded
+    ``scwsc-postmortem/1`` bundles. Any may be ``None``/empty — the
+    matching panels degrade to a hint instead of disappearing, so the
+    page shape is stable for tooling that greps for panel ids.
     """
     records = records or []
     history = history or []
+    postmortems = postmortems or []
     return f"""<!DOCTYPE html>
 <html lang="en">
 <head>
@@ -353,6 +402,8 @@ def render_dashboard(
 <div id="profile" class="panel">{_profile_panel(records)}</div>
 <h2>Bench trends</h2>
 <div id="bench-trends" class="panel">{_bench_trends(history)}</div>
+<h2>Postmortems</h2>
+<div id="postmortems" class="panel">{_postmortem_panel(postmortems)}</div>
 </body>
 </html>
 """

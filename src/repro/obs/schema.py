@@ -128,12 +128,42 @@ def validate_record(record: Any) -> list[str]:
     return problems
 
 
-def validate_trace_file(path: str) -> list[str]:
+def find_orphan_spans(records: list[Any]) -> list[str]:
+    """Span ids whose ``parent_id`` names a span that never appears.
+
+    The stitching pipeline (worker replay prefixes, shard re-parenting)
+    guarantees zero orphans in a well-formed trace; an orphan means a
+    replay prefix or ``root_parent`` went wrong, which the shape-only
+    schema check cannot see. Order follows the file; each id reports
+    once.
+    """
+    span_ids = {
+        record.get("span_id")
+        for record in records
+        if isinstance(record, dict) and record.get("type") == "span"
+    }
+    orphans: list[str] = []
+    for record in records:
+        if not isinstance(record, dict) or record.get("type") != "span":
+            continue
+        parent = record.get("parent_id")
+        if parent is not None and parent not in span_ids:
+            orphans.append(
+                f"span {record.get('span_id')!r} has parent {parent!r} "
+                f"which never appears"
+            )
+    return orphans
+
+
+def validate_trace_file(path: str, strict: bool = False) -> list[str]:
     """Validate every line of a JSONL trace; returns ``line N: problem``
     strings. An empty file is a problem (a trace always has its meta
-    record), as is a missing leading meta record."""
+    record), as is a missing leading meta record. With ``strict=True``
+    the span tree is also checked for orphans (every ``parent_id`` must
+    name a span present in the file)."""
     problems: list[str] = []
     n_records = 0
+    records: list[Any] = []
     with open(path, "r", encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, start=1):
             line = line.strip()
@@ -145,6 +175,7 @@ def validate_trace_file(path: str) -> list[str]:
                 problems.append(f"line {lineno}: invalid JSON ({exc})")
                 continue
             n_records += 1
+            records.append(record)
             if n_records == 1 and record.get("type") != "meta":
                 problems.append(
                     f"line {lineno}: first record must be type 'meta', "
@@ -154,15 +185,25 @@ def validate_trace_file(path: str) -> list[str]:
                 problems.append(f"line {lineno}: {problem}")
     if n_records == 0:
         problems.append("trace file contains no records")
+    if strict:
+        problems.extend(
+            f"orphan: {orphan}" for orphan in find_orphan_spans(records)
+        )
     return problems
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = sys.argv[1:] if argv is None else argv
+    args = list(sys.argv[1:] if argv is None else argv)
+    strict = "--strict" in args
+    if strict:
+        args.remove("--strict")
     if len(args) != 1:
-        print("usage: python -m repro.obs.schema TRACE.jsonl", file=sys.stderr)
+        print(
+            "usage: python -m repro.obs.schema [--strict] TRACE.jsonl",
+            file=sys.stderr,
+        )
         return 2
-    problems = validate_trace_file(args[0])
+    problems = validate_trace_file(args[0], strict=strict)
     for problem in problems:
         print(problem, file=sys.stderr)
     if problems:

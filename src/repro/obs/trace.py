@@ -371,6 +371,9 @@ class Tracer:
 
     def _write(self, record: dict[str, Any]) -> None:
         self._sink.write(record)
+        ring = _RING_TRACER
+        if ring is not None and ring is not self:
+            ring._sink.write(record)
 
     def span(self, name: str, **attrs: Any) -> Span:
         return Span(self, name, attrs)
@@ -407,6 +410,43 @@ class Tracer:
 # ---------------------------------------------------------------------------
 
 _TRACER: Tracer | None = None
+
+#: Secondary always-on channel for the flight recorder. Deliberately NOT
+#: consulted by :func:`enabled` — hot loops guarded by ``enabled()`` must
+#: stay byte-identical whether or not a ring is armed, which is what
+#: keeps the recorder inside its <2% overhead budget. Coarse call sites
+#: (one span per HTTP request, pool lifecycle events) flow into the ring
+#: through the fallbacks in :func:`span`/:func:`event`/:func:`write_raw`,
+#: and every record written through a full tracer is teed into the ring
+#: so ``--trace`` runs and ring-only runs see the same stream.
+_RING_TRACER: Tracer | None = None
+
+
+def set_ring(sink: Any) -> Tracer:
+    """Install ``sink`` (anything with ``write(record)``) as the ring
+    channel. Returns the internal tracer so callers can mint span ids."""
+    global _RING_TRACER
+    _RING_TRACER = Tracer(sink, id_prefix="fr", write_meta=False)
+    return _RING_TRACER
+
+
+def clear_ring() -> None:
+    """Uninstall the ring channel (the sink itself is not closed —
+    ring buffers have no resources to release)."""
+    global _RING_TRACER
+    _RING_TRACER = None
+
+
+def ring_active() -> bool:
+    """True when a flight-recorder ring sink is installed."""
+    return _RING_TRACER is not None
+
+
+def recording() -> bool:
+    """True when *any* channel — full tracer or ring — will observe
+    records. Coarse call sites (per-dispatch events, RSS samples) guard
+    on this; per-iteration hot loops keep guarding on :func:`enabled`."""
+    return _TRACER is not None or _RING_TRACER is not None
 
 
 def configure(
@@ -457,18 +497,20 @@ def span(name: str, **attrs: Any) -> Span | _NullSpan:
     ``if traced:`` themselves (see module docstring)."""
     tracer = _TRACER
     if tracer is None:
-        return NULL_SPAN
+        tracer = _RING_TRACER
+        if tracer is None:
+            return NULL_SPAN
     return tracer.span(name, **attrs)
 
 
 def event(name: str, **attrs: Any) -> None:
-    tracer = _TRACER
+    tracer = _TRACER or _RING_TRACER
     if tracer is not None:
         tracer.event(name, **attrs)
 
 
 def write_raw(record: dict[str, Any]) -> None:
-    tracer = _TRACER
+    tracer = _TRACER or _RING_TRACER
     if tracer is not None:
         tracer.write_raw(record)
 

@@ -645,7 +645,7 @@ class SolverPool:
         injector = faults.active()
         if injector is not None and injector.worker_kill_scheduled():
             worker.chaos_kill_at = worker.dispatched_at + _CHAOS_KILL_DELAY
-        if obs_trace.enabled():
+        if obs_trace.recording():
             obs_trace.event(
                 "dispatch",
                 request_id=pending.request_id,
@@ -864,6 +864,16 @@ class SolverPool:
         if pending is None or pending.done:
             return
         pending.note_attempt_end(time.monotonic())
+        ring = frame.get("flightrec")
+        if isinstance(ring, list) and ring:
+            # The worker's own flight-recorder ring rides every result
+            # frame; keep the latest per worker so a later SIGKILL still
+            # leaves its last words in postmortem bundles.
+            from repro.obs import flightrec as obs_flightrec
+
+            recorder = obs_flightrec.get_recorder()
+            if recorder is not None:
+                recorder.note_worker_ring(worker.index, ring)
         records = frame.get("trace")
         if isinstance(records, list) and records and obs_trace.enabled():
             # Prefix includes the attempt number: a retried request may
@@ -925,7 +935,7 @@ class SolverPool:
             "scwsc_worker_peak_rss_bytes",
             "Peak resident set size reported by each pool worker",
         ).set(rss, worker=worker.index)
-        if obs_trace.enabled():
+        if obs_trace.recording():
             obs_trace.event(
                 "worker_peak_rss",
                 request_id=pending.request_id,

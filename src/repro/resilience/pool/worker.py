@@ -33,7 +33,9 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import time
 import traceback
+from collections import deque
 
 from repro.core.result import CoverResult
 from repro.errors import ProtocolError, ReproError
@@ -54,6 +56,28 @@ __all__ = ["main", "run_request"]
 #: trace must degrade to truncation, not to an oversized frame that the
 #: supervisor would treat as worker failure.
 _MAX_TRACE_RECORDS = 50_000
+
+#: Worker-side flight-recorder ring: the last few dozen lifecycle events
+#: (solve start/stage/end), shipped on *every* result frame. A worker is
+#: killed with SIGKILL (hard timeout, chaos, OOM) precisely when it
+#: cannot flush anything, so its last words must already be with the
+#: supervisor — the cost is ~a few KB per frame. Records use the
+#: ``scwsc-trace/1`` event shape so postmortem bundles validate them
+#: with the standard schema.
+_RING_CAPACITY = 64
+_ring: deque = deque(maxlen=_RING_CAPACITY)
+_ring_t0 = time.perf_counter()
+
+
+def _ring_event(name: str, **attrs) -> None:
+    _ring.append(
+        {
+            "type": "event",
+            "name": name,
+            "t": round(time.perf_counter() - _ring_t0, 6),
+            "attrs": attrs,
+        }
+    )
 
 
 def _solver_registry() -> dict:
@@ -252,6 +276,7 @@ def _handle_solve(out, payload: dict) -> None:
         # Stage frames are tiny and drive circuit-breaker blame; they
         # are never chaos-corrupted so blame attribution itself stays
         # deterministic under IPC-corruption storms.
+        _ring_event("worker_stage", request=request_id, stage=stage)
         write_frame(
             out, {"kind": "stage", "id": request_id, "stage": stage}
         )
@@ -261,6 +286,14 @@ def _handle_solve(out, payload: dict) -> None:
     # forwarded one) so a worker acting as a sharding parent propagates
     # it onto its own shard-session frames.
     trace_ctx = obs_trace.parse_traceparent(request.traceparent)
+    _ring_event(
+        "worker_solve_start",
+        request=request_id,
+        solver=request.solver,
+        k=request.k,
+        timeout=request.timeout,
+        tag=request.tag,
+    )
     try:
         if injector is not None:
             injector.worker_entry()
@@ -301,6 +334,13 @@ def _handle_solve(out, payload: dict) -> None:
     rss = peak_rss_bytes()
     if rss is not None:
         response["peak_rss_bytes"] = rss
+    _ring_event(
+        "worker_solve_end", request=request_id, status=response.get("status")
+    )
+    # The worker's black box rides home on every frame — if the next
+    # request SIGKILLs this process, the supervisor already holds the
+    # freshest ring for the postmortem bundle.
+    response["flightrec"] = list(_ring)
     write_frame(out, response, injector=injector)
 
 

@@ -81,6 +81,36 @@ class ServeConfig:
         Per-tenant objective overrides, e.g.
         ``{"gold": {"latency_threshold": 0.5}}`` — unset fields inherit
         the global objectives.
+
+    Flight recorder (see :mod:`repro.obs.flightrec` and
+    docs/OBSERVABILITY.md §12):
+
+    ``flightrec``
+        Arm the always-on ring buffers (default True; the recorder is
+        bounded and budgeted at <2% overhead, so it ships on).
+    ``flightrec_spans`` / ``flightrec_events`` / ``flightrec_access`` /
+    ``flightrec_metrics``
+        Per-ring record capacities.
+    ``flightrec_metrics_interval``
+        Seconds between background metrics-snapshot rings (also the
+        SLO fast-burn trigger's evaluation tick).
+    ``debug_endpoints``
+        Serve the loopback-only ``GET /debug/*`` introspection routes.
+    ``postmortem_dir``
+        Spool directory for triggered ``scwsc-postmortem/1`` bundles;
+        ``None`` disables the trigger engine (rings stay armed).
+    ``postmortem_max_bytes`` / ``postmortem_max_bundles``
+        Spool caps, enforced oldest-deleted-first.
+    ``postmortem_interval``
+        Per-trigger-kind rate limit: minimum seconds between bundles of
+        the same trigger kind.
+    ``sampler_hz``
+        Continuous stack-sampler frequency; 0 (default) leaves the
+        sampler idle — triggers still take on-demand bursts.
+    ``slo_fast_burn_threshold``
+        Short-window burn rate at or above which the ``slo_fast_burn``
+        postmortem trigger fires (14.4 = the classic "2% of a 30-day
+        budget in one hour" page).
     """
 
     host: str = "127.0.0.1"
@@ -110,6 +140,19 @@ class ServeConfig:
     slo_error_objective: float = 0.999
     slo_windows: tuple[float, ...] = (300.0, 3600.0)
     slo_tenants: dict | None = None
+    flightrec: bool = True
+    flightrec_spans: int = 1024
+    flightrec_events: int = 1024
+    flightrec_access: int = 256
+    flightrec_metrics: int = 16
+    flightrec_metrics_interval: float = 10.0
+    debug_endpoints: bool = True
+    postmortem_dir: str | None = None
+    postmortem_max_bytes: int = 16 * 1024 * 1024
+    postmortem_max_bundles: int = 20
+    postmortem_interval: float = 60.0
+    sampler_hz: float = 0.0
+    slo_fast_burn_threshold: float = 14.4
 
     def slo_objectives(self):
         """The global :class:`~repro.obs.slo.SloObjectives` (validated)."""
@@ -163,6 +206,41 @@ class ServeConfig:
         if self.max_batch < 1:
             raise ValidationError(
                 f"max_batch must be >= 1, got {self.max_batch}"
+            )
+        for name in (
+            "flightrec_spans",
+            "flightrec_events",
+            "flightrec_access",
+            "flightrec_metrics",
+            "postmortem_max_bundles",
+        ):
+            if getattr(self, name) < 1:
+                raise ValidationError(
+                    f"{name} must be >= 1, got {getattr(self, name)}"
+                )
+        if self.flightrec_metrics_interval <= 0:
+            raise ValidationError(
+                "flightrec_metrics_interval must be > 0, got "
+                f"{self.flightrec_metrics_interval}"
+            )
+        if self.postmortem_max_bytes < 1:
+            raise ValidationError(
+                f"postmortem_max_bytes must be >= 1, "
+                f"got {self.postmortem_max_bytes}"
+            )
+        if self.postmortem_interval < 0:
+            raise ValidationError(
+                f"postmortem_interval must be >= 0, "
+                f"got {self.postmortem_interval}"
+            )
+        if self.sampler_hz < 0:
+            raise ValidationError(
+                f"sampler_hz must be >= 0, got {self.sampler_hz}"
+            )
+        if self.slo_fast_burn_threshold <= 0:
+            raise ValidationError(
+                "slo_fast_burn_threshold must be > 0, got "
+                f"{self.slo_fast_burn_threshold}"
             )
         if not self.slo_windows or any(w <= 0 for w in self.slo_windows):
             raise ValidationError(

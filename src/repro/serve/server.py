@@ -44,12 +44,15 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.errors import ProtocolError, ValidationError
+from repro.obs import flightrec as obs_flightrec
+from repro.obs import stacks as obs_stacks
 from repro.obs import trace as obs_trace
 from repro.obs.metrics import get_registry, publish_build_info
-from repro.obs.slo import SloTracker
+from repro.obs.postmortem import BundleSpool, TriggerEngine, build_info
+from repro.obs.slo import GLOBAL_SCOPE, SloTracker
 from repro.resilience.pool import SolveRequest
 from repro.resilience.pool.protocol import system_from_payload
-from repro.serve.accesslog import AccessLog
+from repro.serve.accesslog import ACCESS_SCHEMA, AccessLog
 from repro.serve.admission import AdmissionController
 from repro.serve.config import ServeConfig
 from repro.serve.engine import ServeEngine, Ticket
@@ -247,6 +250,9 @@ class _Handler(BaseHTTPRequestHandler):
                     ("GET", "/healthz"): self._do_healthz,
                     ("GET", "/readyz"): self._do_readyz,
                     ("GET", "/metrics"): self._do_metrics,
+                    ("GET", "/debug/vars"): self._do_debug_vars,
+                    ("GET", "/debug/stacks"): self._do_debug_stacks,
+                    ("GET", "/debug/flightrec"): self._do_debug_flightrec,
                     ("POST", "/solve"): self._do_solve,
                     ("POST", "/batch"): self._do_batch,
                 }.get((method, path))
@@ -314,6 +320,37 @@ class _Handler(BaseHTTPRequestHandler):
             self.server.count_connection_error()
         self.close_connection = True
         self._status = 200
+
+    # -- /debug endpoints (loopback only) --------------------------------
+
+    _LOOPBACK = ("127.0.0.1", "::1", "::ffff:127.0.0.1")
+
+    def _debug_gate(self) -> bool:
+        """The /debug surface is operator-only: enabled in config AND
+        the peer is loopback. Anything else is a 403 — the routes exist
+        (so probes learn nothing from 404-vs-403), but answer nothing."""
+        if not self.server.config.debug_endpoints:
+            self._send_json(403, {"error": "debug endpoints disabled"})
+            return False
+        if self.client_address[0] not in self._LOOPBACK:
+            self._send_json(403, {"error": "debug endpoints are loopback-only"})
+            return False
+        return True
+
+    def _do_debug_vars(self) -> None:
+        if not self._debug_gate():
+            return
+        self._send_json(200, self.server.debug_vars())
+
+    def _do_debug_stacks(self) -> None:
+        if not self._debug_gate():
+            return
+        self._send_json(200, self.server.debug_stacks())
+
+    def _do_debug_flightrec(self) -> None:
+        if not self._debug_gate():
+            return
+        self._send_json(200, self.server.debug_flightrec())
 
     # -- POST endpoints --------------------------------------------------
 
@@ -624,6 +661,39 @@ class SolverServer(ThreadingHTTPServer):
             AccessLog(config.access_log) if config.access_log else None
         )
         self._draining_gauge.set(0)
+        self._started_monotonic = time.monotonic()
+        # Flight recorder: always-on rings + optional postmortem triggers.
+        # Installed before the socket binds so the very first request is
+        # already on the record.
+        self.recorder: obs_flightrec.FlightRecorder | None = None
+        self.sampler: obs_stacks.StackSampler | None = None
+        self.triggers: TriggerEngine | None = None
+        if config.flightrec:
+            self.recorder = obs_flightrec.install(
+                span_capacity=config.flightrec_spans,
+                event_capacity=config.flightrec_events,
+                access_capacity=config.flightrec_access,
+                metrics_capacity=config.flightrec_metrics,
+            )
+            if config.postmortem_dir:
+                spool = BundleSpool(
+                    config.postmortem_dir,
+                    max_bytes=config.postmortem_max_bytes,
+                    max_bundles=config.postmortem_max_bundles,
+                )
+                self.triggers = TriggerEngine(
+                    self.recorder,
+                    spool,
+                    min_interval=config.postmortem_interval,
+                    config=config,
+                )
+                self.recorder.on_event = self._on_ring_event
+            self.recorder.on_poll = self._check_fast_burn
+            self.recorder.start_metrics_poll(
+                self.registry.snapshot, config.flightrec_metrics_interval
+            )
+            self.sampler = obs_stacks.StackSampler(config.sampler_hz)
+            self.sampler.start()
         super().__init__((config.host, config.port), _Handler)
 
     # -- error containment ----------------------------------------------
@@ -671,15 +741,164 @@ class SolverServer(ThreadingHTTPServer):
             self.slo.observe(
                 tenant or "default", seconds, code if code is not None else 599
             )
+            if (
+                self.triggers is not None
+                and code is not None
+                and code >= 500
+            ):
+                self.triggers.fire(
+                    "server_5xx",
+                    f"{path} answered {code}",
+                    context={"endpoint": path, "code": code, "tenant": tenant},
+                )
 
     def log_access(self, **fields) -> None:
         """Write one access-log record; never raises into the handler."""
+        if self.recorder is not None:
+            # Same record shape the file log writes (scwsc-access/1),
+            # ringed even when no --access-log file is configured.
+            record = {"schema": ACCESS_SCHEMA, "ts": round(time.time(), 3)}
+            record.update(
+                {name: value for name, value in fields.items() if value is not None}
+            )
+            self.recorder.record_access(record)
         if self.access_log is None:
             return
         try:
             self.access_log.log(**fields)
         except Exception:  # pragma: no cover - defensive
             logger.exception("failed to write access-log record")
+
+    # -- postmortem triggers ---------------------------------------------
+
+    #: ring-event name -> postmortem trigger kind
+    _EVENT_TRIGGERS = {
+        "worker_death": "worker_death",
+        "hard_timeout": "hard_timeout",
+    }
+
+    def _on_ring_event(self, record: dict) -> None:
+        """Flight-recorder event tap: map pool lifecycle events to
+        postmortem triggers. Runs on the emitting thread (usually the
+        pool dispatcher); the engine only does bookkeeping inline and
+        builds bundles on their own thread."""
+        triggers = self.triggers
+        if triggers is None:
+            return
+        name = record.get("name")
+        attrs = record.get("attrs") or {}
+        kind = self._EVENT_TRIGGERS.get(name)
+        if kind is not None:
+            triggers.fire(
+                kind,
+                f"pool event {name} (worker {attrs.get('worker', '?')})",
+                context=dict(attrs),
+            )
+            return
+        if name == "breaker_transition":
+            breaker = str(attrs.get("breaker", "?"))
+            if attrs.get("new") == "open":
+                triggers.fire(
+                    "breaker_open",
+                    f"breaker {breaker} opened",
+                    context=dict(attrs),
+                    key=breaker,
+                )
+            elif attrs.get("new") == "closed":
+                # The incident is over; the next open is a new one.
+                triggers.reset_dedup("breaker_open", breaker)
+
+    def _check_fast_burn(self) -> None:
+        """Evaluate the SLO fast-burn trigger: called on every metrics
+        poll tick and on every /metrics scrape, so tests (and operators
+        hitting /metrics) get a deterministic evaluation point."""
+        triggers = self.triggers
+        if triggers is None:
+            return
+        snapshot = self.slo.snapshot()
+        windows = snapshot.get(GLOBAL_SCOPE) or {}
+        if not windows:
+            return
+        # The *short* window is the fast-burn signal; labels sort by
+        # their underlying window seconds in self.slo.windows order.
+        short_label = self.slo._label_for(self.slo.windows[0])
+        rates = windows.get(short_label) or {}
+        burn = max(
+            rates.get("latency_burn") or 0.0, rates.get("error_burn") or 0.0
+        )
+        if burn >= self.config.slo_fast_burn_threshold:
+            triggers.fire(
+                "slo_fast_burn",
+                f"short-window SLO burn rate {burn:.1f} >= "
+                f"{self.config.slo_fast_burn_threshold:g}",
+                context={"window": short_label, **rates},
+            )
+
+    # -- /debug pages ----------------------------------------------------
+
+    def debug_vars(self) -> dict:
+        """Live process vars: the ``/debug/vars`` body."""
+        from dataclasses import asdict
+
+        return {
+            "uptime_seconds": round(
+                time.monotonic() - self._started_monotonic, 3
+            ),
+            "build": build_info(),
+            "config": asdict(self.config),
+            "inflight": self.admission.inflight,
+            "queue_depth": self.engine.queue_depth,
+            "readiness": self.readiness(),
+            "threads": threading.active_count(),
+            "flightrec": (
+                self.recorder.stats() if self.recorder is not None else None
+            ),
+            "triggers": (
+                self.triggers.stats() if self.triggers is not None else None
+            ),
+        }
+
+    def debug_stacks(self) -> dict:
+        """One fresh stack sample (plus the continuous sampler's ring
+        occupancy, when armed): the ``/debug/stacks`` body."""
+        sample = obs_stacks.sample_once()
+        sampler = self.sampler
+        return {
+            "sample": sample,
+            "collapsed": obs_stacks.collapse_samples([sample]),
+            "sampler": {
+                "hz": sampler.hz if sampler is not None else 0.0,
+                "running": bool(sampler is not None and sampler.running),
+                "ring_samples": len(sampler.ring) if sampler is not None else 0,
+            },
+        }
+
+    def debug_flightrec(self) -> dict:
+        """Ring + trigger + spool occupancy: the ``/debug/flightrec``
+        body (recent ring *events* included; spans stay in bundles)."""
+        recorder = self.recorder
+        body: dict = {
+            "armed": recorder is not None,
+            "stats": recorder.stats() if recorder is not None else None,
+            "recent_events": (
+                recorder.events.snapshot()[-50:] if recorder is not None else []
+            ),
+            "triggers": (
+                self.triggers.stats() if self.triggers is not None else None
+            ),
+        }
+        if self.triggers is not None:
+            spool = self.triggers.spool
+            body["spool"] = {
+                "directory": spool.directory,
+                "bundles": [
+                    path.rsplit("/", 1)[-1] for path in spool.paths()
+                ],
+                "total_bytes": spool.total_bytes(),
+                "max_bytes": spool.max_bytes,
+                "max_bundles": spool.max_bundles,
+            }
+        return body
 
     # -- state pages -----------------------------------------------------
 
@@ -721,6 +940,10 @@ class SolverServer(ThreadingHTTPServer):
                 self._BREAKER_STATES.get(state, 0), breaker=str(name)
             )
         self.slo.publish()
+        # Every scrape is also a fast-burn evaluation point: a paging
+        # pipeline polling /metrics arms the postmortem trigger with no
+        # extra wiring (the background poll tick does the same).
+        self._check_fast_burn()
         return self.registry.exposition()
 
     def begin_drain(self) -> None:
@@ -731,6 +954,15 @@ class SolverServer(ThreadingHTTPServer):
         super().server_close()
         if self.access_log is not None:
             self.access_log.close()
+        if self.sampler is not None:
+            self.sampler.stop()
+        if self.triggers is not None:
+            # Let in-flight bundle builds land before the process exits —
+            # the postmortem for the incident that caused the shutdown is
+            # the one you want most.
+            self.triggers.drain(timeout=5.0)
+        if self.recorder is not None and obs_flightrec.get_recorder() is self.recorder:
+            obs_flightrec.uninstall()
 
 
 def run_server(config: ServeConfig, worker_env: dict | None = None) -> int:

@@ -5,6 +5,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.obs import flightrec as obs_flightrec
 from repro.obs import trace as obs_trace
 from repro.obs.metrics import get_registry
 
@@ -12,7 +13,9 @@ from repro.obs.metrics import get_registry
 @pytest.fixture(autouse=True)
 def clean_observability():
     obs_trace.shutdown()
+    obs_flightrec.uninstall()
     get_registry().reset()
     yield
     obs_trace.shutdown()
+    obs_flightrec.uninstall()
     get_registry().reset()

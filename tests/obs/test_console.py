@@ -55,6 +55,24 @@ class TestHistogramQuantile:
         assert histogram_quantile([], 0.5) is None
         assert histogram_quantile([(1.0, 0.0)], 0.5) is None
 
+    def test_fresh_daemon_zero_observations_returns_none(self):
+        # All-zero cumulative buckets: a daemon that has served nothing.
+        buckets = [(0.1, 0.0), (1.0, 0.0), (float("inf"), 0.0)]
+        assert histogram_quantile(buckets, 0.5) is None
+        assert histogram_quantile(buckets, 0.99) is None
+
+    def test_non_finite_counts_return_none(self):
+        nan = float("nan")
+        assert histogram_quantile([(1.0, nan), (float("inf"), nan)], 0.5) is None
+        assert (
+            histogram_quantile(
+                [(1.0, float("inf")), (float("inf"), float("inf"))], 0.5
+            )
+            is None
+        )
+        # NaN total with a finite-looking earlier bucket
+        assert histogram_quantile([(1.0, 3.0), (float("inf"), nan)], 0.5) is None
+
 
 class TestSnapshotQueries:
     def make(self):
@@ -105,3 +123,55 @@ class TestRenderFrame:
         )
         assert "exact:OPEN" in frame
         assert "max_inflight=4" in frame
+
+    def test_fresh_daemon_latency_renders_dashes_not_nan(self):
+        """Satellite regression: a just-started daemon has registered
+        its histograms but observed nothing — the latency panel must
+        render placeholders, never ``nan`` or a crash."""
+        registry = MetricsRegistry()
+        registry.histogram("scwsc_server_request_seconds", "h")
+        frame = render_frame(MetricsSnapshot.parse(registry.exposition(), ts=0.0))
+        assert "nan" not in frame.lower()
+        assert "-" in frame
+
+
+class TestWorkersPanel:
+    def test_rss_values_render_when_reported(self):
+        registry = MetricsRegistry()
+        registry.gauge("scwsc_worker_peak_rss_bytes", "h").set(
+            64 * 1024 * 1024, worker="0"
+        )
+        frame = render_frame(
+            MetricsSnapshot.parse(registry.exposition(), ts=0.0)
+        )
+        assert "worker peak rss" in frame
+        assert "w0=64.0MiB" in frame
+
+    def test_zero_values_are_not_rendered_as_zero_bytes(self):
+        registry = MetricsRegistry()
+        registry.gauge("scwsc_worker_peak_rss_bytes", "h").set(0, worker="0")
+        frame = render_frame(
+            MetricsSnapshot.parse(registry.exposition(), ts=0.0)
+        )
+        assert "w0=" not in frame
+
+    def test_panel_hidden_when_rss_unmeasurable(self, monkeypatch):
+        """Satellite: on a platform where ``peak_rss_bytes()`` is None
+        (no ``resource`` module) the panel disappears entirely instead
+        of showing fictitious zeros."""
+        from repro.obs import profile as obs_profile
+
+        monkeypatch.setattr(obs_profile, "peak_rss_bytes", lambda: None)
+        frame = render_frame(MetricsSnapshot.parse("", ts=0.0))
+        assert "worker peak rss" not in frame
+        assert "no worker rss yet" not in frame
+
+    def test_placeholder_when_measurable_but_unreported(self, monkeypatch):
+        from repro.obs import profile as obs_profile
+
+        monkeypatch.setattr(
+            obs_profile, "peak_rss_bytes", lambda: 123 * 1024
+        )
+        frame = render_frame(MetricsSnapshot.parse("", ts=0.0))
+        assert "worker peak rss" in frame
+        assert "(no worker rss yet)" in frame

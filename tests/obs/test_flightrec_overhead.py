@@ -1,0 +1,113 @@
+"""The flight recorder must be invisible to the solver hot loops.
+
+Arming the recorder installs a ring channel but leaves
+``trace.enabled()`` False, so the per-selection guard in the tracker
+``select`` loops reads the same global and takes the same branch — the
+loop is byte-identical with the recorder on or off. This test enforces
+the <2% budget from the flight-recorder design note by timing the same
+instrumented sweep in both global states (best-of-N, plus a small
+absolute floor so a microsecond-scale loop on a noisy CI box cannot
+flake the ratio).
+
+The companion serve-side budget (recorder work per request vs. request
+p50) lives in ``tests/serve/test_debug_endpoints.py``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.core.marginal import BitsetMarginalTracker, MarginalTracker
+from repro.core.setsystem import SetSystem
+from repro.obs import flightrec
+from repro.obs import trace as obs_trace
+
+#: The budget: armed may cost at most 2% over off, plus an absolute
+#: floor absorbing scheduler jitter on sub-millisecond loops.
+MAX_REGRESSION = 1.02
+ABSOLUTE_SLACK = 2e-4
+
+N_ELEMENTS = 512
+N_SETS = 160
+BEST_OF = 7
+
+
+def _system() -> SetSystem:
+    rng = random.Random(20260807)
+    benefits = [
+        set(rng.sample(range(N_ELEMENTS), rng.randint(4, 40)))
+        for _ in range(N_SETS)
+    ]
+    costs = [1.0 + rng.random() for _ in range(N_SETS)]
+    return SetSystem.from_iterables(N_ELEMENTS, benefits, costs)
+
+
+def _greedy_order(tracker) -> list[int]:
+    order = []
+    while len(tracker):
+        best = max(tracker.live_items(), key=lambda kv: (kv[1], -kv[0]))[0]
+        tracker.select(best)
+        order.append(best)
+    return order
+
+
+def _best_of(make_tracker, order) -> float:
+    best = float("inf")
+    for _ in range(BEST_OF):
+        tracker = make_tracker()
+        t0 = time.perf_counter()
+        for set_id in order:
+            tracker.select(set_id)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _assert_armed_within_budget(make_tracker):
+    order = _greedy_order(make_tracker())
+    assert len(order) > 20
+    # Warm both states once so neither timed pass pays first-run costs.
+    _best_of(make_tracker, order)
+
+    assert not obs_trace.recording()
+    baseline = _best_of(make_tracker, order)
+
+    flightrec.install()
+    try:
+        assert obs_trace.recording() and not obs_trace.enabled()
+        armed = _best_of(make_tracker, order)
+    finally:
+        flightrec.uninstall()
+
+    budget = baseline * MAX_REGRESSION + ABSOLUTE_SLACK
+    assert armed <= budget, (
+        f"tracker loop with recorder armed took {armed * 1e6:.0f}us vs "
+        f"{baseline * 1e6:.0f}us off (budget {budget * 1e6:.0f}us = "
+        f"{MAX_REGRESSION}x + {ABSOLUTE_SLACK * 1e6:.0f}us slack)"
+    )
+
+
+class TestArmedRecorderOverhead:
+    def test_set_backend_unchanged_when_armed(self):
+        system = _system()
+        _assert_armed_within_budget(lambda: MarginalTracker(system))
+
+    def test_bitset_backend_unchanged_when_armed(self):
+        system = _system()
+        _assert_armed_within_budget(lambda: BitsetMarginalTracker(system))
+
+    def test_armed_sweep_rings_no_per_selection_spans(self):
+        """The mechanism behind the budget: a full sweep with the
+        recorder armed must land zero per-selection records in the ring
+        — only guard-protected call sites may fire, and they key on
+        ``enabled()``, which stays False."""
+        system = _system()
+        rec = flightrec.install()
+        try:
+            tracker = MarginalTracker(system)
+            for set_id in _greedy_order(MarginalTracker(system)):
+                tracker.select(set_id)
+            assert len(rec.spans) == 0
+            assert len(rec.events) == 0
+        finally:
+            flightrec.uninstall()

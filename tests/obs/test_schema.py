@@ -2,7 +2,12 @@
 
 from __future__ import annotations
 
-from repro.obs.schema import main, validate_record, validate_trace_file
+from repro.obs.schema import (
+    find_orphan_spans,
+    main,
+    validate_record,
+    validate_trace_file,
+)
 from repro.obs.trace import SCHEMA
 
 
@@ -214,6 +219,48 @@ class TestValidateTraceFile:
         assert any(p.startswith("line 2:") for p in problems)
 
 
+class TestOrphanSpans:
+    def test_well_formed_tree_has_no_orphans(self):
+        records = [
+            _meta(),
+            _span(span_id="root", parent_id=None),
+            _span(span_id="child", parent_id="root"),
+        ]
+        assert find_orphan_spans(records) == []
+
+    def test_dangling_parent_reported_once_in_order(self):
+        records = [
+            _span(span_id="a", parent_id="ghost"),
+            _span(span_id="b", parent_id="a"),
+            _span(span_id="c", parent_id="ghost2"),
+        ]
+        orphans = find_orphan_spans(records)
+        assert len(orphans) == 2
+        assert "'a'" in orphans[0] and "'ghost'" in orphans[0]
+        assert "'c'" in orphans[1]
+
+    def test_non_span_records_ignored(self):
+        records = [
+            {"type": "event", "name": "e", "t": 0.0, "attrs": {},
+             "parent_id": "ghost"},
+            "not even a dict",
+        ]
+        assert find_orphan_spans(records) == []
+
+    def test_strict_file_validation_flags_orphans(self, tmp_path):
+        import json
+
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            json.dumps(_meta()) + "\n"
+            + json.dumps(_span(span_id="a", parent_id="ghost")) + "\n"
+        )
+        assert validate_trace_file(str(path)) == []
+        problems = validate_trace_file(str(path), strict=True)
+        assert len(problems) == 1
+        assert problems[0].startswith("orphan:")
+
+
 class TestCli:
     def test_main_ok_and_failure(self, tmp_path, capsys):
         import json
@@ -225,3 +272,14 @@ class TestCli:
         bad.write_text("{}\n")
         assert main([str(bad)]) == 1
         assert main([]) == 2
+
+    def test_strict_flag_changes_verdict(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "orphaned.jsonl"
+        path.write_text(
+            json.dumps(_meta()) + "\n"
+            + json.dumps(_span(span_id="a", parent_id="ghost")) + "\n"
+        )
+        assert main([str(path)]) == 0
+        assert main(["--strict", str(path)]) == 1
